@@ -1,0 +1,95 @@
+// Command cbq is an interactive N1QL shell, talking to a cbserver's
+// query endpoint (the paper's "interactive client tools" for N1QL).
+//
+// Usage:
+//
+//	cbq -url http://localhost:8091
+//	> CREATE PRIMARY INDEX ON default;
+//	> SELECT meta().id FROM default LIMIT 5;
+//	> \consistency request_plus
+//	> \quit
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8091", "cbserver base URL")
+	flag.Parse()
+
+	consistency := ""
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+
+	fmt.Println("cbq shell — end statements with ';', \\quit to exit")
+	fmt.Print("> ")
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == `\quit` || trimmed == `\q`:
+			return
+		case strings.HasPrefix(trimmed, `\consistency`):
+			parts := strings.Fields(trimmed)
+			if len(parts) == 2 && (parts[1] == "request_plus" || parts[1] == "not_bounded") {
+				consistency = parts[1]
+				fmt.Printf("scan_consistency = %s\n> ", consistency)
+			} else {
+				fmt.Print("usage: \\consistency request_plus|not_bounded\n> ")
+			}
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteString(" ")
+		if !strings.HasSuffix(trimmed, ";") {
+			fmt.Print("… ")
+			continue
+		}
+		stmt := strings.TrimSpace(pending.String())
+		pending.Reset()
+		runStatement(*url, stmt, consistency)
+		fmt.Print("> ")
+	}
+}
+
+func runStatement(base, stmt, consistency string) {
+	body, _ := json.Marshal(map[string]any{
+		"statement":        strings.TrimSuffix(stmt, ";"),
+		"scan_consistency": consistency,
+	})
+	resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		fmt.Printf("bad response: %v\n", err)
+		return
+	}
+	if e, ok := out["error"]; ok {
+		fmt.Printf("error: %v\n", e)
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if rows, ok := out["results"].([]any); ok && len(rows) > 0 {
+		for _, r := range rows {
+			enc.Encode(r)
+		}
+	}
+	if mc, ok := out["mutationCount"].(float64); ok && mc > 0 {
+		fmt.Printf("mutations: %.0f\n", mc)
+	}
+	fmt.Printf("status: %v\n", out["status"])
+}

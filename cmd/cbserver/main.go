@@ -1,0 +1,79 @@
+// Command cbserver runs a couchgo cluster and serves its HTTP API:
+// the KV document endpoints, view queries, the N1QL query service, and
+// cluster administration (rebalance/failover).
+//
+// Usage:
+//
+//	cbserver -listen :8091 -nodes 4 -replicas 1 -bucket default
+//
+// Then:
+//
+//	curl -X PUT localhost:8091/buckets/default/docs/user::1 -d '{"name":"Dipti"}'
+//	curl localhost:8091/buckets/default/docs/user::1
+//	curl -X POST localhost:8091/query -d '{"statement":"CREATE PRIMARY INDEX ON default"}'
+//	curl -X POST localhost:8091/query -d '{"statement":"SELECT * FROM default"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"couchgo/internal/cmap"
+	"couchgo/internal/core"
+	"couchgo/internal/rest"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":8091", "HTTP listen address")
+		nodes     = flag.Int("nodes", 4, "number of cluster nodes")
+		replicas  = flag.Int("replicas", 1, "bucket replica count (0-3)")
+		vbuckets  = flag.Int("vbuckets", cmap.NumVBuckets, "vBucket count")
+		dir       = flag.String("dir", "", "storage directory (default: temp)")
+		bucket    = flag.String("bucket", "default", "bucket to create")
+		syncWrite = flag.Bool("sync", false, "fsync every persisted batch")
+	)
+	flag.Parse()
+
+	cluster, err := core.NewCluster(core.Config{
+		Dir:             *dir,
+		NumVBuckets:     *vbuckets,
+		SyncPersist:     *syncWrite,
+		FailoverTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		log.Fatalf("cluster: %v", err)
+	}
+	defer cluster.Close()
+
+	for i := 0; i < *nodes; i++ {
+		id := cmap.NodeID(fmt.Sprintf("node%d", i))
+		if _, err := cluster.AddNode(id, cmap.AllServices); err != nil {
+			log.Fatalf("add node: %v", err)
+		}
+	}
+	if err := cluster.CreateBucket(*bucket, core.BucketOptions{NumReplicas: *replicas}); err != nil {
+		log.Fatalf("create bucket: %v", err)
+	}
+	log.Printf("cluster up: %d nodes, bucket %q (%d vbuckets, %d replicas), orchestrator %s",
+		*nodes, *bucket, *vbuckets, *replicas, cluster.Orchestrator())
+
+	srv := &http.Server{Addr: *listen, Handler: rest.NewServer(cluster)}
+	go func() {
+		log.Printf("listening on %s", *listen)
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("serve: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Print("shutting down")
+	srv.Close()
+}

@@ -1,0 +1,107 @@
+// Command ycsb reproduces the paper's appendix evaluation (Figures 15
+// and 16): YCSB workloads against an in-process couchgo cluster, with
+// the client thread count swept as in the paper (4 client machines ×
+// 12..32 threads = 48..128 total).
+//
+// Figure 15 (workload A, 50% read / 50% update, zipfian):
+//
+//	ycsb -workload a -records 100000 -ops 200000
+//
+// Figure 16 (workload E, short N1QL range scans):
+//
+//	ycsb -workload e -records 100000 -ops 20000
+//
+// The output is one row per thread count: the same series the paper
+// plots. Absolute numbers are machine-local (the paper ran a 4-node
+// hardware cluster driven by 4 separate client hosts); the shape is
+// the comparison target — see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"couchgo/internal/cmap"
+	"couchgo/internal/core"
+	"couchgo/internal/executor"
+	"couchgo/internal/ycsb"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "a", "YCSB workload: a|b|c|d|e")
+		records  = flag.Int64("records", 100000, "records to load (paper used 10M)")
+		ops      = flag.Int("ops", 200000, "operations per thread-count measurement")
+		threads  = flag.String("threads", "48,64,80,96,112,128", "comma-separated total client thread counts (paper: 4 clients x 12..32)")
+		nodes    = flag.Int("nodes", 4, "cluster nodes (paper: 4)")
+		vbuckets = flag.Int("vbuckets", 128, "vBucket count (1024 in production; lower is faster to set up)")
+		dir      = flag.String("dir", "", "storage directory (default temp)")
+	)
+	flag.Parse()
+
+	w, err := ycsb.WorkloadByName(*workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cluster, err := core.NewCluster(core.Config{Dir: *dir, NumVBuckets: *vbuckets})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	for i := 0; i < *nodes; i++ {
+		if _, err := cluster.AddNode(cmap.NodeID(fmt.Sprintf("node%d", i)), cmap.AllServices); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := cluster.CreateBucket("ycsb", core.BucketOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	if w.ScanProportion > 0 {
+		// Workload E scans run through N1QL over the primary index.
+		if _, err := cluster.Query("CREATE PRIMARY INDEX ON `ycsb`", executor.Options{}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	db, err := ycsb.NewCouchDB(cluster, "ycsb")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("# loading %d records into %d-node cluster (%d vbuckets)\n", *records, *nodes, *vbuckets)
+	loader := &ycsb.Runner{DB: db, RecordCount: *records, Threads: 16, Record: ycsb.DefaultRecord}
+	if err := loader.Load(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("# workload %s: %d ops per measurement\n", w.Name, *ops)
+	fmt.Printf("# figure: %s\n", figureFor(w.Name))
+	for _, ts := range strings.Split(*threads, ",") {
+		tc, err := strconv.Atoi(strings.TrimSpace(ts))
+		if err != nil || tc <= 0 {
+			log.Fatalf("bad thread count %q", ts)
+		}
+		r := &ycsb.Runner{
+			DB:          db,
+			Workload:    w,
+			RecordCount: *records,
+			Threads:     tc,
+			Ops:         *ops,
+			Record:      ycsb.DefaultRecord,
+		}
+		fmt.Println(r.Run())
+	}
+}
+
+func figureFor(name string) string {
+	switch name {
+	case "A":
+		return "Figure 15 — simple operation throughput (ops/sec) vs threads"
+	case "E":
+		return "Figure 16 — range query throughput (queries/sec) vs threads"
+	}
+	return "supplemental workload " + name
+}

@@ -1,0 +1,76 @@
+package couchgo_test
+
+import (
+	"fmt"
+	"log"
+
+	"couchgo"
+)
+
+// Example shows the three access paths of paper §3.1 on one bucket:
+// key-value, view, and N1QL.
+func Example() {
+	cluster, err := couchgo.NewCluster(couchgo.ClusterOptions{NumVBuckets: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	cluster.AddNode("node0", couchgo.AllServices)
+	cluster.CreateBucket("default", couchgo.BucketOptions{})
+	bucket, _ := cluster.Bucket("default")
+
+	// Key-value.
+	bucket.Upsert("borkar123", map[string]any{"name": "Dipti", "email": "dipti@couchbase.com"})
+	doc, _ := bucket.Get("borkar123")
+	fmt.Println("kv:", string(doc.Content))
+
+	// View.
+	bucket.DefineView("profile", couchgo.ViewDefinition{Key: "doc.name", Value: "doc.email"})
+	rows, _ := bucket.ViewQuery("profile", couchgo.ViewQueryOptions{Stale: couchgo.StaleFalse})
+	fmt.Println("view:", rows[0].Key, "->", rows[0].Value)
+
+	// N1QL.
+	cluster.Query("CREATE PRIMARY INDEX ON `default`")
+	res, _ := cluster.QueryWithOptions(
+		`SELECT email FROM `+"`default`"+` WHERE name = "Dipti"`,
+		couchgo.QueryOptions{Consistency: couchgo.RequestPlus})
+	fmt.Println("n1ql:", res.Rows[0].(map[string]any)["email"])
+
+	// Output:
+	// kv: {"email":"dipti@couchbase.com","name":"Dipti"}
+	// view: Dipti -> dipti@couchbase.com
+	// n1ql: dipti@couchbase.com
+}
+
+// ExampleBucket_Write demonstrates per-mutation durability (§2.3.2).
+func ExampleBucket_Write() {
+	cluster, _ := couchgo.NewCluster(couchgo.ClusterOptions{NumVBuckets: 16})
+	defer cluster.Close()
+	cluster.AddNode("node0", couchgo.AllServices)
+	cluster.AddNode("node1", couchgo.AllServices)
+	cluster.CreateBucket("default", couchgo.BucketOptions{NumReplicas: 1})
+	bucket, _ := cluster.Bucket("default")
+
+	_, err := bucket.Write("important", map[string]any{"v": 1}, couchgo.WriteOptions{
+		Durability: couchgo.DurabilityOptions{ReplicateTo: 1, PersistTo: true},
+	})
+	fmt.Println("durable write:", err == nil)
+	// Output:
+	// durable write: true
+}
+
+// ExampleBucket_Increment shows the atomic sub-document counter.
+func ExampleBucket_Increment() {
+	cluster, _ := couchgo.NewCluster(couchgo.ClusterOptions{NumVBuckets: 16})
+	defer cluster.Close()
+	cluster.AddNode("node0", couchgo.AllServices)
+	cluster.CreateBucket("default", couchgo.BucketOptions{})
+	bucket, _ := cluster.Bucket("default")
+
+	bucket.Upsert("stats", map[string]any{"hits": 0})
+	bucket.Increment("stats", "hits", 1)
+	n, _ := bucket.Increment("stats", "hits", 1)
+	fmt.Println("hits:", n)
+	// Output:
+	// hits: 2
+}

@@ -1,0 +1,146 @@
+// Product-catalog / SKU management: the paper's second motivating
+// workload ("applications such as catalog and SKU management systems
+// need the ability to change and update information on the fly", §1).
+//
+// Demonstrates the query-side features on one bucket holding two
+// document types (unnormalized, schema-flexible):
+//
+//   - USE KEYS key-value-speed lookups from N1QL (§3.2.3)
+//   - the paper's NEST example: orders nested into a profile
+//   - the paper's UNNEST example: distinct categories in use
+//   - a selective (partial) index (§3.3.4)
+//   - an array index accelerating ANY ... SATISFIES (§6.1.2)
+//   - a covering index (§5.1.2) shown via EXPLAIN
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"couchgo"
+)
+
+func main() {
+	cluster, err := couchgo.NewCluster(couchgo.ClusterOptions{NumVBuckets: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	must(cluster.AddNode("node0", couchgo.AllServices))
+	must(cluster.AddNode("node1", couchgo.AllServices))
+	must(cluster.CreateBucket("catalog", couchgo.BucketOptions{}))
+	bucket, err := cluster.Bucket("catalog")
+	must(err)
+
+	// Two document types in one bucket, as in the paper's
+	// profiles_orders example.
+	must2(bucket.Upsert("borkar123", map[string]any{
+		"doc_type":         "user_profile",
+		"personal_details": map[string]any{"name": "Dipti Borkar"},
+		"shipped_order_history": []any{
+			map[string]any{"order_id": "order::1001"},
+			map[string]any{"order_id": "order::1002"},
+		},
+	}))
+	must2(bucket.Upsert("order::1001", map[string]any{
+		"doc_type": "order", "total": 129.99,
+		"items": []any{map[string]any{"sku": "couch-1", "qty": 1}},
+	}))
+	must2(bucket.Upsert("order::1002", map[string]any{
+		"doc_type": "order", "total": 24.50,
+		"items": []any{map[string]any{"sku": "base-2", "qty": 3}},
+	}))
+	products := []struct {
+		key        string
+		name       string
+		price      float64
+		categories []any
+	}{
+		{"product::couch-1", "Memory-First Couch", 899, []any{"furniture", "living-room"}},
+		{"product::base-2", "Data Base", 49, []any{"furniture", "office"}},
+		{"product::lamp-3", "Query Lamp", 25, []any{"lighting", "office"}},
+	}
+	for _, p := range products {
+		must2(bucket.Upsert(p.key, map[string]any{
+			"doc_type": "product", "name": p.name, "price": p.price, "categories": p.categories,
+		}))
+	}
+	must2(cluster.Query("CREATE PRIMARY INDEX ON catalog"))
+
+	// 1. USE KEYS: key-value retrieval performance from the query path.
+	res := query(cluster, `SELECT personal_details FROM catalog USE KEYS "borkar123"`)
+	fmt.Printf("USE KEYS:         %s\n", jsonOf(res.Rows[0]))
+
+	// 2. The paper's NEST example (§3.2.3): a profile with its orders
+	// embedded as an array.
+	res = query(cluster, `
+		SELECT PO.personal_details, orders
+		FROM catalog PO
+		USE KEYS 'borkar123'
+		NEST catalog AS orders
+		ON KEYS ARRAY s.order_id FOR s IN PO.shipped_order_history END`)
+	fmt.Printf("NEST result:      %s\n", jsonOf(res.Rows[0]))
+
+	// 3. The paper's UNNEST example: distinct categories in use.
+	res = query(cluster, `
+		SELECT DISTINCT (categories) FROM catalog
+		UNNEST catalog.categories AS categories
+		ORDER BY categories`)
+	fmt.Print("UNNEST:           categories in use:")
+	for _, r := range res.Rows {
+		fmt.Printf(" %v", r.(map[string]any)["categories"])
+	}
+	fmt.Println()
+
+	// 4. Selective index (§3.3.4): only premium products are indexed.
+	must2(cluster.Query(`CREATE INDEX premium ON catalog(price) WHERE price > 100`))
+	res = query(cluster, `SELECT name, price FROM catalog WHERE price > 100 ORDER BY price`)
+	fmt.Printf("Partial index:    %d premium product(s): %s\n", len(res.Rows), jsonOf(res.Rows))
+
+	// 5. Array index (§6.1.2) accelerating an ANY predicate.
+	must2(cluster.Query(`CREATE INDEX byCategory ON catalog(ARRAY c FOR c IN categories END)`))
+	res = query(cluster, `
+		SELECT name FROM catalog
+		WHERE ANY c IN categories SATISFIES c = "office" END
+		ORDER BY name`)
+	fmt.Printf("Array index:      office products: %s\n", jsonOf(res.Rows))
+	explain := query(cluster, `EXPLAIN SELECT name FROM catalog WHERE ANY c IN categories SATISFIES c = "office" END`)
+	fmt.Printf("  plan uses:      %v\n", firstOp(explain)["index"])
+
+	// 6. Covering index (§5.1.2): the query is answered from the index
+	// alone — EXPLAIN shows no Fetch operator.
+	must2(cluster.Query(`CREATE INDEX names ON catalog(name)`))
+	explain = query(cluster, `EXPLAIN SELECT name FROM catalog WHERE name > "A"`)
+	fmt.Printf("Covering index:   covering=%v (no Fetch in plan)\n", firstOp(explain)["covering"])
+}
+
+func query(c *couchgo.Cluster, stmt string) *couchgo.QueryResult {
+	res, err := c.QueryWithOptions(stmt, couchgo.QueryOptions{Consistency: couchgo.RequestPlus})
+	if err != nil {
+		log.Fatalf("%s: %v", stmt, err)
+	}
+	return res
+}
+
+func firstOp(res *couchgo.QueryResult) map[string]any {
+	plan := res.Rows[0].(map[string]any)
+	return plan["operators"].([]any)[0].(map[string]any)
+}
+
+func jsonOf(v any) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must2[T any](_ T, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

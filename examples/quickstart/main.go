@@ -1,0 +1,81 @@
+// Quickstart: a single-process cluster exercising every access path
+// the paper describes — key-value, view, and N1QL — plus full-text
+// search, in under a hundred lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"couchgo"
+)
+
+func main() {
+	// A 2-node cluster with every service on every node, like the
+	// paper's appendix deployment. 64 vBuckets keep the demo snappy;
+	// production uses the default 1024.
+	cluster, err := couchgo.NewCluster(couchgo.ClusterOptions{NumVBuckets: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	must(cluster.AddNode("node0", couchgo.AllServices))
+	must(cluster.AddNode("node1", couchgo.AllServices))
+	must(cluster.CreateBucket("default", couchgo.BucketOptions{NumReplicas: 1}))
+
+	bucket, err := cluster.Bucket("default")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Access path 1: key-value (§3.1.1) ---
+	_, err = bucket.Upsert("borkar123", map[string]any{
+		"name":  "Dipti Borkar",
+		"email": "dipti@couchbase.com",
+		"role":  "author",
+	})
+	must(err)
+	doc, err := bucket.Get("borkar123")
+	must(err)
+	fmt.Printf("KV get:      %s (cas %d)\n", doc.Content, doc.CAS)
+
+	// --- Access path 2: view query (§3.1.2) ---
+	must(bucket.DefineView("profile", couchgo.ViewDefinition{
+		Filter: "doc.name IS NOT MISSING",
+		Key:    "doc.name",
+		Value:  "doc.email",
+	}))
+	rows, err := bucket.ViewQuery("profile", couchgo.ViewQueryOptions{
+		Stale: couchgo.StaleFalse, // wait for the indexer: fresh results
+	})
+	must(err)
+	for _, r := range rows {
+		fmt.Printf("View row:    %v -> %v (doc %s)\n", r.Key, r.Value, r.ID)
+	}
+
+	// --- Access path 3: N1QL (§3.1.3) ---
+	_, err = cluster.Query("CREATE PRIMARY INDEX ON `default`")
+	must(err)
+	res, err := cluster.QueryWithOptions(
+		`SELECT name, email FROM `+"`default`"+` WHERE role = "author"`,
+		couchgo.QueryOptions{Consistency: couchgo.RequestPlus},
+	)
+	must(err)
+	for _, row := range res.Rows {
+		fmt.Printf("N1QL row:    %v\n", row)
+	}
+
+	// --- Bonus: full-text search (§6.1.3) ---
+	must(bucket.CreateSearchIndex("people", "name"))
+	hits, err := bucket.Search("people", couchgo.SearchTerm, "dipti", 10, true)
+	must(err)
+	for _, h := range hits {
+		fmt.Printf("FTS hit:     %s (score %d)\n", h.ID, h.Score)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module couchgo
+
+go 1.22

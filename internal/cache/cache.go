@@ -1,0 +1,632 @@
+// Package cache implements the object-managed cache at the heart of the
+// data service (paper §4.3.3): one hash table per vBucket holding each
+// document's key, metadata, and (when resident) its value.
+//
+// The cache is the memory-first write path's source of truth. Every
+// mutation is applied here first and acknowledged to the client before
+// anything is persisted or replicated (Figure 6). Keys and metadata stay
+// resident by default; values can be evicted under memory pressure and
+// re-fetched from the storage engine on demand ("value eviction").
+//
+// Concurrency control follows the paper: CAS (compare-and-swap)
+// optimistic locking for the common case, plus a stricter GetAndLock /
+// Unlock hard lock with a timeout "to avoid deadlocks" (§3.1.1).
+package cache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Errors returned by hash-table operations. They mirror the memcached
+// binary-protocol status codes the real data service speaks.
+var (
+	ErrKeyNotFound  = errors.New("cache: key not found")
+	ErrKeyExists    = errors.New("cache: key already exists")
+	ErrCASMismatch  = errors.New("cache: CAS mismatch")
+	ErrLocked       = errors.New("cache: document is locked")
+	ErrNotLocked    = errors.New("cache: document is not locked")
+	ErrValueEvicted = errors.New("cache: value not resident")
+	ErrTombstone    = errors.New("cache: key is deleted")
+)
+
+// casCounter generates cluster-unique, monotonically increasing CAS
+// values. The real system derives CAS from a hybrid logical clock; a
+// process-wide atomic counter preserves the properties the rest of the
+// system relies on (uniqueness and monotonicity per document).
+var casCounter atomic.Uint64
+
+// NextCAS returns a fresh CAS value.
+func NextCAS() uint64 { return casCounter.Add(1) }
+
+// BumpCAS advances the CAS clock past an externally observed value
+// (warmup from disk, replica apply, XDCR), preserving monotonicity
+// across restarts and clusters.
+func BumpCAS(seen uint64) {
+	for {
+		cur := casCounter.Load()
+		if cur >= seen || casCounter.CompareAndSwap(cur, seen) {
+			return
+		}
+	}
+}
+
+// Item is one document's entry in the hash table: identity, metadata,
+// and the (possibly evicted) value.
+type Item struct {
+	Key   string
+	Value []byte // nil when !Resident or Deleted
+
+	// CAS changes on every mutation; clients echo it for optimistic
+	// concurrency control.
+	CAS uint64
+	// RevSeqno counts mutations to this document over its lifetime. XDCR
+	// conflict resolution prefers the copy with more updates (§4.6.1).
+	RevSeqno uint64
+	// Seqno is the per-vBucket mutation sequence number assigned at
+	// cache-insert time; DCP, durability, and index consistency all
+	// reason in seqnos (§4.2).
+	Seqno uint64
+
+	Flags  uint32
+	Expiry int64 // unix seconds; 0 = no expiry
+	// Deleted marks a tombstone: metadata retained so replicas and
+	// indexes can observe the deletion; value gone.
+	Deleted bool
+	// Resident is false when the value has been evicted from memory.
+	Resident bool
+
+	lockedUntil int64 // unix seconds; 0 = unlocked
+	nru         uint8 // not-recently-used clock for the item pager
+}
+
+func (it *Item) locked(now int64) bool {
+	return it.lockedUntil != 0 && now < it.lockedUntil
+}
+
+func (it *Item) expired(now int64) bool {
+	return it.Expiry != 0 && now >= it.Expiry
+}
+
+// memSize approximates the memory footprint used for watermark
+// accounting: key + value + fixed per-item overhead.
+func (it *Item) memSize() int64 {
+	return int64(len(it.Key)) + int64(len(it.Value)) + 80
+}
+
+// snapshot returns a copy safe to hand to callers (value shared
+// read-only by convention: callers must not mutate returned bytes).
+func (it *Item) snapshot() Item {
+	cp := *it
+	return cp
+}
+
+// HashTable is the per-vBucket document table. All operations take the
+// current time explicitly so expiry and lock behaviour is testable.
+type HashTable struct {
+	mu    sync.Mutex
+	items map[string]*Item
+
+	// nextSeqno is the vBucket's mutation clock. "When a document is
+	// written, a sequence number is generated and associated with the
+	// mutation. The maximum sequence number per vBucket is also
+	// tracked." (§4.2)
+	nextSeqno uint64
+
+	memUsed   int64
+	itemCount int64
+	tombCount int64
+
+	// onMutate, when set, observes every applied mutation while the
+	// table lock is held, guaranteeing the observer sees mutations in
+	// seqno order. The vBucket layer uses this to feed the disk-write
+	// queue and the DCP producer atomically with the cache write.
+	onMutate func(Item)
+}
+
+// NewHashTable creates an empty table.
+func NewHashTable() *HashTable {
+	return &HashTable{items: make(map[string]*Item)}
+}
+
+// OnMutate registers the ordered mutation observer. Must be called
+// before the table receives traffic.
+func (h *HashTable) OnMutate(fn func(Item)) { h.onMutate = fn }
+
+// HighSeqno returns the max sequence number assigned so far.
+func (h *HashTable) HighSeqno() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.nextSeqno
+}
+
+// SetHighSeqno force-sets the seqno clock. Used when a replica is
+// promoted to active so the new active continues the stream.
+func (h *HashTable) SetHighSeqno(s uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s > h.nextSeqno {
+		h.nextSeqno = s
+	}
+}
+
+// Stats reports table-level counters.
+type Stats struct {
+	Items       int64 // live documents (excluding tombstones)
+	Tombstones  int64
+	MemUsed     int64
+	HighSeqno   uint64
+	NonResident int64
+}
+
+// Stats returns a snapshot of the table counters.
+func (h *HashTable) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var nonRes int64
+	for _, it := range h.items {
+		if !it.Deleted && !it.Resident {
+			nonRes++
+		}
+	}
+	return Stats{
+		Items:       h.itemCount,
+		Tombstones:  h.tombCount,
+		MemUsed:     h.memUsed,
+		HighSeqno:   h.nextSeqno,
+		NonResident: nonRes,
+	}
+}
+
+// Get returns the item for key. Expired documents are lazily deleted
+// (the deletion gets a seqno and flows to observers like any mutation).
+// A resident=false item is returned with ErrValueEvicted; the caller
+// (the vBucket layer) fetches the value from storage and restores it.
+func (h *HashTable) Get(key string, now int64) (Item, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	it, ok := h.items[key]
+	if !ok || it.Deleted {
+		return Item{}, ErrKeyNotFound
+	}
+	if it.expired(now) {
+		h.deleteLocked(it)
+		return Item{}, ErrKeyNotFound
+	}
+	it.nru = 0
+	if !it.Resident {
+		return it.snapshot(), ErrValueEvicted
+	}
+	return it.snapshot(), nil
+}
+
+// GetMeta returns the item metadata even for tombstones. Used by XDCR
+// conflict resolution and durability observers.
+func (h *HashTable) GetMeta(key string) (Item, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	it, ok := h.items[key]
+	if !ok {
+		return Item{}, ErrKeyNotFound
+	}
+	return it.snapshot(), nil
+}
+
+// Set stores value under key. casCheck, when nonzero, must match the
+// current CAS or ErrCASMismatch is returned ("the server will then
+// check this ID against the current ID in the server", §3.1.1).
+// Writing to a hard-locked document requires the lock-holder's CAS.
+func (h *HashTable) Set(key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64) (Item, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.storeLocked(key, value, flags, expiry, casCheck, now, storeSet)
+}
+
+// Add stores value only if the key does not already exist.
+func (h *HashTable) Add(key string, value []byte, flags uint32, expiry int64, now int64) (Item, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.storeLocked(key, value, flags, expiry, 0, now, storeAdd)
+}
+
+// Replace stores value only if the key already exists.
+func (h *HashTable) Replace(key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64) (Item, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.storeLocked(key, value, flags, expiry, casCheck, now, storeReplace)
+}
+
+type storeMode int
+
+const (
+	storeSet storeMode = iota
+	storeAdd
+	storeReplace
+)
+
+func (h *HashTable) storeLocked(key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64, mode storeMode) (Item, error) {
+	it, exists := h.items[key]
+	if exists && (it.Deleted || it.expired(now)) {
+		if it.expired(now) && !it.Deleted {
+			h.deleteLocked(it)
+		}
+		exists = false
+		it = h.items[key] // tombstone (possibly just created)
+	}
+	switch mode {
+	case storeAdd:
+		if exists {
+			return Item{}, ErrKeyExists
+		}
+	case storeReplace:
+		if !exists {
+			return Item{}, ErrKeyNotFound
+		}
+	}
+	if exists && it.locked(now) {
+		// A locked doc is only writable with the CAS returned by
+		// GetAndLock; a correct CAS write also releases the lock.
+		if casCheck != it.CAS {
+			return Item{}, ErrLocked
+		}
+	} else if casCheck != 0 {
+		if !exists {
+			return Item{}, ErrKeyNotFound
+		}
+		if it.CAS != casCheck {
+			return Item{}, ErrCASMismatch
+		}
+	}
+
+	var revSeqno uint64 = 1
+	if it != nil {
+		revSeqno = it.RevSeqno + 1
+	}
+	h.nextSeqno++
+	nit := &Item{
+		Key:      key,
+		Value:    value,
+		CAS:      NextCAS(),
+		RevSeqno: revSeqno,
+		Seqno:    h.nextSeqno,
+		Flags:    flags,
+		Expiry:   expiry,
+		Resident: true,
+	}
+	h.replaceLocked(key, it, nit)
+	return nit.snapshot(), nil
+}
+
+// Delete tombstones the document. casCheck semantics match Set.
+func (h *HashTable) Delete(key string, casCheck uint64, now int64) (Item, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	it, ok := h.items[key]
+	if !ok || it.Deleted || it.expired(now) {
+		if ok && it.expired(now) && !it.Deleted {
+			h.deleteLocked(it)
+		}
+		return Item{}, ErrKeyNotFound
+	}
+	if it.locked(now) && casCheck != it.CAS {
+		return Item{}, ErrLocked
+	}
+	if casCheck != 0 && it.CAS != casCheck {
+		return Item{}, ErrCASMismatch
+	}
+	return h.deleteLocked(it), nil
+}
+
+// deleteLocked tombstones it and notifies observers.
+func (h *HashTable) deleteLocked(it *Item) Item {
+	h.nextSeqno++
+	nit := &Item{
+		Key:      it.Key,
+		CAS:      NextCAS(),
+		RevSeqno: it.RevSeqno + 1,
+		Seqno:    h.nextSeqno,
+		Deleted:  true,
+	}
+	h.replaceLocked(it.Key, it, nit)
+	return nit.snapshot()
+}
+
+// replaceLocked swaps old (may be nil) for nit under key, maintaining
+// accounting, and emits the mutation to the observer in seqno order.
+func (h *HashTable) replaceLocked(key string, old, nit *Item) {
+	if old != nil {
+		h.memUsed -= old.memSize()
+		if old.Deleted {
+			h.tombCount--
+		} else {
+			h.itemCount--
+		}
+	}
+	h.items[key] = nit
+	h.memUsed += nit.memSize()
+	if nit.Deleted {
+		h.tombCount++
+	} else {
+		h.itemCount++
+	}
+	if h.onMutate != nil {
+		h.onMutate(nit.snapshot())
+	}
+}
+
+// Append concatenates data after the existing raw value — the
+// memcached-heritage byte-level operation. The document must exist.
+func (h *HashTable) Append(key string, data []byte, casCheck uint64, now int64) (Item, error) {
+	return h.concat(key, data, casCheck, now, false)
+}
+
+// Prepend concatenates data before the existing raw value.
+func (h *HashTable) Prepend(key string, data []byte, casCheck uint64, now int64) (Item, error) {
+	return h.concat(key, data, casCheck, now, true)
+}
+
+func (h *HashTable) concat(key string, data []byte, casCheck uint64, now int64, front bool) (Item, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	it, exists := h.items[key]
+	if !exists || it.Deleted || it.expired(now) {
+		return Item{}, ErrKeyNotFound
+	}
+	if !it.Resident {
+		return Item{}, ErrValueEvicted
+	}
+	var nv []byte
+	if front {
+		nv = append(append([]byte{}, data...), it.Value...)
+	} else {
+		nv = append(append([]byte{}, it.Value...), data...)
+	}
+	return h.storeLocked(key, nv, it.Flags, it.Expiry, casCheck, now, storeSet)
+}
+
+// Touch updates the expiry without changing the value.
+func (h *HashTable) Touch(key string, expiry int64, now int64) (Item, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	it, ok := h.items[key]
+	if !ok || it.Deleted || it.expired(now) {
+		return Item{}, ErrKeyNotFound
+	}
+	if it.locked(now) {
+		return Item{}, ErrLocked
+	}
+	it.Expiry = expiry
+	return it.snapshot(), nil
+}
+
+// GetAndLock returns the document and takes the hard document-level
+// lock for lockSeconds ("this lock will be released after a certain
+// timeout to avoid deadlocks", §3.1.1). The returned CAS is the lock
+// token: a Set/Delete/Unlock with it releases the lock.
+func (h *HashTable) GetAndLock(key string, lockSeconds int64, now int64) (Item, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	it, ok := h.items[key]
+	if !ok || it.Deleted || it.expired(now) {
+		return Item{}, ErrKeyNotFound
+	}
+	if it.locked(now) {
+		return Item{}, ErrLocked
+	}
+	it.lockedUntil = now + lockSeconds
+	it.CAS = NextCAS() // lock token differs from the pre-lock CAS
+	if !it.Resident {
+		return it.snapshot(), ErrValueEvicted
+	}
+	return it.snapshot(), nil
+}
+
+// Unlock releases a hard lock given the lock-token CAS.
+func (h *HashTable) Unlock(key string, cas uint64, now int64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	it, ok := h.items[key]
+	if !ok || it.Deleted {
+		return ErrKeyNotFound
+	}
+	if !it.locked(now) {
+		return ErrNotLocked
+	}
+	if it.CAS != cas {
+		return ErrLocked
+	}
+	it.lockedUntil = 0
+	return nil
+}
+
+// ApplyMeta installs an item with externally supplied metadata (seqno,
+// CAS, rev). Replica vBuckets and XDCR consumers use this so the copy
+// carries the origin's metadata. The vBucket seqno clock advances to
+// cover the applied seqno.
+func (h *HashTable) ApplyMeta(it Item) {
+	BumpCAS(it.CAS)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	old := h.items[it.Key]
+	it.Resident = !it.Deleted
+	cp := it
+	if it.Seqno > h.nextSeqno {
+		h.nextSeqno = it.Seqno
+	}
+	h.replaceLocked(it.Key, old, &cp)
+}
+
+// ApplyRemote applies a cross-datacenter (XDCR) mutation using the
+// paper's conflict resolution (§4.6.1): "the document with the most
+// updates is considered the winner. If both clusters have the same
+// number of updates for a document, additional metadata fields are
+// used to pick the winner." Most-updates = RevSeqno; the tiebreak is
+// the CAS. The incoming revision keeps its origin RevSeqno/CAS but is
+// assigned a fresh local sequence number, since seqnos are a
+// per-vBucket, per-cluster lineage. It reports whether the incoming
+// revision won.
+func (h *HashTable) ApplyRemote(key string, value []byte, deleted bool, cas, revSeqno uint64, flags uint32, expiry int64) bool {
+	BumpCAS(cas)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	old := h.items[key]
+	if old != nil {
+		if revSeqno < old.RevSeqno {
+			return false
+		}
+		if revSeqno == old.RevSeqno && cas <= old.CAS {
+			return false
+		}
+	}
+	h.nextSeqno++
+	nit := &Item{
+		Key:      key,
+		Value:    value,
+		CAS:      cas,
+		RevSeqno: revSeqno,
+		Seqno:    h.nextSeqno,
+		Flags:    flags,
+		Expiry:   expiry,
+		Deleted:  deleted,
+		Resident: !deleted,
+	}
+	h.replaceLocked(key, old, nit)
+	return true
+}
+
+// RestoreValue re-installs a value fetched from storage for a
+// non-resident item. It is a no-op if the document changed meanwhile
+// (compared by CAS).
+func (h *HashTable) RestoreValue(key string, cas uint64, value []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	it, ok := h.items[key]
+	if !ok || it.Deleted || it.Resident || it.CAS != cas {
+		return
+	}
+	h.memUsed -= it.memSize()
+	it.Value = value
+	it.Resident = true
+	h.memUsed += it.memSize()
+}
+
+// Restore inserts an item recovered from the storage engine without
+// treating it as a new mutation: no observer notification, no
+// re-persistence. Used by restart warmup and by full-eviction miss
+// fetches. If the key already exists in the table (a concurrent write
+// won), Restore is a no-op — the in-memory copy is always newer.
+func (h *HashTable) Restore(it Item) {
+	BumpCAS(it.CAS)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, exists := h.items[it.Key]; exists {
+		return
+	}
+	it.Resident = !it.Deleted
+	cp := it
+	if it.Seqno > h.nextSeqno {
+		h.nextSeqno = it.Seqno
+	}
+	h.items[it.Key] = &cp
+	h.memUsed += cp.memSize()
+	if cp.Deleted {
+		h.tombCount++
+	} else {
+		h.itemCount++
+	}
+}
+
+// EvictItem removes a clean, unlocked document entirely — key,
+// metadata, and value — the "full eviction" option of §4.3.3. The
+// document must be recoverable from the storage engine (its seqno at
+// or below the persisted watermark). Reports whether it was evicted.
+func (h *HashTable) EvictItem(key string, persistedSeqno uint64, now int64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	it, ok := h.items[key]
+	if !ok || it.locked(now) || it.Seqno > persistedSeqno {
+		return false
+	}
+	delete(h.items, key)
+	h.memUsed -= it.memSize()
+	if it.Deleted {
+		h.tombCount--
+	} else {
+		h.itemCount--
+	}
+	return true
+}
+
+// EvictValue drops the value (keeping key and metadata) if the document
+// is clean per the caller's persistence check. Returns bytes freed.
+func (h *HashTable) EvictValue(key string) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	it, ok := h.items[key]
+	if !ok || it.Deleted || !it.Resident {
+		return 0
+	}
+	before := it.memSize()
+	it.Value = nil
+	it.Resident = false
+	freed := before - it.memSize()
+	h.memUsed -= freed
+	return freed
+}
+
+// ForEach calls fn with a snapshot of every live item (no tombstones),
+// in unspecified order. fn must not call back into the table.
+func (h *HashTable) ForEach(fn func(Item) bool) {
+	h.forEach(false, fn)
+}
+
+// ForEachAll is ForEach including tombstones. DCP backfill snapshots
+// need deletions so consumers can drop stale state.
+func (h *HashTable) ForEachAll(fn func(Item) bool) {
+	h.forEach(true, fn)
+}
+
+func (h *HashTable) forEach(tombstones bool, fn func(Item) bool) {
+	h.mu.Lock()
+	snap := make([]Item, 0, len(h.items))
+	for _, it := range h.items {
+		if tombstones || !it.Deleted {
+			snap = append(snap, it.snapshot())
+		}
+	}
+	h.mu.Unlock()
+	for _, it := range snap {
+		if !fn(it) {
+			return
+		}
+	}
+}
+
+// pagerPass advances NRU clocks and returns keys that are eviction
+// candidates (not locked, highest NRU). persistedSeqno guards against
+// evicting dirty state. In value-eviction mode only live resident
+// documents qualify; in full mode any clean item (including
+// already-value-evicted ones and tombstones) may be removed entirely.
+func (h *HashTable) pagerPass(now int64, persistedSeqno uint64, full bool) []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var victims []string
+	for _, it := range h.items {
+		if !full && (it.Deleted || !it.Resident) {
+			continue
+		}
+		if it.locked(now) {
+			continue
+		}
+		if it.Seqno > persistedSeqno {
+			continue // dirty: not yet on disk, must stay
+		}
+		if it.nru >= 2 {
+			victims = append(victims, it.Key)
+		} else {
+			it.nru++
+		}
+	}
+	return victims
+}

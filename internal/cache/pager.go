@@ -1,0 +1,118 @@
+package cache
+
+// The item pager implements the paper's value-eviction policy: "By
+// default the key and the metadata for every key in the bucket will be
+// kept in memory, while the associated values can be evicted based on
+// usage." Eviction triggers when the bucket's memory use crosses the
+// high watermark and stops once it falls below the low watermark.
+
+// Quota describes a bucket memory quota with its watermarks. The real
+// system defaults to high = 85% and low = 75% of the quota.
+type Quota struct {
+	Bytes int64
+	// HighRatio and LowRatio default to 0.85 / 0.75 when zero.
+	HighRatio, LowRatio float64
+}
+
+func (q Quota) high() int64 {
+	r := q.HighRatio
+	if r == 0 {
+		r = 0.85
+	}
+	return int64(float64(q.Bytes) * r)
+}
+
+func (q Quota) low() int64 {
+	r := q.LowRatio
+	if r == 0 {
+		r = 0.75
+	}
+	return int64(float64(q.Bytes) * r)
+}
+
+// Pager evicts not-recently-used resident values across a set of hash
+// tables until memory falls below the low watermark. Only values whose
+// mutations have been persisted may be evicted (the value must be
+// recoverable from the storage engine).
+type Pager struct {
+	Quota Quota
+	// FullEviction removes whole items (key + metadata + value) instead
+	// of just values — §4.3.3: "users also have the option to enable
+	// the eviction of the key and metadata based on usage."
+	FullEviction bool
+}
+
+// MemUsed sums memory accounting over tables.
+func MemUsed(tables []*HashTable) int64 {
+	var total int64
+	for _, t := range tables {
+		total += t.Stats().MemUsed
+	}
+	return total
+}
+
+// NeedsEviction reports whether use has crossed the high watermark.
+func (p *Pager) NeedsEviction(tables []*HashTable) bool {
+	return MemUsed(tables) > p.Quota.high()
+}
+
+// Run performs pager passes until memory drops below the low watermark
+// or no progress can be made. persistedSeqno gives, per table (parallel
+// slice), the highest seqno known durable; dirty values are never
+// evicted. It returns the number of values evicted.
+func (p *Pager) Run(tables []*HashTable, persistedSeqno []uint64, now int64) int {
+	evicted := 0
+	low := p.Quota.low()
+	for pass := 0; pass < 4; pass++ {
+		if MemUsed(tables) <= low {
+			break
+		}
+		progress := false
+		for i, t := range tables {
+			var ps uint64
+			if i < len(persistedSeqno) {
+				ps = persistedSeqno[i]
+			}
+			for _, key := range t.pagerPass(now, ps, p.FullEviction) {
+				if p.FullEviction {
+					if t.EvictItem(key, ps, now) {
+						evicted++
+						progress = true
+					}
+				} else if t.EvictValue(key) > 0 {
+					evicted++
+					progress = true
+				}
+				if MemUsed(tables) <= low {
+					return evicted
+				}
+			}
+		}
+		if !progress && pass >= 2 {
+			break
+		}
+	}
+	return evicted
+}
+
+// ExpiryPager lazily-expired documents are reaped on access; this pager
+// proactively deletes expired documents so tombstones flow to replicas
+// and indexes even for never-touched keys.
+func ExpiryPager(tables []*HashTable, now int64) int {
+	reaped := 0
+	for _, t := range tables {
+		var expired []string
+		t.ForEach(func(it Item) bool {
+			if it.Expiry != 0 && now >= it.Expiry {
+				expired = append(expired, it.Key)
+			}
+			return true
+		})
+		for _, key := range expired {
+			if _, err := t.Get(key, now); err == ErrKeyNotFound {
+				reaped++ // Get performed the lazy delete
+			}
+		}
+	}
+	return reaped
+}

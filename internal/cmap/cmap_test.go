@@ -1,0 +1,241 @@
+package cmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVBucketIDDeterministicAndInRange(t *testing.T) {
+	f := func(key string) bool {
+		a := VBucketID(key, NumVBuckets)
+		b := VBucketID(key, NumVBuckets)
+		return a == b && a >= 0 && a < NumVBuckets
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVBucketIDSpread(t *testing.T) {
+	// Keys should spread over partitions reasonably evenly.
+	counts := make([]int, 64)
+	r := rand.New(rand.NewSource(1))
+	n := 64 * 200
+	for i := 0; i < n; i++ {
+		key := "doc-" + string(rune('a'+r.Intn(26))) + string(rune('a'+r.Intn(26))) + string(rune('0'+i%10)) + string(rune('0'+(i/10)%10)) + string(rune('0'+(i/100)%10)) + string(rune('0'+(i/1000)%10))
+		counts[VBucketID(key, 64)]++
+	}
+	for vb, c := range counts {
+		if c == 0 {
+			t.Errorf("vbucket %d received no keys out of %d", vb, n)
+		}
+	}
+}
+
+func TestBuildBalancedInvariants(t *testing.T) {
+	nodes := []NodeID{"n1", "n2", "n3", "n4"}
+	m := BuildBalanced(1, nodes, 64, 2)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumReplicas != 2 {
+		t.Fatalf("NumReplicas = %d", m.NumReplicas)
+	}
+	// Actives are evenly spread: 64/4 = 16 each.
+	for _, n := range nodes {
+		if got := len(m.ActiveVBuckets(n)); got != 16 {
+			t.Errorf("node %s has %d actives, want 16", n, got)
+		}
+		if got := len(m.ReplicaVBuckets(n)); got != 32 {
+			t.Errorf("node %s has %d replicas, want 32", n, got)
+		}
+	}
+}
+
+func TestBuildBalancedClampsReplicas(t *testing.T) {
+	m := BuildBalanced(1, []NodeID{"a", "b"}, 16, 3)
+	if m.NumReplicas != 1 {
+		t.Errorf("replicas should clamp to nodes-1, got %d", m.NumReplicas)
+	}
+	m = BuildBalanced(1, []NodeID{"a"}, 16, 3)
+	if m.NumReplicas != 0 {
+		t.Errorf("single node should have 0 replicas, got %d", m.NumReplicas)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m = BuildBalanced(1, []NodeID{"a", "b", "c", "d", "e", "f"}, 16, 9)
+	if m.NumReplicas != MaxReplicas {
+		t.Errorf("replicas should clamp to MaxReplicas, got %d", m.NumReplicas)
+	}
+}
+
+func TestActiveAndReplicasDisjoint(t *testing.T) {
+	m := BuildBalanced(1, []NodeID{"a", "b", "c"}, 48, 2)
+	for vb := 0; vb < 48; vb++ {
+		act := m.Active(vb)
+		for _, r := range m.Replicas(vb) {
+			if r == act {
+				t.Fatalf("vb %d replica on same node as active", vb)
+			}
+		}
+		if len(m.Replicas(vb)) != 2 {
+			t.Fatalf("vb %d has %d replicas", vb, len(m.Replicas(vb)))
+		}
+	}
+}
+
+func TestNodeForKey(t *testing.T) {
+	m := BuildBalanced(1, []NodeID{"a", "b", "c", "d"}, NumVBuckets, 1)
+	node, vb := m.NodeForKey("user::1234")
+	if node == "" {
+		t.Fatal("no node for key")
+	}
+	if m.Active(vb) != node {
+		t.Fatal("NodeForKey disagrees with Active")
+	}
+}
+
+func TestFailoverPromotesReplica(t *testing.T) {
+	m := BuildBalanced(1, []NodeID{"a", "b", "c"}, 24, 1)
+	after := m.FailoverNode("b")
+	if after.Rev != m.Rev+1 {
+		t.Errorf("failover should bump rev: %d -> %d", m.Rev, after.Rev)
+	}
+	for vb := 0; vb < 24; vb++ {
+		if m.Active(vb) == "b" {
+			// Replica must have been promoted.
+			want := m.Replicas(vb)[0]
+			if got := after.Active(vb); got != want {
+				t.Errorf("vb %d active after failover = %s, want promoted replica %s", vb, got, want)
+			}
+		} else if after.Active(vb) != m.Active(vb) {
+			t.Errorf("vb %d active changed though node was alive", vb)
+		}
+		for _, r := range after.Replicas(vb) {
+			if r == "b" {
+				t.Errorf("vb %d still has replica on failed node", vb)
+			}
+		}
+	}
+}
+
+func TestFailoverUnknownNodeIsNoop(t *testing.T) {
+	m := BuildBalanced(1, []NodeID{"a", "b"}, 8, 1)
+	after := m.FailoverNode("zz")
+	for vb := 0; vb < 8; vb++ {
+		if after.Active(vb) != m.Active(vb) {
+			t.Fatal("unknown-node failover changed actives")
+		}
+	}
+}
+
+func TestFailoverLastCopyLost(t *testing.T) {
+	m := BuildBalanced(1, []NodeID{"solo"}, 8, 0)
+	after := m.FailoverNode("solo")
+	for vb := 0; vb < 8; vb++ {
+		if after.Active(vb) != "" {
+			t.Fatal("active should be gone when last copy fails")
+		}
+	}
+}
+
+func TestDiffMoves(t *testing.T) {
+	before := BuildBalanced(1, []NodeID{"a", "b"}, 16, 1)
+	after := BuildBalanced(2, []NodeID{"a", "b", "c"}, 16, 1)
+	moves := DiffMoves(before, after)
+	if len(moves) == 0 {
+		t.Fatal("adding a node must produce moves")
+	}
+	toC := 0
+	for _, mv := range moves {
+		if mv.To == "c" {
+			toC++
+		}
+		if mv.To == mv.From {
+			t.Errorf("self-move emitted: %+v", mv)
+		}
+	}
+	if toC == 0 {
+		t.Error("no moves landed on the new node")
+	}
+	// A no-op diff yields no moves.
+	if n := len(DiffMoves(after, after)); n != 0 {
+		t.Errorf("self-diff produced %d moves", n)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := BuildBalanced(1, []NodeID{"a", "b"}, 8, 1)
+	cp := m.Clone()
+	cp.Chains[0][0] = -1
+	if m.Chains[0][0] == -1 {
+		t.Fatal("Clone shares chain storage")
+	}
+}
+
+func TestServiceSet(t *testing.T) {
+	ss := ServiceSet(ServiceData | ServiceQuery)
+	if !ss.Has(ServiceData) || !ss.Has(ServiceQuery) || ss.Has(ServiceIndex) {
+		t.Error("ServiceSet.Has wrong")
+	}
+	if ss.String() != "data,query" {
+		t.Errorf("String() = %q", ss.String())
+	}
+	if ServiceSet(0).String() != "none" {
+		t.Error("empty set should print none")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	m := BuildBalanced(1, []NodeID{"a", "b", "c"}, 8, 1)
+	m.Chains[3] = []int{0, 0}
+	if m.Validate() == nil {
+		t.Error("repeated node in chain should fail validation")
+	}
+	m = BuildBalanced(1, []NodeID{"a"}, 8, 0)
+	m.Chains[0][0] = 7
+	if m.Validate() == nil {
+		t.Error("out-of-range index should fail validation")
+	}
+}
+
+// TestQuickBalancedMapsAreValidAndFair: for arbitrary node counts and
+// replica requests, BuildBalanced yields a structurally valid map with
+// actives spread within one vBucket of perfectly even.
+func TestQuickBalancedMapsAreValidAndFair(t *testing.T) {
+	f := func(nNodes, nReplicas uint8) bool {
+		n := int(nNodes%12) + 1
+		r := int(nReplicas % 5)
+		var nodes []NodeID
+		for i := 0; i < n; i++ {
+			nodes = append(nodes, NodeID(rune('a'+i)))
+		}
+		m := BuildBalanced(1, nodes, 96, r)
+		if err := m.Validate(); err != nil {
+			t.Logf("invalid: %v", err)
+			return false
+		}
+		min, max := 1<<30, 0
+		for _, id := range nodes {
+			c := len(m.ActiveVBuckets(id))
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if max-min > 1 {
+			t.Logf("unfair: %d..%d actives over %d nodes", min, max, n)
+			return false
+		}
+		// Failover of any node keeps the map valid.
+		after := m.FailoverNode(nodes[0])
+		return after.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"couchgo/internal/cache"
+	"couchgo/internal/vbucket"
+)
+
+// Client is the smart client of §4.1/Figure 5: it caches the cluster
+// map, hashes each document ID with CRC32 to its vBucket, and talks
+// directly to the node owning that partition. On a stale map
+// (not-my-vbucket) it refreshes and retries.
+type Client struct {
+	cluster *Cluster
+	bucket  string
+	// clock returns "now" in unix seconds; injectable for expiry tests.
+	clock func() int64
+}
+
+// DurabilityOptions are the per-mutation durability knobs of §2.3.2:
+// "client applications are given a choice of whether or not to wait
+// for replication and/or for persistence on a per mutation basis."
+type DurabilityOptions struct {
+	// ReplicateTo waits until that many replicas acknowledged.
+	ReplicateTo int
+	// PersistTo, when true, waits for persistence on the active node.
+	PersistTo bool
+	// Timeout bounds the durability wait (default 10s).
+	Timeout time.Duration
+}
+
+// ErrKeyNotFound mirrors the cache error at the client surface.
+var ErrKeyNotFound = cache.ErrKeyNotFound
+
+// OpenBucket returns a smart client for one bucket.
+func (c *Cluster) OpenBucket(name string) (*Client, error) {
+	if _, err := c.bucket(name); err != nil {
+		return nil, err
+	}
+	return &Client{cluster: c, bucket: name, clock: func() int64 { return time.Now().Unix() }}, nil
+}
+
+// SetClock overrides the client's time source (expiry tests).
+func (cl *Client) SetClock(fn func() int64) { cl.clock = fn }
+
+// Bucket returns the bucket name.
+func (cl *Client) Bucket() string { return cl.bucket }
+
+const maxRouteRetries = 20
+
+// route finds the active vBucket for key, retrying through map
+// refreshes while rebalance or failover move the partition.
+func (cl *Client) route(key string, op func(vb *vbucket.VBucket) error) error {
+	b, err := cl.cluster.bucket(cl.bucket)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < maxRouteRetries; attempt++ {
+		m := b.Map()
+		nodeID, vbID := m.NodeForKey(key)
+		if nodeID == "" {
+			return errors.New("core: no active node for key (partition lost)")
+		}
+		node, err := cl.cluster.Node(nodeID)
+		if err != nil {
+			lastErr = err
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		vb, err := node.kvVB(cl.bucket, vbID)
+		if err != nil {
+			lastErr = err
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		err = op(vb)
+		if errors.Is(err, vbucket.ErrNotMyVBucket) {
+			// Stale map: "the cluster updates each connected client
+			// library with the new cluster map" — here the client
+			// re-reads it and retries.
+			lastErr = err
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		return err
+	}
+	return lastErr
+}
+
+// Get retrieves a document.
+func (cl *Client) Get(key string) (cache.Item, error) {
+	var out cache.Item
+	err := cl.route(key, func(vb *vbucket.VBucket) error {
+		it, err := vb.Get(key, cl.clock())
+		out = it
+		return err
+	})
+	return out, err
+}
+
+// Set writes a document. casCheck=0 skips optimistic locking.
+func (cl *Client) Set(key string, value []byte, casCheck uint64) (cache.Item, error) {
+	return cl.SetWithOptions(key, value, 0, 0, casCheck, DurabilityOptions{})
+}
+
+// SetWithOptions writes with flags, expiry, CAS, and durability.
+func (cl *Client) SetWithOptions(key string, value []byte, flags uint32, expiry int64, casCheck uint64, dur DurabilityOptions) (cache.Item, error) {
+	var out cache.Item
+	err := cl.route(key, func(vb *vbucket.VBucket) error {
+		it, err := vb.Set(key, value, flags, expiry, casCheck, cl.clock())
+		if err != nil {
+			return err
+		}
+		out = it
+		return cl.waitDurability(vb, it.Seqno, dur)
+	})
+	return out, err
+}
+
+// Add inserts a document that must not exist.
+func (cl *Client) Add(key string, value []byte) (cache.Item, error) {
+	var out cache.Item
+	err := cl.route(key, func(vb *vbucket.VBucket) error {
+		it, err := vb.Add(key, value, 0, 0, cl.clock())
+		out = it
+		return err
+	})
+	return out, err
+}
+
+// Replace updates a document that must exist.
+func (cl *Client) Replace(key string, value []byte, casCheck uint64) (cache.Item, error) {
+	var out cache.Item
+	err := cl.route(key, func(vb *vbucket.VBucket) error {
+		it, err := vb.Replace(key, value, 0, 0, casCheck, cl.clock())
+		out = it
+		return err
+	})
+	return out, err
+}
+
+// Delete removes a document.
+func (cl *Client) Delete(key string, casCheck uint64) error {
+	return cl.route(key, func(vb *vbucket.VBucket) error {
+		_, err := vb.Delete(key, casCheck, cl.clock())
+		return err
+	})
+}
+
+// DeleteWithDurability removes a document and applies durability.
+func (cl *Client) DeleteWithDurability(key string, casCheck uint64, dur DurabilityOptions) error {
+	return cl.route(key, func(vb *vbucket.VBucket) error {
+		it, err := vb.Delete(key, casCheck, cl.clock())
+		if err != nil {
+			return err
+		}
+		return cl.waitDurability(vb, it.Seqno, dur)
+	})
+}
+
+// Touch updates a document's TTL.
+func (cl *Client) Touch(key string, expiry int64) error {
+	return cl.route(key, func(vb *vbucket.VBucket) error {
+		_, err := vb.Touch(key, expiry, cl.clock())
+		return err
+	})
+}
+
+// GetAndLock takes the document hard lock (§3.1.1).
+func (cl *Client) GetAndLock(key string, lockSeconds int64) (cache.Item, error) {
+	var out cache.Item
+	err := cl.route(key, func(vb *vbucket.VBucket) error {
+		it, err := vb.GetAndLock(key, lockSeconds, cl.clock())
+		out = it
+		return err
+	})
+	return out, err
+}
+
+// Unlock releases the hard lock.
+func (cl *Client) Unlock(key string, casToken uint64) error {
+	return cl.route(key, func(vb *vbucket.VBucket) error {
+		return vb.Unlock(key, casToken, cl.clock())
+	})
+}
+
+// Append concatenates raw bytes to a document's value (memcached
+// heritage: binary values, not JSON).
+func (cl *Client) Append(key string, data []byte, casCheck uint64) (cache.Item, error) {
+	var out cache.Item
+	err := cl.route(key, func(vb *vbucket.VBucket) error {
+		it, err := vb.Append(key, data, casCheck, cl.clock())
+		out = it
+		return err
+	})
+	return out, err
+}
+
+// Prepend concatenates raw bytes before a document's value.
+func (cl *Client) Prepend(key string, data []byte, casCheck uint64) (cache.Item, error) {
+	var out cache.Item
+	err := cl.route(key, func(vb *vbucket.VBucket) error {
+		it, err := vb.Prepend(key, data, casCheck, cl.clock())
+		out = it
+		return err
+	})
+	return out, err
+}
+
+// SubdocGet reads one path inside a document without fetching it all.
+func (cl *Client) SubdocGet(key, path string) (any, error) {
+	var out any
+	err := cl.route(key, func(vb *vbucket.VBucket) error {
+		v, err := vb.SubdocGet(key, path, cl.clock())
+		out = v
+		return err
+	})
+	return out, err
+}
+
+// SubdocSet writes one path inside a document atomically.
+func (cl *Client) SubdocSet(key, path string, v any, casCheck uint64) (cache.Item, error) {
+	var out cache.Item
+	err := cl.route(key, func(vb *vbucket.VBucket) error {
+		it, err := vb.SubdocSet(key, path, v, casCheck, cl.clock())
+		out = it
+		return err
+	})
+	return out, err
+}
+
+// SubdocRemove deletes one path inside a document atomically.
+func (cl *Client) SubdocRemove(key, path string, casCheck uint64) (cache.Item, error) {
+	var out cache.Item
+	err := cl.route(key, func(vb *vbucket.VBucket) error {
+		it, err := vb.SubdocRemove(key, path, casCheck, cl.clock())
+		out = it
+		return err
+	})
+	return out, err
+}
+
+// SubdocArrayAppend appends to an array field atomically.
+func (cl *Client) SubdocArrayAppend(key, path string, v any, casCheck uint64) (cache.Item, error) {
+	var out cache.Item
+	err := cl.route(key, func(vb *vbucket.VBucket) error {
+		it, err := vb.SubdocArrayAppend(key, path, v, casCheck, cl.clock())
+		out = it
+		return err
+	})
+	return out, err
+}
+
+// SubdocCounter adds delta to a numeric field atomically, returning
+// the new value.
+func (cl *Client) SubdocCounter(key, path string, delta float64, casCheck uint64) (float64, error) {
+	var out float64
+	err := cl.route(key, func(vb *vbucket.VBucket) error {
+		v, _, err := vb.SubdocCounter(key, path, delta, casCheck, cl.clock())
+		out = v
+		return err
+	})
+	return out, err
+}
+
+// GetMeta returns a document's metadata (tombstones included), used by
+// XDCR and diagnostics.
+func (cl *Client) GetMeta(key string) (cache.Item, error) {
+	var out cache.Item
+	err := cl.route(key, func(vb *vbucket.VBucket) error {
+		it, err := vb.GetMeta(key)
+		out = it
+		return err
+	})
+	return out, err
+}
+
+// XDCRApply installs a mutation replicated from another cluster,
+// applying the §4.6.1 conflict-resolution rule on this side. It
+// reports whether the incoming revision won.
+func (cl *Client) XDCRApply(key string, value []byte, deleted bool, cas, revSeqno uint64, flags uint32, expiry int64) (bool, error) {
+	var applied bool
+	err := cl.route(key, func(vb *vbucket.VBucket) error {
+		a, err := vb.ApplyRemote(key, value, deleted, cas, revSeqno, flags, expiry)
+		applied = a
+		return err
+	})
+	return applied, err
+}
+
+func (cl *Client) waitDurability(vb *vbucket.VBucket, seqno uint64, dur DurabilityOptions) error {
+	timeout := dur.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	if dur.ReplicateTo > 0 {
+		if err := vb.WaitReplicas(seqno, dur.ReplicateTo, timeout); err != nil {
+			return err
+		}
+	}
+	if dur.PersistTo {
+		if err := vb.WaitPersist(seqno, timeout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

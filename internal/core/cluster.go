@@ -1,0 +1,755 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"couchgo/internal/analytics"
+	"couchgo/internal/cmap"
+	"couchgo/internal/dcp"
+	"couchgo/internal/fts"
+	"couchgo/internal/gsi"
+	"couchgo/internal/planner"
+	"couchgo/internal/vbucket"
+	"couchgo/internal/views"
+)
+
+// Config tunes a cluster.
+type Config struct {
+	// Dir is the root directory for all node storage.
+	Dir string
+	// NumVBuckets defaults to cmap.NumVBuckets (1024). The paper fixes
+	// this at 1024; tests and small benches may lower it.
+	NumVBuckets int
+	// SyncPersist fsyncs every flushed batch.
+	SyncPersist bool
+	// DiskDelay simulates storage device latency per flush batch.
+	DiskDelay time.Duration
+	// HeartbeatInterval / FailoverTimeout drive automatic failure
+	// detection (§4.3.1). Zero FailoverTimeout disables auto-failover
+	// (Failover can still be invoked manually).
+	HeartbeatInterval time.Duration
+	FailoverTimeout   time.Duration
+}
+
+// BucketOptions configure one bucket.
+type BucketOptions struct {
+	// NumReplicas: "a bucket can be replicated up to 3 times".
+	NumReplicas int
+	// MemoryQuotaBytes is the cache quota driving eviction.
+	MemoryQuotaBytes int64
+	// FullEviction selects §4.3.3's full-eviction mode (keys and
+	// metadata evictable too) instead of the default value eviction.
+	FullEviction bool
+}
+
+// bucketState is the cluster-wide state of one bucket.
+type bucketState struct {
+	name string
+	opts BucketOptions
+
+	mu sync.Mutex
+	cm *cmap.Map
+	// gsiSvc is the bucket's index service (placed on index nodes per
+	// MDS; a single logical service instance in-process).
+	gsiSvc *gsi.Service
+	// ftsEng is the bucket's full-text service instance.
+	ftsEng *fts.Engine
+	// analyticsEng is the bucket's analytics service instance (§6.2),
+	// disabled until EnableAnalytics.
+	analyticsEng *analytics.Engine
+	// viewDefs records cluster-wide view definitions so nodes
+	// provisioned later (rebalance) build them too.
+	viewDefs map[string]views.Definition
+	// viewIndexes is the catalog of CREATE INDEX ... USING VIEW
+	// indexes, served to the planner alongside GSI metadata.
+	viewIndexes map[string]planner.IndexInfo
+}
+
+func (b *bucketState) Map() *cmap.Map {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cm
+}
+
+func (b *bucketState) setMap(m *cmap.Map) {
+	b.mu.Lock()
+	b.cm = m
+	b.mu.Unlock()
+}
+
+// Cluster is an in-process cluster of Nodes, including the cluster
+// manager responsibilities of §4.3.1: membership, orchestrator
+// election, failover, and rebalancing.
+type Cluster struct {
+	cfg Config
+
+	mu      sync.Mutex
+	nodes   map[cmap.NodeID]*Node
+	buckets map[string]*bucketState
+	closed  bool
+	// rebalanceMu serializes topology changes.
+	rebalanceMu sync.Mutex
+
+	lastSeen map[cmap.NodeID]time.Time
+	stopHB   chan struct{}
+	hbDone   chan struct{}
+}
+
+// NewCluster creates an empty cluster rooted at cfg.Dir.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.NumVBuckets <= 0 {
+		cfg.NumVBuckets = cmap.NumVBuckets
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 25 * time.Millisecond
+	}
+	if cfg.Dir == "" {
+		cfg.Dir = filepath.Join(os.TempDir(), fmt.Sprintf("couchgo-%d", time.Now().UnixNano()))
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		nodes:    make(map[cmap.NodeID]*Node),
+		buckets:  make(map[string]*bucketState),
+		lastSeen: make(map[cmap.NodeID]time.Time),
+		stopHB:   make(chan struct{}),
+		hbDone:   make(chan struct{}),
+	}
+	go c.heartbeatLoop()
+	return c, nil
+}
+
+// AddNode joins a node with the given services to the cluster. New
+// data nodes take no partitions until the next Rebalance.
+func (c *Cluster) AddNode(id cmap.NodeID, services cmap.ServiceSet) (*Node, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClusterClosed
+	}
+	if _, ok := c.nodes[id]; ok {
+		return nil, fmt.Errorf("core: node %s already exists", id)
+	}
+	n := newNode(id, services, filepath.Join(c.cfg.Dir, string(id)))
+	c.nodes[id] = n
+	c.lastSeen[id] = time.Now()
+	// Provision existing buckets on the new node (data service only),
+	// including their recorded view definitions (views are local
+	// indexes, so every data node must build them).
+	for _, b := range c.buckets {
+		if services.Has(cmap.ServiceData) {
+			if err := n.addBucket(b.name, b.gsiSvc, b.ftsEng, b.analyticsEng, c.cfg, b.opts); err != nil {
+				return nil, err
+			}
+			if err := defineRecordedViews(n, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// defineRecordedViews builds the bucket's recorded views on one node's
+// local view engine.
+func defineRecordedViews(n *Node, b *bucketState) error {
+	b.mu.Lock()
+	defs := make([]views.Definition, 0, len(b.viewDefs))
+	for _, d := range b.viewDefs {
+		defs = append(defs, d)
+	}
+	b.mu.Unlock()
+	n.mu.Lock()
+	nb := n.buckets[b.name]
+	n.mu.Unlock()
+	if nb == nil {
+		return nil
+	}
+	for _, d := range defs {
+		if err := nb.viewEngine.Define(d); err != nil && !errorsIsViewExists(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+func errorsIsViewExists(err error) bool { return err == views.ErrViewExists }
+
+// Node returns a cluster member.
+func (c *Cluster) Node(id cmap.NodeID) (*Node, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[id]
+	if !ok {
+		return nil, ErrNoSuchNode
+	}
+	return n, nil
+}
+
+// Nodes lists members in ID order.
+func (c *Cluster) Nodes() []*Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// dataNodes returns alive nodes running the data service, sorted.
+func (c *Cluster) dataNodes() []*Node {
+	var out []*Node
+	for _, n := range c.Nodes() {
+		if n.services.Has(cmap.ServiceData) && n.Alive() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Orchestrator returns the current orchestrator: the lowest-ID alive
+// node. "The nodes also elect a cluster-wide orchestrator node ... if
+// the orchestrator node itself crashes, the existing nodes ... will
+// elect a new orchestrator immediately." The deterministic lowest-ID
+// rule is that election.
+func (c *Cluster) Orchestrator() cmap.NodeID {
+	for _, n := range c.Nodes() {
+		if n.Alive() {
+			return n.id
+		}
+	}
+	return ""
+}
+
+// CreateBucket provisions a bucket across the current data nodes with
+// a balanced vBucket map.
+func (c *Cluster) CreateBucket(name string, opts BucketOptions) error {
+	c.rebalanceMu.Lock()
+	defer c.rebalanceMu.Unlock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClusterClosed
+	}
+	if _, ok := c.buckets[name]; ok {
+		c.mu.Unlock()
+		return ErrBucketExists
+	}
+	b := &bucketState{
+		name:         name,
+		opts:         opts,
+		gsiSvc:       gsi.NewService(filepath.Join(c.cfg.Dir, "gsi", name)),
+		ftsEng:       fts.NewEngine(),
+		analyticsEng: analytics.NewEngine(name),
+	}
+	if err := os.MkdirAll(filepath.Join(c.cfg.Dir, "gsi", name), 0o755); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	c.buckets[name] = b
+	nodes := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if n.services.Has(cmap.ServiceData) && n.Alive() {
+			nodes = append(nodes, n)
+		}
+	}
+	c.mu.Unlock()
+
+	var ids []cmap.NodeID
+	for _, n := range nodes {
+		if err := n.addBucket(name, b.gsiSvc, b.ftsEng, b.analyticsEng, c.cfg, opts); err != nil {
+			return err
+		}
+		ids = append(ids, n.id)
+	}
+	b.setMap(cmap.BuildBalanced(1, ids, c.cfg.NumVBuckets, opts.NumReplicas))
+	// Materialize every vBucket and wire replication.
+	m := b.Map()
+	for vb := 0; vb < m.NumVBuckets; vb++ {
+		if err := c.reconcileVB(b, vb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bucket returns bucket state (internal and for the public API layer).
+func (c *Cluster) bucket(name string) (*bucketState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.buckets[name]
+	if !ok {
+		return nil, ErrNoSuchBucket
+	}
+	return b, nil
+}
+
+// reconcileVB drives one vBucket's cluster-wide state to match the
+// bucket's current map: the mapped active is Active with consumers
+// attached, mapped replicas stream from the active, everyone else
+// drops their copy.
+func (c *Cluster) reconcileVB(b *bucketState, vbID int) error {
+	m := b.Map()
+	actID := m.Active(vbID)
+	replicas := m.Replicas(vbID)
+
+	actNode, err := c.Node(actID)
+	if err != nil || !actNode.Alive() {
+		return fmt.Errorf("core: vb %d has no live active node", vbID)
+	}
+	actNB, err := actNode.bucket(b.name)
+	if err != nil {
+		return err
+	}
+	actVB, err := actNB.createVB(vbID, vbucket.Active, actNode.diskDelay)
+	if err != nil {
+		return err
+	}
+	if actVB.State() != vbucket.Active {
+		actNB.promote(vbID)
+	} else {
+		actNB.mu.Lock()
+		actNB.attachConsumersLocked(actVB)
+		actNB.mu.Unlock()
+	}
+	// Prune durability acks to the current replica set.
+	names := make([]string, len(replicas))
+	for i, r := range replicas {
+		names[i] = string(r)
+	}
+	actVB.SetReplicaSet(names)
+
+	isReplica := map[cmap.NodeID]bool{}
+	for _, r := range replicas {
+		isReplica[r] = true
+	}
+	for _, n := range c.Nodes() {
+		if !n.services.Has(cmap.ServiceData) {
+			continue
+		}
+		if n.id == actID {
+			actNB.stopReplStream(vbID)
+			continue
+		}
+		nb, err := n.bucket(b.name)
+		if err != nil {
+			continue // dead or unprovisioned node
+		}
+		if isReplica[n.id] {
+			rvb, err := nb.createVB(vbID, vbucket.Replica, n.diskDelay)
+			if err != nil {
+				return err
+			}
+			if rvb.State() == vbucket.Active {
+				// Demotion: detach index consumers first.
+				nb.detachConsumers(vbID)
+			}
+			rvb.SetState(vbucket.Replica)
+			c.startReplicaStream(b, vbID, actNode, n)
+		} else {
+			if nb.vb(vbID) != nil {
+				nb.demoteAndDrop(vbID)
+			}
+		}
+	}
+	return nil
+}
+
+// startReplicaStream wires dst as a memory-to-memory DCP replica of
+// src's vBucket, resuming from the replica's applied seqno. Each
+// applied mutation is acknowledged back to the active for ReplicateTo
+// durability waits.
+func (c *Cluster) startReplicaStream(b *bucketState, vbID int, src, dst *Node) {
+	srcNB, err := src.bucket(b.name)
+	if err != nil {
+		return
+	}
+	srcVB := srcNB.vb(vbID)
+	dstNB, err := dst.bucket(b.name)
+	if err != nil {
+		return
+	}
+	dstVB := dstNB.vb(vbID)
+	if srcVB == nil || dstVB == nil {
+		return
+	}
+	stream, err := srcVB.Producer().OpenStream("replica:"+string(dst.id), dstVB.HighSeqno())
+	if err != nil {
+		return
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for m := range stream.C() {
+			dstVB.ApplyReplica(m)
+			srcVB.AckReplica(string(dst.id), m.Seqno)
+		}
+	}()
+	dstNB.setReplStream(vbID, func() {
+		stream.Close()
+		<-done
+	})
+}
+
+// Failover performs hard failover of a node (§4.3.1): replicas of its
+// active partitions are promoted on the surviving nodes and the
+// cluster map revision is bumped so smart clients re-route.
+func (c *Cluster) Failover(id cmap.NodeID) error {
+	c.rebalanceMu.Lock()
+	defer c.rebalanceMu.Unlock()
+	n, err := c.Node(id)
+	if err != nil {
+		return err
+	}
+	n.setAlive(false)
+	c.mu.Lock()
+	buckets := make([]*bucketState, 0, len(c.buckets))
+	for _, b := range c.buckets {
+		buckets = append(buckets, b)
+	}
+	c.mu.Unlock()
+	for _, b := range buckets {
+		old := b.Map()
+		next := old.FailoverNode(id)
+		b.setMap(next)
+		for vb := 0; vb < next.NumVBuckets; vb++ {
+			// Only vBuckets that referenced the dead node changed.
+			if old.Active(vb) == id || replicaOn(old, vb, id) {
+				if next.Active(vb) == "" {
+					continue // all copies lost
+				}
+				if err := c.reconcileVB(b, vb); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func replicaOn(m *cmap.Map, vb int, id cmap.NodeID) bool {
+	for _, r := range m.Replicas(vb) {
+		if r == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Kill simulates a node crash: the node stops serving and its DCP
+// producers close, severing replication streams. Detection and
+// failover then happen via the heartbeat loop (or a manual Failover).
+func (c *Cluster) Kill(id cmap.NodeID) error {
+	n, err := c.Node(id)
+	if err != nil {
+		return err
+	}
+	n.setAlive(false)
+	n.mu.Lock()
+	nbs := make([]*nodeBucket, 0, len(n.buckets))
+	for _, nb := range n.buckets {
+		nbs = append(nbs, nb)
+	}
+	n.mu.Unlock()
+	for _, nb := range nbs {
+		nb.mu.Lock()
+		vbs := make([]*vbucket.VBucket, 0, len(nb.vbs))
+		for _, vb := range nb.vbs {
+			vbs = append(vbs, vb)
+		}
+		nb.mu.Unlock()
+		for _, vb := range vbs {
+			vb.Producer().Close()
+		}
+	}
+	return nil
+}
+
+// Rebalance redistributes vBuckets evenly over the current alive data
+// nodes (§4.3.1): new target map, per-partition movement over DCP, and
+// an atomic switchover per partition.
+func (c *Cluster) Rebalance() error {
+	c.rebalanceMu.Lock()
+	defer c.rebalanceMu.Unlock()
+	c.mu.Lock()
+	buckets := make([]*bucketState, 0, len(c.buckets))
+	for _, b := range c.buckets {
+		buckets = append(buckets, b)
+	}
+	c.mu.Unlock()
+
+	var ids []cmap.NodeID
+	for _, n := range c.dataNodes() {
+		ids = append(ids, n.id)
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("core: no data nodes to rebalance onto")
+	}
+	for _, b := range buckets {
+		cur := b.Map()
+		target := cmap.BuildBalanced(cur.Rev+1, ids, cur.NumVBuckets, b.opts.NumReplicas)
+		// Provision the bucket on any node that lacks it (fresh nodes),
+		// including its recorded view definitions.
+		for _, n := range c.dataNodes() {
+			n.mu.Lock()
+			_, has := n.buckets[b.name]
+			n.mu.Unlock()
+			if !has {
+				if err := n.addBucket(b.name, b.gsiSvc, b.ftsEng, b.analyticsEng, c.cfg, b.opts); err != nil {
+					return err
+				}
+				if err := defineRecordedViews(n, b); err != nil {
+					return err
+				}
+			}
+		}
+		for vb := 0; vb < target.NumVBuckets; vb++ {
+			if err := c.moveVB(b, vb, target.Active(vb), target.Replicas(vb)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// moveVB transitions one vBucket to its target chain: builds the new
+// active via a DCP catch-up stream, performs the paper's "atomic and
+// consistent switchover", then reconciles replicas.
+func (c *Cluster) moveVB(b *bucketState, vbID int, tgtActive cmap.NodeID, tgtReplicas []cmap.NodeID) error {
+	cur := b.Map()
+	curActive := cur.Active(vbID)
+	if curActive != tgtActive && curActive != "" {
+		srcNode, err := c.Node(curActive)
+		if err != nil {
+			return err
+		}
+		dstNode, err := c.Node(tgtActive)
+		if err != nil {
+			return err
+		}
+		srcNB, err := srcNode.bucket(b.name)
+		if err != nil {
+			return err
+		}
+		dstNB, err := dstNode.bucket(b.name)
+		if err != nil {
+			return err
+		}
+		srcVB := srcNB.vb(vbID)
+		if srcVB == nil {
+			return fmt.Errorf("core: vb %d missing on %s", vbID, curActive)
+		}
+		// Destination builds as Pending ("rebalance marks the
+		// destination partitions as being replicas until they are ready
+		// to be switched to active").
+		if _, err := dstNB.createVB(vbID, vbucket.Pending, dstNode.diskDelay); err != nil {
+			return err
+		}
+		c.startReplicaStream(b, vbID, srcNode, dstNode)
+		dstVB := dstNB.vb(vbID)
+
+		// Atomic switchover: stop accepting writes on the source, let
+		// the destination catch up, then flip.
+		srcVB.SetState(vbucket.Dead)
+		srcHigh := srcVB.HighSeqno()
+		deadline := time.Now().Add(30 * time.Second)
+		for dstVB.HighSeqno() < srcHigh {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("core: vb %d takeover timed out (%d < %d)", vbID, dstVB.HighSeqno(), srcHigh)
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	// Publish the new chain for this vBucket and reconcile.
+	next := cur.Clone()
+	next.Rev++
+	// The target chain may reference nodes not yet in next.Nodes.
+	next.Nodes = mergeNodeIDs(next.Nodes, append([]cmap.NodeID{tgtActive}, tgtReplicas...))
+	chain := make([]int, 1+len(tgtReplicas))
+	chain[0] = indexOf(next.Nodes, tgtActive)
+	for i, r := range tgtReplicas {
+		chain[i+1] = indexOf(next.Nodes, r)
+	}
+	// Preserve chain length consistency with NumReplicas.
+	for len(chain) < next.NumReplicas+1 {
+		chain = append(chain, -1)
+	}
+	if len(chain) > len(next.Chains[vbID]) {
+		// Replica count grew (e.g. new nodes allow more replicas).
+		next.NumReplicas = len(chain) - 1
+		for vb := range next.Chains {
+			for len(next.Chains[vb]) < len(chain) {
+				next.Chains[vb] = append(next.Chains[vb], -1)
+			}
+		}
+	}
+	next.Chains[vbID] = chain
+	b.setMap(next)
+	return c.reconcileVB(b, vbID)
+}
+
+func mergeNodeIDs(base, extra []cmap.NodeID) []cmap.NodeID {
+	seen := map[cmap.NodeID]bool{}
+	for _, id := range base {
+		seen[id] = true
+	}
+	for _, id := range extra {
+		if id != "" && !seen[id] {
+			base = append(base, id)
+			seen[id] = true
+		}
+	}
+	return base
+}
+
+func indexOf(ids []cmap.NodeID, id cmap.NodeID) int {
+	for i, x := range ids {
+		if x == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// heartbeatLoop is the orchestrator's failure detector: nodes that
+// miss heartbeats beyond FailoverTimeout are automatically failed over
+// ("if a node in the cluster crashes ... the orchestrator notifies all
+// other machines ... and promotes to active status replica partitions").
+func (c *Cluster) heartbeatLoop() {
+	defer close(c.hbDone)
+	ticker := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stopHB:
+			return
+		case <-ticker.C:
+		}
+		if c.cfg.FailoverTimeout <= 0 {
+			continue
+		}
+		now := time.Now()
+		c.mu.Lock()
+		type suspect struct{ id cmap.NodeID }
+		var suspects []suspect
+		for id, n := range c.nodes {
+			if n.Alive() {
+				c.lastSeen[id] = now
+				continue
+			}
+			if now.Sub(c.lastSeen[id]) > c.cfg.FailoverTimeout {
+				suspects = append(suspects, suspect{id})
+			}
+		}
+		c.mu.Unlock()
+		for _, s := range suspects {
+			// Only fail over nodes still mapped somewhere.
+			if c.nodeStillMapped(s.id) {
+				c.Failover(s.id)
+			}
+		}
+	}
+}
+
+func (c *Cluster) nodeStillMapped(id cmap.NodeID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, b := range c.buckets {
+		m := b.Map()
+		for vb := 0; vb < m.NumVBuckets; vb++ {
+			if m.Active(vb) == id || replicaOn(m, vb, id) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NumVBuckets returns a bucket's partition count.
+func (c *Cluster) NumVBuckets(bucketName string) (int, error) {
+	b, err := c.bucket(bucketName)
+	if err != nil {
+		return 0, err
+	}
+	return b.Map().NumVBuckets, nil
+}
+
+// VBStream opens a named DCP stream on the current active copy of one
+// vBucket, from the given seqno. XDCR uses this: it is how the
+// replicator stays "cluster topology aware" — after failover or
+// rebalance a re-opened stream lands on the new active automatically.
+func (c *Cluster) VBStream(bucketName string, vbID int, name string, from uint64) (*dcp.Stream, error) {
+	b, err := c.bucket(bucketName)
+	if err != nil {
+		return nil, err
+	}
+	m := b.Map()
+	nodeID := m.Active(vbID)
+	if nodeID == "" {
+		return nil, fmt.Errorf("core: vb %d has no active copy", vbID)
+	}
+	node, err := c.Node(nodeID)
+	if err != nil {
+		return nil, err
+	}
+	vb, err := node.kvVB(bucketName, vbID)
+	if err != nil {
+		return nil, err
+	}
+	return vb.Producer().OpenStream(name, from)
+}
+
+// Stats aggregates per-node stats for one bucket.
+func (c *Cluster) Stats(bucketName string) []NodeStats {
+	var out []NodeStats
+	for _, n := range c.Nodes() {
+		out = append(out, n.stats(bucketName))
+	}
+	return out
+}
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	nodes := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	buckets := make([]*bucketState, 0, len(c.buckets))
+	for _, b := range c.buckets {
+		buckets = append(buckets, b)
+	}
+	c.mu.Unlock()
+	close(c.stopHB)
+	<-c.hbDone
+	for _, n := range nodes {
+		n.mu.Lock()
+		nbs := make([]*nodeBucket, 0, len(n.buckets))
+		for _, nb := range n.buckets {
+			nbs = append(nbs, nb)
+		}
+		n.buckets = make(map[string]*nodeBucket)
+		n.mu.Unlock()
+		for _, nb := range nbs {
+			nb.close()
+		}
+	}
+	for _, b := range buckets {
+		b.gsiSvc.Close()
+		b.ftsEng.Close()
+		b.analyticsEng.Close()
+	}
+}

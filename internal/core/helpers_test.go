@@ -1,0 +1,18 @@
+package core
+
+import (
+	"couchgo/internal/analytics"
+	"couchgo/internal/fts"
+)
+
+func ftsIndexDef(name string, fields ...string) fts.IndexDef {
+	return fts.IndexDef{Name: name, Fields: fields}
+}
+
+func ftsSearchOpts(wait map[int]uint64) fts.SearchOptions {
+	return fts.SearchOptions{WaitSeqnos: wait}
+}
+
+func analyticsOpts(wait map[int]uint64) analytics.QueryOptions {
+	return analytics.QueryOptions{WaitSeqnos: wait}
+}

@@ -1,0 +1,442 @@
+// Package core implements the paper's primary contribution: the
+// integrated Couchbase-style server. A Node is one cluster member
+// running a configurable set of services (multi-dimensional scaling,
+// §4.4); a Cluster wires Nodes together — hash-partitioned data service
+// with the memory-first write path (§4.2), DCP-fed intra-cluster
+// replication (§4.1.1), per-node view engines (§4.3.3), the GSI
+// projector/indexer split (§4.3.4), the N1QL query service (§4.3.5),
+// the cluster manager with orchestrator election, failover, and
+// rebalance (§4.3.1), and the smart-client routing of Figure 5.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"couchgo/internal/analytics"
+	"couchgo/internal/cache"
+	"couchgo/internal/cmap"
+	"couchgo/internal/fts"
+	"couchgo/internal/gsi"
+	"couchgo/internal/storage"
+	"couchgo/internal/vbucket"
+	"couchgo/internal/views"
+)
+
+// Errors surfaced by the data service.
+var (
+	ErrNodeDown      = errors.New("core: node is not responding")
+	ErrNoSuchBucket  = errors.New("core: no such bucket")
+	ErrNoSuchNode    = errors.New("core: no such node")
+	ErrNotDataNode   = errors.New("core: node does not run the data service")
+	ErrBucketExists  = errors.New("core: bucket already exists")
+	ErrClusterClosed = errors.New("core: cluster is closed")
+)
+
+// Node is one cluster member.
+type Node struct {
+	id       cmap.NodeID
+	services cmap.ServiceSet
+	dir      string
+
+	mu sync.Mutex
+	// alive simulates process liveness: a "down" node stops serving
+	// requests and stops heartbeating (§4.3.1 failure detection).
+	alive bool
+	// buckets: per-bucket data-service state on this node.
+	buckets map[string]*nodeBucket
+	// diskDelay simulates device latency on the flusher path.
+	diskDelay time.Duration
+}
+
+// nodeBucket is one bucket's data-service footprint on one node.
+type nodeBucket struct {
+	store *storage.Store
+	mu    sync.Mutex
+	vbs   map[int]*vbucket.VBucket
+	// pagerStop ends the item-pager goroutine (set when the bucket has
+	// a memory quota).
+	pagerStop chan struct{}
+	// maintStop ends the maintenance goroutine (compactor + expiry
+	// pager).
+	maintStop chan struct{}
+	// viewEngine indexes this node's active vBuckets (views are local
+	// indexes co-located with the data, §3.3.1).
+	viewEngine *views.Engine
+	// projector feeds GSI with this node's active vBuckets' mutations.
+	projector *gsi.Projector
+	// ftsAttach mirrors the projector for the full-text service.
+	fts *fts.Engine
+	// analytics mirrors the projector for the analytics service (§6.2).
+	analytics *analytics.Engine
+	// vbCfg configures the node's vBuckets for this bucket.
+	vbCfg vbucket.Config
+	// replStreams: replication consumers running on THIS node for
+	// vBuckets whose active copy is elsewhere. vb -> stop func.
+	replStreams map[int]func()
+}
+
+func newNode(id cmap.NodeID, services cmap.ServiceSet, dir string) *Node {
+	return &Node{
+		id:       id,
+		services: services,
+		dir:      dir,
+		alive:    true,
+		buckets:  make(map[string]*nodeBucket),
+	}
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() cmap.NodeID { return n.id }
+
+// Services returns the node's service set.
+func (n *Node) Services() cmap.ServiceSet { return n.services }
+
+// Alive reports simulated liveness.
+func (n *Node) Alive() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alive
+}
+
+func (n *Node) setAlive(v bool) {
+	n.mu.Lock()
+	n.alive = v
+	n.mu.Unlock()
+}
+
+func (n *Node) bucket(name string) (*nodeBucket, error) {
+	if !n.Alive() {
+		return nil, ErrNodeDown
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nb, ok := n.buckets[name]
+	if !ok {
+		return nil, ErrNoSuchBucket
+	}
+	return nb, nil
+}
+
+// addBucket provisions the bucket's storage and engines on this node.
+// A nonzero memory quota bounds this node's cache for the bucket and
+// starts the item pager (§4.3.3 value or full eviction).
+func (n *Node) addBucket(name string, svc *gsi.Service, ftsEng *fts.Engine, anEng *analytics.Engine, cfg Config, opts BucketOptions) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.buckets[name]; ok {
+		return ErrBucketExists
+	}
+	store, err := storage.NewStore(filepath.Join(n.dir, "data", name), cfg.SyncPersist)
+	if err != nil {
+		return err
+	}
+	nb := &nodeBucket{
+		store:       store,
+		vbs:         make(map[int]*vbucket.VBucket),
+		viewEngine:  views.NewEngine(),
+		replStreams: make(map[int]func()),
+		fts:         ftsEng,
+		analytics:   anEng,
+		vbCfg: vbucket.Config{
+			DiskDelay:    cfg.DiskDelay,
+			FullEviction: opts.FullEviction,
+		},
+	}
+	if svc != nil {
+		nb.projector = gsi.NewProjector(svc, name)
+	}
+	if opts.MemoryQuotaBytes > 0 {
+		nb.pagerStop = make(chan struct{})
+		go nb.pagerLoop(opts.MemoryQuotaBytes, opts.FullEviction)
+	}
+	nb.maintStop = make(chan struct{})
+	go nb.maintenanceLoop()
+	n.buckets[name] = nb
+	n.diskDelay = cfg.DiskDelay
+	return nil
+}
+
+// compactionThreshold is the fragmentation fraction that triggers an
+// online compaction of a vBucket file (§4.3.3: "compaction is
+// periodically run, based on a fragmentation threshold, and while the
+// system is online"). The real server defaults to 30%; we compact a
+// file once more than half of it is stale versions.
+const compactionThreshold = 0.5
+
+// maintenanceLoop runs the background chores of the data service: the
+// online compactor and the proactive expiry pager.
+func (nb *nodeBucket) maintenanceLoop() {
+	ticker := time.NewTicker(250 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-nb.maintStop:
+			return
+		case <-ticker.C:
+		}
+		nb.mu.Lock()
+		vbs := make([]*vbucket.VBucket, 0, len(nb.vbs))
+		for _, vb := range nb.vbs {
+			vbs = append(vbs, vb)
+		}
+		nb.mu.Unlock()
+		var tables []*cache.HashTable
+		for _, vb := range vbs {
+			tables = append(tables, vb.Table)
+			f, err := nb.store.VB(vb.ID)
+			if err != nil {
+				continue
+			}
+			st := f.Stats()
+			// Only compact files big enough for it to matter.
+			if st.FileBytes > 64*1024 && f.Fragmentation() > compactionThreshold {
+				f.Compact()
+			}
+		}
+		cache.ExpiryPager(tables, time.Now().Unix())
+	}
+}
+
+// pagerLoop periodically evicts not-recently-used values when the
+// node's cache use for this bucket crosses the high watermark: "the
+// associated values can be evicted based on usage" while every key and
+// its metadata stay resident.
+func (nb *nodeBucket) pagerLoop(quota int64, fullEviction bool) {
+	pager := &cache.Pager{Quota: cache.Quota{Bytes: quota}, FullEviction: fullEviction}
+	ticker := time.NewTicker(50 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-nb.pagerStop:
+			return
+		case <-ticker.C:
+		}
+		nb.mu.Lock()
+		tables := make([]*cache.HashTable, 0, len(nb.vbs))
+		persisted := make([]uint64, 0, len(nb.vbs))
+		for _, vb := range nb.vbs {
+			tables = append(tables, vb.Table)
+			persisted = append(persisted, vb.PersistedSeqno())
+		}
+		nb.mu.Unlock()
+		if pager.NeedsEviction(tables) {
+			pager.Run(tables, persisted, time.Now().Unix())
+		}
+	}
+}
+
+// createVB instantiates a vBucket in the given state. Active vBuckets
+// are attached to the view engine, GSI projector, and FTS engine.
+func (nb *nodeBucket) createVB(id int, state vbucket.State, diskDelay time.Duration) (*vbucket.VBucket, error) {
+	nb.mu.Lock()
+	defer nb.mu.Unlock()
+	if vb, ok := nb.vbs[id]; ok {
+		return vb, nil
+	}
+	f, err := nb.store.VB(id)
+	if err != nil {
+		return nil, err
+	}
+	cfg := nb.vbCfg
+	cfg.DiskDelay = diskDelay
+	vb := vbucket.New(id, f, state, cfg)
+	// Restart warmup: a pre-existing file means a previous incarnation
+	// persisted data here; replay it into the cache before any
+	// consumer attaches.
+	if f.HighSeqno() > 0 {
+		if err := vb.WarmUp(); err != nil {
+			vb.Close()
+			return nil, err
+		}
+	}
+	nb.vbs[id] = vb
+	if state == vbucket.Active {
+		nb.attachConsumersLocked(vb)
+	}
+	return vb, nil
+}
+
+func (nb *nodeBucket) attachConsumersLocked(vb *vbucket.VBucket) {
+	nb.viewEngine.AttachVB(vb.ID, vb.Producer())
+	if nb.projector != nil {
+		nb.projector.AttachVB(vb.ID, vb.Producer())
+	}
+	if nb.fts != nil {
+		nb.fts.AttachVB(vb.ID, vb.Producer())
+	}
+	if nb.analytics != nil {
+		nb.analytics.AttachVB(vb.ID, vb.Producer())
+	}
+}
+
+func (nb *nodeBucket) detachConsumers(vbID int) {
+	nb.viewEngine.DetachVB(vbID)
+	if nb.projector != nil {
+		nb.projector.DetachVB(vbID)
+	}
+	if nb.fts != nil {
+		nb.fts.DetachVB(vbID)
+	}
+	if nb.analytics != nil {
+		nb.analytics.DetachVB(vbID)
+	}
+}
+
+// vb returns the vBucket, or nil.
+func (nb *nodeBucket) vb(id int) *vbucket.VBucket {
+	nb.mu.Lock()
+	defer nb.mu.Unlock()
+	return nb.vbs[id]
+}
+
+// promote flips a replica/pending vBucket to active and attaches the
+// index consumers ("the cluster will promote one of the replica
+// partitions to active status").
+func (nb *nodeBucket) promote(vbID int) {
+	nb.mu.Lock()
+	vb := nb.vbs[vbID]
+	if vb == nil {
+		nb.mu.Unlock()
+		return
+	}
+	vb.SetState(vbucket.Active)
+	nb.attachConsumersLocked(vb)
+	nb.mu.Unlock()
+	nb.stopReplStream(vbID)
+}
+
+// demoteAndDrop removes a vBucket from this node entirely (rebalance
+// moved it away).
+func (nb *nodeBucket) demoteAndDrop(vbID int) {
+	nb.stopReplStream(vbID)
+	nb.mu.Lock()
+	vb := nb.vbs[vbID]
+	delete(nb.vbs, vbID)
+	nb.mu.Unlock()
+	if vb == nil {
+		return
+	}
+	vb.SetState(vbucket.Dead)
+	nb.detachConsumers(vbID)
+	vb.Close()
+	nb.store.DropVB(vbID)
+}
+
+func (nb *nodeBucket) setReplStream(vbID int, stop func()) {
+	nb.mu.Lock()
+	old := nb.replStreams[vbID]
+	nb.replStreams[vbID] = stop
+	nb.mu.Unlock()
+	if old != nil {
+		old()
+	}
+}
+
+func (nb *nodeBucket) stopReplStream(vbID int) {
+	nb.mu.Lock()
+	stop := nb.replStreams[vbID]
+	delete(nb.replStreams, vbID)
+	nb.mu.Unlock()
+	if stop != nil {
+		stop()
+	}
+}
+
+// close shuts down all vBuckets and engines for this bucket.
+func (nb *nodeBucket) close() {
+	if nb.pagerStop != nil {
+		close(nb.pagerStop)
+	}
+	if nb.maintStop != nil {
+		close(nb.maintStop)
+	}
+	nb.mu.Lock()
+	stops := make([]func(), 0, len(nb.replStreams))
+	for _, s := range nb.replStreams {
+		stops = append(stops, s)
+	}
+	nb.replStreams = make(map[int]func())
+	vbs := make([]*vbucket.VBucket, 0, len(nb.vbs))
+	for _, vb := range nb.vbs {
+		vbs = append(vbs, vb)
+	}
+	nb.vbs = make(map[int]*vbucket.VBucket)
+	nb.mu.Unlock()
+	for _, s := range stops {
+		s()
+	}
+	nb.viewEngine.Close()
+	if nb.projector != nil {
+		nb.projector.Close()
+	}
+	for _, vb := range vbs {
+		vb.Close()
+	}
+	nb.store.Close()
+}
+
+// NodeStats summarizes a node's data-service footprint.
+type NodeStats struct {
+	ID         cmap.NodeID
+	Services   cmap.ServiceSet
+	Alive      bool
+	ActiveVBs  int
+	ReplicaVBs int
+	Items      int64
+	MemUsed    int64
+}
+
+// stats gathers per-node counters for one bucket.
+func (n *Node) stats(bucketName string) NodeStats {
+	st := NodeStats{ID: n.id, Services: n.services, Alive: n.Alive()}
+	n.mu.Lock()
+	nb := n.buckets[bucketName]
+	n.mu.Unlock()
+	if nb == nil {
+		return st
+	}
+	nb.mu.Lock()
+	defer nb.mu.Unlock()
+	for _, vb := range nb.vbs {
+		switch vb.State() {
+		case vbucket.Active:
+			st.ActiveVBs++
+			ts := vb.Table.Stats()
+			st.Items += ts.Items
+			st.MemUsed += ts.MemUsed
+		case vbucket.Replica, vbucket.Pending:
+			st.ReplicaVBs++
+		}
+	}
+	return st
+}
+
+// --- node-level KV entry points (invoked by the cluster router) ---
+
+func (n *Node) kvGet(bucket string, vbID int, key string, now int64) (cache.Item, error) {
+	nb, err := n.bucket(bucket)
+	if err != nil {
+		return cache.Item{}, err
+	}
+	vb := nb.vb(vbID)
+	if vb == nil {
+		return cache.Item{}, fmt.Errorf("%w (vb %d absent)", vbucket.ErrNotMyVBucket, vbID)
+	}
+	return vb.Get(key, now)
+}
+
+func (n *Node) kvVB(bucket string, vbID int) (*vbucket.VBucket, error) {
+	nb, err := n.bucket(bucket)
+	if err != nil {
+		return nil, err
+	}
+	vb := nb.vb(vbID)
+	if vb == nil {
+		return nil, fmt.Errorf("%w (vb %d absent)", vbucket.ErrNotMyVBucket, vbID)
+	}
+	return vb, nil
+}

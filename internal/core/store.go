@@ -1,0 +1,565 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"couchgo/internal/analytics"
+	"couchgo/internal/cache"
+	"couchgo/internal/cmap"
+	"couchgo/internal/executor"
+	"couchgo/internal/fts"
+	"couchgo/internal/gsi"
+	"couchgo/internal/n1ql"
+	"couchgo/internal/planner"
+	"couchgo/internal/query"
+	"couchgo/internal/value"
+	"couchgo/internal/views"
+)
+
+// ErrNoQueryNode is returned when no node runs the query service.
+var ErrNoQueryNode = errors.New("core: no node runs the query service")
+
+// ErrNoIndexNode is returned when index DDL arrives with no index node.
+var ErrNoIndexNode = errors.New("core: no node runs the index service")
+
+// clusterStore implements query.Store over the whole cluster: document
+// fetches route through the data service, index scans hit the GSI
+// service or scatter/gather over per-node view engines, DML routes by
+// key. It is the bridge between the query service and everything else
+// (§4.5.1).
+type clusterStore struct {
+	c *Cluster
+}
+
+// Query executes a N1QL statement on the cluster. The statement is
+// served by the query service; ErrNoQueryNode enforces the MDS
+// topology (a cluster without query nodes cannot run N1QL).
+func (c *Cluster) Query(statement string, opts executor.Options) (*query.Result, error) {
+	if !c.hasService(cmap.ServiceQuery) {
+		return nil, ErrNoQueryNode
+	}
+	eng := query.NewEngine(&clusterStore{c: c})
+	return eng.Execute(statement, opts)
+}
+
+func (c *Cluster) hasService(s cmap.Service) bool {
+	for _, n := range c.Nodes() {
+		if n.Alive() && n.services.Has(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- planner.Catalog ---
+
+func (s *clusterStore) KeyspaceExists(name string) bool {
+	_, err := s.c.bucket(name)
+	return err == nil
+}
+
+func (s *clusterStore) Indexes(keyspace string) []planner.IndexInfo {
+	b, err := s.c.bucket(keyspace)
+	if err != nil {
+		return nil
+	}
+	var out []planner.IndexInfo
+	for _, m := range b.gsiSvc.ListIndexes(keyspace) {
+		out = append(out, planner.IndexInfo{
+			Name:           m.Name,
+			Using:          n1ql.UsingGSI,
+			IsPrimary:      m.IsPrimary,
+			SecCanonical:   m.SecCanonical,
+			WhereCanonical: m.WhereCanonical,
+			IsArray:        m.IsArrayIndex,
+			Built:          m.Built,
+		})
+	}
+	b.mu.Lock()
+	for _, vi := range b.viewIndexes {
+		out = append(out, vi)
+	}
+	b.mu.Unlock()
+	return out
+}
+
+// --- index DDL routing (§3.3: USING GSI vs USING VIEW) ---
+
+func (s *clusterStore) CreateIndex(ci *n1ql.CreateIndex) error {
+	return s.c.CreateIndexStmt(ci)
+}
+
+func (s *clusterStore) DropIndex(keyspace, name string) error {
+	return s.c.DropIndexByName(keyspace, name)
+}
+
+func (s *clusterStore) BuildIndex(keyspace, name string) error {
+	b, err := s.c.bucket(keyspace)
+	if err != nil {
+		return err
+	}
+	return b.gsiSvc.BuildIndex(keyspace, name)
+}
+
+// CreateIndexStmt routes CREATE INDEX to the right service.
+func (c *Cluster) CreateIndexStmt(ci *n1ql.CreateIndex) error {
+	b, err := c.bucket(ci.Keyspace)
+	if err != nil {
+		return err
+	}
+	if ci.Using == n1ql.UsingView {
+		return c.createViewIndex(b, ci)
+	}
+	if !c.hasService(cmap.ServiceIndex) {
+		return ErrNoIndexNode
+	}
+	def := gsi.Def{
+		Name:      ci.Name,
+		Keyspace:  ci.Keyspace,
+		IsPrimary: ci.Primary,
+	}
+	for _, k := range ci.Keys {
+		def.SecExprs = append(def.SecExprs, k.String())
+	}
+	if ci.Where != nil {
+		def.WhereExpr = ci.Where.String()
+	}
+	if ci.With != nil {
+		if d, ok := ci.With["defer_build"].(bool); ok {
+			def.Deferred = d
+		}
+		if p, ok := value.AsNumber(ci.With["num_partitions"]); ok {
+			def.NumPartitions = int(p)
+		}
+		if m, ok := ci.With["memory_optimized"].(bool); ok && m {
+			def.Mode = gsi.MemoryOptimized
+		}
+	}
+	return b.gsiSvc.CreateIndex(def)
+}
+
+// createViewIndex implements CREATE INDEX ... USING VIEW (§3.3.1): a
+// local view per data node whose map emits the index key.
+func (c *Cluster) createViewIndex(b *bucketState, ci *n1ql.CreateIndex) error {
+	if len(ci.Keys) != 1 && !ci.Primary {
+		return fmt.Errorf("core: USING VIEW indexes support exactly one key expression")
+	}
+	info := planner.IndexInfo{
+		Name:      ci.Name,
+		Using:     n1ql.UsingView,
+		IsPrimary: ci.Primary,
+		Built:     true,
+	}
+	def := views.Definition{Name: viewIndexName(ci.Name)}
+	if ci.Primary {
+		info.SecCanonical = []string{"meta().id"}
+		def.Map = views.MapSpec{Key: "meta().id"}
+	} else {
+		key := n1ql.Formalize(ci.Keys[0], ci.Keyspace)
+		if _, isArr := key.(*n1ql.ArrayComprehension); isArr {
+			return fmt.Errorf("core: USING VIEW does not support array indexes; use GSI")
+		}
+		info.SecCanonical = []string{key.String()}
+		def.Map = views.MapSpec{Key: key.String()}
+		// The leading key must exist for the entry to exist, matching
+		// GSI behaviour.
+		def.Map.Filter = "(" + key.String() + ") IS NOT MISSING"
+	}
+	if ci.Where != nil {
+		w := n1ql.Formalize(ci.Where, ci.Keyspace)
+		info.WhereCanonical = w.String()
+		if def.Map.Filter != "" {
+			def.Map.Filter = def.Map.Filter + " AND (" + w.String() + ")"
+		} else {
+			def.Map.Filter = w.String()
+		}
+	}
+	b.mu.Lock()
+	if b.viewIndexes == nil {
+		b.viewIndexes = map[string]planner.IndexInfo{}
+	}
+	if _, dup := b.viewIndexes[ci.Name]; dup {
+		b.mu.Unlock()
+		return gsi.ErrIndexExists
+	}
+	b.viewIndexes[ci.Name] = info
+	b.mu.Unlock()
+	return c.DefineView(b.name, def)
+}
+
+func viewIndexName(index string) string { return "$idx:" + index }
+
+// DropIndexByName removes a GSI or view-backed index.
+func (c *Cluster) DropIndexByName(keyspace, name string) error {
+	b, err := c.bucket(keyspace)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	_, isView := b.viewIndexes[name]
+	if isView {
+		delete(b.viewIndexes, name)
+	}
+	b.mu.Unlock()
+	if isView {
+		return c.DropView(keyspace, viewIndexName(name))
+	}
+	return b.gsiSvc.DropIndex(keyspace, name)
+}
+
+// --- executor.Datastore ---
+
+func (s *clusterStore) Fetch(keyspace, id string) (any, n1ql.Meta, error) {
+	cl, err := s.c.OpenBucket(keyspace)
+	if err != nil {
+		return nil, n1ql.Meta{}, err
+	}
+	it, err := cl.Get(id)
+	if err != nil {
+		if errors.Is(err, cache.ErrKeyNotFound) {
+			return nil, n1ql.Meta{}, executor.ErrNotFound
+		}
+		return nil, n1ql.Meta{}, err
+	}
+	doc, _ := value.Parse(it.Value)
+	return doc, n1ql.Meta{ID: id, CAS: it.CAS, Seqno: it.Seqno}, nil
+}
+
+func (s *clusterStore) ConsistencyVector(keyspace string) map[int]uint64 {
+	return s.c.consistencyVector(keyspace)
+}
+
+// consistencyVector captures the data service's per-vBucket high
+// seqnos — the request_plus barrier of §4.2: "the query engine will
+// wait until the index is updated up to the maximum sequence number
+// for each vBucket".
+func (c *Cluster) consistencyVector(keyspace string) map[int]uint64 {
+	b, err := c.bucket(keyspace)
+	if err != nil {
+		return nil
+	}
+	m := b.Map()
+	out := make(map[int]uint64, m.NumVBuckets)
+	for vb := 0; vb < m.NumVBuckets; vb++ {
+		nodeID := m.Active(vb)
+		if nodeID == "" {
+			continue
+		}
+		node, err := c.Node(nodeID)
+		if err != nil {
+			continue
+		}
+		v, err := node.kvVB(keyspace, vb)
+		if err != nil {
+			continue
+		}
+		out[vb] = v.HighSeqno()
+	}
+	return out
+}
+
+func (s *clusterStore) ScanIndex(keyspace, index string, using n1ql.IndexUsing, opts executor.IndexScanOpts) ([]executor.IndexEntry, error) {
+	if using == n1ql.UsingView {
+		return s.c.scanViewIndex(keyspace, index, opts)
+	}
+	b, err := s.c.bucket(keyspace)
+	if err != nil {
+		return nil, err
+	}
+	gopts := gsi.ScanOptions{
+		EqualKey: opts.EqualKey, HasEqual: opts.HasEqual,
+		Low: opts.Low, High: opts.High,
+		LowIncl: opts.LowIncl, HighIncl: opts.HighIncl,
+		Limit: opts.Limit, Reverse: opts.Reverse,
+		WaitSeqnos: opts.Wait,
+	}
+	items, err := b.gsiSvc.Scan(keyspace, index, gopts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]executor.IndexEntry, len(items))
+	for i, it := range items {
+		out[i] = executor.IndexEntry{ID: it.DocID, SecKey: it.SecKey}
+	}
+	return out, nil
+}
+
+// scanViewIndex serves an IndexScan over a view-backed index by
+// scatter/gathering the per-node view engines (Figure 8).
+func (c *Cluster) scanViewIndex(keyspace, index string, opts executor.IndexScanOpts) ([]executor.IndexEntry, error) {
+	vopts := views.QueryOptions{Descending: opts.Reverse}
+	switch {
+	case opts.HasEqual:
+		if len(opts.EqualKey) != 1 {
+			return nil, fmt.Errorf("core: view index scans take single keys")
+		}
+		vopts.Key = opts.EqualKey[0]
+		vopts.HasKey = true
+	default:
+		if opts.Low != nil {
+			vopts.StartKey = opts.Low[0]
+			vopts.HasStart = true
+		}
+		if opts.High != nil {
+			vopts.EndKey = opts.High[0]
+			vopts.HasEnd = true
+			vopts.InclusiveEnd = opts.HighIncl
+		}
+	}
+	if opts.Wait != nil {
+		vopts.Stale = views.StaleFalse
+	}
+	rows, err := c.queryViewRows(keyspace, viewIndexName(index), vopts, opts.Wait)
+	if err != nil {
+		return nil, err
+	}
+	var out []executor.IndexEntry
+	for _, r := range rows {
+		// Exclusive low bound: the view API's start is inclusive.
+		if opts.Low != nil && !opts.LowIncl && value.Compare(r.Key, opts.Low[0]) == 0 {
+			continue
+		}
+		out = append(out, executor.IndexEntry{ID: r.ID, SecKey: []any{r.Key}})
+		if opts.Limit > 0 && len(out) >= opts.Limit {
+			break
+		}
+	}
+	return out, nil
+}
+
+// --- DML (routed through the data service) ---
+
+func (s *clusterStore) InsertDoc(keyspace, id string, doc any, upsert bool) error {
+	cl, err := s.c.OpenBucket(keyspace)
+	if err != nil {
+		return err
+	}
+	data := value.Marshal(doc)
+	if upsert {
+		_, err = cl.Set(id, data, 0)
+		return err
+	}
+	_, err = cl.Add(id, data)
+	return err
+}
+
+func (s *clusterStore) UpdateDoc(keyspace, id string, doc any) error {
+	cl, err := s.c.OpenBucket(keyspace)
+	if err != nil {
+		return err
+	}
+	_, err = cl.Replace(id, value.Marshal(doc), 0)
+	return err
+}
+
+func (s *clusterStore) DeleteDoc(keyspace, id string) error {
+	cl, err := s.c.OpenBucket(keyspace)
+	if err != nil {
+		return err
+	}
+	return cl.Delete(id, 0)
+}
+
+// --- view management + scatter/gather querying ---
+
+// DefineView creates a view on every data node (views are local
+// indexes co-located with the data, §3.3.1) and records it so nodes
+// provisioned later build it too.
+func (c *Cluster) DefineView(bucketName string, def views.Definition) error {
+	b, err := c.bucket(bucketName)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	if b.viewDefs == nil {
+		b.viewDefs = map[string]views.Definition{}
+	}
+	if _, dup := b.viewDefs[def.Name]; dup {
+		b.mu.Unlock()
+		return views.ErrViewExists
+	}
+	b.viewDefs[def.Name] = def
+	b.mu.Unlock()
+	for _, n := range c.Nodes() {
+		if !n.services.Has(cmap.ServiceData) || !n.Alive() {
+			continue
+		}
+		nb, err := n.bucket(bucketName)
+		if err != nil {
+			continue
+		}
+		if err := nb.viewEngine.Define(def); err != nil && !errors.Is(err, views.ErrViewExists) {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropView removes a view cluster-wide.
+func (c *Cluster) DropView(bucketName, name string) error {
+	b, err := c.bucket(bucketName)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	_, ok := b.viewDefs[name]
+	delete(b.viewDefs, name)
+	b.mu.Unlock()
+	if !ok {
+		return views.ErrNoSuchView
+	}
+	for _, n := range c.Nodes() {
+		if !n.services.Has(cmap.ServiceData) || !n.Alive() {
+			continue
+		}
+		if nb, err := n.bucket(bucketName); err == nil {
+			nb.viewEngine.Drop(name)
+		}
+	}
+	return nil
+}
+
+// QueryView runs a view query with scatter/gather over the data nodes
+// (Figure 8: "queries are sent to a randomly selected server within
+// the cluster [which] sends the request to the other relevant servers
+// ... and then aggregates their results").
+func (c *Cluster) QueryView(bucketName, view string, opts views.QueryOptions) ([]views.Row, error) {
+	var wait map[int]uint64
+	if opts.Stale == views.StaleFalse {
+		wait = c.consistencyVector(bucketName)
+	}
+	return c.queryViewRows(bucketName, view, opts, wait)
+}
+
+func (c *Cluster) queryViewRows(bucketName, view string, opts views.QueryOptions, wait map[int]uint64) ([]views.Row, error) {
+	b, err := c.bucket(bucketName)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	def, ok := b.viewDefs[view]
+	b.mu.Unlock()
+	if !ok {
+		return nil, views.ErrNoSuchView
+	}
+	m := b.Map()
+	var parts [][]views.Row
+	for _, n := range c.Nodes() {
+		if !n.services.Has(cmap.ServiceData) || !n.Alive() {
+			continue
+		}
+		nb, err := n.bucket(bucketName)
+		if err != nil {
+			continue
+		}
+		nodeOpts := opts
+		// Per-node wait vector: only the vBuckets active on this node.
+		if wait != nil {
+			nodeOpts.Stale = views.StaleFalse
+			nodeOpts.WaitSeqnos = map[int]uint64{}
+			for _, vb := range m.ActiveVBuckets(n.id) {
+				if s, ok := wait[vb]; ok {
+					nodeOpts.WaitSeqnos[vb] = s
+				}
+			}
+		}
+		// Skip/limit cannot be pushed below the merge; trim after.
+		nodeOpts.Skip = 0
+		if opts.Limit > 0 {
+			nodeOpts.Limit = opts.Limit + opts.Skip
+		}
+		rows, err := nb.viewEngine.Query(view, nodeOpts)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, rows)
+	}
+	mergeReduce := ""
+	if opts.Reduce {
+		mergeReduce = def.Reduce
+	}
+	merged := views.MergeRows(mergeReduce, opts.Group, parts)
+	if opts.Reduce && def.Reduce != "" && !opts.Group {
+		return merged, nil
+	}
+	if opts.Descending {
+		// MergeRows sorts ascending; flip for descending queries.
+		for i, j := 0, len(merged)-1; i < j; i, j = i+1, j-1 {
+			merged[i], merged[j] = merged[j], merged[i]
+		}
+	}
+	if opts.Skip > 0 {
+		if opts.Skip >= len(merged) {
+			merged = nil
+		} else {
+			merged = merged[opts.Skip:]
+		}
+	}
+	if opts.Limit > 0 && len(merged) > opts.Limit {
+		merged = merged[:opts.Limit]
+	}
+	return merged, nil
+}
+
+// FTS returns the bucket's full-text service instance.
+func (c *Cluster) FTS(bucketName string) (*ftsHandle, error) {
+	b, err := c.bucket(bucketName)
+	if err != nil {
+		return nil, err
+	}
+	return &ftsHandle{c: c, b: b}, nil
+}
+
+// ErrNoAnalyticsNode enforces the MDS topology for the analytics
+// service (§6.2).
+var ErrNoAnalyticsNode = errors.New("core: no node runs the analytics service")
+
+// EnableAnalytics starts shadowing a bucket into the analytics service
+// ("fed via in-memory DCP"). Requires an analytics node.
+func (c *Cluster) EnableAnalytics(bucketName string) error {
+	if !c.hasService(cmap.ServiceAnalytics) {
+		return ErrNoAnalyticsNode
+	}
+	b, err := c.bucket(bucketName)
+	if err != nil {
+		return err
+	}
+	return b.analyticsEng.Enable()
+}
+
+// AnalyticsQuery runs a query on the analytics service's shadow
+// dataset — never touching the data service's cache or storage, the
+// §6.2 performance-isolation property. General (non-key) joins are
+// allowed here, unlike in the operational N1QL service.
+func (c *Cluster) AnalyticsQuery(bucketName, statement string, opts analytics.QueryOptions) ([]any, error) {
+	if !c.hasService(cmap.ServiceAnalytics) {
+		return nil, ErrNoAnalyticsNode
+	}
+	b, err := c.bucket(bucketName)
+	if err != nil {
+		return nil, err
+	}
+	return b.analyticsEng.Query(statement, opts)
+}
+
+// AnalyticsConsistencyVector captures the data service's current seqno
+// vector for read-your-own-writes analytics queries.
+func (c *Cluster) AnalyticsConsistencyVector(bucketName string) map[int]uint64 {
+	return c.consistencyVector(bucketName)
+}
+
+// ftsHandle wraps the FTS engine with cluster-level consistency.
+type ftsHandle struct {
+	c *Cluster
+	b *bucketState
+}
+
+// Engine exposes the underlying engine (Define/Drop/Search*).
+func (h *ftsHandle) Engine() *fts.Engine { return h.b.ftsEng }
+
+// ConsistencyVector captures the current data-service seqnos for
+// read-your-own-writes FTS queries.
+func (h *ftsHandle) ConsistencyVector() map[int]uint64 {
+	return h.c.consistencyVector(h.b.name)
+}

@@ -1,0 +1,258 @@
+// Package dcp implements the Database Change Protocol (paper §4.3.2):
+// "Couchbase has an internal Database Change Protocol (DCP) that is
+// utilized to keep all of the different components in sync and to move
+// data between the components at high speed. DCP lies at the heart of
+// Couchbase Server and supports its memory-first architecture by
+// decoupling potential I/O bottlenecks from many critical functions."
+//
+// A Producer exists per vBucket on the node holding a copy of that
+// vBucket. Consumers — replicas, the view engine, the GSI projector,
+// the FTS indexer, and XDCR — open named streams from a start sequence
+// number. A stream first delivers a backfill snapshot (the deduplicated
+// latest versions of documents past the start seqno, sourced from the
+// cache/storage), then seamlessly switches to the live in-memory feed.
+// Delivery is strictly seqno-ordered; consumers never observe a gap
+// they cannot detect.
+package dcp
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned when operating on a closed producer or stream.
+var ErrClosed = errors.New("dcp: closed")
+
+// Mutation is one document change flowing through the protocol.
+type Mutation struct {
+	VB       int
+	Key      string
+	Value    []byte
+	Seqno    uint64
+	CAS      uint64
+	RevSeqno uint64
+	Flags    uint32
+	Expiry   int64
+	Deleted  bool
+}
+
+// SnapshotSource provides deduplicated backfill state: every document
+// (including tombstones) whose latest seqno is greater than
+// fromExclusive, plus the seqno high-water mark of the snapshot. The
+// vBucket layer implements this over the object-managed cache, falling
+// back to the storage engine for evicted values.
+type SnapshotSource interface {
+	Snapshot(fromExclusive uint64) (items []Mutation, snapshotHigh uint64, err error)
+}
+
+// Producer fans one vBucket's mutation sequence out to streams.
+type Producer struct {
+	vb     int
+	source SnapshotSource
+
+	mu      sync.Mutex
+	streams map[*Stream]struct{}
+	high    uint64
+	closed  bool
+}
+
+// NewProducer creates a producer for vb backed by the snapshot source.
+func NewProducer(vb int, source SnapshotSource) *Producer {
+	return &Producer{vb: vb, source: source, streams: make(map[*Stream]struct{})}
+}
+
+// Publish delivers a mutation to all open streams. The caller must
+// invoke Publish in seqno order (the cache's OnMutate hook guarantees
+// this). Publish never blocks on slow consumers: each stream has an
+// unbounded in-memory queue, the protocol's "memory-first" decoupling.
+func (p *Producer) Publish(m Mutation) {
+	m.VB = p.vb
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	if m.Seqno > p.high {
+		p.high = m.Seqno
+	}
+	for s := range p.streams {
+		s.enqueueLive(m)
+	}
+}
+
+// HighSeqno reports the highest seqno published so far.
+func (p *Producer) HighSeqno() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.high
+}
+
+// Close terminates the producer and all its streams.
+func (p *Producer) Close() {
+	p.mu.Lock()
+	streams := make([]*Stream, 0, len(p.streams))
+	for s := range p.streams {
+		streams = append(streams, s)
+	}
+	p.closed = true
+	p.streams = make(map[*Stream]struct{})
+	p.mu.Unlock()
+	for _, s := range streams {
+		s.Close()
+	}
+}
+
+// OpenStream starts a named stream delivering every change after
+// fromSeqno: first a backfill snapshot, then live mutations. The name
+// identifies the consumer in stats and tests.
+func (p *Producer) OpenStream(name string, fromSeqno uint64) (*Stream, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s := &Stream{
+		Name:            name,
+		producer:        p,
+		out:             make(chan Mutation, 64),
+		wake:            make(chan struct{}, 1),
+		backfillPending: true,
+	}
+	p.streams[s] = struct{}{}
+	p.mu.Unlock()
+
+	// Snapshot after attaching to the live feed: anything published
+	// between attach and scan is either in the snapshot or queued live
+	// with a seqno above the snapshot watermark; the pump dedups.
+	items, high, err := p.source.Snapshot(fromSeqno)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.backfill = items
+	s.snapshotHigh = high
+	s.backfillPending = false
+	s.mu.Unlock()
+	s.kick()
+	go s.pump()
+	return s, nil
+}
+
+// Stream is one consumer's ordered view of a vBucket's changes.
+// Mutations arrive on C; the channel closes when the stream ends.
+type Stream struct {
+	Name     string
+	producer *Producer
+
+	mu              sync.Mutex
+	backfill        []Mutation
+	backfillPending bool
+	snapshotHigh    uint64
+	live            []Mutation
+	closed          bool
+
+	out  chan Mutation
+	wake chan struct{}
+}
+
+// C returns the delivery channel.
+func (s *Stream) C() <-chan Mutation { return s.out }
+
+func (s *Stream) enqueueLive(m Mutation) {
+	s.mu.Lock()
+	if !s.closed {
+		s.live = append(s.live, m)
+	}
+	s.mu.Unlock()
+	s.kick()
+}
+
+func (s *Stream) kick() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pump moves queued mutations to the out channel: the entire backfill
+// first (in seqno order), then live mutations with seqno beyond the
+// snapshot high-water mark.
+func (s *Stream) pump() {
+	defer close(s.out)
+	sentBackfill := false
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		var batch []Mutation
+		if !sentBackfill {
+			if s.backfillPending {
+				s.mu.Unlock()
+				<-s.wake
+				continue
+			}
+			batch = s.backfill
+			s.backfill = nil
+			sentBackfill = true
+			s.mu.Unlock()
+			for _, m := range batch {
+				if !s.send(m) {
+					return
+				}
+			}
+			continue
+		}
+		if len(s.live) == 0 {
+			s.mu.Unlock()
+			<-s.wake
+			continue
+		}
+		batch = s.live
+		s.live = nil
+		high := s.snapshotHigh
+		s.mu.Unlock()
+		for _, m := range batch {
+			if m.Seqno <= high {
+				continue // already covered by the backfill snapshot
+			}
+			if !s.send(m) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Stream) send(m Mutation) bool {
+	for {
+		select {
+		case s.out <- m:
+			return true
+		case <-s.wake:
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return false
+			}
+		}
+	}
+}
+
+// Close detaches the stream from the producer and closes C after the
+// pump drains.
+func (s *Stream) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.producer.mu.Lock()
+	delete(s.producer.streams, s)
+	s.producer.mu.Unlock()
+	s.kick()
+}

@@ -1,0 +1,74 @@
+// Package executor implements N1QL query execution: the operator
+// pipeline of the paper's Figure 11 (scan → fetch → join/nest/unnest →
+// filter → group → project → distinct → sort → offset → limit) plus
+// DML execution. "Some operations, like query parsing and planning, are
+// done serially, while other operations, like fetch, join, and sort,
+// are done in a local parallel (based on multicore) manner" — the Fetch
+// operator here fans out across a worker pool.
+package executor
+
+import (
+	"errors"
+
+	"couchgo/internal/n1ql"
+)
+
+// ErrNotFound is returned by Datastore.Fetch for absent documents.
+var ErrNotFound = errors.New("executor: document not found")
+
+// IndexEntry is one index scan result handed to the executor.
+type IndexEntry struct {
+	ID     string
+	SecKey []any
+}
+
+// IndexScanOpts mirrors the index service scan surface without binding
+// the executor to a concrete index implementation.
+type IndexScanOpts struct {
+	EqualKey          []any
+	HasEqual          bool
+	Low, High         []any
+	LowIncl, HighIncl bool
+	Limit             int
+	Reverse           bool
+	// Wait is the request_plus consistency vector (nil = not_bounded).
+	Wait map[int]uint64
+}
+
+// Datastore is the query service's view of the data and index services
+// (§4.5.1: "the query service issues all key-value access requests ...
+// an index simply returns the document ID for each attribute match").
+type Datastore interface {
+	// Fetch retrieves one document and its metadata by ID.
+	Fetch(keyspace, id string) (doc any, meta n1ql.Meta, err error)
+	// ScanIndex runs an index scan (GSI or view-backed, §3.3).
+	ScanIndex(keyspace, index string, using n1ql.IndexUsing, opts IndexScanOpts) ([]IndexEntry, error)
+	// ConsistencyVector reports the data service's current per-vBucket
+	// high seqnos, captured at query start for request_plus.
+	ConsistencyVector(keyspace string) map[int]uint64
+
+	// DML surface.
+	InsertDoc(keyspace, id string, doc any, upsert bool) error
+	UpdateDoc(keyspace, id string, doc any) error
+	DeleteDoc(keyspace, id string) error
+}
+
+// Consistency selects the §3.2.3 scan_consistency level.
+type Consistency int
+
+const (
+	// NotBounded "returns the query with the lowest latency ... the
+	// query output can be arbitrarily out-of-date".
+	NotBounded Consistency = iota
+	// RequestPlus "requires all mutations, up to the moment of the
+	// query request, to be processed before query execution can begin".
+	RequestPlus
+)
+
+// Options parameterize one execution.
+type Options struct {
+	Params      map[string]any
+	Consistency Consistency
+	// FetchParallelism bounds the fetch worker pool (default 8).
+	FetchParallelism int
+}

@@ -1,0 +1,344 @@
+package executor
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"couchgo/internal/n1ql"
+	"couchgo/internal/planner"
+	"couchgo/internal/value"
+)
+
+// stubDS is a minimal Datastore for unit-testing individual operators.
+type stubDS struct {
+	mu   sync.Mutex
+	docs map[string]any
+	// fetchConcurrency observes the parallel Fetch operator.
+	inFlight, maxInFlight atomic.Int32
+	fetches               atomic.Int32
+}
+
+func newStubDS() *stubDS { return &stubDS{docs: map[string]any{}} }
+
+func (s *stubDS) put(id, doc string) { s.docs[id] = value.MustParse(doc) }
+
+func (s *stubDS) Fetch(_ string, id string) (any, n1ql.Meta, error) {
+	cur := s.inFlight.Add(1)
+	for {
+		max := s.maxInFlight.Load()
+		if cur <= max || s.maxInFlight.CompareAndSwap(max, cur) {
+			break
+		}
+	}
+	// Hold the slot briefly so overlap is observable even on one CPU.
+	time.Sleep(200 * time.Microsecond)
+	defer s.inFlight.Add(-1)
+	s.fetches.Add(1)
+	s.mu.Lock()
+	doc, ok := s.docs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, n1ql.Meta{}, ErrNotFound
+	}
+	return doc, n1ql.Meta{ID: id}, nil
+}
+
+func (s *stubDS) ScanIndex(_, _ string, _ n1ql.IndexUsing, opts IndexScanOpts) ([]IndexEntry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []IndexEntry
+	for id := range s.docs {
+		out = append(out, IndexEntry{ID: id, SecKey: []any{id}})
+	}
+	// Deterministic order.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].ID < out[i].ID {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	if opts.Limit > 0 && len(out) > opts.Limit {
+		out = out[:opts.Limit]
+	}
+	return out, nil
+}
+
+func (s *stubDS) ConsistencyVector(string) map[int]uint64 { return nil }
+
+func (s *stubDS) InsertDoc(_, id string, doc any, upsert bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.docs[id]; ok && !upsert {
+		return fmt.Errorf("exists")
+	}
+	s.docs[id] = doc
+	return nil
+}
+
+func (s *stubDS) UpdateDoc(_, id string, doc any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.docs[id]; !ok {
+		return ErrNotFound
+	}
+	s.docs[id] = doc
+	return nil
+}
+
+func (s *stubDS) DeleteDoc(_, id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.docs[id]; !ok {
+		return ErrNotFound
+	}
+	delete(s.docs, id)
+	return nil
+}
+
+type stubCat struct{}
+
+func (stubCat) KeyspaceExists(string) bool { return true }
+func (stubCat) Indexes(string) []planner.IndexInfo {
+	return []planner.IndexInfo{{Name: "#primary", IsPrimary: true, SecCanonical: []string{"meta().id"}, Built: true}}
+}
+
+func planOf(t *testing.T, src string) *planner.SelectPlan {
+	t.Helper()
+	stmt, err := n1ql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := planner.PlanSelect(stmt.(*n1ql.Select), stubCat{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFetchIsParallelAndOrdered(t *testing.T) {
+	ds := newStubDS()
+	for i := 0; i < 64; i++ {
+		ds.put(fmt.Sprintf("doc%02d", i), fmt.Sprintf(`{"i": %d}`, i))
+	}
+	p := planOf(t, "SELECT i FROM b")
+	rows, err := ExecuteSelect(p, ds, Options{FetchParallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 64 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	// Scan order (by id) is preserved through the parallel fetch.
+	for i, r := range rows {
+		if got := r.(map[string]any)["i"]; got != float64(i) {
+			t.Fatalf("row %d = %v", i, got)
+		}
+	}
+	if ds.maxInFlight.Load() < 2 {
+		t.Errorf("fetch not parallel: max in flight %d", ds.maxInFlight.Load())
+	}
+}
+
+func TestMissingDocsDropFromKeyScan(t *testing.T) {
+	ds := newStubDS()
+	ds.put("a", `{"v": 1}`)
+	p := planOf(t, `SELECT v FROM b USE KEYS ["a", "ghost", "also-ghost"]`)
+	rows, err := ExecuteSelect(p, ds, Options{})
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("rows: %v, %v", rows, err)
+	}
+}
+
+func TestUseKeysTypeErrors(t *testing.T) {
+	ds := newStubDS()
+	p := planOf(t, `SELECT v FROM b USE KEYS 42`)
+	if _, err := ExecuteSelect(p, ds, Options{}); err == nil {
+		t.Error("numeric USE KEYS should fail")
+	}
+	// Array with non-strings: non-strings skipped.
+	ds.put("a", `{"v": 1}`)
+	p = planOf(t, `SELECT v FROM b USE KEYS ["a", 42]`)
+	rows, err := ExecuteSelect(p, ds, Options{})
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("mixed keys: %v %v", rows, err)
+	}
+}
+
+func TestLimitOffsetValidation(t *testing.T) {
+	ds := newStubDS()
+	for _, src := range []string{
+		"SELECT v FROM b LIMIT -1",
+		`SELECT v FROM b LIMIT "x"`,
+		"SELECT v FROM b OFFSET -2",
+	} {
+		p := planOf(t, src)
+		if _, err := ExecuteSelect(p, ds, Options{}); err == nil {
+			t.Errorf("%s should fail", src)
+		}
+	}
+	// Offset beyond result set yields empty.
+	ds.put("a", `{"v": 1}`)
+	p := planOf(t, "SELECT v FROM b OFFSET 10")
+	rows, err := ExecuteSelect(p, ds, Options{})
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("big offset: %v %v", rows, err)
+	}
+}
+
+func TestGroupEmptyInputProducesOneRow(t *testing.T) {
+	ds := newStubDS() // no docs
+	p := planOf(t, "SELECT COUNT(*) AS n, SUM(v) AS s FROM b")
+	rows, err := ExecuteSelect(p, ds, Options{})
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("rows: %v %v", rows, err)
+	}
+	obj := rows[0].(map[string]any)
+	if obj["n"] != 0.0 {
+		t.Errorf("count: %v", obj)
+	}
+	if _, has := obj["s"]; has && obj["s"] != nil {
+		t.Errorf("sum of nothing should be null: %v", obj["s"])
+	}
+}
+
+func TestGroupByWithExpressionKeys(t *testing.T) {
+	ds := newStubDS()
+	ds.put("a", `{"age": 21}`)
+	ds.put("b", `{"age": 29}`)
+	ds.put("c", `{"age": 35}`)
+	p := planOf(t, "SELECT FLOOR(age / 10) AS decade, COUNT(*) AS n FROM b GROUP BY FLOOR(age / 10) ORDER BY decade")
+	rows, err := ExecuteSelect(p, ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("groups: %v", rows)
+	}
+	if rows[0].(map[string]any)["n"] != 2.0 {
+		t.Errorf("decade 2 count: %v", rows[0])
+	}
+}
+
+func TestInsertReturningAndErrors(t *testing.T) {
+	ds := newStubDS()
+	stmt, _ := n1ql.Parse(`INSERT INTO b (KEY, VALUE) VALUES ("k1", {"v": 1}) RETURNING meta().id AS id`)
+	res, err := ExecuteInsert(stmt.(*n1ql.Insert), ds, stubCat{}, Options{})
+	if err != nil || res.MutationCount != 1 {
+		t.Fatalf("insert: %+v %v", res, err)
+	}
+	if res.Returning[0].(map[string]any)["id"] != "k1" {
+		t.Errorf("returning: %v", res.Returning)
+	}
+	// Duplicate.
+	if _, err := ExecuteInsert(stmt.(*n1ql.Insert), ds, stubCat{}, Options{}); err == nil {
+		t.Error("duplicate insert should fail")
+	}
+	// Non-string key.
+	stmt, _ = n1ql.Parse(`INSERT INTO b (KEY, VALUE) VALUES (5, {})`)
+	if _, err := ExecuteInsert(stmt.(*n1ql.Insert), ds, stubCat{}, Options{}); err == nil {
+		t.Error("numeric key should fail")
+	}
+}
+
+func TestUpdatePathHandling(t *testing.T) {
+	ds := newStubDS()
+	ds.put("k", `{"a": {"b": 1}, "arr": [10, 20]}`)
+	run := func(src string) {
+		t.Helper()
+		stmt, err := n1ql.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ExecuteUpdate(stmt.(*n1ql.Update), ds, stubCat{}, Options{}); err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+	}
+	run(`UPDATE b USE KEYS "k" SET a.b = 2`)
+	run(`UPDATE b USE KEYS "k" SET arr[1] = 99`)
+	run(`UPDATE b USE KEYS "k" SET fresh.deep.field = "v"`)
+	run(`UPDATE b USE KEYS "k" UNSET a.b`)
+	doc := ds.docs["k"]
+	if value.MustParsePath("arr[1]").Eval(doc) != 99.0 {
+		t.Errorf("array set: %v", doc)
+	}
+	if value.MustParsePath("fresh.deep.field").Eval(doc) != "v" {
+		t.Errorf("deep create: %v", doc)
+	}
+	if !value.IsMissing(value.MustParsePath("a.b").Eval(doc)) {
+		t.Errorf("unset: %v", doc)
+	}
+	// Alias-qualified path.
+	run(`UPDATE b AS d USE KEYS "k" SET d.viaAlias = TRUE`)
+	if value.MustParsePath("viaAlias").Eval(ds.docs["k"]) != true {
+		t.Errorf("alias path: %v", ds.docs["k"])
+	}
+}
+
+func TestDeleteWithLimit(t *testing.T) {
+	ds := newStubDS()
+	for i := 0; i < 10; i++ {
+		ds.put(fmt.Sprintf("k%d", i), `{"v": 1}`)
+	}
+	stmt, _ := n1ql.Parse("DELETE FROM b WHERE v = 1 LIMIT 4")
+	res, err := ExecuteDelete(stmt.(*n1ql.Delete), ds, stubCat{}, Options{})
+	if err != nil || res.MutationCount != 4 {
+		t.Fatalf("delete: %+v %v", res, err)
+	}
+	if len(ds.docs) != 6 {
+		t.Errorf("remaining: %d", len(ds.docs))
+	}
+}
+
+func TestDistinctOnProjectedValues(t *testing.T) {
+	ds := newStubDS()
+	ds.put("a", `{"city": "SF", "x": 1}`)
+	ds.put("b", `{"city": "SF", "x": 2}`)
+	ds.put("c", `{"city": "NY", "x": 3}`)
+	p := planOf(t, "SELECT DISTINCT city FROM b")
+	rows, err := ExecuteSelect(p, ds, Options{})
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("distinct: %v %v", rows, err)
+	}
+}
+
+func TestUnnestLeftOuter(t *testing.T) {
+	ds := newStubDS()
+	ds.put("a", `{"name": "hasitems", "items": [1, 2]}`)
+	ds.put("b", `{"name": "noitems"}`)
+	// INNER UNNEST drops rows without the array.
+	p := planOf(t, "SELECT name FROM b UNNEST items AS it")
+	rows, _ := ExecuteSelect(p, ds, Options{})
+	if len(rows) != 2 {
+		t.Fatalf("inner unnest: %v", rows)
+	}
+	// LEFT OUTER UNNEST keeps them.
+	p = planOf(t, "SELECT name FROM b LEFT UNNEST items AS it")
+	rows, _ = ExecuteSelect(p, ds, Options{})
+	if len(rows) != 3 {
+		t.Fatalf("left unnest: %v", rows)
+	}
+}
+
+func TestSortDescendingAndTies(t *testing.T) {
+	ds := newStubDS()
+	ds.put("a", `{"g": 1, "n": "x"}`)
+	ds.put("b", `{"g": 2, "n": "y"}`)
+	ds.put("c", `{"g": 1, "n": "z"}`)
+	p := planOf(t, "SELECT g, n FROM b ORDER BY g DESC, n ASC")
+	rows, err := ExecuteSelect(p, ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rows[0].(map[string]any)
+	if first["g"] != 2.0 {
+		t.Fatalf("desc order: %v", rows)
+	}
+	second := rows[1].(map[string]any)
+	if second["n"] != "x" {
+		t.Fatalf("tie break: %v", rows)
+	}
+}

@@ -1,0 +1,507 @@
+// Package fts implements the full-text search service of the paper's
+// near-term plans (§6.1.3): "This is typically based on a reverse
+// index, where all the words within the data are indexed to be able to
+// do term-based, phrase-based, and/or prefix-based searches. Full-text
+// search is another type of service ... that will receive data
+// mutations via in-memory DCP and will be able to be scaled up or out
+// independently."
+//
+// The engine consumes per-vBucket DCP feeds, tokenizes the configured
+// document fields, and maintains an inverted index (term → postings
+// with positions) supporting term, prefix, and phrase queries.
+package fts
+
+import (
+	"errors"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"unicode"
+
+	"couchgo/internal/btree"
+	"couchgo/internal/dcp"
+	"couchgo/internal/value"
+)
+
+// Errors returned by the FTS engine.
+var (
+	ErrNoSuchIndex = errors.New("fts: no such index")
+	ErrIndexExists = errors.New("fts: index already exists")
+)
+
+// IndexDef declares a full-text index. Fields lists the document paths
+// to index; empty indexes every top-level string field.
+type IndexDef struct {
+	Name   string
+	Fields []string
+}
+
+// Hit is one search result.
+type Hit struct {
+	ID string
+	// Score is term frequency (matches in the document); results sort
+	// by descending score then ID.
+	Score int
+}
+
+// posting records one document's occurrences of a term.
+type posting struct {
+	positions []int
+}
+
+// ftsIndex is one index's state.
+type ftsIndex struct {
+	def    IndexDef
+	fields []value.Path
+
+	mu        sync.Mutex
+	terms     *btree.Tree         // term bytes -> map[docID]*posting
+	docTerms  map[string][]string // back index: docID -> terms
+	processed map[int]uint64      // vb -> seqno
+	cond      *sync.Cond
+	streams   map[int]*dcp.Stream
+	closed    bool
+}
+
+// Engine is the per-node FTS service instance.
+type Engine struct {
+	mu        sync.Mutex
+	indexes   map[string]*ftsIndex
+	producers map[int]*dcp.Producer
+}
+
+// NewEngine creates an empty FTS engine.
+func NewEngine() *Engine {
+	return &Engine{indexes: make(map[string]*ftsIndex), producers: make(map[int]*dcp.Producer)}
+}
+
+// Define creates an index and begins building it over attached
+// vBuckets via DCP backfill.
+func (e *Engine) Define(def IndexDef) error {
+	fi := &ftsIndex{
+		def:       def,
+		terms:     btree.New(nil),
+		docTerms:  make(map[string][]string),
+		processed: make(map[int]uint64),
+		streams:   make(map[int]*dcp.Stream),
+	}
+	fi.cond = sync.NewCond(&fi.mu)
+	for _, f := range def.Fields {
+		p, ok := value.ParsePath(f)
+		if !ok {
+			return errors.New("fts: bad field path " + f)
+		}
+		fi.fields = append(fi.fields, p)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.indexes[def.Name]; ok {
+		return ErrIndexExists
+	}
+	e.indexes[def.Name] = fi
+	for vb, p := range e.producers {
+		if err := fi.attach(vb, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drop removes an index.
+func (e *Engine) Drop(name string) error {
+	e.mu.Lock()
+	fi, ok := e.indexes[name]
+	delete(e.indexes, name)
+	e.mu.Unlock()
+	if !ok {
+		return ErrNoSuchIndex
+	}
+	fi.close()
+	return nil
+}
+
+// AttachVB begins indexing a vBucket's mutations. Idempotent for the
+// same producer.
+func (e *Engine) AttachVB(vb int, p *dcp.Producer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.producers[vb] == p {
+		return nil
+	}
+	e.producers[vb] = p
+	for _, fi := range e.indexes {
+		if err := fi.attach(vb, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DetachVB stops indexing a vBucket and removes its entries.
+func (e *Engine) DetachVB(vb int) {
+	e.mu.Lock()
+	delete(e.producers, vb)
+	list := make([]*ftsIndex, 0, len(e.indexes))
+	for _, fi := range e.indexes {
+		list = append(list, fi)
+	}
+	e.mu.Unlock()
+	for _, fi := range list {
+		fi.detach(vb)
+	}
+}
+
+// Close stops everything.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	list := make([]*ftsIndex, 0, len(e.indexes))
+	for _, fi := range e.indexes {
+		list = append(list, fi)
+	}
+	e.indexes = make(map[string]*ftsIndex)
+	e.producers = make(map[int]*dcp.Producer)
+	e.mu.Unlock()
+	for _, fi := range list {
+		fi.close()
+	}
+}
+
+func (fi *ftsIndex) attach(vb int, p *dcp.Producer) error {
+	s, err := p.OpenStream("fts:"+fi.def.Name, 0)
+	if err != nil {
+		return err
+	}
+	fi.mu.Lock()
+	if fi.closed {
+		fi.mu.Unlock()
+		s.Close()
+		return nil
+	}
+	fi.streams[vb] = s
+	fi.mu.Unlock()
+	go func() {
+		for m := range s.C() {
+			fi.apply(vb, m)
+		}
+	}()
+	return nil
+}
+
+func (fi *ftsIndex) detach(vb int) {
+	fi.mu.Lock()
+	s := fi.streams[vb]
+	delete(fi.streams, vb)
+	delete(fi.processed, vb)
+	// Remove this vBucket's documents. The back index has no vb info;
+	// removing by doc requires a vb marker — store vb in docTerms key.
+	var drop []string
+	for dockey := range fi.docTerms {
+		if docVB(dockey) == vb {
+			drop = append(drop, dockey)
+		}
+	}
+	for _, dockey := range drop {
+		fi.removeDocLocked(dockey)
+	}
+	fi.mu.Unlock()
+	if s != nil {
+		s.Close()
+	}
+}
+
+func (fi *ftsIndex) close() {
+	fi.mu.Lock()
+	fi.closed = true
+	streams := make([]*dcp.Stream, 0, len(fi.streams))
+	for _, s := range fi.streams {
+		streams = append(streams, s)
+	}
+	fi.streams = make(map[int]*dcp.Stream)
+	fi.cond.Broadcast()
+	fi.mu.Unlock()
+	for _, s := range streams {
+		s.Close()
+	}
+}
+
+// docKey packs (vb, docID) into the back-index key.
+func docKey(vb int, id string) string { return strconv.Itoa(vb) + "\x00" + id }
+
+func docVB(dockey string) int {
+	i := strings.IndexByte(dockey, 0)
+	if i < 0 {
+		return -1
+	}
+	n, err := strconv.Atoi(dockey[:i])
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+func docID(dockey string) string {
+	i := strings.IndexByte(dockey, 0)
+	return dockey[i+1:]
+}
+
+// Tokenize lowercases and splits text on non-alphanumeric runes.
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// tokensOf extracts the indexable token stream from a document,
+// concatenating indexed fields with a position gap so phrases never
+// match across field boundaries.
+func (fi *ftsIndex) tokensOf(doc any) []string {
+	var out []string
+	addText := func(s string) {
+		if len(out) > 0 {
+			out = append(out, "") // field boundary gap
+		}
+		out = append(out, Tokenize(s)...)
+	}
+	if len(fi.fields) == 0 {
+		for _, name := range value.FieldNames(doc) {
+			if s, ok := value.Field(doc, name).(string); ok {
+				addText(s)
+			}
+		}
+		return out
+	}
+	for _, p := range fi.fields {
+		v := p.Eval(doc)
+		switch t := v.(type) {
+		case string:
+			addText(t)
+		case []any:
+			for _, el := range t {
+				if s, ok := el.(string); ok {
+					addText(s)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (fi *ftsIndex) apply(vb int, m dcp.Mutation) {
+	var tokens []string
+	if !m.Deleted {
+		if doc, ok := value.Parse(m.Value); ok {
+			tokens = fi.tokensOf(doc)
+		}
+	}
+	dockey := docKey(vb, m.Key)
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	if fi.closed {
+		return
+	}
+	fi.removeDocLocked(dockey)
+	if len(tokens) > 0 {
+		byTerm := map[string][]int{}
+		for pos, tok := range tokens {
+			if tok == "" {
+				continue
+			}
+			byTerm[tok] = append(byTerm[tok], pos)
+		}
+		var termList []string
+		for term, positions := range byTerm {
+			termList = append(termList, term)
+			var postings map[string]*posting
+			if v, ok := fi.terms.Get([]byte(term)); ok {
+				postings = v.(map[string]*posting)
+			} else {
+				postings = map[string]*posting{}
+				fi.terms.Set([]byte(term), postings)
+			}
+			postings[dockey] = &posting{positions: positions}
+		}
+		fi.docTerms[dockey] = termList
+	}
+	if m.Seqno > fi.processed[vb] {
+		fi.processed[vb] = m.Seqno
+	}
+	fi.cond.Broadcast()
+}
+
+func (fi *ftsIndex) removeDocLocked(dockey string) {
+	for _, term := range fi.docTerms[dockey] {
+		if v, ok := fi.terms.Get([]byte(term)); ok {
+			postings := v.(map[string]*posting)
+			delete(postings, dockey)
+			if len(postings) == 0 {
+				fi.terms.Delete([]byte(term))
+			}
+		}
+	}
+	delete(fi.docTerms, dockey)
+}
+
+// waitFor blocks until the index processed the given seqno vector.
+func (fi *ftsIndex) waitFor(seqnos map[int]uint64) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	for !fi.closed {
+		ok := true
+		for vb, want := range seqnos {
+			if want > 0 && fi.processed[vb] < want {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		fi.cond.Wait()
+	}
+}
+
+// SearchOptions tune a query.
+type SearchOptions struct {
+	Limit int
+	// WaitSeqnos requests read-your-own-writes consistency, as with
+	// stale=false view queries.
+	WaitSeqnos map[int]uint64
+}
+
+// SearchTerm finds documents containing the exact term.
+func (e *Engine) SearchTerm(index, term string, opts SearchOptions) ([]Hit, error) {
+	fi, err := e.index(index)
+	if err != nil {
+		return nil, err
+	}
+	if opts.WaitSeqnos != nil {
+		fi.waitFor(opts.WaitSeqnos)
+	}
+	term = strings.ToLower(term)
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	scores := map[string]int{}
+	if v, ok := fi.terms.Get([]byte(term)); ok {
+		for dockey, p := range v.(map[string]*posting) {
+			scores[docID(dockey)] += len(p.positions)
+		}
+	}
+	return rankHits(scores, opts.Limit), nil
+}
+
+// SearchPrefix finds documents containing any term with the prefix.
+func (e *Engine) SearchPrefix(index, prefix string, opts SearchOptions) ([]Hit, error) {
+	fi, err := e.index(index)
+	if err != nil {
+		return nil, err
+	}
+	if opts.WaitSeqnos != nil {
+		fi.waitFor(opts.WaitSeqnos)
+	}
+	prefix = strings.ToLower(prefix)
+	lo := []byte(prefix)
+	hi := append([]byte(prefix), 0xFF)
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	scores := map[string]int{}
+	fi.terms.Ascend(lo, hi, func(_ []byte, v any) bool {
+		for dockey, p := range v.(map[string]*posting) {
+			scores[docID(dockey)] += len(p.positions)
+		}
+		return true
+	})
+	return rankHits(scores, opts.Limit), nil
+}
+
+// SearchPhrase finds documents containing the exact token sequence.
+func (e *Engine) SearchPhrase(index, phrase string, opts SearchOptions) ([]Hit, error) {
+	fi, err := e.index(index)
+	if err != nil {
+		return nil, err
+	}
+	if opts.WaitSeqnos != nil {
+		fi.waitFor(opts.WaitSeqnos)
+	}
+	tokens := Tokenize(phrase)
+	if len(tokens) == 0 {
+		return nil, nil
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	// Candidate docs: postings of the first token.
+	first, ok := fi.terms.Get([]byte(tokens[0]))
+	if !ok {
+		return nil, nil
+	}
+	scores := map[string]int{}
+	for dockey, p0 := range first.(map[string]*posting) {
+		count := 0
+		for _, start := range p0.positions {
+			match := true
+			for i := 1; i < len(tokens); i++ {
+				v, ok := fi.terms.Get([]byte(tokens[i]))
+				if !ok {
+					match = false
+					break
+				}
+				pi, ok := v.(map[string]*posting)[dockey]
+				if !ok || !containsPos(pi.positions, start+i) {
+					match = false
+					break
+				}
+			}
+			if match {
+				count++
+			}
+		}
+		if count > 0 {
+			scores[docID(dockey)] += count
+		}
+	}
+	return rankHits(scores, opts.Limit), nil
+}
+
+func containsPos(sorted []int, want int) bool {
+	i := sort.SearchInts(sorted, want)
+	return i < len(sorted) && sorted[i] == want
+}
+
+func rankHits(scores map[string]int, limit int) []Hit {
+	hits := make([]Hit, 0, len(scores))
+	for id, s := range scores {
+		hits = append(hits, Hit{ID: id, Score: s})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	if limit > 0 && len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits
+}
+
+func (e *Engine) index(name string) (*ftsIndex, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fi, ok := e.indexes[name]
+	if !ok {
+		return nil, ErrNoSuchIndex
+	}
+	return fi, nil
+}
+
+// Names lists defined indexes.
+func (e *Engine) Names() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for n := range e.indexes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,428 @@
+package gsi
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"couchgo/internal/storage"
+	"couchgo/internal/vbucket"
+)
+
+// harness wires real vBuckets through a projector into a Service.
+type harness struct {
+	svc  *Service
+	proj *Projector
+	vbs  []*vbucket.VBucket
+}
+
+func newHarness(t *testing.T, nvb int) *harness {
+	t.Helper()
+	dir := t.TempDir()
+	h := &harness{svc: NewService(dir)}
+	h.proj = NewProjector(h.svc, "Profile")
+	for i := 0; i < nvb; i++ {
+		f, err := storage.Open(filepath.Join(dir, fmt.Sprintf("vb%d.couch", i)), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb := vbucket.New(i, f, vbucket.Active, vbucket.Config{})
+		h.vbs = append(h.vbs, vb)
+		if err := h.proj.AttachVB(i, vb.Producer()); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { vb.Close(); f.Close() })
+	}
+	t.Cleanup(func() { h.proj.Close(); h.svc.Close() })
+	return h
+}
+
+func (h *harness) put(t *testing.T, vb int, key, doc string) {
+	t.Helper()
+	if _, err := h.vbs[vb].Set(key, []byte(doc), 0, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fresh returns request_plus scan options covering all current writes.
+func (h *harness) fresh() map[int]uint64 {
+	out := map[int]uint64{}
+	for _, vb := range h.vbs {
+		out[vb.ID] = vb.HighSeqno()
+	}
+	return out
+}
+
+func (h *harness) scanFresh(t *testing.T, name string, opts ScanOptions) []ScanItem {
+	t.Helper()
+	opts.WaitSeqnos = h.fresh()
+	items, err := h.svc.Scan("Profile", name, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return items
+}
+
+func TestCreateIndexAndScan(t *testing.T) {
+	h := newHarness(t, 2)
+	if err := h.svc.CreateIndex(Def{Name: "email", Keyspace: "Profile", SecExprs: []string{"email"}}); err != nil {
+		t.Fatal(err)
+	}
+	h.put(t, 0, "u1", `{"email": "a@x.com", "age": 30}`)
+	h.put(t, 1, "u2", `{"email": "c@x.com", "age": 25}`)
+	h.put(t, 0, "u3", `{"email": "b@x.com", "age": 35}`)
+	h.put(t, 1, "u4", `{"age": 99}`) // no email -> not indexed
+
+	items := h.scanFresh(t, "email", ScanOptions{})
+	if len(items) != 3 {
+		t.Fatalf("items: %+v", items)
+	}
+	// Sorted by secondary key across vBuckets.
+	if items[0].DocID != "u1" || items[1].DocID != "u3" || items[2].DocID != "u2" {
+		t.Errorf("order: %+v", items)
+	}
+	// The index returns doc IDs plus indexed values ("an index simply
+	// returns the document ID for each attribute match").
+	if items[0].SecKey[0] != "a@x.com" {
+		t.Errorf("seckey: %+v", items[0])
+	}
+}
+
+func TestIndexMaintenanceOnUpdateDelete(t *testing.T) {
+	h := newHarness(t, 1)
+	h.svc.CreateIndex(Def{Name: "email", Keyspace: "Profile", SecExprs: []string{"email"}})
+	h.put(t, 0, "u1", `{"email": "old@x.com"}`)
+	items := h.scanFresh(t, "email", ScanOptions{})
+	if len(items) != 1 || items[0].SecKey[0] != "old@x.com" {
+		t.Fatalf("initial: %+v", items)
+	}
+	h.put(t, 0, "u1", `{"email": "new@x.com"}`)
+	items = h.scanFresh(t, "email", ScanOptions{})
+	if len(items) != 1 || items[0].SecKey[0] != "new@x.com" {
+		t.Fatalf("after update: %+v", items)
+	}
+	h.vbs[0].Delete("u1", 0, 0)
+	items = h.scanFresh(t, "email", ScanOptions{})
+	if len(items) != 0 {
+		t.Fatalf("after delete: %+v", items)
+	}
+}
+
+func TestCreateIndexOnExistingDataBackfills(t *testing.T) {
+	h := newHarness(t, 2)
+	for i := 0; i < 40; i++ {
+		h.put(t, i%2, fmt.Sprintf("u%02d", i), fmt.Sprintf(`{"email": "e%02d@x.com"}`, i))
+	}
+	if err := h.svc.CreateIndex(Def{Name: "email", Keyspace: "Profile", SecExprs: []string{"email"}}); err != nil {
+		t.Fatal(err)
+	}
+	items := h.scanFresh(t, "email", ScanOptions{})
+	if len(items) != 40 {
+		t.Fatalf("backfilled %d items, want 40", len(items))
+	}
+}
+
+func TestRangeScans(t *testing.T) {
+	h := newHarness(t, 1)
+	h.svc.CreateIndex(Def{Name: "age", Keyspace: "Profile", SecExprs: []string{"age"}})
+	for i := 0; i < 10; i++ {
+		h.put(t, 0, fmt.Sprintf("u%d", i), fmt.Sprintf(`{"age": %d}`, 20+i))
+	}
+	// age >= 25, < 28
+	items := h.scanFresh(t, "age", ScanOptions{
+		Low: []any{25.0}, LowIncl: true, High: []any{28.0},
+	})
+	if len(items) != 3 || items[0].SecKey[0] != 25.0 || items[2].SecKey[0] != 27.0 {
+		t.Fatalf("range: %+v", items)
+	}
+	// Exclusive low / inclusive high.
+	items = h.scanFresh(t, "age", ScanOptions{
+		Low: []any{25.0}, High: []any{28.0}, HighIncl: true,
+	})
+	if len(items) != 3 || items[0].SecKey[0] != 26.0 || items[2].SecKey[0] != 28.0 {
+		t.Fatalf("excl/incl: %+v", items)
+	}
+	// Equality.
+	items = h.scanFresh(t, "age", ScanOptions{EqualKey: []any{23.0}, HasEqual: true})
+	if len(items) != 1 || items[0].DocID != "u3" {
+		t.Fatalf("equality: %+v", items)
+	}
+	// Limit + reverse.
+	items = h.scanFresh(t, "age", ScanOptions{Limit: 2, Reverse: true})
+	if len(items) != 2 || items[0].SecKey[0] != 29.0 {
+		t.Fatalf("reverse limit: %+v", items)
+	}
+	// Count.
+	n, err := h.svc.Count("Profile", "age", ScanOptions{Low: []any{25.0}, LowIncl: true})
+	if err != nil || n != 5 {
+		t.Fatalf("count: %d %v", n, err)
+	}
+}
+
+func TestCompositeIndex(t *testing.T) {
+	h := newHarness(t, 1)
+	h.svc.CreateIndex(Def{Name: "cityAge", Keyspace: "Profile", SecExprs: []string{"city", "age"}})
+	h.put(t, 0, "u1", `{"city": "SF", "age": 30}`)
+	h.put(t, 0, "u2", `{"city": "SF", "age": 25}`)
+	h.put(t, 0, "u3", `{"city": "NY", "age": 40}`)
+	// Prefix scan: city = SF matches both ages, ordered by age.
+	items := h.scanFresh(t, "cityAge", ScanOptions{
+		Low: []any{"SF"}, LowIncl: true, High: []any{"SF"}, HighIncl: true,
+	})
+	if len(items) != 2 || items[0].DocID != "u2" || items[1].DocID != "u1" {
+		t.Fatalf("prefix scan: %+v", items)
+	}
+	// Full composite equality.
+	items = h.scanFresh(t, "cityAge", ScanOptions{EqualKey: []any{"SF", 25.0}, HasEqual: true})
+	if len(items) != 1 || items[0].DocID != "u2" {
+		t.Fatalf("composite equality: %+v", items)
+	}
+}
+
+func TestPartialIndex(t *testing.T) {
+	// The §3.3.4 example: WHERE age > 21.
+	h := newHarness(t, 1)
+	if err := h.svc.CreateIndex(Def{
+		Name: "over21", Keyspace: "Profile", SecExprs: []string{"age"}, WhereExpr: "age > 21",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.put(t, 0, "kid", `{"age": 15}`)
+	h.put(t, 0, "adult", `{"age": 30}`)
+	items := h.scanFresh(t, "over21", ScanOptions{})
+	if len(items) != 1 || items[0].DocID != "adult" {
+		t.Fatalf("partial index: %+v", items)
+	}
+	// A doc aging out of the predicate leaves the index.
+	h.put(t, 0, "adult", `{"age": 10}`)
+	items = h.scanFresh(t, "over21", ScanOptions{})
+	if len(items) != 0 {
+		t.Fatalf("after predicate change: %+v", items)
+	}
+}
+
+func TestPrimaryIndex(t *testing.T) {
+	h := newHarness(t, 2)
+	h.svc.CreateIndex(Def{Name: "#primary", Keyspace: "Profile", IsPrimary: true})
+	for i := 0; i < 6; i++ {
+		h.put(t, i%2, fmt.Sprintf("user%d", i), `{"x": 1}`)
+	}
+	items := h.scanFresh(t, "#primary", ScanOptions{})
+	if len(items) != 6 || items[0].DocID != "user0" {
+		t.Fatalf("primary scan: %+v", items)
+	}
+	// Range on document IDs (workload E's meta().id >= $1 pattern).
+	items = h.scanFresh(t, "#primary", ScanOptions{Low: []any{"user3"}, LowIncl: true, Limit: 2})
+	if len(items) != 2 || items[0].DocID != "user3" || items[1].DocID != "user4" {
+		t.Fatalf("primary range: %+v", items)
+	}
+}
+
+func TestArrayIndex(t *testing.T) {
+	// §6.1.2: index on array-valued field, one entry per element.
+	h := newHarness(t, 1)
+	if err := h.svc.CreateIndex(Def{
+		Name: "byCategory", Keyspace: "Profile",
+		SecExprs: []string{"ARRAY c FOR c IN categories END"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.put(t, 0, "p1", `{"categories": ["db", "nosql", "db"]}`) // dup deduped
+	h.put(t, 0, "p2", `{"categories": ["cloud", "db"]}`)
+	h.put(t, 0, "p3", `{"categories": []}`)
+
+	items := h.scanFresh(t, "byCategory", ScanOptions{EqualKey: []any{"db"}, HasEqual: true})
+	if len(items) != 2 {
+		t.Fatalf("array equality: %+v", items)
+	}
+	items = h.scanFresh(t, "byCategory", ScanOptions{})
+	if len(items) != 4 { // p1: db,nosql; p2: cloud,db
+		t.Fatalf("array entries: %+v", items)
+	}
+	// Element removed from array -> entry removed.
+	h.put(t, 0, "p2", `{"categories": ["cloud"]}`)
+	items = h.scanFresh(t, "byCategory", ScanOptions{EqualKey: []any{"db"}, HasEqual: true})
+	if len(items) != 1 || items[0].DocID != "p1" {
+		t.Fatalf("after array shrink: %+v", items)
+	}
+	meta, _ := h.svc.Lookup("Profile", "byCategory")
+	if !meta.IsArrayIndex {
+		t.Error("IsArrayIndex flag")
+	}
+}
+
+func TestPartitionedIndex(t *testing.T) {
+	h := newHarness(t, 2)
+	if err := h.svc.CreateIndex(Def{
+		Name: "age", Keyspace: "Profile", SecExprs: []string{"age"}, NumPartitions: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		h.put(t, i%2, fmt.Sprintf("u%02d", i), fmt.Sprintf(`{"age": %d}`, i))
+	}
+	items := h.scanFresh(t, "age", ScanOptions{})
+	if len(items) != 50 {
+		t.Fatalf("partitioned scan: %d items", len(items))
+	}
+	// Merged in collation order despite partitioning.
+	for i := 1; i < len(items); i++ {
+		if items[i-1].SecKey[0].(float64) > items[i].SecKey[0].(float64) {
+			t.Fatalf("merge order broken at %d", i)
+		}
+	}
+	// Each doc's entries live in exactly one partition.
+	parts, _ := h.svc.Partitions("Profile", "age")
+	total := 0
+	for _, p := range parts {
+		total += p.Stats().Entries
+	}
+	if total != 50 {
+		t.Fatalf("partition entries sum to %d", total)
+	}
+	// Limited partitioned scan.
+	items = h.scanFresh(t, "age", ScanOptions{Low: []any{10.0}, LowIncl: true, Limit: 5})
+	if len(items) != 5 || items[0].SecKey[0] != 10.0 {
+		t.Fatalf("partitioned limit: %+v", items)
+	}
+}
+
+func TestDeferredBuild(t *testing.T) {
+	h := newHarness(t, 1)
+	h.put(t, 0, "u1", `{"age": 30}`)
+	if err := h.svc.CreateIndex(Def{
+		Name: "age", Keyspace: "Profile", SecExprs: []string{"age"}, Deferred: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.svc.Scan("Profile", "age", ScanOptions{}); err != ErrNoSuchIndex {
+		t.Fatalf("deferred index should not be scannable: %v", err)
+	}
+	if err := h.svc.BuildIndex("Profile", "age"); err != nil {
+		t.Fatal(err)
+	}
+	items := h.scanFresh(t, "age", ScanOptions{})
+	if len(items) != 1 {
+		t.Fatalf("after build: %+v", items)
+	}
+}
+
+func TestRequestPlusWaitsForMutations(t *testing.T) {
+	h := newHarness(t, 2)
+	h.svc.CreateIndex(Def{Name: "age", Keyspace: "Profile", SecExprs: []string{"age"}})
+	// Burst writes + immediate request_plus scans: must always observe.
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 10; i++ {
+			h.put(t, i%2, fmt.Sprintf("r%dd%d", round, i), fmt.Sprintf(`{"age": %d}`, i))
+		}
+		items := h.scanFresh(t, "age", ScanOptions{})
+		want := (round + 1) * 10
+		if len(items) != want {
+			t.Fatalf("round %d: %d items, want %d", round, len(items), want)
+		}
+	}
+}
+
+func TestMemoryOptimizedModeAndSnapshot(t *testing.T) {
+	h := newHarness(t, 1)
+	h.svc.CreateIndex(Def{
+		Name: "age", Keyspace: "Profile", SecExprs: []string{"age"}, Mode: MemoryOptimized,
+	})
+	for i := 0; i < 20; i++ {
+		h.put(t, 0, fmt.Sprintf("u%02d", i), fmt.Sprintf(`{"age": %d}`, i))
+	}
+	items := h.scanFresh(t, "age", ScanOptions{})
+	if len(items) != 20 {
+		t.Fatalf("memopt scan: %d", len(items))
+	}
+	// Snapshot / restore round trip (§6.1.1 disk-backup recoverability).
+	parts, _ := h.svc.Partitions("Profile", "age")
+	var buf bytes.Buffer
+	if err := parts[0].SnapshotTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cd, _ := compileDef(Def{Name: "age2", Keyspace: "Profile", SecExprs: []string{"age"}, Mode: MemoryOptimized})
+	restored, err := NewIndexer(cd, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if err := restored.RestoreFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Stats().Entries != 20 {
+		t.Fatalf("restored entries: %+v", restored.Stats())
+	}
+	got := restored.Scan(ScanOptions{EqualKey: []any{7.0}, HasEqual: true})
+	if len(got) != 1 || got[0].DocID != "u07" {
+		t.Fatalf("restored scan: %+v", got)
+	}
+	// Processed vector survives.
+	if restored.Processed()[0] == 0 {
+		t.Error("processed vector lost in snapshot")
+	}
+}
+
+func TestIndexDDLErrors(t *testing.T) {
+	h := newHarness(t, 1)
+	if err := h.svc.CreateIndex(Def{Name: "x", Keyspace: "P"}); err == nil {
+		t.Error("no keys should fail")
+	}
+	if err := h.svc.CreateIndex(Def{Name: "x", Keyspace: "P", SecExprs: []string{"(("}}); err == nil {
+		t.Error("bad expr should fail")
+	}
+	if err := h.svc.CreateIndex(Def{Name: "x", Keyspace: "P", IsPrimary: true, SecExprs: []string{"a"}}); err == nil {
+		t.Error("primary with keys should fail")
+	}
+	if err := h.svc.CreateIndex(Def{Name: "x", Keyspace: "P", SecExprs: []string{"a", "ARRAY c FOR c IN b END"}}); err == nil {
+		t.Error("trailing array key should fail")
+	}
+	h.svc.CreateIndex(Def{Name: "dup", Keyspace: "P", SecExprs: []string{"a"}})
+	if err := h.svc.CreateIndex(Def{Name: "dup", Keyspace: "P", SecExprs: []string{"a"}}); err != ErrIndexExists {
+		t.Errorf("duplicate: %v", err)
+	}
+	if err := h.svc.DropIndex("P", "nope"); err != ErrNoSuchIndex {
+		t.Errorf("drop unknown: %v", err)
+	}
+	if err := h.svc.BuildIndex("P", "nope"); err != ErrNoSuchIndex {
+		t.Errorf("build unknown: %v", err)
+	}
+	if _, err := h.svc.Scan("P", "nope", ScanOptions{}); err != ErrNoSuchIndex {
+		t.Errorf("scan unknown: %v", err)
+	}
+	if err := h.svc.DropIndex("P", "dup"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListIndexesCatalog(t *testing.T) {
+	h := newHarness(t, 1)
+	h.svc.CreateIndex(Def{Name: "b", Keyspace: "Profile", SecExprs: []string{"beta"}})
+	h.svc.CreateIndex(Def{Name: "a", Keyspace: "Profile", SecExprs: []string{"alpha"}, WhereExpr: "alpha > 0"})
+	h.svc.CreateIndex(Def{Name: "other", Keyspace: "Other", SecExprs: []string{"x"}})
+	metas := h.svc.ListIndexes("Profile")
+	if len(metas) != 2 || metas[0].Name != "a" || metas[1].Name != "b" {
+		t.Fatalf("catalog: %+v", metas)
+	}
+	if metas[0].SecCanonical[0] != "self.alpha" || metas[0].WhereCanonical != "(self.alpha > 0)" {
+		t.Errorf("canonical forms: %+v", metas[0])
+	}
+}
+
+func TestDetachVBStopsProjection(t *testing.T) {
+	h := newHarness(t, 2)
+	h.svc.CreateIndex(Def{Name: "age", Keyspace: "Profile", SecExprs: []string{"age"}})
+	h.put(t, 0, "a", `{"age": 1}`)
+	h.put(t, 1, "b", `{"age": 2}`)
+	h.scanFresh(t, "age", ScanOptions{})
+	h.proj.DetachVB(1)
+	// Further writes to vb1 are not projected.
+	h.vbs[1].Set("c", []byte(`{"age": 3}`), 0, 0, 0, 0)
+	items, _ := h.svc.Scan("Profile", "age", ScanOptions{})
+	for _, it := range items {
+		if it.DocID == "c" {
+			t.Fatal("detached vb still projecting")
+		}
+	}
+}

@@ -1,0 +1,444 @@
+package gsi
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"couchgo/internal/dcp"
+	"couchgo/internal/value"
+)
+
+// Service is the index service of one cluster (logically; partitions
+// may be placed on different index nodes — in this reproduction the
+// Service owns every partition indexer and the cluster layer decides
+// which node runs the Service, per multi-dimensional scaling).
+//
+// It plays the paper's Index Manager role: "receiving requests for
+// indexing operations (e.g., creation, deletion, maintenance, scan,
+// lookup)".
+type Service struct {
+	dir string
+
+	mu         sync.Mutex
+	indexes    map[string]*indexState // key: keyspace + "/" + name
+	projectors []*Projector
+}
+
+type indexState struct {
+	cd    *compiledDef
+	parts []*Indexer
+	built bool
+}
+
+// NewService creates an index service writing standard-mode logs under
+// dir.
+func NewService(dir string) *Service {
+	return &Service{dir: dir, indexes: make(map[string]*indexState)}
+}
+
+func indexKey(keyspace, name string) string { return keyspace + "/" + name }
+
+// CreateIndex registers (and unless deferred, allows building of) an
+// index.
+func (s *Service) CreateIndex(def Def) error {
+	cd, err := compileDef(def)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := indexKey(def.Keyspace, def.Name)
+	if _, ok := s.indexes[key]; ok {
+		return ErrIndexExists
+	}
+	st := &indexState{cd: cd, built: !def.Deferred}
+	for p := 0; p < cd.NumPartitions; p++ {
+		logPath := filepath.Join(s.dir, fmt.Sprintf("idx_%s_%s_p%d.log", sanitize(def.Keyspace), sanitize(def.Name), p))
+		ix, err := NewIndexer(cd, p, logPath)
+		if err != nil {
+			return err
+		}
+		st.parts = append(st.parts, ix)
+	}
+	s.indexes[key] = st
+	projectors := append([]*Projector(nil), s.projectors...)
+	s.mu.Unlock()
+	// Initial build: stream the existing data set through this index
+	// only. The per-document seqno guard in the indexer resolves races
+	// with the steady-state projector feed.
+	if !def.Deferred {
+		for _, p := range projectors {
+			if p.keyspace == def.Keyspace {
+				p.backfillIndex(st)
+			}
+		}
+	}
+	s.mu.Lock()
+	return nil
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == '/' || r == '\\' || r == ':' {
+			r = '_'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// BuildIndex builds a deferred index (§3.3.3's {"defer_build": true}):
+// it backfills the existing data set and marks the index scannable.
+func (s *Service) BuildIndex(keyspace, name string) error {
+	s.mu.Lock()
+	st, ok := s.indexes[indexKey(keyspace, name)]
+	projectors := append([]*Projector(nil), s.projectors...)
+	s.mu.Unlock()
+	if !ok {
+		return ErrNoSuchIndex
+	}
+	for _, p := range projectors {
+		if p.keyspace == keyspace {
+			p.backfillIndex(st)
+		}
+	}
+	s.mu.Lock()
+	st.built = true
+	s.mu.Unlock()
+	return nil
+}
+
+// DropIndex removes an index.
+func (s *Service) DropIndex(keyspace, name string) error {
+	s.mu.Lock()
+	st, ok := s.indexes[indexKey(keyspace, name)]
+	delete(s.indexes, indexKey(keyspace, name))
+	s.mu.Unlock()
+	if !ok {
+		return ErrNoSuchIndex
+	}
+	for _, p := range st.parts {
+		p.Close()
+	}
+	return nil
+}
+
+// IndexMeta is the catalog's view of an index (used by the planner).
+type IndexMeta struct {
+	Def
+	SecCanonical   []string
+	WhereCanonical string
+	Built          bool
+	IsArrayIndex   bool
+}
+
+// ListIndexes returns catalog metadata for a keyspace, sorted by name.
+func (s *Service) ListIndexes(keyspace string) []IndexMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []IndexMeta
+	for _, st := range s.indexes {
+		if st.cd.Keyspace != keyspace {
+			continue
+		}
+		out = append(out, IndexMeta{
+			Def:            st.cd.Def,
+			SecCanonical:   st.cd.SecCanonical,
+			WhereCanonical: st.cd.WhereCanonical,
+			Built:          st.built,
+			IsArrayIndex:   st.cd.arrayKey != nil,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns one index's metadata.
+func (s *Service) Lookup(keyspace, name string) (IndexMeta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.indexes[indexKey(keyspace, name)]
+	if !ok {
+		return IndexMeta{}, ErrNoSuchIndex
+	}
+	return IndexMeta{
+		Def:            st.cd.Def,
+		SecCanonical:   st.cd.SecCanonical,
+		WhereCanonical: st.cd.WhereCanonical,
+		Built:          st.built,
+		IsArrayIndex:   st.cd.arrayKey != nil,
+	}, nil
+}
+
+// Scan scatter/gathers over the index's partitions and merges results
+// in collation order ("it does scatter/gather for queries in case of a
+// partitioned GSI index").
+func (s *Service) Scan(keyspace, name string, opts ScanOptions) ([]ScanItem, error) {
+	s.mu.Lock()
+	st, ok := s.indexes[indexKey(keyspace, name)]
+	s.mu.Unlock()
+	if !ok || !st.built {
+		return nil, ErrNoSuchIndex
+	}
+	if len(st.parts) == 1 {
+		return st.parts[0].Scan(opts), nil
+	}
+	results := make([][]ScanItem, len(st.parts))
+	var wg sync.WaitGroup
+	for i, p := range st.parts {
+		wg.Add(1)
+		go func(i int, p *Indexer) {
+			defer wg.Done()
+			results[i] = p.Scan(opts)
+		}(i, p)
+	}
+	wg.Wait()
+	merged := mergeScanItems(results, opts.Reverse)
+	if opts.Limit > 0 && len(merged) > opts.Limit {
+		merged = merged[:opts.Limit]
+	}
+	return merged, nil
+}
+
+// Count counts matching entries across partitions.
+func (s *Service) Count(keyspace, name string, opts ScanOptions) (int, error) {
+	s.mu.Lock()
+	st, ok := s.indexes[indexKey(keyspace, name)]
+	s.mu.Unlock()
+	if !ok || !st.built {
+		return 0, ErrNoSuchIndex
+	}
+	total := 0
+	for _, p := range st.parts {
+		total += p.CountRange(opts)
+	}
+	return total, nil
+}
+
+func mergeScanItems(parts [][]ScanItem, reverse bool) []ScanItem {
+	var all []ScanItem
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		c := value.Compare(all[i].SecKey, all[j].SecKey)
+		if c == 0 {
+			if all[i].DocID == all[j].DocID {
+				return false
+			}
+			if reverse {
+				return all[i].DocID > all[j].DocID
+			}
+			return all[i].DocID < all[j].DocID
+		}
+		if reverse {
+			return c > 0
+		}
+		return c < 0
+	})
+	return all
+}
+
+// Processed returns the minimum applied-seqno vector across an index's
+// partitions — the consistency point a request_plus scan can rely on.
+func (s *Service) Processed(keyspace, name string) (map[int]uint64, error) {
+	s.mu.Lock()
+	st, ok := s.indexes[indexKey(keyspace, name)]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNoSuchIndex
+	}
+	out := map[int]uint64{}
+	for i, p := range st.parts {
+		vec := p.Processed()
+		if i == 0 {
+			for vb, sq := range vec {
+				out[vb] = sq
+			}
+			continue
+		}
+		for vb := range out {
+			if vec[vb] < out[vb] {
+				out[vb] = vec[vb]
+			}
+		}
+	}
+	return out, nil
+}
+
+// route delivers a mutation's key versions for every index on the
+// keyspace. It implements both the Projector ("mapping incoming
+// mutations to a set of Global Secondary Key Versions") and the Router
+// ("deciding which indexer to send the message to").
+func (s *Service) route(keyspace string, vb int, m dcp.Mutation) {
+	s.mu.Lock()
+	states := make([]*indexState, 0, len(s.indexes))
+	for _, st := range s.indexes {
+		if st.cd.Keyspace == keyspace {
+			states = append(states, st)
+		}
+	}
+	s.mu.Unlock()
+	for _, st := range states {
+		routeTo(st, vb, m)
+	}
+}
+
+// routeTo projects one mutation into one index's partitions.
+func routeTo(st *indexState, vb int, m dcp.Mutation) {
+	var entries [][]any
+	if !m.Deleted {
+		if doc, ok := value.Parse(m.Value); ok {
+			if ents, err := st.cd.entries(m.Key, doc, m.CAS); err == nil {
+				entries = ents
+			}
+		}
+	}
+	target := st.cd.Partition(m.Key)
+	for p, ix := range st.parts {
+		kv := KeyVersion{Index: st.cd.Name, VB: vb, Seqno: m.Seqno, DocID: m.Key}
+		if p == target {
+			kv.Entries = entries
+		}
+		// Every partition sees every seqno (possibly as a pure sync or
+		// a delete of a stale contribution) so consistency vectors
+		// advance and moved documents get cleaned up.
+		ix.Apply(kv)
+	}
+}
+
+// Projector consumes one vBucket's DCP feed on the data service node
+// and feeds the router.
+type Projector struct {
+	svc      *Service
+	keyspace string
+
+	mu        sync.Mutex
+	streams   map[int]*dcp.Stream
+	producers map[int]*dcp.Producer
+}
+
+// NewProjector creates a projector for one keyspace (bucket) and
+// registers it with the service so CREATE INDEX can trigger initial
+// builds over the projector's vBuckets.
+func NewProjector(svc *Service, keyspace string) *Projector {
+	p := &Projector{
+		svc:       svc,
+		keyspace:  keyspace,
+		streams:   make(map[int]*dcp.Stream),
+		producers: make(map[int]*dcp.Producer),
+	}
+	svc.mu.Lock()
+	svc.projectors = append(svc.projectors, p)
+	svc.mu.Unlock()
+	return p
+}
+
+// AttachVB starts projecting a vBucket's mutations. Re-attaching the
+// same producer is a no-op (idempotent reconciliation).
+func (p *Projector) AttachVB(vb int, producer *dcp.Producer) error {
+	p.mu.Lock()
+	if p.producers[vb] == producer {
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Unlock()
+	s, err := producer.OpenStream("gsi-projector", 0)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if old := p.streams[vb]; old != nil {
+		defer old.Close()
+	}
+	p.streams[vb] = s
+	p.producers[vb] = producer
+	p.mu.Unlock()
+	go func() {
+		for m := range s.C() {
+			p.svc.route(p.keyspace, vb, m)
+		}
+	}()
+	return nil
+}
+
+// DetachVB stops projecting a vBucket (it moved to another node).
+func (p *Projector) DetachVB(vb int) {
+	p.mu.Lock()
+	s := p.streams[vb]
+	delete(p.streams, vb)
+	delete(p.producers, vb)
+	p.mu.Unlock()
+	if s != nil {
+		s.Close()
+	}
+}
+
+// backfillIndex performs an index's initial build over this
+// projector's vBuckets: a dedicated DCP stream from seqno 0 per
+// vBucket, consumed up to the high seqno observed at start. Newer
+// mutations arrive via the steady-state stream; the indexer's
+// per-document seqno guard makes the overlap safe.
+func (p *Projector) backfillIndex(st *indexState) {
+	p.mu.Lock()
+	producers := make(map[int]*dcp.Producer, len(p.producers))
+	for vb, pr := range p.producers {
+		producers[vb] = pr
+	}
+	p.mu.Unlock()
+	for vb, producer := range producers {
+		target := producer.HighSeqno()
+		if target == 0 {
+			continue
+		}
+		s, err := producer.OpenStream("gsi-build:"+st.cd.Name, 0)
+		if err != nil {
+			continue
+		}
+		for m := range s.C() {
+			routeTo(st, vb, m)
+			if m.Seqno >= target {
+				break
+			}
+		}
+		s.Close()
+	}
+}
+
+// Close stops all streams.
+func (p *Projector) Close() {
+	p.mu.Lock()
+	streams := p.streams
+	p.streams = make(map[int]*dcp.Stream)
+	p.mu.Unlock()
+	for _, s := range streams {
+		s.Close()
+	}
+}
+
+// Close shuts down every indexer.
+func (s *Service) Close() {
+	s.mu.Lock()
+	states := s.indexes
+	s.indexes = make(map[string]*indexState)
+	s.mu.Unlock()
+	for _, st := range states {
+		for _, p := range st.parts {
+			p.Close()
+		}
+	}
+}
+
+// Partitions exposes the partition indexers (tests, snapshots).
+func (s *Service) Partitions(keyspace, name string) ([]*Indexer, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.indexes[indexKey(keyspace, name)]
+	if !ok {
+		return nil, ErrNoSuchIndex
+	}
+	return append([]*Indexer(nil), st.parts...), nil
+}

@@ -1,0 +1,136 @@
+package n1ql
+
+// Formalize rewrites an expression into keyspace-canonical form: every
+// reference to the keyspace's document becomes explicit — the bare
+// identifier `email` and the qualified `p.email` (for alias p) both
+// become `self.email`, and `meta(p)` becomes `meta()`. Two expressions
+// denote the same document property iff their formalized String()s are
+// equal, which is how the planner matches query predicates against
+// index definitions and how GSI stores index key expressions.
+//
+// Variables bound by ANY/EVERY and ARRAY comprehensions shadow the
+// alias and are left untouched.
+func Formalize(e Expr, alias string) Expr {
+	return formalize(e, alias, map[string]bool{})
+}
+
+func formalize(e Expr, alias string, bound map[string]bool) Expr {
+	switch t := e.(type) {
+	case nil:
+		return nil
+	case *Literal, *Param, *Self:
+		return e
+	case *Ident:
+		if bound[t.Name] {
+			return t
+		}
+		if t.Name == alias {
+			return &Self{}
+		}
+		return &Field{Recv: &Self{}, Name: t.Name}
+	case *Field:
+		return &Field{Recv: formalize(t.Recv, alias, bound), Name: t.Name}
+	case *Element:
+		return &Element{Recv: formalize(t.Recv, alias, bound), Index: formalize(t.Index, alias, bound)}
+	case *ArrayConstruct:
+		out := &ArrayConstruct{Elems: make([]Expr, len(t.Elems))}
+		for i, el := range t.Elems {
+			out.Elems[i] = formalize(el, alias, bound)
+		}
+		return out
+	case *ObjectConstruct:
+		out := &ObjectConstruct{Names: t.Names, Vals: make([]Expr, len(t.Vals))}
+		for i, v := range t.Vals {
+			out.Vals[i] = formalize(v, alias, bound)
+		}
+		return out
+	case *Binary:
+		return &Binary{Op: t.Op, LHS: formalize(t.LHS, alias, bound), RHS: formalize(t.RHS, alias, bound)}
+	case *Unary:
+		return &Unary{Op: t.Op, Operand: formalize(t.Operand, alias, bound)}
+	case *Is:
+		return &Is{Kind: t.Kind, Operand: formalize(t.Operand, alias, bound)}
+	case *Between:
+		return &Between{
+			Operand: formalize(t.Operand, alias, bound),
+			Lo:      formalize(t.Lo, alias, bound),
+			Hi:      formalize(t.Hi, alias, bound),
+			Not:     t.Not,
+		}
+	case *FuncCall:
+		out := &FuncCall{Name: t.Name, Distinct: t.Distinct, Star: t.Star, Args: make([]Expr, len(t.Args))}
+		for i, a := range t.Args {
+			out.Args[i] = formalize(a, alias, bound)
+		}
+		return out
+	case *MetaExpr:
+		if t.Alias == "" || t.Alias == alias {
+			return &MetaExpr{}
+		}
+		return t
+	case *CollPredicate:
+		inner := child(bound, t.Var)
+		return &CollPredicate{
+			Kind:      t.Kind,
+			Var:       t.Var,
+			Coll:      formalize(t.Coll, alias, bound),
+			Satisfies: formalize(t.Satisfies, alias, inner),
+		}
+	case *ArrayComprehension:
+		inner := child(bound, t.Var)
+		return &ArrayComprehension{
+			Mapper: formalize(t.Mapper, alias, inner),
+			Var:    t.Var,
+			Coll:   formalize(t.Coll, alias, bound),
+			When:   formalize(t.When, alias, inner),
+		}
+	case *CaseExpr:
+		out := &CaseExpr{
+			Operand: formalize(t.Operand, alias, bound),
+			Whens:   make([]Expr, len(t.Whens)),
+			Thens:   make([]Expr, len(t.Thens)),
+			Else:    formalize(t.Else, alias, bound),
+		}
+		for i := range t.Whens {
+			out.Whens[i] = formalize(t.Whens[i], alias, bound)
+			out.Thens[i] = formalize(t.Thens[i], alias, bound)
+		}
+		return out
+	}
+	return e
+}
+
+func child(bound map[string]bool, v string) map[string]bool {
+	out := make(map[string]bool, len(bound)+1)
+	for k := range bound {
+		out[k] = true
+	}
+	out[v] = true
+	return out
+}
+
+// ConjunctsOf splits a predicate into its top-level AND conjuncts.
+func ConjunctsOf(e Expr) []Expr {
+	if b, ok := e.(*Binary); ok && b.Op == OpAnd {
+		return append(ConjunctsOf(b.LHS), ConjunctsOf(b.RHS)...)
+	}
+	if e == nil {
+		return nil
+	}
+	return []Expr{e}
+}
+
+// IsConstant reports whether e references no document data (it may
+// reference parameters, which are constant for one execution).
+func IsConstant(e Expr) bool {
+	constant := true
+	WalkExpr(e, func(x Expr) bool {
+		switch x.(type) {
+		case *Ident, *Field, *Element, *Self, *MetaExpr:
+			constant = false
+			return false
+		}
+		return true
+	})
+	return constant
+}

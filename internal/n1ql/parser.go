@@ -1,0 +1,1315 @@
+package n1ql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"couchgo/internal/value"
+)
+
+// Parse parses one N1QL statement.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptOp(";")
+	if !p.at(tkEOF, "") {
+		return nil, p.errorf("unexpected %s after statement", p.peek())
+	}
+	return stmt, nil
+}
+
+// ParseExpr parses a standalone expression (index definitions, view map
+// specs, and filters reuse the expression language this way).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tkEOF, "") {
+		return nil, p.errorf("unexpected %s after expression", p.peek())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) backup()     { p.pos-- }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) atKeyword(kw string) bool { return p.at(tkKeyword, kw) }
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.at(tkOp, op) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errorf("expected %q, found %s", op, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind == tkIdent {
+		p.pos++
+		return t.text, nil
+	}
+	return "", p.errorf("expected identifier, found %s", t)
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("n1ql: parse error at position %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+// --- Statements ---
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.acceptKeyword("EXPLAIN"):
+		target, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Target: target}, nil
+	case p.atKeyword("SELECT"):
+		return p.selectStatement()
+	case p.atKeyword("INSERT"), p.atKeyword("UPSERT"):
+		return p.insertStatement()
+	case p.atKeyword("UPDATE"):
+		return p.updateStatement()
+	case p.atKeyword("DELETE"):
+		return p.deleteStatement()
+	case p.atKeyword("CREATE"):
+		return p.createStatement()
+	case p.atKeyword("DROP"):
+		return p.dropStatement()
+	}
+	return nil, p.errorf("expected a statement, found %s", p.peek())
+}
+
+func (p *parser) selectStatement() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	if p.acceptKeyword("DISTINCT") {
+		sel.Distinct = true
+	} else if p.acceptKeyword("ALL") {
+		// ALL is the default; accepted and ignored.
+	}
+	if p.acceptKeyword("RAW") {
+		sel.Raw = true
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		alias := ""
+		if p.acceptKeyword("AS") {
+			a, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			alias = a
+		}
+		sel.Projection = []ResultTerm{{Expr: e, Alias: alias}}
+	} else {
+		terms, err := p.projection()
+		if err != nil {
+			return nil, err
+		}
+		sel.Projection = terms
+	}
+	if p.acceptKeyword("FROM") {
+		ks, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		sel.Keyspace = ks
+		sel.Alias = ks
+		// Optional dotted sub-path, e.g. catalog.details in the paper's
+		// EXPLAIN example; we treat the last component as the keyspace
+		// qualifier and keep the full name.
+		for p.acceptOp(".") {
+			part, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			sel.Keyspace = sel.Keyspace + "." + part
+			sel.Alias = part
+		}
+		if p.acceptKeyword("AS") {
+			a, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			sel.Alias = a
+		} else if p.at(tkIdent, "") {
+			a, _ := p.ident()
+			sel.Alias = a
+		}
+		if p.acceptKeyword("USE") {
+			if err := p.expectKeyword("KEYS"); err != nil {
+				return nil, err
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			sel.UseKeys = e
+		}
+		// JOIN / NEST / UNNEST terms, in order.
+		for {
+			kind := JoinInner
+			explicitKind := false
+			if p.acceptKeyword("INNER") {
+				explicitKind = true
+			} else if p.acceptKeyword("LEFT") {
+				p.acceptKeyword("OUTER")
+				kind = JoinLeftOuter
+				explicitKind = true
+			}
+			switch {
+			case p.acceptKeyword("JOIN"):
+				jt, err := p.joinTerm(kind, false)
+				if err != nil {
+					return nil, err
+				}
+				sel.Joins = append(sel.Joins, *jt)
+			case p.acceptKeyword("NEST"):
+				jt, err := p.joinTerm(kind, true)
+				if err != nil {
+					return nil, err
+				}
+				sel.Joins = append(sel.Joins, *jt)
+			case p.acceptKeyword("UNNEST"):
+				ut, err := p.unnestTerm(kind)
+				if err != nil {
+					return nil, err
+				}
+				sel.Unnests = append(sel.Unnests, *ut)
+			default:
+				if explicitKind {
+					return nil, p.errorf("expected JOIN, NEST, or UNNEST after join qualifier")
+				}
+				goto fromDone
+			}
+		}
+	fromDone:
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if p.acceptKeyword("HAVING") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			sel.Having = e
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			ot := OrderTerm{Expr: e}
+			if p.acceptKeyword("DESC") {
+				ot.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, ot)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = e
+	}
+	if p.acceptKeyword("OFFSET") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Offset = e
+	}
+	return sel, nil
+}
+
+func (p *parser) projection() ([]ResultTerm, error) {
+	var terms []ResultTerm
+	for {
+		if p.acceptOp("*") {
+			terms = append(terms, ResultTerm{Star: true})
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			// alias.* renders as Field access on '*'; detect the lexer
+			// form: expr followed by ".*".
+			if p.acceptOp(".") {
+				if err := p.expectOp("*"); err != nil {
+					return nil, err
+				}
+				terms = append(terms, ResultTerm{Expr: e, Star: true})
+			} else {
+				rt := ResultTerm{Expr: e}
+				if p.acceptKeyword("AS") {
+					a, err := p.ident()
+					if err != nil {
+						return nil, err
+					}
+					rt.Alias = a
+				} else if p.at(tkIdent, "") {
+					a, _ := p.ident()
+					rt.Alias = a
+				}
+				terms = append(terms, rt)
+			}
+		}
+		if !p.acceptOp(",") {
+			return terms, nil
+		}
+	}
+}
+
+func (p *parser) joinTerm(kind JoinKind, nest bool) (*JoinTerm, error) {
+	ks, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	jt := &JoinTerm{Kind: kind, Nest: nest, Keyspace: ks, Alias: ks}
+	if p.acceptKeyword("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		jt.Alias = a
+	} else if p.at(tkIdent, "") {
+		a, _ := p.ident()
+		jt.Alias = a
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("KEYS") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		jt.OnKeys = e
+		return jt, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	jt.OnCond = e
+	return jt, nil
+}
+
+func (p *parser) unnestTerm(kind JoinKind) (*UnnestTerm, error) {
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	ut := &UnnestTerm{Kind: kind, Expr: e}
+	if p.acceptKeyword("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ut.Alias = a
+	} else if p.at(tkIdent, "") {
+		a, _ := p.ident()
+		ut.Alias = a
+	} else {
+		// Default alias: last path component.
+		ut.Alias = lastPathComponent(e)
+	}
+	return ut, nil
+}
+
+func lastPathComponent(e Expr) string {
+	switch t := e.(type) {
+	case *Field:
+		return t.Name
+	case *Ident:
+		return t.Name
+	case *Element:
+		return lastPathComponent(t.Recv)
+	}
+	return "unnest"
+}
+
+func (p *parser) insertStatement() (*Insert, error) {
+	ins := &Insert{}
+	if p.acceptKeyword("UPSERT") {
+		ins.Upsert = true
+	} else if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	ks, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins.Keyspace = ks
+	// (KEY, VALUE) VALUES (k, v) [, (k, v)]...
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("KEY"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(","); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		k, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(","); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		ins.KeyExprs = append(ins.KeyExprs, k)
+		ins.ValExprs = append(ins.ValExprs, v)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("RETURNING") {
+		terms, err := p.projection()
+		if err != nil {
+			return nil, err
+		}
+		ins.Returning = terms
+	}
+	return ins, nil
+}
+
+func (p *parser) updateStatement() (*Update, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	ks, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	upd := &Update{Keyspace: ks, Alias: ks}
+	if p.acceptKeyword("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		upd.Alias = a
+	} else if p.at(tkIdent, "") {
+		a, _ := p.ident()
+		upd.Alias = a
+	}
+	if p.acceptKeyword("USE") {
+		if err := p.expectKeyword("KEYS"); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		upd.UseKeys = e
+	}
+	if p.acceptKeyword("SET") {
+		for {
+			// The assignment target is a path (postfix chain), not a
+			// general expression — `a.x = 1` must not parse as equality.
+			path, err := p.postfixExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("="); err != nil {
+				return nil, err
+			}
+			val, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			upd.Sets = append(upd.Sets, SetClause{Path: path, Val: val})
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("UNSET") {
+		for {
+			path, err := p.postfixExpr()
+			if err != nil {
+				return nil, err
+			}
+			upd.Unsets = append(upd.Unsets, path)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		upd.Where = e
+	}
+	if p.acceptKeyword("LIMIT") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		upd.Limit = e
+	}
+	if p.acceptKeyword("RETURNING") {
+		terms, err := p.projection()
+		if err != nil {
+			return nil, err
+		}
+		upd.Returning = terms
+	}
+	return upd, nil
+}
+
+func (p *parser) deleteStatement() (*Delete, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	ks, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Keyspace: ks, Alias: ks}
+	if p.acceptKeyword("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		del.Alias = a
+	} else if p.at(tkIdent, "") {
+		a, _ := p.ident()
+		del.Alias = a
+	}
+	if p.acceptKeyword("USE") {
+		if err := p.expectKeyword("KEYS"); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		del.UseKeys = e
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = e
+	}
+	if p.acceptKeyword("LIMIT") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		del.Limit = e
+	}
+	if p.acceptKeyword("RETURNING") {
+		terms, err := p.projection()
+		if err != nil {
+			return nil, err
+		}
+		del.Returning = terms
+	}
+	return del, nil
+}
+
+func (p *parser) createStatement() (Statement, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	ci := &CreateIndex{Using: UsingGSI}
+	if p.acceptKeyword("PRIMARY") {
+		ci.Primary = true
+	}
+	if err := p.expectKeyword("INDEX"); err != nil {
+		return nil, err
+	}
+	if p.at(tkIdent, "") {
+		name, _ := p.ident()
+		ci.Name = name
+	}
+	if ci.Name == "" && !ci.Primary {
+		return nil, p.errorf("secondary index requires a name")
+	}
+	if ci.Name == "" {
+		ci.Name = "#primary"
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	ks, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ci.Keyspace = ks
+	if !ci.Primary {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			ci.Keys = append(ci.Keys, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ci.Where = e
+	}
+	if p.acceptKeyword("USING") {
+		switch {
+		case p.acceptKeyword("GSI"):
+			ci.Using = UsingGSI
+		case p.acceptKeyword("VIEW"):
+			ci.Using = UsingView
+		default:
+			return nil, p.errorf("expected GSI or VIEW after USING")
+		}
+	}
+	if p.acceptKeyword("WITH") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		obj, err := Eval(e, &Context{})
+		if err != nil {
+			return nil, p.errorf("WITH clause must be a constant object: %v", err)
+		}
+		m, ok := obj.(map[string]any)
+		if !ok {
+			return nil, p.errorf("WITH clause must be an object")
+		}
+		ci.With = m
+	}
+	return ci, nil
+}
+
+func (p *parser) dropStatement() (Statement, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptKeyword("INDEX"):
+		ks, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("."); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropIndex{Keyspace: ks, Name: name}, nil
+	case p.acceptKeyword("PRIMARY"):
+		if err := p.expectKeyword("INDEX"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		ks, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropIndex{Keyspace: ks, Name: "#primary"}, nil
+	}
+	return nil, p.errorf("expected INDEX after DROP")
+}
+
+// --- Expressions (precedence climbing) ---
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	lhs, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		rhs, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: OpOr, LHS: lhs, RHS: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	lhs, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		rhs, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: OpAnd, LHS: lhs, RHS: rhs}
+	}
+	return lhs, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNot, Operand: e}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	lhs, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("="), p.acceptOp("=="):
+			rhs, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &Binary{Op: OpEq, LHS: lhs, RHS: rhs}
+		case p.acceptOp("!="), p.acceptOp("<>"):
+			rhs, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &Binary{Op: OpNe, LHS: lhs, RHS: rhs}
+		case p.acceptOp("<="):
+			rhs, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &Binary{Op: OpLe, LHS: lhs, RHS: rhs}
+		case p.acceptOp("<"):
+			rhs, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &Binary{Op: OpLt, LHS: lhs, RHS: rhs}
+		case p.acceptOp(">="):
+			rhs, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &Binary{Op: OpGe, LHS: lhs, RHS: rhs}
+		case p.acceptOp(">"):
+			rhs, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &Binary{Op: OpGt, LHS: lhs, RHS: rhs}
+		case p.acceptKeyword("LIKE"):
+			rhs, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &Binary{Op: OpLike, LHS: lhs, RHS: rhs}
+		case p.acceptKeyword("IN"):
+			rhs, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &Binary{Op: OpIn, LHS: lhs, RHS: rhs}
+		case p.acceptKeyword("BETWEEN"):
+			lo, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &Between{Operand: lhs, Lo: lo, Hi: hi}
+		case p.atKeyword("NOT"):
+			// NOT LIKE / NOT IN / NOT BETWEEN
+			p.pos++
+			switch {
+			case p.acceptKeyword("LIKE"):
+				rhs, err := p.addExpr()
+				if err != nil {
+					return nil, err
+				}
+				lhs = &Unary{Op: OpNot, Operand: &Binary{Op: OpLike, LHS: lhs, RHS: rhs}}
+			case p.acceptKeyword("IN"):
+				rhs, err := p.addExpr()
+				if err != nil {
+					return nil, err
+				}
+				lhs = &Unary{Op: OpNot, Operand: &Binary{Op: OpIn, LHS: lhs, RHS: rhs}}
+			case p.acceptKeyword("BETWEEN"):
+				lo, err := p.addExpr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectKeyword("AND"); err != nil {
+					return nil, err
+				}
+				hi, err := p.addExpr()
+				if err != nil {
+					return nil, err
+				}
+				lhs = &Between{Operand: lhs, Lo: lo, Hi: hi, Not: true}
+			default:
+				p.backup()
+				return lhs, nil
+			}
+		case p.acceptKeyword("IS"):
+			not := p.acceptKeyword("NOT")
+			var kind IsKind
+			switch {
+			case p.acceptKeyword("NULL"):
+				kind = IsNull
+				if not {
+					kind = IsNotNull
+				}
+			case p.acceptKeyword("MISSING"):
+				kind = IsMissingP
+				if not {
+					kind = IsNotMissing
+				}
+			case p.acceptKeyword("VALUED"):
+				kind = IsValued
+				if not {
+					kind = IsNotValued
+				}
+			default:
+				return nil, p.errorf("expected NULL, MISSING, or VALUED after IS")
+			}
+			lhs = &Is{Kind: kind, Operand: lhs}
+		default:
+			return lhs, nil
+		}
+	}
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	lhs, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("+"):
+			rhs, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &Binary{Op: OpAdd, LHS: lhs, RHS: rhs}
+		case p.acceptOp("-"):
+			rhs, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &Binary{Op: OpSub, LHS: lhs, RHS: rhs}
+		case p.acceptOp("||"):
+			rhs, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &Binary{Op: OpConcat, LHS: lhs, RHS: rhs}
+		default:
+			return lhs, nil
+		}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	lhs, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("*"):
+			rhs, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &Binary{Op: OpMul, LHS: lhs, RHS: rhs}
+		case p.acceptOp("/"):
+			rhs, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &Binary{Op: OpDiv, LHS: lhs, RHS: rhs}
+		case p.acceptOp("%"):
+			rhs, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			lhs = &Binary{Op: OpMod, LHS: lhs, RHS: rhs}
+		default:
+			return lhs, nil
+		}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.acceptOp("-") {
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := e.(*Literal); ok {
+			if f, isNum := value.AsNumber(lit.Val); isNum {
+				return &Literal{Val: -f}, nil
+			}
+		}
+		return &Unary{Op: OpNeg, Operand: e}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (Expr, error) {
+	e, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("."):
+			// .* is handled by the projection parser; here it's an error
+			// unless an identifier follows.
+			if p.at(tkOp, "*") {
+				p.backup() // leave ".*" for the caller
+				return e, nil
+			}
+			name, err := p.fieldName()
+			if err != nil {
+				return nil, err
+			}
+			e = &Field{Recv: e, Name: name}
+		case p.acceptOp("["):
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("]"); err != nil {
+				return nil, err
+			}
+			e = &Element{Recv: e, Index: idx}
+		default:
+			return e, nil
+		}
+	}
+}
+
+// fieldName allows keywords after a dot (doc.end, doc.key, ...).
+func (p *parser) fieldName() (string, error) {
+	t := p.peek()
+	if t.kind == tkIdent || t.kind == tkKeyword {
+		p.pos++
+		if t.kind == tkKeyword {
+			// Preserve original case? The lexer uppercased it; accept the
+			// uppercase spelling (backticks preserve exact case).
+			return strings.ToLower(t.text), nil
+		}
+		return t.text, nil
+	}
+	return "", p.errorf("expected field name, found %s", t)
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tkNumber:
+		p.pos++
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.text)
+		}
+		return &Literal{Val: f}, nil
+	case tkString:
+		p.pos++
+		return &Literal{Val: t.text}, nil
+	case tkParam:
+		p.pos++
+		return &Param{Name: t.text}, nil
+	case tkKeyword:
+		switch t.text {
+		case "TRUE":
+			p.pos++
+			return &Literal{Val: true}, nil
+		case "FALSE":
+			p.pos++
+			return &Literal{Val: false}, nil
+		case "NULL":
+			p.pos++
+			return &Literal{Val: nil}, nil
+		case "MISSING":
+			p.pos++
+			return &Literal{Val: value.Missing}, nil
+		case "CASE":
+			return p.caseExpr()
+		case "ANY", "EVERY":
+			return p.collPredicate()
+		case "ARRAY":
+			return p.arrayComprehension()
+		case "EXISTS":
+			p.pos++
+			e, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &FuncCall{Name: "EXISTS", Args: []Expr{e}}, nil
+		}
+		return nil, p.errorf("unexpected keyword %s in expression", t)
+	case tkIdent:
+		p.pos++
+		name := t.text
+		if p.acceptOp("(") {
+			return p.funcCall(name)
+		}
+		if strings.EqualFold(name, "self") {
+			return &Self{}, nil
+		}
+		return &Ident{Name: name}, nil
+	case tkOp:
+		switch t.text {
+		case "(":
+			p.pos++
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		case "[":
+			p.pos++
+			ac := &ArrayConstruct{}
+			if !p.acceptOp("]") {
+				for {
+					e, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					ac.Elems = append(ac.Elems, e)
+					if !p.acceptOp(",") {
+						break
+					}
+				}
+				if err := p.expectOp("]"); err != nil {
+					return nil, err
+				}
+			}
+			return ac, nil
+		case "{":
+			p.pos++
+			oc := &ObjectConstruct{}
+			if !p.acceptOp("}") {
+				for {
+					nt := p.next()
+					if nt.kind != tkString && nt.kind != tkIdent {
+						return nil, p.errorf("expected field name in object literal, found %s", nt)
+					}
+					if err := p.expectOp(":"); err != nil {
+						return nil, err
+					}
+					v, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					oc.Names = append(oc.Names, nt.text)
+					oc.Vals = append(oc.Vals, v)
+					if !p.acceptOp(",") {
+						break
+					}
+				}
+				if err := p.expectOp("}"); err != nil {
+					return nil, err
+				}
+			}
+			return oc, nil
+		}
+	}
+	return nil, p.errorf("unexpected %s in expression", t)
+}
+
+func (p *parser) funcCall(name string) (Expr, error) {
+	upper := strings.ToUpper(name)
+	if upper == "META" {
+		alias := ""
+		if !p.at(tkOp, ")") {
+			a, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			alias = a
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &MetaExpr{Alias: alias}, nil
+	}
+	fc := &FuncCall{Name: upper}
+	if p.acceptOp("*") {
+		fc.Star = true
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	if p.acceptOp(")") {
+		return fc, nil
+	}
+	if p.acceptKeyword("DISTINCT") {
+		fc.Distinct = true
+	}
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		fc.Args = append(fc.Args, e)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}
+
+func (p *parser) caseExpr() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	ce := &CaseExpr{}
+	if !p.atKeyword("WHEN") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Operand = e
+	}
+	for p.acceptKeyword("WHEN") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		th, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, w)
+		ce.Thens = append(ce.Thens, th)
+	}
+	if len(ce.Whens) == 0 {
+		return nil, p.errorf("CASE requires at least one WHEN")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}
+
+func (p *parser) collPredicate() (Expr, error) {
+	kind := CollAny
+	if p.acceptKeyword("EVERY") {
+		kind = CollEvery
+	} else if err := p.expectKeyword("ANY"); err != nil {
+		return nil, err
+	}
+	v, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("IN"); err != nil {
+		return nil, err
+	}
+	coll, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SATISFIES"); err != nil {
+		return nil, err
+	}
+	sat, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return &CollPredicate{Kind: kind, Var: v, Coll: coll, Satisfies: sat}, nil
+}
+
+func (p *parser) arrayComprehension() (Expr, error) {
+	if err := p.expectKeyword("ARRAY"); err != nil {
+		return nil, err
+	}
+	mapper, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FOR"); err != nil {
+		return nil, err
+	}
+	v, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("IN"); err != nil {
+		return nil, err
+	}
+	coll, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	ac := &ArrayComprehension{Mapper: mapper, Var: v, Coll: coll}
+	if p.acceptKeyword("WHEN") {
+		w, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		ac.When = w
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return ac, nil
+}

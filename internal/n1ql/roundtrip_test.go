@@ -1,0 +1,128 @@
+package n1ql
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randExpr builds a random expression AST of bounded depth whose
+// String() form must re-parse to an identical tree — the printer/parser
+// round-trip property the planner's canonical-text matching relies on.
+func randExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch r.Intn(5) {
+		case 0:
+			return &Literal{Val: float64(r.Intn(100))}
+		case 1:
+			return &Literal{Val: []string{"a", "xyz", "with space", "it's"}[r.Intn(4)]}
+		case 2:
+			return &Literal{Val: r.Intn(2) == 0}
+		case 3:
+			return &Ident{Name: []string{"a", "b", "field1", "select"}[r.Intn(4)]}
+		default:
+			return &Param{Name: []string{"1", "p", "min"}[r.Intn(3)]}
+		}
+	}
+	switch r.Intn(12) {
+	case 0:
+		ops := []BinOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpAdd, OpSub, OpMul, OpDiv, OpMod, OpConcat, OpAnd, OpOr, OpLike, OpIn}
+		return &Binary{Op: ops[r.Intn(len(ops))], LHS: randExpr(r, depth-1), RHS: randExpr(r, depth-1)}
+	case 1:
+		return &Unary{Op: []UnOp{OpNot, OpNeg}[r.Intn(2)], Operand: randExpr(r, depth-1)}
+	case 2:
+		kinds := []IsKind{IsNull, IsNotNull, IsMissingP, IsNotMissing, IsValued, IsNotValued}
+		return &Is{Kind: kinds[r.Intn(len(kinds))], Operand: randExpr(r, depth-1)}
+	case 3:
+		return &Between{Operand: randExpr(r, depth-1), Lo: randExpr(r, depth-1), Hi: randExpr(r, depth-1), Not: r.Intn(2) == 0}
+	case 4:
+		return &Field{Recv: randExpr(r, depth-1), Name: []string{"x", "name", "end"}[r.Intn(3)]}
+	case 5:
+		return &Element{Recv: randExpr(r, depth-1), Index: randExpr(r, depth-1)}
+	case 6:
+		n := r.Intn(3)
+		ac := &ArrayConstruct{}
+		for i := 0; i < n; i++ {
+			ac.Elems = append(ac.Elems, randExpr(r, depth-1))
+		}
+		return ac
+	case 7:
+		oc := &ObjectConstruct{}
+		for i := 0; i < r.Intn(3); i++ {
+			oc.Names = append(oc.Names, []string{"k1", "k2", "k3"}[i])
+			oc.Vals = append(oc.Vals, randExpr(r, depth-1))
+		}
+		return oc
+	case 8:
+		fc := &FuncCall{Name: []string{"UPPER", "LENGTH", "GREATEST"}[r.Intn(3)]}
+		fc.Args = append(fc.Args, randExpr(r, depth-1))
+		return fc
+	case 9:
+		return &CollPredicate{
+			Kind: []CollKind{CollAny, CollEvery}[r.Intn(2)],
+			Var:  "v", Coll: randExpr(r, depth-1), Satisfies: randExpr(r, depth-1),
+		}
+	case 10:
+		ce := &CaseExpr{}
+		if r.Intn(2) == 0 {
+			ce.Operand = randExpr(r, depth-1)
+		}
+		ce.Whens = append(ce.Whens, randExpr(r, depth-1))
+		ce.Thens = append(ce.Thens, randExpr(r, depth-1))
+		if r.Intn(2) == 0 {
+			ce.Else = randExpr(r, depth-1)
+		}
+		return ce
+	default:
+		ac := &ArrayComprehension{Mapper: randExpr(r, depth-1), Var: "m", Coll: randExpr(r, depth-1)}
+		if r.Intn(2) == 0 {
+			ac.When = randExpr(r, depth-1)
+		}
+		return ac
+	}
+}
+
+// The planner matches expressions by the String() of *parsed* trees,
+// so the invariant it needs is: one parse canonicalizes. For any AST,
+// parse(print(e)) must succeed, and its printed form must be a
+// fixpoint (printing and re-parsing changes nothing further). A
+// hand-built AST may normalize once — e.g. the parser constant-folds
+// `-(71)` into the literal -71 — but never oscillate.
+func TestQuickExprPrintParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	f := func() bool {
+		e := randExpr(r, 4)
+		src1 := e.String()
+		p1, err := ParseExpr(src1)
+		if err != nil {
+			t.Logf("parse %q: %v", src1, err)
+			return false
+		}
+		src2 := p1.String()
+		p2, err := ParseExpr(src2)
+		if err != nil {
+			t.Logf("re-parse %q: %v", src2, err)
+			return false
+		}
+		if p2.String() != src2 {
+			t.Logf("not a fixpoint: %q -> %q", src2, p2.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(func(uint8) bool { return f() }, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFormalizeIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		e := randExpr(r, 3)
+		once := Formalize(e, "ks")
+		twice := Formalize(once, "ks")
+		if once.String() != twice.String() {
+			t.Fatalf("formalize not idempotent: %q -> %q (from %q)", once, twice, e)
+		}
+	}
+}

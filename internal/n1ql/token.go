@@ -1,0 +1,280 @@
+// Package n1ql implements the N1QL query language (paper §3.2): lexer,
+// abstract syntax tree, recursive-descent parser, and expression
+// evaluator. N1QL is "the first NoSQL query language to leverage the
+// flexibility of JSON with nearly the full expressive power of SQL";
+// this package covers the language surface the paper describes —
+// SELECT with USE KEYS, key joins, NEST and UNNEST, DML, index DDL, and
+// the JSON-aware expression language with MISSING/NULL propagation.
+//
+// The planner and executor packages consume the ASTs produced here; the
+// view and GSI engines reuse the expression sub-language for index key
+// and filter definitions.
+package n1ql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkKeyword
+	tkNumber
+	tkString
+	tkOp    // operators and punctuation
+	tkParam // $name or $1
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; idents keep their case
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tkEOF {
+		return "end of statement"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// keywords recognized by the lexer. Identifiers matching these
+// (case-insensitively) become keyword tokens; backtick quoting turns
+// any of them back into a plain identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "RAW": true, "FROM": true, "AS": true,
+	"USE": true, "KEYS": true, "ON": true, "JOIN": true, "INNER": true,
+	"LEFT": true, "OUTER": true, "NEST": true, "UNNEST": true,
+	"WHERE": true, "GROUP": true, "BY": true, "HAVING": true,
+	"ORDER": true, "ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true,
+	"INSERT": true, "INTO": true, "KEY": true, "VALUE": true, "VALUES": true,
+	"UPSERT": true, "UPDATE": true, "SET": true, "UNSET": true,
+	"DELETE": true, "RETURNING": true,
+	"CREATE": true, "DROP": true, "INDEX": true, "PRIMARY": true,
+	"USING": true, "GSI": true, "VIEW": true, "WITH": true,
+	"EXPLAIN": true, "AND": true, "OR": true, "NOT": true,
+	"IS": true, "NULL": true, "MISSING": true, "VALUED": true,
+	"TRUE": true, "FALSE": true, "LIKE": true, "IN": true, "BETWEEN": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"ANY": true, "EVERY": true, "SATISFIES": true, "ARRAY": true, "FOR": true,
+	"EXISTS": true, "ALL": true,
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lex tokenizes src. It returns a descriptive error with the offending
+// position on invalid input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.tokens = append(l.tokens, token{kind: tkEOF, pos: l.pos})
+			return l.tokens, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '`':
+			text, err := l.quotedIdent()
+			if err != nil {
+				return nil, err
+			}
+			l.tokens = append(l.tokens, token{kind: tkIdent, text: text, pos: start})
+		case c == '\'' || c == '"':
+			text, err := l.stringLit(c)
+			if err != nil {
+				return nil, err
+			}
+			l.tokens = append(l.tokens, token{kind: tkString, text: text, pos: start})
+		case c == '$':
+			l.pos++
+			name := l.ident()
+			if name == "" {
+				return nil, fmt.Errorf("n1ql: bare $ at position %d", start)
+			}
+			l.tokens = append(l.tokens, token{kind: tkParam, text: name, pos: start})
+		case c >= '0' && c <= '9':
+			l.tokens = append(l.tokens, token{kind: tkNumber, text: l.number(), pos: start})
+		case isIdentStart(rune(c)):
+			word := l.ident()
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				l.tokens = append(l.tokens, token{kind: tkKeyword, text: up, pos: start})
+			} else {
+				l.tokens = append(l.tokens, token{kind: tkIdent, text: word, pos: start})
+			}
+		default:
+			op, err := l.operator()
+			if err != nil {
+				return nil, err
+			}
+			l.tokens = append(l.tokens, token{kind: tkOp, text: op, pos: start})
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments and /* block comments */
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*' {
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += 2 + end + 2
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) ident() string {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) number() string {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		save := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+		} else {
+			l.pos = save
+		}
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) stringLit(quote byte) (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			// Doubled quote = escaped quote (SQL style).
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+				b.WriteByte(quote)
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return b.String(), nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return "", fmt.Errorf("n1ql: unterminated escape at %d", l.pos)
+			}
+			esc := l.src[l.pos+1]
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\', '\'', '"', '`':
+				b.WriteByte(esc)
+			default:
+				b.WriteByte(esc)
+			}
+			l.pos += 2
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return "", fmt.Errorf("n1ql: unterminated string starting at %d", start)
+}
+
+func (l *lexer) quotedIdent() (string, error) {
+	start := l.pos
+	l.pos++ // opening backtick
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '`' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '`' {
+				b.WriteByte('`')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return "", fmt.Errorf("n1ql: unterminated identifier starting at %d", start)
+}
+
+// twoCharOps lists multi-character operators, longest first.
+var twoCharOps = []string{"<=", ">=", "!=", "<>", "==", "||"}
+
+func (l *lexer) operator() (string, error) {
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		for _, op := range twoCharOps {
+			if two == op {
+				l.pos += 2
+				return op, nil
+			}
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', '[', ']', '{', '}', ',', '.', ':', ';', '?':
+		l.pos++
+		return string(c), nil
+	}
+	return "", fmt.Errorf("n1ql: unexpected character %q at position %d", c, l.pos)
+}

@@ -1,0 +1,426 @@
+// Package rest exposes a couchgo cluster over HTTP: the admin surface
+// (cluster map, rebalance, failover), the KV document API, view
+// queries (§3.1.2's REST API with its stale parameter), the N1QL query
+// service endpoint, and full-text search. cmd/cbserver serves it;
+// cmd/cbq talks to the query endpoint.
+package rest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"couchgo/internal/analytics"
+	"couchgo/internal/cache"
+	"couchgo/internal/cmap"
+	"couchgo/internal/core"
+	"couchgo/internal/executor"
+	"couchgo/internal/fts"
+	"couchgo/internal/views"
+)
+
+// Server is the HTTP facade over a cluster.
+type Server struct {
+	c   *core.Cluster
+	mux *http.ServeMux
+}
+
+// NewServer builds the handler tree for a cluster.
+func NewServer(c *core.Cluster) *Server {
+	s := &Server{c: c, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /cluster", s.handleCluster)
+	s.mux.HandleFunc("POST /cluster/rebalance", s.handleRebalance)
+	s.mux.HandleFunc("POST /cluster/failover", s.handleFailover)
+	s.mux.HandleFunc("GET /buckets/{bucket}/stats", s.handleStats)
+	s.mux.HandleFunc("GET /buckets/{bucket}/docs/{key}", s.handleGet)
+	s.mux.HandleFunc("PUT /buckets/{bucket}/docs/{key}", s.handlePut)
+	s.mux.HandleFunc("DELETE /buckets/{bucket}/docs/{key}", s.handleDelete)
+	s.mux.HandleFunc("PUT /buckets/{bucket}/views/{view}", s.handleDefineView)
+	s.mux.HandleFunc("GET /buckets/{bucket}/views/{view}", s.handleQueryView)
+	s.mux.HandleFunc("DELETE /buckets/{bucket}/views/{view}", s.handleDropView)
+	s.mux.HandleFunc("PUT /buckets/{bucket}/fts/{index}", s.handleDefineFTS)
+	s.mux.HandleFunc("GET /buckets/{bucket}/fts/{index}", s.handleSearch)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /buckets/{bucket}/analytics/enable", s.handleAnalyticsEnable)
+	s.mux.HandleFunc("POST /buckets/{bucket}/analytics/query", s.handleAnalyticsQuery)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, cache.ErrKeyNotFound), errors.Is(err, core.ErrNoSuchBucket),
+		errors.Is(err, views.ErrNoSuchView), errors.Is(err, fts.ErrNoSuchIndex):
+		status = http.StatusNotFound
+	case errors.Is(err, cache.ErrCASMismatch), errors.Is(err, cache.ErrKeyExists),
+		errors.Is(err, cache.ErrLocked):
+		status = http.StatusConflict
+	case errors.Is(err, core.ErrNoQueryNode), errors.Is(err, core.ErrNoIndexNode):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}
+
+// --- admin ---
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	var nodes []map[string]any
+	for _, n := range s.c.Nodes() {
+		nodes = append(nodes, map[string]any{
+			"id":       string(n.ID()),
+			"services": n.Services().String(),
+			"alive":    n.Alive(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"orchestrator": string(s.c.Orchestrator()),
+		"nodes":        nodes,
+	})
+}
+
+func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	if err := s.c.Rebalance(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "rebalanced"})
+}
+
+func (s *Server) handleFailover(w http.ResponseWriter, r *http.Request) {
+	node := r.URL.Query().Get("node")
+	if node == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "node parameter required"})
+		return
+	}
+	if err := s.c.Failover(cmap.NodeID(node)); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "failed over", "node": node})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	bucket := r.PathValue("bucket")
+	stats := s.c.Stats(bucket)
+	var out []map[string]any
+	for _, st := range stats {
+		out = append(out, map[string]any{
+			"node":        string(st.ID),
+			"alive":       st.Alive,
+			"active_vbs":  st.ActiveVBs,
+			"replica_vbs": st.ReplicaVBs,
+			"items":       st.Items,
+			"mem_used":    st.MemUsed,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"bucket": bucket, "nodes": out})
+}
+
+// --- KV ---
+
+func (s *Server) client(bucket string) (*core.Client, error) {
+	return s.c.OpenBucket(bucket)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	cl, err := s.client(r.PathValue("bucket"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	it, err := cl.Get(r.PathValue("key"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-CAS", strconv.FormatUint(it.CAS, 10))
+	w.WriteHeader(http.StatusOK)
+	w.Write(it.Value)
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	cl, err := s.client(r.PathValue("bucket"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 20<<20))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var casCheck uint64
+	if h := r.Header.Get("X-CAS"); h != "" {
+		casCheck, err = strconv.ParseUint(h, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad X-CAS header"})
+			return
+		}
+	}
+	dur := core.DurabilityOptions{}
+	if n, _ := strconv.Atoi(r.URL.Query().Get("replicate_to")); n > 0 {
+		dur.ReplicateTo = n
+	}
+	if r.URL.Query().Get("persist_to") == "true" {
+		dur.PersistTo = true
+	}
+	var expiry int64
+	if e := r.URL.Query().Get("expiry"); e != "" {
+		expiry, _ = strconv.ParseInt(e, 10, 64)
+	}
+	it, err := cl.SetWithOptions(r.PathValue("key"), body, 0, expiry, casCheck, dur)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"cas": strconv.FormatUint(it.CAS, 10), "seqno": it.Seqno})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	cl, err := s.client(r.PathValue("bucket"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var casCheck uint64
+	if h := r.Header.Get("X-CAS"); h != "" {
+		casCheck, _ = strconv.ParseUint(h, 10, 64)
+	}
+	if err := cl.Delete(r.PathValue("key"), casCheck); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "deleted"})
+}
+
+// --- views ---
+
+func (s *Server) handleDefineView(w http.ResponseWriter, r *http.Request) {
+	var def struct {
+		Filter string `json:"filter"`
+		Key    string `json:"key"`
+		Value  string `json:"value"`
+		Reduce string `json:"reduce"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&def); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	err := s.c.DefineView(r.PathValue("bucket"), views.Definition{
+		Name:   r.PathValue("view"),
+		Map:    views.MapSpec{Filter: def.Filter, Key: def.Key, Value: def.Value},
+		Reduce: def.Reduce,
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"status": "created"})
+}
+
+func (s *Server) handleDropView(w http.ResponseWriter, r *http.Request) {
+	if err := s.c.DropView(r.PathValue("bucket"), r.PathValue("view")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "dropped"})
+}
+
+// handleQueryView implements the §3.1.2 REST query surface, e.g.
+// ?key="Dipti"&stale=false.
+func (s *Server) handleQueryView(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	opts := views.QueryOptions{}
+	parseJSONParam := func(name string) (any, bool, error) {
+		raw := q.Get(name)
+		if raw == "" {
+			return nil, false, nil
+		}
+		var v any
+		if err := json.Unmarshal([]byte(raw), &v); err != nil {
+			return nil, false, fmt.Errorf("bad %s parameter: %w", name, err)
+		}
+		return v, true, nil
+	}
+	var err error
+	if opts.Key, opts.HasKey, err = parseJSONParam("key"); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	if opts.StartKey, opts.HasStart, err = parseJSONParam("startkey"); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	if opts.EndKey, opts.HasEnd, err = parseJSONParam("endkey"); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	if keysRaw, ok, err := parseJSONParam("keys"); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	} else if ok {
+		if arr, isArr := keysRaw.([]any); isArr {
+			opts.Keys = arr
+		}
+	}
+	opts.InclusiveEnd = q.Get("inclusive_end") != "false"
+	opts.Descending = q.Get("descending") == "true"
+	opts.Reduce = q.Get("reduce") == "true"
+	opts.Group = q.Get("group") == "true"
+	if n, _ := strconv.Atoi(q.Get("limit")); n > 0 {
+		opts.Limit = n
+	}
+	if n, _ := strconv.Atoi(q.Get("skip")); n > 0 {
+		opts.Skip = n
+	}
+	switch q.Get("stale") {
+	case "false":
+		opts.Stale = views.StaleFalse
+	case "ok":
+		opts.Stale = views.StaleOK
+	default:
+		opts.Stale = views.StaleUpdateAfter
+	}
+	rows, err := s.c.QueryView(r.PathValue("bucket"), r.PathValue("view"), opts)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := make([]map[string]any, 0, len(rows))
+	for _, row := range rows {
+		m := map[string]any{"key": row.Key, "value": row.Value}
+		if row.ID != "" {
+			m["id"] = row.ID
+		}
+		out = append(out, m)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"total_rows": len(out), "rows": out})
+}
+
+// --- N1QL ---
+
+// handleQuery is the query service endpoint: POST {"statement": "...",
+// "args": {...}, "scan_consistency": "request_plus"}.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Statement       string         `json:"statement"`
+		Args            map[string]any `json:"args"`
+		ScanConsistency string         `json:"scan_consistency"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	opts := executor.Options{Params: req.Args}
+	if strings.EqualFold(req.ScanConsistency, "request_plus") {
+		opts.Consistency = executor.RequestPlus
+	}
+	res, err := s.c.Query(req.Statement, opts)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        res.Status,
+		"results":       res.Rows,
+		"mutationCount": res.MutationCount,
+	})
+}
+
+// --- analytics (§6.2) ---
+
+func (s *Server) handleAnalyticsEnable(w http.ResponseWriter, r *http.Request) {
+	if err := s.c.EnableAnalytics(r.PathValue("bucket")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "enabled"})
+}
+
+func (s *Server) handleAnalyticsQuery(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Statement  string         `json:"statement"`
+		Args       map[string]any `json:"args"`
+		Consistent bool           `json:"consistent"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	bucket := r.PathValue("bucket")
+	opts := analytics.QueryOptions{Params: req.Args}
+	if req.Consistent {
+		opts.WaitSeqnos = s.c.AnalyticsConsistencyVector(bucket)
+	}
+	rows, err := s.c.AnalyticsQuery(bucket, req.Statement, opts)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "success", "results": rows})
+}
+
+// --- FTS ---
+
+func (s *Server) handleDefineFTS(w http.ResponseWriter, r *http.Request) {
+	var def struct {
+		Fields []string `json:"fields"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&def); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	h, err := s.c.FTS(r.PathValue("bucket"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := h.Engine().Define(fts.IndexDef{Name: r.PathValue("index"), Fields: def.Fields}); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"status": "created"})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	h, err := s.c.FTS(r.PathValue("bucket"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	q := r.URL.Query()
+	text := q.Get("q")
+	limit, _ := strconv.Atoi(q.Get("limit"))
+	opts := fts.SearchOptions{Limit: limit}
+	if q.Get("consistent") == "true" {
+		opts.WaitSeqnos = h.ConsistencyVector()
+	}
+	var hits []fts.Hit
+	switch q.Get("kind") {
+	case "prefix":
+		hits, err = h.Engine().SearchPrefix(r.PathValue("index"), text, opts)
+	case "phrase":
+		hits, err = h.Engine().SearchPhrase(r.PathValue("index"), text, opts)
+	default:
+		hits, err = h.Engine().SearchTerm(r.PathValue("index"), text, opts)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"hits": hits})
+}

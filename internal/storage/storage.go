@@ -1,0 +1,502 @@
+// Package storage implements the append-only storage engine of the data
+// service (paper §4.3.3): "With Couchbase's append-only storage engine
+// design, document mutations always go to the end of a file. ... This
+// improves disk write performance, as all updates are written
+// sequentially. Compaction is periodically run, based on a
+// fragmentation threshold, and while the system is online, to clean up
+// stale data from the append-only storage."
+//
+// Each vBucket persists to its own file (as couchstore does). A file is
+// a sequence of CRC-protected records; the newest record for a key
+// wins. Recovery scans the file, stops at the first torn or corrupt
+// record, and truncates the tail — the contract the asynchronous write
+// path relies on: a crash loses only unflushed (still-in-memory)
+// mutations, never corrupts flushed ones.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Errors returned by the storage engine.
+var (
+	ErrNotFound = errors.New("storage: key not found")
+	ErrClosed   = errors.New("storage: file closed")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Meta is the document metadata persisted alongside each value. It
+// mirrors cache.Item's durable fields.
+type Meta struct {
+	Key      string
+	Seqno    uint64
+	CAS      uint64
+	RevSeqno uint64
+	Flags    uint32
+	Expiry   int64
+	Deleted  bool
+}
+
+// Record is one persisted mutation.
+type Record struct {
+	Meta
+	Value []byte
+}
+
+const recordMagic = 0xC7
+
+// record layout:
+//
+//	magic(1) flags(1) keyLen(2) valLen(4) seqno(8) cas(8) revSeqno(8)
+//	docFlags(4) expiry(8) key valLen crc32c(4)
+const headerSize = 1 + 1 + 2 + 4 + 8 + 8 + 8 + 4 + 8
+
+func encodedSize(r *Record) int64 {
+	return int64(headerSize + len(r.Key) + len(r.Value) + 4)
+}
+
+func encodeRecord(buf []byte, r *Record) []byte {
+	start := len(buf)
+	var flags byte
+	if r.Deleted {
+		flags |= 1
+	}
+	var hdr [headerSize]byte
+	hdr[0] = recordMagic
+	hdr[1] = flags
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(len(r.Key)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(r.Value)))
+	binary.LittleEndian.PutUint64(hdr[8:], r.Seqno)
+	binary.LittleEndian.PutUint64(hdr[16:], r.CAS)
+	binary.LittleEndian.PutUint64(hdr[24:], r.RevSeqno)
+	binary.LittleEndian.PutUint32(hdr[32:], r.Flags)
+	binary.LittleEndian.PutUint64(hdr[36:], uint64(r.Expiry))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, r.Key...)
+	buf = append(buf, r.Value...)
+	crc := crc32.Checksum(buf[start:], castagnoli)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	return append(buf, tail[:]...)
+}
+
+// decodeRecord parses one record from data. It returns the record, the
+// total bytes consumed, and ok=false when the bytes do not form a
+// complete valid record (torn tail).
+func decodeRecord(data []byte) (Record, int, bool) {
+	if len(data) < headerSize || data[0] != recordMagic {
+		return Record{}, 0, false
+	}
+	keyLen := int(binary.LittleEndian.Uint16(data[2:]))
+	valLen := int(binary.LittleEndian.Uint32(data[4:]))
+	total := headerSize + keyLen + valLen + 4
+	if len(data) < total {
+		return Record{}, 0, false
+	}
+	crcWant := binary.LittleEndian.Uint32(data[total-4:])
+	if crc32.Checksum(data[:total-4], castagnoli) != crcWant {
+		return Record{}, 0, false
+	}
+	r := Record{
+		Meta: Meta{
+			Key:      string(data[headerSize : headerSize+keyLen]),
+			Seqno:    binary.LittleEndian.Uint64(data[8:]),
+			CAS:      binary.LittleEndian.Uint64(data[16:]),
+			RevSeqno: binary.LittleEndian.Uint64(data[24:]),
+			Flags:    binary.LittleEndian.Uint32(data[32:]),
+			Expiry:   int64(binary.LittleEndian.Uint64(data[36:])),
+			Deleted:  data[1]&1 != 0,
+		},
+	}
+	if valLen > 0 {
+		r.Value = append([]byte(nil), data[headerSize+keyLen:headerSize+keyLen+valLen]...)
+	}
+	return r, total, true
+}
+
+// recInfo is the in-memory index entry for the newest version of a key.
+type recInfo struct {
+	Meta
+	offset int64 // record start in file
+	size   int64
+}
+
+// VBFile is the storage for one vBucket: an append-only file plus an
+// in-memory by-ID index rebuilt at open.
+type VBFile struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	sync bool
+
+	byID      map[string]recInfo
+	fileBytes int64
+	liveBytes int64 // bytes of current-version records
+	highSeqno uint64
+	closed    bool
+}
+
+// Open opens (creating if absent) the vBucket file at path. syncOnWrite
+// requests fsync after each batch append (durable persistence); with it
+// off, durability is at the mercy of the OS page cache — the tradeoff
+// the paper's asynchronous design deliberately exposes.
+func Open(path string, syncOnWrite bool) (*VBFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	v := &VBFile{f: f, path: path, sync: syncOnWrite, byID: make(map[string]recInfo)}
+	if err := v.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return v, nil
+}
+
+// recover scans the file, building the index and truncating any torn
+// tail left by a crash.
+func (v *VBFile) recover() error {
+	data, err := io.ReadAll(v.f)
+	if err != nil {
+		return err
+	}
+	off := int64(0)
+	for off < int64(len(data)) {
+		rec, n, ok := decodeRecord(data[off:])
+		if !ok {
+			// Torn or corrupt tail: truncate. Everything before is valid.
+			if err := v.f.Truncate(off); err != nil {
+				return err
+			}
+			break
+		}
+		v.indexRecord(&rec, off, int64(n))
+		off += int64(n)
+	}
+	v.fileBytes = off
+	_, err = v.f.Seek(off, io.SeekStart)
+	return err
+}
+
+func (v *VBFile) indexRecord(rec *Record, off, size int64) {
+	if old, ok := v.byID[rec.Key]; ok {
+		v.liveBytes -= old.size
+	}
+	v.byID[rec.Key] = recInfo{Meta: rec.Meta, offset: off, size: size}
+	v.liveBytes += size
+	if rec.Seqno > v.highSeqno {
+		v.highSeqno = rec.Seqno
+	}
+}
+
+// Append writes a batch of records sequentially at the end of the file.
+// The batch is a single write syscall (the disk-write queue aggregates
+// mutations, §2.3.2), followed by one fsync when syncOnWrite is set.
+func (v *VBFile) Append(recs []Record) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	var buf []byte
+	offsets := make([]int64, len(recs))
+	off := v.fileBytes
+	for i := range recs {
+		offsets[i] = off
+		before := len(buf)
+		buf = encodeRecord(buf, &recs[i])
+		off += int64(len(buf) - before)
+	}
+	if _, err := v.f.Write(buf); err != nil {
+		return err
+	}
+	if v.sync {
+		if err := v.f.Sync(); err != nil {
+			return err
+		}
+	}
+	for i := range recs {
+		v.indexRecord(&recs[i], offsets[i], encodedSize(&recs[i]))
+	}
+	v.fileBytes = off
+	return nil
+}
+
+// Get reads the newest version of key. Deleted keys report ErrNotFound
+// (tombstone metadata is still reachable via GetMeta).
+func (v *VBFile) Get(key string) (Record, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.getLocked(key)
+}
+
+func (v *VBFile) getLocked(key string) (Record, error) {
+	if v.closed {
+		return Record{}, ErrClosed
+	}
+	info, ok := v.byID[key]
+	if !ok || info.Deleted {
+		return Record{}, ErrNotFound
+	}
+	return v.readAt(info)
+}
+
+func (v *VBFile) readAt(info recInfo) (Record, error) {
+	buf := make([]byte, info.size)
+	if _, err := v.f.ReadAt(buf, info.offset); err != nil {
+		return Record{}, fmt.Errorf("storage: read %s@%d: %w", info.Key, info.offset, err)
+	}
+	rec, _, ok := decodeRecord(buf)
+	if !ok {
+		return Record{}, fmt.Errorf("storage: corrupt record for %s at offset %d", info.Key, info.offset)
+	}
+	return rec, nil
+}
+
+// GetMeta returns the newest metadata for key, including tombstones.
+func (v *VBFile) GetMeta(key string) (Meta, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	info, ok := v.byID[key]
+	if !ok {
+		return Meta{}, ErrNotFound
+	}
+	return info.Meta, nil
+}
+
+// HighSeqno returns the highest persisted sequence number. The
+// durability watermark PersistTo waits on.
+func (v *VBFile) HighSeqno() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.highSeqno
+}
+
+// ScanBySeqno iterates the newest version of every key (including
+// tombstones) with seqno in (fromExclusive, toInclusive], in seqno
+// order. DCP backfill for late-joining streams runs on this.
+func (v *VBFile) ScanBySeqno(fromExclusive, toInclusive uint64, fn func(Record) bool) error {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return ErrClosed
+	}
+	infos := make([]recInfo, 0, len(v.byID))
+	for _, info := range v.byID {
+		if info.Seqno > fromExclusive && info.Seqno <= toInclusive {
+			infos = append(infos, info)
+		}
+	}
+	v.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Seqno < infos[j].Seqno })
+	for _, info := range infos {
+		v.mu.Lock()
+		if v.closed {
+			v.mu.Unlock()
+			return ErrClosed
+		}
+		// Re-check: the key may have been superseded since the snapshot;
+		// the newer version will carry a higher seqno and is either in
+		// range (visited later is wrong — skip stale) or beyond range.
+		cur, ok := v.byID[info.Key]
+		if !ok || cur.Seqno != info.Seqno {
+			v.mu.Unlock()
+			continue
+		}
+		rec, err := v.readAt(info)
+		v.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if !fn(rec) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Stats describes file health for compaction decisions.
+type Stats struct {
+	FileBytes int64
+	LiveBytes int64
+	Items     int
+	HighSeqno uint64
+}
+
+// Stats returns a snapshot of file statistics.
+func (v *VBFile) Stats() Stats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return Stats{FileBytes: v.fileBytes, LiveBytes: v.liveBytes, Items: len(v.byID), HighSeqno: v.highSeqno}
+}
+
+// Fragmentation returns the fraction of the file occupied by stale
+// record versions, the paper's compaction trigger metric.
+func (v *VBFile) Fragmentation() float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.fileBytes == 0 {
+		return 0
+	}
+	return float64(v.fileBytes-v.liveBytes) / float64(v.fileBytes)
+}
+
+// Compact rewrites the file keeping only the newest version of each key
+// (tombstones included, so replicas and indexes can still learn of
+// deletions), then atomically swaps it in. The vBucket stays readable
+// and writable from the caller's perspective; only this file's own
+// operations serialize with the copy.
+func (v *VBFile) Compact() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	tmpPath := v.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmpPath)
+
+	infos := make([]recInfo, 0, len(v.byID))
+	for _, info := range v.byID {
+		infos = append(infos, info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Seqno < infos[j].Seqno })
+
+	newIndex := make(map[string]recInfo, len(infos))
+	var buf []byte
+	var off int64
+	var live int64
+	for _, info := range infos {
+		rec, err := v.readAt(info)
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		buf = encodeRecord(buf[:0], &rec)
+		if _, err := tmp.Write(buf); err != nil {
+			tmp.Close()
+			return err
+		}
+		size := int64(len(buf))
+		newIndex[rec.Key] = recInfo{Meta: rec.Meta, offset: off, size: size}
+		off += size
+		live += size
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, v.path); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(v.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := nf.Seek(off, io.SeekStart); err != nil {
+		nf.Close()
+		return err
+	}
+	v.f.Close()
+	v.f = nf
+	v.byID = newIndex
+	v.fileBytes = off
+	v.liveBytes = live
+	return nil
+}
+
+// Close releases the file handle.
+func (v *VBFile) Close() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return nil
+	}
+	v.closed = true
+	return v.f.Close()
+}
+
+// Remove closes and deletes the file (vBucket dropped from this node).
+func (v *VBFile) Remove() error {
+	v.Close()
+	return os.Remove(v.path)
+}
+
+// Store manages the per-vBucket files of one bucket on one node.
+type Store struct {
+	mu    sync.Mutex
+	dir   string
+	sync  bool
+	files map[int]*VBFile
+}
+
+// NewStore creates a store rooted at dir (created if needed).
+func NewStore(dir string, syncOnWrite bool) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, sync: syncOnWrite, files: make(map[int]*VBFile)}, nil
+}
+
+// VB returns (opening lazily) the file for vBucket vb.
+func (s *Store) VB(vb int) (*VBFile, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.files[vb]; ok {
+		return f, nil
+	}
+	f, err := Open(filepath.Join(s.dir, fmt.Sprintf("vb_%04d.couch", vb)), s.sync)
+	if err != nil {
+		return nil, err
+	}
+	s.files[vb] = f
+	return f, nil
+}
+
+// DropVB deletes vb's file (after a rebalance moves the partition away).
+func (s *Store) DropVB(vb int) error {
+	s.mu.Lock()
+	f, ok := s.files[vb]
+	delete(s.files, vb)
+	s.mu.Unlock()
+	if !ok {
+		p := filepath.Join(s.dir, fmt.Sprintf("vb_%04d.couch", vb))
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		return nil
+	}
+	return f.Remove()
+}
+
+// Close closes every open file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.files = make(map[int]*VBFile)
+	return first
+}

@@ -1,0 +1,227 @@
+package value
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindOf(t *testing.T) {
+	cases := []struct {
+		v    any
+		want Kind
+	}{
+		{Missing, MISSING},
+		{nil, NULL},
+		{true, BOOLEAN},
+		{false, BOOLEAN},
+		{3.14, NUMBER},
+		{int(7), NUMBER},
+		{int64(7), NUMBER},
+		{uint64(7), NUMBER},
+		{json.Number("12"), NUMBER},
+		{"hi", STRING},
+		{[]any{1.0}, ARRAY},
+		{map[string]any{"a": 1.0}, OBJECT},
+		{Binary("blob"), BINARY},
+	}
+	for _, c := range cases {
+		if got := KindOf(c.v); got != c.want {
+			t.Errorf("KindOf(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := MISSING; k <= BINARY; k++ {
+		if k.String() == "" {
+			t.Errorf("Kind(%d).String() empty", k)
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Errorf("unknown kind string = %q", Kind(99).String())
+	}
+}
+
+func TestAsNumber(t *testing.T) {
+	for _, v := range []any{float64(5), int(5), int64(5), uint64(5), json.Number("5")} {
+		f, ok := AsNumber(v)
+		if !ok || f != 5 {
+			t.Errorf("AsNumber(%T %v) = %v, %v", v, v, f, ok)
+		}
+	}
+	if _, ok := AsNumber("5"); ok {
+		t.Error("AsNumber(string) should fail")
+	}
+	if _, ok := AsNumber(json.Number("zz")); ok {
+		t.Error("AsNumber(bad json.Number) should fail")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	if !Truthy(true) {
+		t.Error("true should be truthy")
+	}
+	for _, v := range []any{false, nil, Missing, 1.0, "true", []any{}, map[string]any{}} {
+		if Truthy(v) {
+			t.Errorf("%v should not be truthy", v)
+		}
+	}
+}
+
+func TestParseValidJSON(t *testing.T) {
+	v, ok := Parse([]byte(`{"a": [1, null, "x"], "b": true}`))
+	if !ok {
+		t.Fatal("expected valid JSON")
+	}
+	obj := v.(map[string]any)
+	arr := obj["a"].([]any)
+	if arr[0] != 1.0 || arr[1] != nil || arr[2] != "x" || obj["b"] != true {
+		t.Errorf("parsed wrong: %#v", v)
+	}
+}
+
+func TestParseInvalidJSONBecomesBinary(t *testing.T) {
+	v, ok := Parse([]byte("not json at all {"))
+	if ok {
+		t.Fatal("expected invalid")
+	}
+	if _, isBin := v.(Binary); !isBin {
+		t.Fatalf("expected Binary, got %T", v)
+	}
+}
+
+func TestParseTrailingGarbage(t *testing.T) {
+	if _, ok := Parse([]byte(`{"a":1} trailing`)); ok {
+		t.Error("trailing garbage should be rejected as JSON")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	src := `{"a":[1,2,{"b":null}],"c":"str"}`
+	v := MustParse(src)
+	out := Marshal(v)
+	v2, ok := Parse(out)
+	if !ok {
+		t.Fatalf("re-parse failed: %s", out)
+	}
+	if Compare(v, v2) != 0 {
+		t.Errorf("round trip changed value: %s -> %s", src, out)
+	}
+}
+
+func TestMarshalMissingInsideBecomesNull(t *testing.T) {
+	v := []any{Missing, map[string]any{"m": Missing}}
+	out := Marshal(v)
+	want := `[null,{"m":null}]`
+	if string(out) != want {
+		t.Errorf("Marshal = %s, want %s", out, want)
+	}
+}
+
+func TestMarshalBinaryPassThrough(t *testing.T) {
+	if got := Marshal(Binary("raw")); string(got) != "raw" {
+		t.Errorf("Marshal(Binary) = %q", got)
+	}
+}
+
+func TestCopyIsDeep(t *testing.T) {
+	orig := map[string]any{"a": []any{1.0, 2.0}, "b": Binary("xy")}
+	cp := Copy(orig).(map[string]any)
+	cp["a"].([]any)[0] = 99.0
+	cp["b"].(Binary)[0] = 'z'
+	if orig["a"].([]any)[0] != 1.0 {
+		t.Error("array not deep-copied")
+	}
+	if orig["b"].(Binary)[0] != 'x' {
+		t.Error("binary not deep-copied")
+	}
+}
+
+func TestFieldAndIndex(t *testing.T) {
+	doc := MustParse(`{"name":"d","tags":["a","b","c"]}`)
+	if Field(doc, "name") != "d" {
+		t.Error("field access failed")
+	}
+	if !IsMissing(Field(doc, "nope")) {
+		t.Error("absent field should be MISSING")
+	}
+	if !IsMissing(Field("scalar", "x")) {
+		t.Error("field of scalar should be MISSING")
+	}
+	tags := Field(doc, "tags")
+	if Index(tags, 1) != "b" {
+		t.Error("index access failed")
+	}
+	if Index(tags, -1) != "c" {
+		t.Error("negative index should count from end")
+	}
+	if !IsMissing(Index(tags, 5)) || !IsMissing(Index(tags, -9)) {
+		t.Error("out-of-range index should be MISSING")
+	}
+	if !IsMissing(Index(doc, 0)) {
+		t.Error("index of object should be MISSING")
+	}
+}
+
+func TestFieldNames(t *testing.T) {
+	doc := MustParse(`{"z":1,"a":2,"m":3}`)
+	names := FieldNames(doc)
+	if len(names) != 3 || names[0] != "a" || names[1] != "m" || names[2] != "z" {
+		t.Errorf("FieldNames = %v", names)
+	}
+	if FieldNames("notobj") != nil {
+		t.Error("FieldNames of scalar should be nil")
+	}
+}
+
+func TestFormatNumber(t *testing.T) {
+	cases := map[float64]string{
+		0:    "0",
+		42:   "42",
+		-7:   "-7",
+		3.5:  "3.5",
+		1e20: "1e+20",
+	}
+	for f, want := range cases {
+		if got := FormatNumber(f); got != want {
+			t.Errorf("FormatNumber(%v) = %q, want %q", f, got, want)
+		}
+	}
+}
+
+// TestQuickMarshalParseIdentity: Marshal∘Parse is the identity on any
+// JSON value (modulo MISSING→null scrubbing, excluded by the
+// generator's use inside documents).
+func TestQuickMarshalParseIdentity(t *testing.T) {
+	f := func(a randVal) bool {
+		v := scrubMissing(a.v)
+		data := Marshal(v)
+		back, ok := Parse(data)
+		return ok && Compare(v, back) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func scrubMissing(v any) any {
+	switch t := v.(type) {
+	case missingType:
+		return nil
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			out[i] = scrubMissing(e)
+		}
+		return out
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, e := range t {
+			out[k] = scrubMissing(e)
+		}
+		return out
+	default:
+		return v
+	}
+}

@@ -1,0 +1,646 @@
+// Package vbucket implements one logical partition of a bucket: the
+// memory-first write path of the paper's Figure 6.
+//
+// "When data is written to Couchbase, it is first stored in the hash
+// tables in the integrated (managed) cache. At this point, an initial
+// acknowledgement of receipt of the mutation is sent back to the client
+// SDK. This mutation is then asynchronously written to disk via the
+// disk write queue, and at the same time it is also pushed into the
+// in-memory replication queue to be replicated to other nodes."
+//
+// A VBucket combines a cache.HashTable (the hash table for this
+// partition), a storage.VBFile (its append-only file), a flusher
+// goroutine draining the disk-write queue, and a dcp.Producer feeding
+// every downstream consumer. Per-mutation durability options
+// (ReplicateTo / PersistTo, §2.3.2) are implemented as waits on the
+// persistence and replication seqno watermarks — the write path itself
+// never becomes synchronous.
+package vbucket
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"couchgo/internal/cache"
+	"couchgo/internal/dcp"
+	"couchgo/internal/storage"
+)
+
+// State is the partition state machine from §4.3.1: "Throughout the
+// migration and redistribution of partitions among servers, any given
+// partition on a server will be in one of the following states."
+type State int
+
+const (
+	// Dead: "This server is not in any way responsible for this
+	// partition."
+	Dead State = iota
+	// Replica: "The server hosting the partition cannot handle client
+	// requests, but it will receive replication commands."
+	Replica
+	// Pending is a rebalance destination being built (treated as a
+	// replica until the atomic switchover).
+	Pending
+	// Active: "The server hosting the partition is servicing all types
+	// of requests for this partition."
+	Active
+)
+
+func (s State) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Replica:
+		return "replica"
+	case Pending:
+		return "pending"
+	default:
+		return "dead"
+	}
+}
+
+// Errors specific to vBucket request routing and durability.
+var (
+	// ErrNotMyVBucket tells a smart client its cluster map is stale.
+	ErrNotMyVBucket = errors.New("vbucket: not my vbucket")
+	ErrTimeout      = errors.New("vbucket: durability wait timed out")
+	ErrClosed       = errors.New("vbucket: closed")
+)
+
+// Config tunes a vBucket.
+type Config struct {
+	// SyncOnPersist fsyncs each flushed batch.
+	SyncOnPersist bool
+	// DiskDelay simulates device latency per flushed batch (used by the
+	// durability ablation to model spinning disks; zero for SSD/none).
+	DiskDelay time.Duration
+	// MaxBatch bounds how many queued mutations one flush drains.
+	MaxBatch int
+	// FullEviction enables §4.3.3's full-eviction mode: the item pager
+	// may remove keys and metadata entirely, and reads/writes of absent
+	// keys consult the storage engine before concluding "not found".
+	FullEviction bool
+}
+
+// VBucket is one partition's engine on one node.
+type VBucket struct {
+	ID int
+
+	mu    sync.Mutex
+	state State
+
+	Table    *cache.HashTable
+	file     *storage.VBFile
+	producer *dcp.Producer
+
+	cfg Config
+
+	// Disk-write queue (Figure 6). The flusher drains it in order.
+	queueMu   sync.Mutex
+	queue     []storage.Record
+	queueCond *sync.Cond
+	closed    bool
+	flushDone chan struct{}
+
+	// Durability watermarks and their waiters.
+	durMu          sync.Mutex
+	persistedSeqno uint64
+	replicaSeqnos  map[string]uint64 // replica name -> acked seqno
+	durCond        *sync.Cond
+}
+
+// New creates a vBucket in the given state over the provided storage
+// file. The cache hash table starts empty; WarmUp loads persisted
+// documents' metadata (and values) back into it.
+func New(id int, file *storage.VBFile, state State, cfg Config) *VBucket {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4096
+	}
+	vb := &VBucket{
+		ID:            id,
+		state:         state,
+		Table:         cache.NewHashTable(),
+		file:          file,
+		cfg:           cfg,
+		flushDone:     make(chan struct{}),
+		replicaSeqnos: make(map[string]uint64),
+	}
+	vb.queueCond = sync.NewCond(&vb.queueMu)
+	vb.durCond = sync.NewCond(&vb.durMu)
+	vb.producer = dcp.NewProducer(id, (*snapshotSource)(vb))
+	vb.Table.OnMutate(vb.onMutate)
+	vb.durMu.Lock()
+	vb.persistedSeqno = file.HighSeqno()
+	vb.durMu.Unlock()
+	go vb.flusher()
+	return vb
+}
+
+// WarmUp repopulates the cache from storage after a restart: every
+// persisted document's key, metadata, and value return to memory. The
+// replayed documents are already durable, so Restore bypasses the
+// mutation observer (no re-persistence, no DCP publication).
+func (vb *VBucket) WarmUp() error {
+	err := vb.file.ScanBySeqno(0, vb.file.HighSeqno(), func(r storage.Record) bool {
+		vb.Table.Restore(cache.Item{
+			Key: r.Key, Value: r.Value, CAS: r.CAS, RevSeqno: r.RevSeqno,
+			Seqno: r.Seqno, Flags: r.Flags, Expiry: r.Expiry, Deleted: r.Deleted,
+		})
+		return true
+	})
+	vb.Table.SetHighSeqno(vb.file.HighSeqno())
+	return err
+}
+
+// missFetch restores a fully-evicted document's state from the storage
+// engine. Returns true when something was restored.
+func (vb *VBucket) missFetch(key string) bool {
+	meta, err := vb.file.GetMeta(key)
+	if err != nil {
+		return false
+	}
+	it := cache.Item{
+		Key: key, CAS: meta.CAS, RevSeqno: meta.RevSeqno, Seqno: meta.Seqno,
+		Flags: meta.Flags, Expiry: meta.Expiry, Deleted: meta.Deleted,
+	}
+	if !meta.Deleted {
+		rec, err := vb.file.Get(key)
+		if err != nil {
+			return false
+		}
+		it.Value = rec.Value
+	}
+	vb.Table.Restore(it)
+	return true
+}
+
+// ensureResident brings an absent key's durable state back into the
+// cache before an operation that depends on it (full-eviction mode's
+// read-before-write: CAS checks and rev lineage need the metadata).
+func (vb *VBucket) ensureResident(key string) {
+	if !vb.cfg.FullEviction {
+		return
+	}
+	if _, err := vb.Table.GetMeta(key); err == cache.ErrKeyNotFound {
+		vb.missFetch(key)
+	}
+}
+
+// onMutate runs under the hash-table lock for every applied mutation,
+// in seqno order: enqueue for disk and publish to DCP atomically with
+// the cache write.
+func (vb *VBucket) onMutate(it cache.Item) {
+	rec := storage.Record{
+		Meta: storage.Meta{
+			Key: it.Key, Seqno: it.Seqno, CAS: it.CAS, RevSeqno: it.RevSeqno,
+			Flags: it.Flags, Expiry: it.Expiry, Deleted: it.Deleted,
+		},
+		Value: it.Value,
+	}
+	vb.queueMu.Lock()
+	vb.queue = append(vb.queue, rec)
+	vb.queueMu.Unlock()
+	vb.queueCond.Signal()
+
+	vb.producer.Publish(dcp.Mutation{
+		Key: it.Key, Value: it.Value, Seqno: it.Seqno, CAS: it.CAS,
+		RevSeqno: it.RevSeqno, Flags: it.Flags, Expiry: it.Expiry, Deleted: it.Deleted,
+	})
+}
+
+// flusher drains the disk-write queue. Repeated updates to a document
+// within one batch are deduplicated — "asynchrony ... provides an
+// opportunity for repeated updates to an object to be aggregated at the
+// level of persistence" (§2.3.2).
+func (vb *VBucket) flusher() {
+	defer close(vb.flushDone)
+	for {
+		vb.queueMu.Lock()
+		for len(vb.queue) == 0 && !vb.closed {
+			vb.queueCond.Wait()
+		}
+		if vb.closed && len(vb.queue) == 0 {
+			vb.queueMu.Unlock()
+			return
+		}
+		n := len(vb.queue)
+		if n > vb.cfg.MaxBatch {
+			n = vb.cfg.MaxBatch
+		}
+		batch := vb.queue[:n]
+		vb.queue = append([]storage.Record(nil), vb.queue[n:]...)
+		vb.queueMu.Unlock()
+
+		batch = dedupBatch(batch)
+		if vb.cfg.DiskDelay > 0 {
+			time.Sleep(vb.cfg.DiskDelay)
+		}
+		if err := vb.file.Append(batch); err != nil {
+			// The file is closed (shutdown) or the disk failed; either
+			// way the flusher stops. Unpersisted mutations remain in
+			// memory and in replicas — the paper's durability model.
+			return
+		}
+		var high uint64
+		for i := range batch {
+			if batch[i].Seqno > high {
+				high = batch[i].Seqno
+			}
+		}
+		vb.durMu.Lock()
+		if high > vb.persistedSeqno {
+			vb.persistedSeqno = high
+		}
+		vb.durMu.Unlock()
+		vb.durCond.Broadcast()
+	}
+}
+
+// dedupBatch keeps only the newest record per key, preserving seqno
+// order of the survivors.
+func dedupBatch(batch []storage.Record) []storage.Record {
+	if len(batch) <= 1 {
+		return batch
+	}
+	newest := make(map[string]uint64, len(batch))
+	for i := range batch {
+		if batch[i].Seqno > newest[batch[i].Key] {
+			newest[batch[i].Key] = batch[i].Seqno
+		}
+	}
+	out := batch[:0]
+	for i := range batch {
+		if batch[i].Seqno == newest[batch[i].Key] {
+			out = append(out, batch[i])
+		}
+	}
+	return out
+}
+
+// State returns the current partition state.
+func (vb *VBucket) State() State {
+	vb.mu.Lock()
+	defer vb.mu.Unlock()
+	return vb.state
+}
+
+// SetState transitions the partition (rebalance switchover, failover
+// promotion). Promoting to Active lets the seqno clock continue from
+// whatever the replica had applied.
+func (vb *VBucket) SetState(s State) {
+	vb.mu.Lock()
+	vb.state = s
+	vb.mu.Unlock()
+}
+
+func (vb *VBucket) requireActive() error {
+	if vb.State() != Active {
+		return fmt.Errorf("%w (vb %d is %s)", ErrNotMyVBucket, vb.ID, vb.State())
+	}
+	return nil
+}
+
+// Producer exposes the vBucket's DCP producer for consumers (replicas,
+// views, GSI, FTS, XDCR).
+func (vb *VBucket) Producer() *dcp.Producer { return vb.producer }
+
+// HighSeqno is the vBucket's current mutation high-water mark.
+func (vb *VBucket) HighSeqno() uint64 { return vb.Table.HighSeqno() }
+
+// PersistedSeqno is the highest seqno known flushed to disk.
+func (vb *VBucket) PersistedSeqno() uint64 {
+	vb.durMu.Lock()
+	defer vb.durMu.Unlock()
+	return vb.persistedSeqno
+}
+
+// --- KV operations (active copies only) ---
+
+// Get returns the document, transparently restoring evicted values from
+// the storage engine (a "background fetch" in the real server).
+func (vb *VBucket) Get(key string, now int64) (cache.Item, error) {
+	if err := vb.requireActive(); err != nil {
+		return cache.Item{}, err
+	}
+	vb.ensureResident(key)
+	it, err := vb.Table.Get(key, now)
+	if err == cache.ErrValueEvicted {
+		rec, rerr := vb.file.Get(key)
+		if rerr != nil {
+			return cache.Item{}, fmt.Errorf("vbucket: bgfetch %s: %w", key, rerr)
+		}
+		vb.Table.RestoreValue(key, it.CAS, rec.Value)
+		return vb.Table.Get(key, now)
+	}
+	return it, err
+}
+
+// GetMeta returns metadata (tombstones included) without state checks;
+// XDCR conflict resolution uses it on both sides.
+func (vb *VBucket) GetMeta(key string) (cache.Item, error) {
+	return vb.Table.GetMeta(key)
+}
+
+// Set writes a document (CAS semantics per cache.HashTable.Set).
+func (vb *VBucket) Set(key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64) (cache.Item, error) {
+	if err := vb.requireActive(); err != nil {
+		return cache.Item{}, err
+	}
+	vb.ensureResident(key)
+	return vb.Table.Set(key, value, flags, expiry, casCheck, now)
+}
+
+// Add inserts a document that must not already exist.
+func (vb *VBucket) Add(key string, value []byte, flags uint32, expiry int64, now int64) (cache.Item, error) {
+	if err := vb.requireActive(); err != nil {
+		return cache.Item{}, err
+	}
+	vb.ensureResident(key)
+	return vb.Table.Add(key, value, flags, expiry, now)
+}
+
+// Replace updates a document that must already exist.
+func (vb *VBucket) Replace(key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64) (cache.Item, error) {
+	if err := vb.requireActive(); err != nil {
+		return cache.Item{}, err
+	}
+	vb.ensureResident(key)
+	return vb.Table.Replace(key, value, flags, expiry, casCheck, now)
+}
+
+// Delete tombstones a document.
+func (vb *VBucket) Delete(key string, casCheck uint64, now int64) (cache.Item, error) {
+	if err := vb.requireActive(); err != nil {
+		return cache.Item{}, err
+	}
+	vb.ensureResident(key)
+	return vb.Table.Delete(key, casCheck, now)
+}
+
+// Touch updates a document's expiry.
+func (vb *VBucket) Touch(key string, expiry int64, now int64) (cache.Item, error) {
+	if err := vb.requireActive(); err != nil {
+		return cache.Item{}, err
+	}
+	vb.ensureResident(key)
+	return vb.Table.Touch(key, expiry, now)
+}
+
+// GetAndLock takes the document-level hard lock.
+func (vb *VBucket) GetAndLock(key string, lockSeconds int64, now int64) (cache.Item, error) {
+	if err := vb.requireActive(); err != nil {
+		return cache.Item{}, err
+	}
+	vb.ensureResident(key)
+	return vb.Table.GetAndLock(key, lockSeconds, now)
+}
+
+// Unlock releases the hard lock.
+func (vb *VBucket) Unlock(key string, casToken uint64, now int64) error {
+	if err := vb.requireActive(); err != nil {
+		return err
+	}
+	return vb.Table.Unlock(key, casToken, now)
+}
+
+// Append concatenates raw bytes after the document's value.
+func (vb *VBucket) Append(key string, data []byte, casCheck uint64, now int64) (cache.Item, error) {
+	if err := vb.requireActive(); err != nil {
+		return cache.Item{}, err
+	}
+	return vb.Table.Append(key, data, casCheck, now)
+}
+
+// Prepend concatenates raw bytes before the document's value.
+func (vb *VBucket) Prepend(key string, data []byte, casCheck uint64, now int64) (cache.Item, error) {
+	if err := vb.requireActive(); err != nil {
+		return cache.Item{}, err
+	}
+	return vb.Table.Prepend(key, data, casCheck, now)
+}
+
+// SubdocGet reads one path inside a document (sub-document lookup).
+func (vb *VBucket) SubdocGet(key, path string, now int64) (any, error) {
+	if err := vb.requireActive(); err != nil {
+		return nil, err
+	}
+	v, err := vb.Table.SubdocGet(key, path, now)
+	if err == cache.ErrValueEvicted {
+		if rec, rerr := vb.file.Get(key); rerr == nil {
+			it, _ := vb.Table.GetMeta(key)
+			vb.Table.RestoreValue(key, it.CAS, rec.Value)
+			return vb.Table.SubdocGet(key, path, now)
+		}
+	}
+	return v, err
+}
+
+// SubdocSet writes one path inside a document atomically.
+func (vb *VBucket) SubdocSet(key, path string, v any, casCheck uint64, now int64) (cache.Item, error) {
+	if err := vb.requireActive(); err != nil {
+		return cache.Item{}, err
+	}
+	return vb.Table.SubdocSet(key, path, v, casCheck, now)
+}
+
+// SubdocRemove deletes one path inside a document atomically.
+func (vb *VBucket) SubdocRemove(key, path string, casCheck uint64, now int64) (cache.Item, error) {
+	if err := vb.requireActive(); err != nil {
+		return cache.Item{}, err
+	}
+	return vb.Table.SubdocRemove(key, path, casCheck, now)
+}
+
+// SubdocArrayAppend appends to an array inside a document atomically.
+func (vb *VBucket) SubdocArrayAppend(key, path string, v any, casCheck uint64, now int64) (cache.Item, error) {
+	if err := vb.requireActive(); err != nil {
+		return cache.Item{}, err
+	}
+	return vb.Table.SubdocArrayAppend(key, path, v, casCheck, now)
+}
+
+// SubdocCounter adds delta to a numeric field atomically.
+func (vb *VBucket) SubdocCounter(key, path string, delta float64, casCheck uint64, now int64) (float64, cache.Item, error) {
+	if err := vb.requireActive(); err != nil {
+		return 0, cache.Item{}, err
+	}
+	return vb.Table.SubdocCounter(key, path, delta, casCheck, now)
+}
+
+// ApplyReplica installs a mutation received over a DCP replication
+// stream, preserving origin metadata. Valid in Replica/Pending states.
+func (vb *VBucket) ApplyReplica(m dcp.Mutation) {
+	vb.Table.ApplyMeta(cache.Item{
+		Key: m.Key, Value: m.Value, CAS: m.CAS, RevSeqno: m.RevSeqno,
+		Seqno: m.Seqno, Flags: m.Flags, Expiry: m.Expiry, Deleted: m.Deleted,
+	})
+}
+
+// ApplyRemote applies an XDCR mutation with conflict resolution on the
+// active copy, reporting whether the incoming revision won.
+func (vb *VBucket) ApplyRemote(key string, value []byte, deleted bool, cas, revSeqno uint64, flags uint32, expiry int64) (bool, error) {
+	if err := vb.requireActive(); err != nil {
+		return false, err
+	}
+	return vb.Table.ApplyRemote(key, value, deleted, cas, revSeqno, flags, expiry), nil
+}
+
+// --- Durability (per-mutation options, §2.3.2) ---
+
+// AckReplica records that the named replica has applied up to seqno.
+// The intra-cluster replicator calls this as acks arrive.
+func (vb *VBucket) AckReplica(name string, seqno uint64) {
+	vb.durMu.Lock()
+	if seqno > vb.replicaSeqnos[name] {
+		vb.replicaSeqnos[name] = seqno
+	}
+	vb.durMu.Unlock()
+	vb.durCond.Broadcast()
+}
+
+// SetReplicaSet prunes acknowledgement state to the given replica
+// names. Rebalance/failover call this so durability waits never count
+// acks from replicas that no longer exist.
+func (vb *VBucket) SetReplicaSet(names []string) {
+	keep := make(map[string]bool, len(names))
+	for _, n := range names {
+		keep[n] = true
+	}
+	vb.durMu.Lock()
+	for n := range vb.replicaSeqnos {
+		if !keep[n] {
+			delete(vb.replicaSeqnos, n)
+		}
+	}
+	vb.durMu.Unlock()
+	vb.durCond.Broadcast()
+}
+
+// WaitPersist blocks until seqno is flushed to this node's disk —
+// PersistTo(1) in SDK terms.
+func (vb *VBucket) WaitPersist(seqno uint64, timeout time.Duration) error {
+	return vb.waitDur(timeout, func() bool { return vb.persistedSeqno >= seqno })
+}
+
+// WaitReplicas blocks until at least n replicas acknowledged seqno —
+// ReplicateTo(n). "Since replication is memory-to-memory, the latency
+// hit with the replication option is significantly less than waiting
+// for persistence."
+func (vb *VBucket) WaitReplicas(seqno uint64, n int, timeout time.Duration) error {
+	return vb.waitDur(timeout, func() bool {
+		count := 0
+		for _, s := range vb.replicaSeqnos {
+			if s >= seqno {
+				count++
+			}
+		}
+		return count >= n
+	})
+}
+
+// waitDur waits on the durability condition with a deadline. The
+// condition is evaluated under durMu.
+func (vb *VBucket) waitDur(timeout time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() { vb.durCond.Broadcast() })
+	defer timer.Stop()
+	vb.durMu.Lock()
+	defer vb.durMu.Unlock()
+	for !cond() {
+		if time.Now().After(deadline) {
+			return ErrTimeout
+		}
+		vb.durCond.Wait()
+	}
+	return nil
+}
+
+// DrainDisk blocks until every mutation issued so far is persisted.
+// Tests and orderly shutdown use it.
+func (vb *VBucket) DrainDisk(timeout time.Duration) error {
+	return vb.WaitPersist(vb.HighSeqno(), timeout)
+}
+
+// Close stops the flusher after draining the queue and shuts down DCP.
+// The storage file itself is owned by the Store and closed separately.
+func (vb *VBucket) Close() {
+	vb.queueMu.Lock()
+	if vb.closed {
+		vb.queueMu.Unlock()
+		return
+	}
+	vb.closed = true
+	vb.queueMu.Unlock()
+	vb.queueCond.Broadcast()
+	<-vb.flushDone
+	vb.producer.Close()
+}
+
+// snapshotSource adapts the vBucket to dcp.SnapshotSource: the
+// deduplicated latest versions (including tombstones) come from the
+// hash table, with evicted values restored from storage.
+type snapshotSource VBucket
+
+func (s *snapshotSource) Snapshot(fromExclusive uint64) ([]dcp.Mutation, uint64, error) {
+	vb := (*VBucket)(s)
+	var items []dcp.Mutation
+	var readErr error
+	// high is the max seqno observed in the table snapshot itself, NOT
+	// Table.HighSeqno() read afterwards: a mutation applied during the
+	// scan may be missing from the snapshot, and a too-high watermark
+	// would make the stream dedup (drop) its live copy.
+	var high uint64
+	inCache := map[string]bool{}
+	vb.Table.ForEachAll(func(it cache.Item) bool {
+		inCache[it.Key] = true
+		if it.Seqno > high {
+			high = it.Seqno
+		}
+		if it.Seqno <= fromExclusive {
+			return true
+		}
+		m := dcp.Mutation{
+			Key: it.Key, Value: it.Value, Seqno: it.Seqno, CAS: it.CAS,
+			RevSeqno: it.RevSeqno, Flags: it.Flags, Expiry: it.Expiry, Deleted: it.Deleted,
+		}
+		if !it.Deleted && !it.Resident {
+			rec, err := vb.file.Get(it.Key)
+			if err != nil {
+				readErr = err
+				return false
+			}
+			m.Value = rec.Value
+		}
+		items = append(items, m)
+		return true
+	})
+	if readErr != nil {
+		return nil, 0, readErr
+	}
+	// Full-eviction mode: documents may exist only on disk. Merge the
+	// storage engine's latest versions for keys absent from the cache
+	// (anything present in the cache is at least as new in memory).
+	if vb.cfg.FullEviction {
+		err := vb.file.ScanBySeqno(fromExclusive, vb.file.HighSeqno(), func(r storage.Record) bool {
+			if inCache[r.Key] {
+				return true
+			}
+			items = append(items, dcp.Mutation{
+				Key: r.Key, Value: r.Value, Seqno: r.Seqno, CAS: r.CAS,
+				RevSeqno: r.RevSeqno, Flags: r.Flags, Expiry: r.Expiry, Deleted: r.Deleted,
+			})
+			if r.Seqno > high {
+				high = r.Seqno
+			}
+			return true
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].Seqno < items[j].Seqno })
+	return items, high, nil
+}

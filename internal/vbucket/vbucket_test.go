@@ -1,0 +1,377 @@
+package vbucket
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"couchgo/internal/cache"
+	"couchgo/internal/dcp"
+	"couchgo/internal/storage"
+)
+
+func newVB(t *testing.T, state State, cfg Config) (*VBucket, *storage.VBFile) {
+	t.Helper()
+	f, err := storage.Open(filepath.Join(t.TempDir(), "vb.couch"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb := New(0, f, state, cfg)
+	t.Cleanup(func() { vb.Close(); f.Close() })
+	return vb, f
+}
+
+func TestMemoryFirstWritePath(t *testing.T) {
+	vb, f := newVB(t, Active, Config{})
+	it, err := vb.Set("k", []byte(`{"v":1}`), 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The write is acknowledged from memory; it reaches disk async.
+	got, err := vb.Get("k", 0)
+	if err != nil || string(got.Value) != `{"v":1}` {
+		t.Fatalf("read-your-write from cache: %+v %v", got, err)
+	}
+	if err := vb.WaitPersist(it.Seqno, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := f.Get("k")
+	if err != nil || string(rec.Value) != `{"v":1}` {
+		t.Fatalf("persisted doc: %+v %v", rec, err)
+	}
+	if rec.Seqno != it.Seqno || rec.CAS != it.CAS {
+		t.Error("persisted metadata mismatch")
+	}
+}
+
+func TestNonActiveRejectsKVOps(t *testing.T) {
+	vb, _ := newVB(t, Replica, Config{})
+	ops := []func() error{
+		func() error { _, err := vb.Get("k", 0); return err },
+		func() error { _, err := vb.Set("k", nil, 0, 0, 0, 0); return err },
+		func() error { _, err := vb.Add("k", nil, 0, 0, 0); return err },
+		func() error { _, err := vb.Replace("k", nil, 0, 0, 0, 0); return err },
+		func() error { _, err := vb.Delete("k", 0, 0); return err },
+		func() error { _, err := vb.Touch("k", 0, 0); return err },
+		func() error { _, err := vb.GetAndLock("k", 1, 0); return err },
+		func() error { return vb.Unlock("k", 1, 0) },
+	}
+	for i, op := range ops {
+		if err := op(); err == nil || !isNotMyVBucket(err) {
+			t.Errorf("op %d on replica: %v", i, err)
+		}
+	}
+	// Promotion makes them work.
+	vb.SetState(Active)
+	if _, err := vb.Set("k", []byte("v"), 0, 0, 0, 0); err != nil {
+		t.Errorf("after promotion: %v", err)
+	}
+}
+
+func isNotMyVBucket(err error) bool {
+	for e := err; e != nil; {
+		if e == ErrNotMyVBucket {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+func TestDCPStreamSeesWrites(t *testing.T) {
+	vb, _ := newVB(t, Active, Config{})
+	s, err := vb.Producer().OpenStream("consumer", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	vb.Set("a", []byte("1"), 0, 0, 0, 0)
+	vb.Set("b", []byte("2"), 0, 0, 0, 0)
+	vb.Delete("a", 0, 0)
+	var muts []dcp.Mutation
+	timeout := time.After(5 * time.Second)
+	for len(muts) < 3 {
+		select {
+		case m := <-s.C():
+			muts = append(muts, m)
+		case <-timeout:
+			t.Fatalf("got %d mutations", len(muts))
+		}
+	}
+	if muts[0].Key != "a" || muts[1].Key != "b" || !muts[2].Deleted {
+		t.Errorf("stream: %+v", muts)
+	}
+}
+
+func TestDCPBackfillRestoresEvictedValues(t *testing.T) {
+	vb, _ := newVB(t, Active, Config{})
+	it, _ := vb.Set("cold", []byte("payload"), 0, 0, 0, 0)
+	vb.WaitPersist(it.Seqno, 5*time.Second)
+	vb.Table.EvictValue("cold")
+	s, err := vb.Producer().OpenStream("late", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	select {
+	case m := <-s.C():
+		if string(m.Value) != "payload" {
+			t.Errorf("backfill value = %q", m.Value)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no backfill")
+	}
+}
+
+func TestGetBGFetchesEvictedValue(t *testing.T) {
+	vb, _ := newVB(t, Active, Config{})
+	it, _ := vb.Set("k", []byte("big-value"), 0, 0, 0, 0)
+	vb.WaitPersist(it.Seqno, 5*time.Second)
+	if freed := vb.Table.EvictValue("k"); freed <= 0 {
+		t.Fatal("evict failed")
+	}
+	got, err := vb.Get("k", 0)
+	if err != nil || string(got.Value) != "big-value" {
+		t.Fatalf("bgfetch: %+v %v", got, err)
+	}
+	// The value is resident again.
+	if _, err := vb.Table.Get("k", 0); err != nil {
+		t.Errorf("value should be resident after bgfetch: %v", err)
+	}
+}
+
+func TestDurabilityReplicateTo(t *testing.T) {
+	vb, _ := newVB(t, Active, Config{})
+	it, _ := vb.Set("k", []byte("v"), 0, 0, 0, 0)
+	// No replicas acked: wait times out.
+	if err := vb.WaitReplicas(it.Seqno, 1, 50*time.Millisecond); err != ErrTimeout {
+		t.Fatalf("expected timeout, got %v", err)
+	}
+	// Ack arrives asynchronously.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		vb.AckReplica("replica-1", it.Seqno)
+	}()
+	if err := vb.WaitReplicas(it.Seqno, 1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Two replicas required but only one acked.
+	if err := vb.WaitReplicas(it.Seqno, 2, 50*time.Millisecond); err != ErrTimeout {
+		t.Fatalf("expected timeout for 2 replicas, got %v", err)
+	}
+}
+
+func TestFlusherDedupsBatch(t *testing.T) {
+	f, err := storage.Open(filepath.Join(t.TempDir(), "vb.couch"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Slow disk so updates pile up in the queue and aggregate.
+	vb := New(0, f, Active, Config{DiskDelay: 30 * time.Millisecond})
+	defer vb.Close()
+	var last cache.Item
+	for i := 0; i < 200; i++ {
+		last, _ = vb.Set("hot", []byte(fmt.Sprintf("v%d", i)), 0, 0, 0, 0)
+	}
+	if err := vb.WaitPersist(last.Seqno, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	// 200 updates but far fewer records hit disk thanks to aggregation.
+	if st.Items != 1 {
+		t.Fatalf("items = %d", st.Items)
+	}
+	if frag := f.Fragmentation(); frag > 0.9 {
+		t.Errorf("aggregation ineffective: frag %v", frag)
+	}
+	rec, _ := f.Get("hot")
+	if string(rec.Value) != "v199" {
+		t.Errorf("final value = %q", rec.Value)
+	}
+}
+
+func TestWarmUpAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vb.couch")
+	f, _ := storage.Open(path, false)
+	vb := New(0, f, Active, Config{})
+	var last cache.Item
+	for i := 0; i < 20; i++ {
+		last, _ = vb.Set(fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("v%d", i)), 0, 0, 0, 0)
+	}
+	vb.Delete("k00", 0, 0)
+	vb.DrainDisk(5 * time.Second)
+	_ = last
+	vb.Close()
+	f.Close()
+
+	f2, err := storage.Open(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb2 := New(0, f2, Active, Config{})
+	defer func() { vb2.Close(); f2.Close() }()
+	if err := vb2.WarmUp(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vb2.Get("k07", 0)
+	if err != nil || string(got.Value) != "v7" {
+		t.Fatalf("warmed doc: %v %v", got, err)
+	}
+	if _, err := vb2.Get("k00", 0); err != cache.ErrKeyNotFound {
+		t.Errorf("deleted doc after warmup: %v", err)
+	}
+	// Seqno clock continues past the recovered history.
+	it, _ := vb2.Set("new", []byte("nv"), 0, 0, 0, 0)
+	if it.Seqno <= vb2.PersistedSeqno() && it.Seqno <= 21 {
+		t.Errorf("seqno did not continue: %d", it.Seqno)
+	}
+}
+
+func TestApplyReplicaPreservesMetadata(t *testing.T) {
+	vb, _ := newVB(t, Replica, Config{})
+	vb.ApplyReplica(dcp.Mutation{Key: "k", Value: []byte("v"), Seqno: 42, CAS: 7, RevSeqno: 3})
+	meta, err := vb.GetMeta("k")
+	if err != nil || meta.CAS != 7 || meta.RevSeqno != 3 || meta.Seqno != 42 {
+		t.Fatalf("replica meta: %+v %v", meta, err)
+	}
+	// Replica mutations are persisted too.
+	if err := vb.WaitPersist(42, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Promote and continue the seqno lineage.
+	vb.SetState(Active)
+	it, _ := vb.Set("k2", []byte("v2"), 0, 0, 0, 0)
+	if it.Seqno != 43 {
+		t.Errorf("promoted seqno = %d, want 43", it.Seqno)
+	}
+}
+
+func TestDrainDiskAndClose(t *testing.T) {
+	vb, f := newVB(t, Active, Config{})
+	for i := 0; i < 50; i++ {
+		vb.Set(fmt.Sprintf("k%d", i), []byte("v"), 0, 0, 0, 0)
+	}
+	if err := vb.DrainDisk(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if f.HighSeqno() != 50 {
+		t.Errorf("persisted high = %d", f.HighSeqno())
+	}
+	vb.Close()
+	vb.Close() // idempotent
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Active: "active", Replica: "replica", Pending: "pending", Dead: "dead"} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestFullEvictionRoundTrip(t *testing.T) {
+	f, err := storage.Open(filepath.Join(t.TempDir(), "vb.couch"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	vb := New(0, f, Active, Config{FullEviction: true})
+	defer vb.Close()
+
+	it, _ := vb.Set("k", []byte(`{"v": 1}`), 7, 0, 0, 0)
+	vb.WaitPersist(it.Seqno, 5*time.Second)
+	// Fully evict: key + metadata gone from memory.
+	if !vb.Table.EvictItem("k", vb.PersistedSeqno(), 0) {
+		t.Fatal("evict failed")
+	}
+	if _, err := vb.Table.GetMeta("k"); err != cache.ErrKeyNotFound {
+		t.Fatal("item should be gone from cache")
+	}
+	// Read restores from disk with the original metadata.
+	got, err := vb.Get("k", 0)
+	if err != nil || string(got.Value) != `{"v": 1}` {
+		t.Fatalf("get after full eviction: %+v %v", got, err)
+	}
+	if got.CAS != it.CAS || got.Seqno != it.Seqno || got.Flags != 7 {
+		t.Fatalf("metadata lost: %+v vs %+v", got, it)
+	}
+}
+
+func TestFullEvictionRevLineageContinues(t *testing.T) {
+	f, _ := storage.Open(filepath.Join(t.TempDir(), "vb.couch"), false)
+	defer f.Close()
+	vb := New(0, f, Active, Config{FullEviction: true})
+	defer vb.Close()
+	it, _ := vb.Set("k", []byte("v1"), 0, 0, 0, 0)
+	it2, _ := vb.Set("k", []byte("v2"), 0, 0, 0, 0)
+	vb.WaitPersist(it2.Seqno, 5*time.Second)
+	vb.Table.EvictItem("k", vb.PersistedSeqno(), 0)
+	// A write to the evicted key must continue the rev lineage (3),
+	// not restart it — XDCR conflict resolution depends on this.
+	it3, err := vb.Set("k", []byte("v3"), 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it3.RevSeqno != 3 {
+		t.Fatalf("rev lineage broke: %d, want 3", it3.RevSeqno)
+	}
+	// CAS against the pre-eviction CAS still works.
+	vb.WaitPersist(it3.Seqno, 5*time.Second)
+	vb.Table.EvictItem("k", vb.PersistedSeqno(), 0)
+	if _, err := vb.Set("k", []byte("v4"), 0, 0, it2.CAS, 0); err != cache.ErrCASMismatch {
+		t.Fatalf("stale CAS on evicted key: %v", err)
+	}
+	if _, err := vb.Set("k", []byte("v4"), 0, 0, it3.CAS, 0); err != nil {
+		t.Fatalf("fresh CAS on evicted key: %v", err)
+	}
+	// Add on an evicted key conflicts (the key exists on disk).
+	vb.DrainDisk(5 * time.Second)
+	vb.Table.EvictItem("k", vb.PersistedSeqno(), 0)
+	if _, err := vb.Add("k", []byte("x"), 0, 0, 0); err != cache.ErrKeyExists {
+		t.Fatalf("Add on evicted key: %v", err)
+	}
+	_ = it
+}
+
+func TestFullEvictionDCPSnapshotMergesDisk(t *testing.T) {
+	f, _ := storage.Open(filepath.Join(t.TempDir(), "vb.couch"), false)
+	defer f.Close()
+	vb := New(0, f, Active, Config{FullEviction: true})
+	defer vb.Close()
+	for i := 0; i < 20; i++ {
+		vb.Set(fmt.Sprintf("k%02d", i), []byte("v"), 0, 0, 0, 0)
+	}
+	vb.DrainDisk(5 * time.Second)
+	// Evict half the items entirely.
+	for i := 0; i < 20; i += 2 {
+		if !vb.Table.EvictItem(fmt.Sprintf("k%02d", i), vb.PersistedSeqno(), 0) {
+			t.Fatalf("evict k%02d failed", i)
+		}
+	}
+	// A late-joining DCP stream must still see all 20 documents.
+	s, err := vb.Producer().OpenStream("late", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	seen := map[string]bool{}
+	timeout := time.After(5 * time.Second)
+	for len(seen) < 20 {
+		select {
+		case m := <-s.C():
+			if seen[m.Key] {
+				t.Fatalf("duplicate %s in merged snapshot", m.Key)
+			}
+			seen[m.Key] = true
+		case <-timeout:
+			t.Fatalf("merged snapshot delivered only %d docs", len(seen))
+		}
+	}
+}

@@ -1,0 +1,572 @@
+// Package views implements the view engine (paper §3.1.2, §4.3.3): a
+// MapReduce-style local index. A view is defined by a map function that
+// extracts (key, value) pairs from documents and an optional reduce
+// that pre-aggregates them; the reduce results are stored inside the
+// index B-tree's interior nodes, making aggregation queries O(log n).
+//
+// The paper defines map functions in JavaScript. The Go stdlib has no
+// JS engine, so the map function is expressed declaratively with the
+// N1QL expression language (see DESIGN.md, substitutions): a Filter
+// predicate plays the role of the `if (...)` guard and Key/Value
+// expressions play the role of `emit(key, value)`. The indexing
+// pipeline — DCP-fed incremental maintenance, per-vBucket seqno
+// tracking, stale=false/ok/update_after, scatter/gather, and vBucket
+// filtering for rebalance — matches the paper.
+package views
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"couchgo/internal/btree"
+	"couchgo/internal/dcp"
+	"couchgo/internal/n1ql"
+	"couchgo/internal/value"
+)
+
+// Staleness is the view query consistency knob (§3.1.2).
+type Staleness int
+
+const (
+	// StaleOK: "Just return the current entries from the index file."
+	StaleOK Staleness = iota
+	// StaleFalse: "Wait for the view indexer to finish processing
+	// changes ... and then return the latest entries."
+	StaleFalse
+	// StaleUpdateAfter: "Return the current entries from the index, but
+	// then initiate a view index update. (This is the default.)"
+	StaleUpdateAfter
+)
+
+// Errors returned by the view engine.
+var (
+	ErrNoSuchView = errors.New("views: no such view")
+	ErrViewExists = errors.New("views: view already exists")
+	ErrBadReduce  = errors.New("views: unknown reduce function")
+	ErrBadMapSpec = errors.New("views: invalid map specification")
+)
+
+// MapSpec is the declarative map function. Expressions evaluate with
+// the document bound to the alias "doc" (also the default alias, so
+// bare field names work) and META().id giving the document ID.
+type MapSpec struct {
+	// Filter guards emission, like the `if` in a JS map function.
+	// Empty = always emit.
+	Filter string
+	// Key is the emitted index key expression (required).
+	Key string
+	// Value is the emitted value expression. Empty = null.
+	Value string
+}
+
+// Definition names a view and its map/reduce.
+type Definition struct {
+	Name   string
+	Map    MapSpec
+	Reduce string // "", "_count", "_sum", "_stats", "_min", "_max"
+}
+
+// Row is one view query result row.
+type Row struct {
+	Key   any
+	Value any
+	ID    string // empty for reduced rows
+}
+
+// QueryOptions mirror the view REST API's parameters.
+type QueryOptions struct {
+	Key          any   // exact-key lookup (set HasKey)
+	HasKey       bool  // distinguishes Key=null from "no key"
+	Keys         []any // multi-key lookup
+	StartKey     any
+	EndKey       any
+	HasStart     bool
+	HasEnd       bool
+	InclusiveEnd bool
+	Descending   bool
+	Limit        int // 0 = unlimited
+	Skip         int
+	Reduce       bool
+	Group        bool
+	Stale        Staleness
+	// WaitSeqnos, for Stale=StaleFalse: the per-vBucket seqnos the
+	// index must reach before the scan runs (the data service's current
+	// high seqnos at query submission).
+	WaitSeqnos map[int]uint64
+}
+
+// entry is the tree value for one emitted pair.
+type entry struct {
+	vb  int
+	id  string
+	key any
+	val any
+}
+
+// compiled map spec.
+type compiledMap struct {
+	filter n1ql.Expr // nil if none
+	key    n1ql.Expr
+	value  n1ql.Expr // nil if none
+}
+
+func compileMap(spec MapSpec) (*compiledMap, error) {
+	if spec.Key == "" {
+		return nil, fmt.Errorf("%w: empty key expression", ErrBadMapSpec)
+	}
+	cm := &compiledMap{}
+	var err error
+	if cm.key, err = n1ql.ParseExpr(spec.Key); err != nil {
+		return nil, fmt.Errorf("%w: key: %v", ErrBadMapSpec, err)
+	}
+	if spec.Filter != "" {
+		if cm.filter, err = n1ql.ParseExpr(spec.Filter); err != nil {
+			return nil, fmt.Errorf("%w: filter: %v", ErrBadMapSpec, err)
+		}
+	}
+	if spec.Value != "" {
+		if cm.value, err = n1ql.ParseExpr(spec.Value); err != nil {
+			return nil, fmt.Errorf("%w: value: %v", ErrBadMapSpec, err)
+		}
+	}
+	return cm, nil
+}
+
+// emit runs the map function over one document.
+func (cm *compiledMap) emit(docID string, doc any) (key, val any, ok bool, err error) {
+	ctx := n1ql.NewContext("doc", doc, n1ql.Meta{ID: docID})
+	if cm.filter != nil {
+		f, err := n1ql.Eval(cm.filter, ctx)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if f != true {
+			return nil, nil, false, nil
+		}
+	}
+	k, err := n1ql.Eval(cm.key, ctx)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if value.IsMissing(k) {
+		return nil, nil, false, nil // emitting MISSING emits nothing
+	}
+	var v any
+	if cm.value != nil {
+		v, err = n1ql.Eval(cm.value, ctx)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if value.IsMissing(v) {
+			v = nil
+		}
+	}
+	return k, v, true, nil
+}
+
+// Engine is the per-node view engine: it consumes each local vBucket's
+// DCP feed and maintains every defined view's B-tree.
+type Engine struct {
+	mu    sync.Mutex
+	views map[string]*viewIndex
+	// producers for currently attached (active) vBuckets.
+	producers map[int]*dcp.Producer
+}
+
+// NewEngine creates an empty view engine.
+func NewEngine() *Engine {
+	return &Engine{views: make(map[string]*viewIndex), producers: make(map[int]*dcp.Producer)}
+}
+
+// viewIndex is one view's local index.
+type viewIndex struct {
+	def Definition
+	cm  *compiledMap
+
+	mu        sync.Mutex
+	tree      *btree.Tree
+	back      map[int]map[string][][]byte // vb -> docID -> tree keys
+	processed map[int]uint64              // vb -> last applied seqno
+	cond      *sync.Cond
+	streams   map[int]*dcp.Stream
+	closed    bool
+}
+
+// Define creates a view and starts materializing it from every
+// attached vBucket ("during initial view building ... Couchbase reads
+// the partition's data files and applies the map function across every
+// document" — here via a DCP backfill stream from seqno 0).
+func (e *Engine) Define(def Definition) error {
+	cm, err := compileMap(def.Map)
+	if err != nil {
+		return err
+	}
+	red, err := reducerFor(def.Reduce)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.views[def.Name]; ok {
+		return ErrViewExists
+	}
+	vi := &viewIndex{
+		def:       def,
+		cm:        cm,
+		tree:      btree.New(red),
+		back:      make(map[int]map[string][][]byte),
+		processed: make(map[int]uint64),
+		streams:   make(map[int]*dcp.Stream),
+	}
+	vi.cond = sync.NewCond(&vi.mu)
+	e.views[def.Name] = vi
+	for vb, p := range e.producers {
+		if err := vi.attach(vb, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drop removes a view.
+func (e *Engine) Drop(name string) error {
+	e.mu.Lock()
+	vi, ok := e.views[name]
+	delete(e.views, name)
+	e.mu.Unlock()
+	if !ok {
+		return ErrNoSuchView
+	}
+	vi.close()
+	return nil
+}
+
+// Names lists defined views.
+func (e *Engine) Names() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.views))
+	for n := range e.views {
+		out = append(out, n)
+	}
+	return out
+}
+
+// AttachVB begins indexing a vBucket that became active on this node.
+// Attaching an already-attached vBucket is a no-op, so cluster state
+// reconciliation can call it idempotently.
+func (e *Engine) AttachVB(vb int, p *dcp.Producer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.producers[vb] == p {
+		return nil
+	}
+	e.producers[vb] = p
+	for _, vi := range e.views {
+		if err := vi.attach(vb, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DetachVB stops indexing a vBucket and removes its entries. This is
+// the rebalance/failover consistency mechanism of §4.3.3: "when a
+// partition has migrated to a different server, the documents that
+// belong to the migrated partition should not be used in the view
+// result anymore."
+func (e *Engine) DetachVB(vb int) {
+	e.mu.Lock()
+	delete(e.producers, vb)
+	views := make([]*viewIndex, 0, len(e.views))
+	for _, vi := range e.views {
+		views = append(views, vi)
+	}
+	e.mu.Unlock()
+	for _, vi := range views {
+		vi.detach(vb)
+	}
+}
+
+// Close stops all views.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	views := make([]*viewIndex, 0, len(e.views))
+	for _, vi := range e.views {
+		views = append(views, vi)
+	}
+	e.views = make(map[string]*viewIndex)
+	e.producers = make(map[int]*dcp.Producer)
+	e.mu.Unlock()
+	for _, vi := range views {
+		vi.close()
+	}
+}
+
+func (vi *viewIndex) attach(vb int, p *dcp.Producer) error {
+	s, err := p.OpenStream("view:"+vi.def.Name, 0)
+	if err != nil {
+		return err
+	}
+	vi.mu.Lock()
+	if vi.closed {
+		vi.mu.Unlock()
+		s.Close()
+		return nil
+	}
+	vi.streams[vb] = s
+	vi.mu.Unlock()
+	go func() {
+		for m := range s.C() {
+			vi.apply(vb, m)
+		}
+	}()
+	return nil
+}
+
+func (vi *viewIndex) detach(vb int) {
+	vi.mu.Lock()
+	s := vi.streams[vb]
+	delete(vi.streams, vb)
+	// Remove the partition's entries so queries no longer see them.
+	for _, treeKeys := range vi.back[vb] {
+		for _, tk := range treeKeys {
+			vi.tree.Delete(tk)
+		}
+	}
+	delete(vi.back, vb)
+	delete(vi.processed, vb)
+	vi.mu.Unlock()
+	if s != nil {
+		s.Close()
+	}
+}
+
+func (vi *viewIndex) close() {
+	vi.mu.Lock()
+	vi.closed = true
+	streams := make([]*dcp.Stream, 0, len(vi.streams))
+	for _, s := range vi.streams {
+		streams = append(streams, s)
+	}
+	vi.streams = make(map[int]*dcp.Stream)
+	vi.cond.Broadcast()
+	vi.mu.Unlock()
+	for _, s := range streams {
+		s.Close()
+	}
+}
+
+// treeKey builds the composite key: encoded emit key, 0x00 separator,
+// then docID — unique per (key, doc) and ordered by collation.
+func treeKey(k any, docID string) []byte {
+	enc := value.EncodeKey(k)
+	out := make([]byte, 0, len(enc)+1+len(docID))
+	out = append(out, enc...)
+	out = append(out, 0x00)
+	return append(out, docID...)
+}
+
+// apply processes one DCP mutation: drop the doc's old emissions, then
+// add new ones.
+func (vi *viewIndex) apply(vb int, m dcp.Mutation) {
+	var k, v any
+	var emitOK bool
+	if !m.Deleted {
+		doc, ok := value.Parse(m.Value)
+		if ok {
+			var err error
+			k, v, emitOK, err = vi.cm.emit(m.Key, doc)
+			if err != nil {
+				emitOK = false // a failing map function emits nothing
+			}
+		}
+	}
+	vi.mu.Lock()
+	defer vi.mu.Unlock()
+	if vi.closed {
+		return
+	}
+	byDoc := vi.back[vb]
+	if byDoc == nil {
+		byDoc = make(map[string][][]byte)
+		vi.back[vb] = byDoc
+	}
+	for _, tk := range byDoc[m.Key] {
+		vi.tree.Delete(tk)
+	}
+	delete(byDoc, m.Key)
+	if emitOK {
+		tk := treeKey(k, m.Key)
+		vi.tree.Set(tk, entry{vb: vb, id: m.Key, key: k, val: v})
+		byDoc[m.Key] = [][]byte{tk}
+	}
+	if m.Seqno > vi.processed[vb] {
+		vi.processed[vb] = m.Seqno
+	}
+	vi.cond.Broadcast()
+}
+
+// waitFor blocks until the index has processed the given seqno vector.
+func (vi *viewIndex) waitFor(seqnos map[int]uint64) {
+	vi.mu.Lock()
+	defer vi.mu.Unlock()
+	for !vi.closed {
+		ok := true
+		for vb, want := range seqnos {
+			if want > 0 && vi.processed[vb] < want {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return
+		}
+		vi.cond.Wait()
+	}
+}
+
+// Processed returns a copy of the per-vBucket applied-seqno vector.
+func (e *Engine) Processed(name string) (map[int]uint64, error) {
+	e.mu.Lock()
+	vi, ok := e.views[name]
+	e.mu.Unlock()
+	if !ok {
+		return nil, ErrNoSuchView
+	}
+	vi.mu.Lock()
+	defer vi.mu.Unlock()
+	out := make(map[int]uint64, len(vi.processed))
+	for vb, s := range vi.processed {
+		out[vb] = s
+	}
+	return out, nil
+}
+
+// Query runs a view query against this node's local index. Cluster
+// scatter/gather (Figure 8) merges Query results from every node.
+func (e *Engine) Query(name string, opts QueryOptions) ([]Row, error) {
+	e.mu.Lock()
+	vi, ok := e.views[name]
+	e.mu.Unlock()
+	if !ok {
+		return nil, ErrNoSuchView
+	}
+	if opts.Stale == StaleFalse && len(opts.WaitSeqnos) > 0 {
+		vi.waitFor(opts.WaitSeqnos)
+	}
+	if opts.Reduce && vi.def.Reduce == "" {
+		return nil, fmt.Errorf("%w: view %s has no reduce", ErrBadReduce, name)
+	}
+
+	// Multi-key lookup: union of exact-key queries.
+	if len(opts.Keys) > 0 {
+		var rows []Row
+		for _, k := range opts.Keys {
+			sub := opts
+			sub.Keys = nil
+			sub.Key = k
+			sub.HasKey = true
+			r, err := e.queryOne(vi, sub)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r...)
+		}
+		return trimRows(rows, opts), nil
+	}
+	rows, err := e.queryOne(vi, opts)
+	if err != nil {
+		return nil, err
+	}
+	return trimRows(rows, opts), nil
+}
+
+func (e *Engine) queryOne(vi *viewIndex, opts QueryOptions) ([]Row, error) {
+	lo, hi := scanBounds(opts)
+	vi.mu.Lock()
+	defer vi.mu.Unlock()
+	if opts.Reduce && !opts.Group {
+		// The fast path the paper highlights: aggregate straight from
+		// the pre-computed reduce annotations in the tree.
+		return []Row{{Key: nil, Value: finishReduce(vi.def.Reduce, vi.tree.ReduceRange(lo, hi))}}, nil
+	}
+	if opts.Reduce && opts.Group {
+		return reduceGrouped(vi, lo, hi), nil
+	}
+	var rows []Row
+	visit := func(_ []byte, v any) bool {
+		en := v.(entry)
+		rows = append(rows, Row{Key: en.key, Value: en.val, ID: en.id})
+		return true
+	}
+	if opts.Descending {
+		vi.tree.Descend(lo, hi, visit)
+	} else {
+		vi.tree.Ascend(lo, hi, visit)
+	}
+	return rows, nil
+}
+
+// scanBounds converts query options into tree-key bounds.
+func scanBounds(opts QueryOptions) (lo, hi []byte) {
+	if opts.HasKey {
+		enc := value.EncodeKey(opts.Key)
+		lo = append(append([]byte{}, enc...), 0x00)
+		hi = append(append([]byte{}, enc...), 0x01)
+		return lo, hi
+	}
+	if opts.HasStart {
+		enc := value.EncodeKey(opts.StartKey)
+		lo = append(append([]byte{}, enc...), 0x00)
+	}
+	if opts.HasEnd {
+		enc := value.EncodeKey(opts.EndKey)
+		if opts.InclusiveEnd {
+			hi = append(append([]byte{}, enc...), 0x01)
+		} else {
+			hi = append(append([]byte{}, enc...), 0x00)
+		}
+	}
+	return lo, hi
+}
+
+func trimRows(rows []Row, opts QueryOptions) []Row {
+	if opts.Skip > 0 {
+		if opts.Skip >= len(rows) {
+			return nil
+		}
+		rows = rows[opts.Skip:]
+	}
+	if opts.Limit > 0 && len(rows) > opts.Limit {
+		rows = rows[:opts.Limit]
+	}
+	return rows
+}
+
+func reduceGrouped(vi *viewIndex, lo, hi []byte) []Row {
+	var rows []Row
+	var curKey any
+	var acc any
+	started := false
+	r, _ := reducerFor(vi.def.Reduce)
+	flush := func() {
+		if started {
+			rows = append(rows, Row{Key: curKey, Value: finishReduce(vi.def.Reduce, acc)})
+		}
+	}
+	vi.tree.Ascend(lo, hi, func(tk []byte, v any) bool {
+		en := v.(entry)
+		if !started || value.Compare(en.key, curKey) != 0 {
+			flush()
+			curKey = en.key
+			acc = r.Zero()
+			started = true
+		}
+		acc = r.Merge(acc, r.Map(tk, v))
+		return true
+	})
+	flush()
+	return rows
+}

@@ -1,0 +1,194 @@
+// Package xdcr implements Cross Datacenter Replication (paper §4.6):
+// "XDCR provides a way to replicate active data to multiple,
+// geographically diverse datacenters ... XDCR is also a consumer of the
+// internal DCP stream, as it uses the DCP stream to push in-memory
+// document mutations to the destination cluster."
+//
+// Properties reproduced from the paper:
+//
+//   - Per-bucket setup, with optional filtered replication "based on a
+//     regular expression on the document ID".
+//   - Cluster-topology awareness: the source streams from whichever
+//     node currently holds each active vBucket, and the destination
+//     apply routes by key through the destination's own cluster map —
+//     the two clusters may have different node counts and partitioning.
+//   - Eventual consistency with deterministic conflict resolution
+//     (§4.6.1): most-updates (RevSeqno) wins, metadata (CAS) tiebreak,
+//     applied identically on both sides, so bidirectional replication
+//     converges to the same winner.
+package xdcr
+
+import (
+	"regexp"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"couchgo/internal/core"
+	"couchgo/internal/dcp"
+)
+
+// Options configure one replication.
+type Options struct {
+	// FilterExpr, when non-empty, is a regular expression on document
+	// IDs; only matching documents replicate.
+	FilterExpr string
+	// RetryInterval between stream re-opens after topology changes.
+	RetryInterval time.Duration
+}
+
+// Replicator pushes one source bucket's mutations to a destination
+// cluster's bucket.
+type Replicator struct {
+	source       *core.Cluster
+	sourceBucket string
+	dest         *core.Client
+	filter       *regexp.Regexp
+	retry        time.Duration
+
+	mu      sync.Mutex
+	stopped bool
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+
+	// lastSeqno per vb, for stream resumption across re-opens.
+	lastSeqno []atomic.Uint64
+
+	// Stats.
+	sent     atomic.Int64
+	applied  atomic.Int64
+	rejected atomic.Int64 // lost conflict resolution at the destination
+	filtered atomic.Int64
+}
+
+// Start begins replicating source/bucket into dest/destBucket.
+func Start(source *core.Cluster, sourceBucket string, dest *core.Cluster, destBucket string, opts Options) (*Replicator, error) {
+	nvb, err := source.NumVBuckets(sourceBucket)
+	if err != nil {
+		return nil, err
+	}
+	destClient, err := dest.OpenBucket(destBucket)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replicator{
+		source:       source,
+		sourceBucket: sourceBucket,
+		dest:         destClient,
+		retry:        opts.RetryInterval,
+		stopCh:       make(chan struct{}),
+		lastSeqno:    make([]atomic.Uint64, nvb),
+	}
+	if r.retry <= 0 {
+		r.retry = 20 * time.Millisecond
+	}
+	if opts.FilterExpr != "" {
+		re, err := regexp.Compile(opts.FilterExpr)
+		if err != nil {
+			return nil, err
+		}
+		r.filter = re
+	}
+	for vb := 0; vb < nvb; vb++ {
+		r.wg.Add(1)
+		go r.replicateVB(vb)
+	}
+	return r, nil
+}
+
+// replicateVB follows one source vBucket forever: open a stream on the
+// current active copy, push mutations, and re-open on stream end (the
+// topology-awareness loop — failover/rebalance close producer streams,
+// and the re-open lands on the new active).
+func (r *Replicator) replicateVB(vb int) {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		default:
+		}
+		stream, err := r.source.VBStream(r.sourceBucket, vb, "xdcr", r.lastSeqno[vb].Load())
+		if err != nil {
+			select {
+			case <-r.stopCh:
+				return
+			case <-time.After(r.retry):
+			}
+			continue
+		}
+		r.consume(vb, stream)
+		select {
+		case <-r.stopCh:
+			return
+		case <-time.After(r.retry):
+		}
+	}
+}
+
+// consume drains one stream until it closes (producer gone) or the
+// replicator stops.
+func (r *Replicator) consume(vb int, stream *dcp.Stream) {
+	defer stream.Close()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case m, ok := <-stream.C():
+			if !ok {
+				return
+			}
+			r.lastSeqno[vb].Store(m.Seqno)
+			if r.filter != nil && !r.filter.MatchString(m.Key) {
+				r.filtered.Add(1)
+				continue
+			}
+			r.sent.Add(1)
+			applied, err := r.dest.XDCRApply(m.Key, m.Value, m.Deleted, m.CAS, m.RevSeqno, m.Flags, m.Expiry)
+			if err != nil {
+				// Destination unavailable for this key right now; the
+				// stream position was advanced, so rely on the next
+				// full pass. In a production system this would queue
+				// and retry; here topology changes re-open from the
+				// recorded seqno.
+				continue
+			}
+			if applied {
+				r.applied.Add(1)
+			} else {
+				r.rejected.Add(1)
+			}
+		}
+	}
+}
+
+// Stop halts replication. Mutations already queued may still land.
+func (r *Replicator) Stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	close(r.stopCh)
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// Stats reports replication counters.
+type Stats struct {
+	Sent     int64
+	Applied  int64
+	Rejected int64
+	Filtered int64
+}
+
+// Stats returns a snapshot of the counters.
+func (r *Replicator) Stats() Stats {
+	return Stats{
+		Sent:     r.sent.Load(),
+		Applied:  r.applied.Load(),
+		Rejected: r.rejected.Load(),
+		Filtered: r.filtered.Load(),
+	}
+}

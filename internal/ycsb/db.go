@@ -1,0 +1,67 @@
+package ycsb
+
+import (
+	"fmt"
+
+	"couchgo/internal/core"
+	"couchgo/internal/executor"
+)
+
+// CouchDB adapts a couchgo cluster to the YCSB DB interface, as the
+// paper's "Couchbase adapter for YCSB was built to operate against a
+// Couchbase Server cluster ... and provides a rich set of
+// configuration options, including support for the N1QL query
+// language."
+type CouchDB struct {
+	Cluster *core.Cluster
+	Client  *core.Client
+	Bucket  string
+	// ScanConsistency for workload E queries (default not_bounded, as
+	// benchmark scans favour latency).
+	ScanConsistency executor.Consistency
+}
+
+// NewCouchDB opens the adapter on a bucket.
+func NewCouchDB(c *core.Cluster, bucket string) (*CouchDB, error) {
+	cl, err := c.OpenBucket(bucket)
+	if err != nil {
+		return nil, err
+	}
+	return &CouchDB{Cluster: c, Client: cl, Bucket: bucket}, nil
+}
+
+// Read implements DB.
+func (db *CouchDB) Read(key string) error {
+	_, err := db.Client.Get(key)
+	return err
+}
+
+// Update implements DB.
+func (db *CouchDB) Update(key string, value []byte) error {
+	_, err := db.Client.Set(key, value, 0)
+	return err
+}
+
+// Insert implements DB.
+func (db *CouchDB) Insert(key string, value []byte) error {
+	_, err := db.Client.Set(key, value, 0)
+	return err
+}
+
+// scanStatement is the appendix's workload E query:
+// "SELECT meta().id AS id FROM `bucket` WHERE meta().id >= '$1' LIMIT $2".
+func (db *CouchDB) scanStatement() string {
+	return fmt.Sprintf("SELECT meta().id AS id FROM `%s` WHERE meta().id >= $1 LIMIT $2", db.Bucket)
+}
+
+// Scan implements DB via N1QL.
+func (db *CouchDB) Scan(startKey string, limit int) (int, error) {
+	res, err := db.Cluster.Query(db.scanStatement(), executor.Options{
+		Params:      map[string]any{"1": startKey, "2": float64(limit)},
+		Consistency: db.ScanConsistency,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return len(res.Rows), nil
+}

@@ -1,0 +1,176 @@
+// Package ycsb reimplements the Yahoo! Cloud Serving Benchmark (Cooper
+// et al. [14]) workload machinery the paper's appendix uses: key
+// choosers (uniform, zipfian, latest), record generation, the standard
+// workload mixes (A through E), and a multi-threaded measurement
+// runner. The paper evaluates workload A (50/50 read-update, Figure
+// 15) and workload E (short N1QL range scans, Figure 16).
+package ycsb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Generator produces the next key number to operate on.
+type Generator interface {
+	// Next returns a key number in [0, n) where n is the current
+	// record count. r is the calling goroutine's private RNG.
+	Next(r *rand.Rand) int64
+}
+
+// Uniform picks keys uniformly.
+type Uniform struct{ N int64 }
+
+// Next implements Generator.
+func (u *Uniform) Next(r *rand.Rand) int64 { return r.Int63n(u.N) }
+
+// Zipfian is YCSB's ZipfianGenerator: a zipf-distributed chooser with
+// the standard 0.99 constant, using the Gray et al. rejection-free
+// formula. Safe for concurrent use.
+type Zipfian struct {
+	n     int64
+	theta float64
+
+	alpha, zetan, eta, zeta2 float64
+}
+
+// ZipfianConstant is YCSB's default skew.
+const ZipfianConstant = 0.99
+
+// NewZipfian builds a zipfian chooser over [0, n).
+func NewZipfian(n int64) *Zipfian {
+	z := &Zipfian{n: n, theta: ZipfianConstant}
+	z.zeta2 = zetaStatic(2, z.theta)
+	z.zetan = zetaStatic(n, z.theta)
+	z.alpha = 1.0 / (1.0 - z.theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-z.theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zetaStatic(n int64, theta float64) float64 {
+	sum := 0.0
+	for i := int64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next implements Generator.
+func (z *Zipfian) Next(r *rand.Rand) int64 {
+	u := r.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// ScrambledZipfian spreads the zipfian's popular items over the whole
+// keyspace by hashing, as YCSB does, so hot keys land on different
+// partitions.
+type ScrambledZipfian struct {
+	z *Zipfian
+	n int64
+}
+
+// NewScrambledZipfian builds the standard YCSB request chooser.
+func NewScrambledZipfian(n int64) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(n), n: n}
+}
+
+// Next implements Generator.
+func (s *ScrambledZipfian) Next(r *rand.Rand) int64 {
+	return int64(fnv64(uint64(s.z.Next(r)))) % s.n
+}
+
+func fnv64(v uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
+	}
+	if int64(h) < 0 {
+		h = -h
+	}
+	return h
+}
+
+// Latest skews toward recently inserted records (workload D).
+type Latest struct {
+	z       *Zipfian
+	counter *atomic.Int64
+}
+
+// NewLatest builds a latest-skewed chooser following counter.
+func NewLatest(counter *atomic.Int64) *Latest {
+	return &Latest{z: NewZipfian(counter.Load()), counter: counter}
+}
+
+// Next implements Generator.
+func (l *Latest) Next(r *rand.Rand) int64 {
+	max := l.counter.Load()
+	off := l.z.Next(r)
+	if off >= max {
+		off = max - 1
+	}
+	return max - 1 - off
+}
+
+// KeyName renders key number i as a YCSB-style ordered key. Zero
+// padding keeps lexicographic order equal to numeric order, which the
+// scan workload (E) relies on.
+func KeyName(i int64) string { return fmt.Sprintf("user%012d", i) }
+
+// RecordBuilder generates YCSB documents: fieldcount fields of
+// fieldlength printable bytes ("a data set of 10 million documents" in
+// the paper's run; field shape per YCSB defaults).
+type RecordBuilder struct {
+	FieldCount  int
+	FieldLength int
+}
+
+// DefaultRecord matches YCSB's core defaults (10 × 100 B ≈ 1 KB/doc).
+var DefaultRecord = RecordBuilder{FieldCount: 10, FieldLength: 100}
+
+var fieldChars = []byte("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789")
+
+// Build renders one record as JSON.
+func (rb RecordBuilder) Build(r *rand.Rand) []byte {
+	fc := rb.FieldCount
+	if fc <= 0 {
+		fc = 10
+	}
+	fl := rb.FieldLength
+	if fl <= 0 {
+		fl = 100
+	}
+	buf := make([]byte, 0, fc*(fl+12)+2)
+	buf = append(buf, '{')
+	for f := 0; f < fc; f++ {
+		if f > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, fmt.Sprintf(`"field%d":"`, f)...)
+		for i := 0; i < fl; i++ {
+			buf = append(buf, fieldChars[r.Intn(len(fieldChars))])
+		}
+		buf = append(buf, '"')
+	}
+	return append(buf, '}')
+}
+
+// rngPool hands each worker goroutine a private RNG.
+var rngPool = sync.Pool{New: func() any {
+	return rand.New(rand.NewSource(rand.Int63()))
+}}

@@ -1,0 +1,265 @@
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DB is the system under test. The couchgo adapter lives in CouchDB
+// (db.go); any other store can implement this for baseline comparison.
+type DB interface {
+	Read(key string) error
+	Update(key string, value []byte) error
+	Insert(key string, value []byte) error
+	// Scan runs a short range query: keys >= startKey, LIMIT limit.
+	// Workload E issues these through N1QL in the paper.
+	Scan(startKey string, limit int) (int, error)
+}
+
+// OpKind enumerates YCSB operations.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpUpdate
+	OpInsert
+	OpScan
+)
+
+// Workload is a YCSB workload mix.
+type Workload struct {
+	Name string
+	// Proportions sum to 1.
+	ReadProportion   float64
+	UpdateProportion float64
+	InsertProportion float64
+	ScanProportion   float64
+	// Distribution: "zipfian", "uniform", or "latest".
+	Distribution string
+	// MaxScanLength bounds workload E's range size (uniform 1..Max).
+	MaxScanLength int
+}
+
+// The standard core workloads (YCSB wiki definitions).
+var (
+	// WorkloadA: update heavy, 50/50 — Figure 15.
+	WorkloadA = Workload{Name: "A", ReadProportion: 0.5, UpdateProportion: 0.5, Distribution: "zipfian"}
+	// WorkloadB: read mostly, 95/5.
+	WorkloadB = Workload{Name: "B", ReadProportion: 0.95, UpdateProportion: 0.05, Distribution: "zipfian"}
+	// WorkloadC: read only.
+	WorkloadC = Workload{Name: "C", ReadProportion: 1.0, Distribution: "zipfian"}
+	// WorkloadD: read latest, 95/5 read/insert.
+	WorkloadD = Workload{Name: "D", ReadProportion: 0.95, InsertProportion: 0.05, Distribution: "latest"}
+	// WorkloadE: short scans, 95/5 scan/insert — Figure 16.
+	WorkloadE = Workload{Name: "E", ScanProportion: 0.95, InsertProportion: 0.05, Distribution: "zipfian", MaxScanLength: 100}
+)
+
+// WorkloadByName resolves "a".."e".
+func WorkloadByName(name string) (Workload, error) {
+	switch strings.ToLower(name) {
+	case "a":
+		return WorkloadA, nil
+	case "b":
+		return WorkloadB, nil
+	case "c":
+		return WorkloadC, nil
+	case "d":
+		return WorkloadD, nil
+	case "e":
+		return WorkloadE, nil
+	}
+	return Workload{}, fmt.Errorf("ycsb: unknown workload %q", name)
+}
+
+// Runner drives one measurement.
+type Runner struct {
+	DB       DB
+	Workload Workload
+	// RecordCount is the loaded data set size.
+	RecordCount int64
+	// Threads is the total client thread count (the paper sweeps
+	// 4 clients × 12..32 threads = 48..128).
+	Threads int
+	// Ops is the total operation count to execute.
+	Ops int
+	// Record shapes generated values.
+	Record RecordBuilder
+}
+
+// Result summarizes one run.
+type Result struct {
+	Workload   string
+	Threads    int
+	Ops        int
+	Errors     int
+	Elapsed    time.Duration
+	Throughput float64 // ops/sec
+	// Latency percentiles over a sample of operations.
+	P50, P95, P99 time.Duration
+}
+
+// String renders one figure row.
+func (r Result) String() string {
+	return fmt.Sprintf("workload=%s threads=%3d ops=%8d errors=%d elapsed=%8s throughput=%10.0f ops/sec p50=%-10s p95=%-10s p99=%s",
+		r.Workload, r.Threads, r.Ops, r.Errors, r.Elapsed.Round(time.Millisecond), r.Throughput, r.P50, r.P95, r.P99)
+}
+
+// Load inserts the initial data set using the runner's thread count.
+func (r *Runner) Load() error {
+	var nextKey atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	threads := r.Threads
+	if threads <= 0 {
+		threads = 8
+	}
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rngPool.Get().(*rand.Rand)
+			defer rngPool.Put(rng)
+			for {
+				i := nextKey.Add(1) - 1
+				if i >= r.RecordCount {
+					return
+				}
+				if err := r.DB.Insert(KeyName(i), r.Record.Build(rng)); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Run executes the workload and measures throughput and latency.
+func (r *Runner) Run() Result {
+	w := r.Workload
+	insertCounter := &atomic.Int64{}
+	insertCounter.Store(r.RecordCount)
+	var chooser Generator
+	switch w.Distribution {
+	case "uniform":
+		chooser = &Uniform{N: r.RecordCount}
+	case "latest":
+		chooser = NewLatest(insertCounter)
+	default:
+		chooser = NewScrambledZipfian(r.RecordCount)
+	}
+
+	var opsIssued atomic.Int64
+	var errs atomic.Int64
+	// Latency samples: each thread records every 16th op.
+	sampleCh := make(chan time.Duration, 4096)
+	var samples []time.Duration
+	var collectWg sync.WaitGroup
+	collectWg.Add(1)
+	go func() {
+		defer collectWg.Done()
+		for d := range sampleCh {
+			samples = append(samples, d)
+		}
+	}()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for t := 0; t < r.Threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rngPool.Get().(*rand.Rand)
+			defer rngPool.Put(rng)
+			n := 0
+			for {
+				if opsIssued.Add(1) > int64(r.Ops) {
+					return
+				}
+				op := pickOp(w, rng)
+				var t0 time.Time
+				sampled := n%16 == 0
+				if sampled {
+					t0 = time.Now()
+				}
+				if err := r.doOp(op, chooser, insertCounter, rng); err != nil {
+					errs.Add(1)
+				}
+				if sampled {
+					select {
+					case sampleCh <- time.Since(t0):
+					default:
+					}
+				}
+				n++
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(sampleCh)
+	collectWg.Wait()
+
+	res := Result{
+		Workload: w.Name,
+		Threads:  r.Threads,
+		Ops:      r.Ops,
+		Errors:   int(errs.Load()),
+		Elapsed:  elapsed,
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(r.Ops) / elapsed.Seconds()
+	}
+	if len(samples) > 0 {
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		res.P50 = samples[len(samples)/2]
+		res.P95 = samples[len(samples)*95/100]
+		res.P99 = samples[len(samples)*99/100]
+	}
+	return res
+}
+
+func pickOp(w Workload, r *rand.Rand) OpKind {
+	f := r.Float64()
+	switch {
+	case f < w.ReadProportion:
+		return OpRead
+	case f < w.ReadProportion+w.UpdateProportion:
+		return OpUpdate
+	case f < w.ReadProportion+w.UpdateProportion+w.InsertProportion:
+		return OpInsert
+	default:
+		return OpScan
+	}
+}
+
+func (r *Runner) doOp(op OpKind, chooser Generator, insertCounter *atomic.Int64, rng *rand.Rand) error {
+	switch op {
+	case OpRead:
+		return r.DB.Read(KeyName(chooser.Next(rng)))
+	case OpUpdate:
+		return r.DB.Update(KeyName(chooser.Next(rng)), r.Record.Build(rng))
+	case OpInsert:
+		i := insertCounter.Add(1) - 1
+		return r.DB.Insert(KeyName(i), r.Record.Build(rng))
+	case OpScan:
+		max := r.Workload.MaxScanLength
+		if max <= 0 {
+			max = 100
+		}
+		limit := 1 + rng.Intn(max)
+		_, err := r.DB.Scan(KeyName(chooser.Next(rng)), limit)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"couchgo/internal/cmap"
+	"couchgo/internal/core"
+	"couchgo/internal/executor"
+)
+
+func TestUniformInRange(t *testing.T) {
+	u := &Uniform{N: 100}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		v := u.Next(r)
+		if v < 0 || v >= 100 {
+			t.Fatalf("out of range: %d", v)
+		}
+	}
+}
+
+func TestZipfianSkewAndRange(t *testing.T) {
+	z := NewZipfian(1000)
+	r := rand.New(rand.NewSource(2))
+	counts := map[int64]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := z.Next(r)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Key 0 should be by far the most popular (zipf head).
+	if counts[0] < n/20 {
+		t.Errorf("zipfian head not hot: %d of %d", counts[0], n)
+	}
+	if counts[0] <= counts[500] {
+		t.Error("no skew detected")
+	}
+}
+
+func TestScrambledZipfianSpreads(t *testing.T) {
+	s := NewScrambledZipfian(1000)
+	r := rand.New(rand.NewSource(3))
+	seen := map[int64]bool{}
+	for i := 0; i < 5000; i++ {
+		v := s.Next(r)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 100 {
+		t.Errorf("scrambled zipfian touched only %d keys", len(seen))
+	}
+}
+
+func TestLatestFavoursRecent(t *testing.T) {
+	var counter atomic.Int64
+	counter.Store(1000)
+	l := NewLatest(&counter)
+	r := rand.New(rand.NewSource(4))
+	recent := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := l.Next(r)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("out of range: %d", v)
+		}
+		if v >= 900 {
+			recent++
+		}
+	}
+	if recent < n/3 {
+		t.Errorf("latest distribution not recent-heavy: %d/%d in top decile", recent, n)
+	}
+}
+
+func TestKeyNameOrdering(t *testing.T) {
+	if KeyName(5) >= KeyName(10) {
+		t.Error("zero padding broken: lexicographic != numeric order")
+	}
+	if KeyName(999999) >= KeyName(1000000) {
+		t.Error("ordering broken at rollover")
+	}
+}
+
+func TestRecordBuilderShape(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	rec := DefaultRecord.Build(r)
+	s := string(rec)
+	if !strings.HasPrefix(s, `{"field0":"`) {
+		t.Errorf("record: %.60s", s)
+	}
+	for f := 0; f < 10; f++ {
+		if !strings.Contains(s, fmt.Sprintf(`"field%d":"`, f)) {
+			t.Errorf("missing field%d", f)
+		}
+	}
+	if len(rec) < 10*100 {
+		t.Errorf("record too small: %d", len(rec))
+	}
+}
+
+func TestWorkloadByName(t *testing.T) {
+	for _, n := range []string{"a", "B", "c", "D", "e"} {
+		if _, err := WorkloadByName(n); err != nil {
+			t.Errorf("workload %s: %v", n, err)
+		}
+	}
+	if _, err := WorkloadByName("z"); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestPickOpProportions(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	counts := map[OpKind]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[pickOp(WorkloadA, r)]++
+	}
+	reads := float64(counts[OpRead]) / n
+	if reads < 0.45 || reads > 0.55 {
+		t.Errorf("workload A read fraction: %v", reads)
+	}
+	counts = map[OpKind]int{}
+	for i := 0; i < n; i++ {
+		counts[pickOp(WorkloadE, r)]++
+	}
+	scans := float64(counts[OpScan]) / n
+	if scans < 0.90 || scans > 0.99 {
+		t.Errorf("workload E scan fraction: %v", scans)
+	}
+}
+
+// End-to-end: run tiny measurements against a real in-process cluster.
+func newYCSBCluster(t *testing.T) *core.Cluster {
+	t.Helper()
+	c, err := core.NewCluster(core.Config{Dir: t.TempDir(), NumVBuckets: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	for i := 0; i < 2; i++ {
+		c.AddNode(cmap.NodeID(fmt.Sprintf("n%d", i)), cmap.AllServices)
+	}
+	if err := c.CreateBucket("ycsb", core.BucketOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestWorkloadAEndToEnd(t *testing.T) {
+	c := newYCSBCluster(t)
+	db, err := NewCouchDB(c, "ycsb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{DB: db, Workload: WorkloadA, RecordCount: 200, Threads: 4, Ops: 1000, Record: RecordBuilder{FieldCount: 2, FieldLength: 10}}
+	if err := r.Load(); err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+	if res.Errors != 0 {
+		t.Fatalf("errors: %+v", res)
+	}
+	if res.Throughput <= 0 || res.P50 <= 0 {
+		t.Fatalf("bogus result: %+v", res)
+	}
+	if res.String() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestWorkloadEEndToEnd(t *testing.T) {
+	c := newYCSBCluster(t)
+	if _, err := c.Query("CREATE PRIMARY INDEX ON `ycsb`", executor.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewCouchDB(c, "ycsb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{DB: db, Workload: WorkloadE, RecordCount: 200, Threads: 4, Ops: 200, Record: RecordBuilder{FieldCount: 2, FieldLength: 10}}
+	if err := r.Load(); err != nil {
+		t.Fatal(err)
+	}
+	res := r.Run()
+	if res.Errors != 0 {
+		t.Fatalf("errors: %+v", res)
+	}
+	// A direct scan returns ordered keys honoring the limit.
+	n, err := db.Scan(KeyName(10), 5)
+	if err != nil || n != 5 {
+		t.Fatalf("scan: %d %v", n, err)
+	}
+}
