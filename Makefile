@@ -1,0 +1,17 @@
+# Tier-1 gate plus the race-sensitive instrumented packages.
+
+.PHONY: verify build test race vet
+
+verify: vet build test race
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race ./internal/metrics ./internal/rest ./internal/dcp

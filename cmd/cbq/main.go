@@ -7,6 +7,7 @@
 //	> CREATE PRIMARY INDEX ON default;
 //	> SELECT meta().id FROM default LIMIT 5;
 //	> \consistency request_plus
+//	> \timings
 //	> \quit
 package main
 
@@ -26,6 +27,7 @@ func main() {
 	flag.Parse()
 
 	consistency := ""
+	timings := false
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	var pending strings.Builder
@@ -47,6 +49,10 @@ func main() {
 				fmt.Print("usage: \\consistency request_plus|not_bounded\n> ")
 			}
 			continue
+		case trimmed == `\timings`:
+			timings = !timings
+			fmt.Printf("profile timings = %v\n> ", timings)
+			continue
 		}
 		pending.WriteString(line)
 		pending.WriteString(" ")
@@ -56,16 +62,20 @@ func main() {
 		}
 		stmt := strings.TrimSpace(pending.String())
 		pending.Reset()
-		runStatement(*url, stmt, consistency)
+		runStatement(*url, stmt, consistency, timings)
 		fmt.Print("> ")
 	}
 }
 
-func runStatement(base, stmt, consistency string) {
-	body, _ := json.Marshal(map[string]any{
+func runStatement(base, stmt, consistency string, timings bool) {
+	req := map[string]any{
 		"statement":        strings.TrimSuffix(stmt, ";"),
 		"scan_consistency": consistency,
-	})
+	}
+	if timings {
+		req["profile"] = "timings"
+	}
+	body, _ := json.Marshal(req)
 	resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
 	if err != nil {
 		fmt.Printf("error: %v\n", err)
@@ -90,6 +100,10 @@ func runStatement(base, stmt, consistency string) {
 	}
 	if mc, ok := out["mutationCount"].(float64); ok && mc > 0 {
 		fmt.Printf("mutations: %.0f\n", mc)
+	}
+	if prof, ok := out["profile"].(map[string]any); ok {
+		fmt.Println("profile:")
+		enc.Encode(prof)
 	}
 	fmt.Printf("status: %v\n", out["status"])
 }

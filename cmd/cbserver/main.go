@@ -12,6 +12,8 @@
 //	curl localhost:8091/buckets/default/docs/user::1
 //	curl -X POST localhost:8091/query -d '{"statement":"CREATE PRIMARY INDEX ON default"}'
 //	curl -X POST localhost:8091/query -d '{"statement":"SELECT * FROM default"}'
+//	curl localhost:8091/metrics
+//	curl localhost:8091/stats/detail
 package main
 
 import (
@@ -37,14 +39,18 @@ func main() {
 		dir       = flag.String("dir", "", "storage directory (default: temp)")
 		bucket    = flag.String("bucket", "default", "bucket to create")
 		syncWrite = flag.Bool("sync", false, "fsync every persisted batch")
+		slowQuery = flag.Duration("slow-query-threshold", 100*time.Millisecond, "N1QL latency before a statement lands in the slow-query log")
+		slowLog   = flag.Int("slow-query-log-size", 64, "slow-query ring buffer capacity")
 	)
 	flag.Parse()
 
 	cluster, err := core.NewCluster(core.Config{
-		Dir:             *dir,
-		NumVBuckets:     *vbuckets,
-		SyncPersist:     *syncWrite,
-		FailoverTimeout: 2 * time.Second,
+		Dir:                *dir,
+		NumVBuckets:        *vbuckets,
+		SyncPersist:        *syncWrite,
+		FailoverTimeout:    2 * time.Second,
+		SlowQueryThreshold: *slowQuery,
+		SlowQueryLogSize:   *slowLog,
 	})
 	if err != nil {
 		log.Fatalf("cluster: %v", err)

@@ -17,6 +17,18 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"couchgo/internal/metrics"
+)
+
+// Process-wide cache counters (summed across every hash table). Hit
+// and miss counting lives in the vBucket layer, which distinguishes
+// resident hits from background fetches; the table itself counts what
+// only it can see: lazy expirations and pager evictions.
+var (
+	mExpirations   = metrics.Default.Counter("couchgo_cache_expirations_total")
+	mEvictionsVal  = metrics.Default.Counter("couchgo_cache_evictions_total", "mode", "value")
+	mEvictionsFull = metrics.Default.Counter("couchgo_cache_evictions_total", "mode", "full")
 )
 
 // Errors returned by hash-table operations. They mirror the memcached
@@ -191,6 +203,7 @@ func (h *HashTable) Get(key string, now int64) (Item, error) {
 		return Item{}, ErrKeyNotFound
 	}
 	if it.expired(now) {
+		mExpirations.Inc()
 		h.deleteLocked(it)
 		return Item{}, ErrKeyNotFound
 	}
@@ -249,6 +262,7 @@ func (h *HashTable) storeLocked(key string, value []byte, flags uint32, expiry i
 	it, exists := h.items[key]
 	if exists && (it.Deleted || it.expired(now)) {
 		if it.expired(now) && !it.Deleted {
+			mExpirations.Inc()
 			h.deleteLocked(it)
 		}
 		exists = false
@@ -305,6 +319,7 @@ func (h *HashTable) Delete(key string, casCheck uint64, now int64) (Item, error)
 	it, ok := h.items[key]
 	if !ok || it.Deleted || it.expired(now) {
 		if ok && it.expired(now) && !it.Deleted {
+			mExpirations.Inc()
 			h.deleteLocked(it)
 		}
 		return Item{}, ErrKeyNotFound
@@ -555,6 +570,7 @@ func (h *HashTable) EvictItem(key string, persistedSeqno uint64, now int64) bool
 	} else {
 		h.itemCount--
 	}
+	mEvictionsFull.Inc()
 	return true
 }
 
@@ -572,6 +588,7 @@ func (h *HashTable) EvictValue(key string) int64 {
 	it.Resident = false
 	freed := before - it.memSize()
 	h.memUsed -= freed
+	mEvictionsVal.Inc()
 	return freed
 }
 

@@ -13,6 +13,7 @@ import (
 	"couchgo/internal/dcp"
 	"couchgo/internal/fts"
 	"couchgo/internal/gsi"
+	"couchgo/internal/metrics"
 	"couchgo/internal/planner"
 	"couchgo/internal/vbucket"
 	"couchgo/internal/views"
@@ -34,6 +35,11 @@ type Config struct {
 	// (Failover can still be invoked manually).
 	HeartbeatInterval time.Duration
 	FailoverTimeout   time.Duration
+	// SlowQueryThreshold bounds N1QL latency before a statement lands
+	// in the slow-query log (default 100ms).
+	SlowQueryThreshold time.Duration
+	// SlowQueryLogSize caps the slow-query ring buffer (default 64).
+	SlowQueryLogSize int
 }
 
 // BucketOptions configure one bucket.
@@ -98,6 +104,10 @@ type Cluster struct {
 	lastSeen map[cmap.NodeID]time.Time
 	stopHB   chan struct{}
 	hbDone   chan struct{}
+
+	// slowLog retains recent statements slower than
+	// cfg.SlowQueryThreshold.
+	slowLog *metrics.SlowQueryLog
 }
 
 // NewCluster creates an empty cluster rooted at cfg.Dir.
@@ -121,6 +131,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		lastSeen: make(map[cmap.NodeID]time.Time),
 		stopHB:   make(chan struct{}),
 		hbDone:   make(chan struct{}),
+		slowLog:  metrics.NewSlowQueryLog(cfg.SlowQueryThreshold, cfg.SlowQueryLogSize),
 	}
 	go c.heartbeatLoop()
 	return c, nil
@@ -714,6 +725,41 @@ func (c *Cluster) Stats(bucketName string) []NodeStats {
 		out = append(out, n.stats(bucketName))
 	}
 	return out
+}
+
+// HasBucket reports whether the bucket exists.
+func (c *Cluster) HasBucket(name string) bool {
+	_, err := c.bucket(name)
+	return err == nil
+}
+
+// BucketNames lists the cluster's buckets, sorted.
+func (c *Cluster) BucketNames() []string {
+	c.mu.Lock()
+	out := make([]string, 0, len(c.buckets))
+	for name := range c.buckets {
+		out = append(out, name)
+	}
+	c.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// SlowQueries returns the retained slow-query log entries, most
+// recent first.
+func (c *Cluster) SlowQueries() []metrics.SlowQuery {
+	return c.slowLog.Entries()
+}
+
+// SlowQueryThreshold reports the active slow-query cutoff.
+func (c *Cluster) SlowQueryThreshold() time.Duration {
+	return c.slowLog.Threshold()
+}
+
+// SlowQueryTotal counts every statement that ever crossed the
+// threshold, including entries the ring has since overwritten.
+func (c *Cluster) SlowQueryTotal() uint64 {
+	return c.slowLog.Total()
 }
 
 // Close shuts the cluster down.

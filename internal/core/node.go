@@ -388,6 +388,20 @@ type NodeStats struct {
 	ReplicaVBs int
 	Items      int64
 	MemUsed    int64
+	// Tombstones and NonResident describe cache composition: deleted
+	// metadata retained for replication, and value-evicted items.
+	Tombstones  int64
+	NonResident int64
+	// QueueDepth is the summed disk-write queue backlog across this
+	// node's active vBuckets (Figure 6's drain queue).
+	QueueDepth int
+	// DiskBytes / DiskLiveBytes describe the append-only files; their
+	// difference is reclaimable fragmentation.
+	DiskBytes     int64
+	DiskLiveBytes int64
+	// DCPLags sums items-remaining per DCP stream name (e.g.
+	// "replica:node1", "gsi-projector") across this node's vBuckets.
+	DCPLags map[string]uint64 `json:",omitempty"`
 }
 
 // stats gathers per-node counters for one bucket.
@@ -408,6 +422,20 @@ func (n *Node) stats(bucketName string) NodeStats {
 			ts := vb.Table.Stats()
 			st.Items += ts.Items
 			st.MemUsed += ts.MemUsed
+			st.Tombstones += ts.Tombstones
+			st.NonResident += ts.NonResident
+			st.QueueDepth += vb.QueueDepth()
+			if f, err := nb.store.VB(vb.ID); err == nil {
+				fs := f.Stats()
+				st.DiskBytes += fs.FileBytes
+				st.DiskLiveBytes += fs.LiveBytes
+			}
+			for name, lag := range vb.Producer().StreamLags() {
+				if st.DCPLags == nil {
+					st.DCPLags = make(map[string]uint64)
+				}
+				st.DCPLags[name] += lag
+			}
 		case vbucket.Replica, vbucket.Pending:
 			st.ReplicaVBs++
 		}

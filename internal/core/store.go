@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"couchgo/internal/analytics"
 	"couchgo/internal/cache"
@@ -10,6 +11,7 @@ import (
 	"couchgo/internal/executor"
 	"couchgo/internal/fts"
 	"couchgo/internal/gsi"
+	"couchgo/internal/metrics"
 	"couchgo/internal/n1ql"
 	"couchgo/internal/planner"
 	"couchgo/internal/query"
@@ -32,6 +34,13 @@ type clusterStore struct {
 	c *Cluster
 }
 
+// Query-service metrics: end-to-end statement latency plus how many
+// statements ever crossed the slow threshold.
+var (
+	mQueryDuration = metrics.Default.Histogram("couchgo_query_duration_seconds")
+	mSlowQueries   = metrics.Default.Counter("couchgo_query_slow_total")
+)
+
 // Query executes a N1QL statement on the cluster. The statement is
 // served by the query service; ErrNoQueryNode enforces the MDS
 // topology (a cluster without query nodes cannot run N1QL).
@@ -39,8 +48,15 @@ func (c *Cluster) Query(statement string, opts executor.Options) (*query.Result,
 	if !c.hasService(cmap.ServiceQuery) {
 		return nil, ErrNoQueryNode
 	}
+	t0 := time.Now()
 	eng := query.NewEngine(&clusterStore{c: c})
-	return eng.Execute(statement, opts)
+	res, err := eng.Execute(statement, opts)
+	elapsed := time.Since(t0)
+	mQueryDuration.Observe(elapsed)
+	if c.slowLog.Observe(statement, elapsed) {
+		mSlowQueries.Inc()
+	}
+	return res, err
 }
 
 func (c *Cluster) hasService(s cmap.Service) bool {

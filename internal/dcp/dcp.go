@@ -18,6 +18,7 @@ package dcp
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrClosed is returned when operating on a closed producer or stream.
@@ -87,6 +88,33 @@ func (p *Producer) HighSeqno() uint64 {
 	return p.high
 }
 
+// StreamLags reports items-remaining per open stream: the producer's
+// high seqno minus the seqno last delivered to each consumer — the
+// paper's §4.3.4 index-freshness metric, generalized to every DCP
+// consumer. Seqnos are dense per vBucket, so the difference counts
+// undelivered mutations.
+func (p *Producer) StreamLags() map[string]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.streams) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(p.streams))
+	for s := range p.streams {
+		var lag uint64
+		if done := s.processed.Load(); p.high > done {
+			lag = p.high - done
+		}
+		// Streams sharing a name (same consumer across reopen) keep
+		// the worst lag. Caught-up streams still report an entry, so
+		// a scrape sees lag 0 rather than a vanished series.
+		if cur, ok := out[s.Name]; !ok || lag > cur {
+			out[s.Name] = lag
+		}
+	}
+	return out
+}
+
 // Close terminates the producer and all its streams.
 func (p *Producer) Close() {
 	p.mu.Lock()
@@ -118,6 +146,7 @@ func (p *Producer) OpenStream(name string, fromSeqno uint64) (*Stream, error) {
 		wake:            make(chan struct{}, 1),
 		backfillPending: true,
 	}
+	s.processed.Store(fromSeqno)
 	p.streams[s] = struct{}{}
 	p.mu.Unlock()
 
@@ -134,6 +163,14 @@ func (p *Producer) OpenStream(name string, fromSeqno uint64) (*Stream, error) {
 	s.snapshotHigh = high
 	s.backfillPending = false
 	s.mu.Unlock()
+	// Existing data a fresh stream must backfill counts as lag, so the
+	// producer's watermark covers the snapshot even before the first
+	// live publish.
+	p.mu.Lock()
+	if high > p.high {
+		p.high = high
+	}
+	p.mu.Unlock()
 	s.kick()
 	go s.pump()
 	return s, nil
@@ -152,9 +189,18 @@ type Stream struct {
 	live            []Mutation
 	closed          bool
 
+	// processed is the seqno of the last mutation handed to the
+	// consumer (plus anything sitting in the small out buffer); the
+	// producer reads it to compute stream lag.
+	processed atomic.Uint64
+
 	out  chan Mutation
 	wake chan struct{}
 }
+
+// Processed returns the seqno of the last mutation delivered to the
+// consumer side of the stream.
+func (s *Stream) Processed() uint64 { return s.processed.Load() }
 
 // C returns the delivery channel.
 func (s *Stream) C() <-chan Mutation { return s.out }
@@ -229,6 +275,7 @@ func (s *Stream) send(m Mutation) bool {
 	for {
 		select {
 		case s.out <- m:
+			s.processed.Store(m.Seqno)
 			return true
 		case <-s.wake:
 			s.mu.Lock()

@@ -292,3 +292,69 @@ func TestHighSeqnoTracking(t *testing.T) {
 		t.Fatalf("high = %d", p.HighSeqno())
 	}
 }
+
+func TestStreamLagsSlowConsumer(t *testing.T) {
+	src := newMemSource()
+	p := NewProducer(0, src)
+	defer p.Close()
+	s, err := p.OpenStream("gsi-projector", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish 200 mutations without draining the stream. The out
+	// channel buffers 64, so processed can reach at most 64 and the
+	// reported lag must stay >= 136.
+	for i := 1; i <= 200; i++ {
+		publish(src, p, Mutation{Key: fmt.Sprintf("k%d", i), Seqno: uint64(i)})
+	}
+	lags := p.StreamLags()
+	if lag := lags["gsi-projector"]; lag < 136 {
+		t.Fatalf("slow consumer lag = %d, want >= 136", lag)
+	}
+	// Catch up: drain everything, then the lag must fall to zero.
+	collect(t, s, 200)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		// The caught-up stream must still be listed, at lag zero —
+		// a missing entry would read as a vanished gauge series.
+		lag, ok := p.StreamLags()["gsi-projector"]
+		if ok && lag == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lag stuck at %d (listed=%v) after catch-up", lag, ok)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFreshStreamBackfillCountsAsLag(t *testing.T) {
+	src := newMemSource()
+	p := NewProducer(0, src)
+	defer p.Close()
+	// Pre-existing data, no stream yet.
+	for i := 1; i <= 100; i++ {
+		publish(src, p, Mutation{Key: fmt.Sprintf("k%d", i), Seqno: uint64(i)})
+	}
+	s, err := p.OpenStream("late", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing drained: the whole backfill minus the 64-slot channel
+	// buffer is still owed to the consumer.
+	if lag := p.StreamLags()["late"]; lag < 36 {
+		t.Fatalf("fresh stream lag = %d, want >= 36", lag)
+	}
+	collect(t, s, 100)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		lag, ok := p.StreamLags()["late"]
+		if ok && lag == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lag stuck at %d (listed=%v) after drain", lag, ok)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -71,4 +71,7 @@ type Options struct {
 	Consistency Consistency
 	// FetchParallelism bounds the fetch worker pool (default 8).
 	FetchParallelism int
+	// Prof, when non-nil, collects per-operator timings for the
+	// response's `profile: timings` section.
+	Prof *Profile
 }

@@ -1,0 +1,66 @@
+package executor
+
+import (
+	"time"
+
+	"couchgo/internal/metrics"
+)
+
+// PhaseTiming is one operator's contribution to a statement, the unit
+// of the `profile: timings` response section (§4.5.3 exposes plans;
+// this exposes where the time went at execution).
+type PhaseTiming struct {
+	Operator string        `json:"#operator"`
+	Elapsed  time.Duration `json:"-"`
+	ExecTime string        `json:"execTime"`
+	Items    int           `json:"items,omitempty"`
+}
+
+// Profile accumulates per-operator timings for one statement. A nil
+// *Profile records nothing per-query, so execution threads it
+// unconditionally; the process-wide per-phase histograms are fed
+// either way.
+type Profile struct {
+	phases []PhaseTiming
+}
+
+// NewProfile returns an empty profile (request carried `profile:
+// timings`).
+func NewProfile() *Profile { return &Profile{} }
+
+// phaseHists are the process-wide per-phase latency histograms,
+// resolved once so Record stays off the registry mutex.
+var phaseHists = func() map[string]*metrics.Histogram {
+	m := map[string]*metrics.Histogram{}
+	for _, ph := range []string{
+		"parse", "plan", "scan", "fetch", "join", "unnest",
+		"filter", "group", "project", "sort",
+	} {
+		m[ph] = metrics.Default.Histogram("couchgo_query_phase_duration_seconds", "phase", ph)
+	}
+	return m
+}()
+
+// Record logs one operator phase that started at t0 and produced
+// items rows. Safe on a nil receiver.
+func (p *Profile) Record(op string, t0 time.Time, items int) {
+	d := time.Since(t0)
+	if h := phaseHists[op]; h != nil {
+		h.Observe(d)
+	}
+	if p == nil {
+		return
+	}
+	p.phases = append(p.phases, PhaseTiming{
+		Operator: op, Elapsed: d, ExecTime: d.String(), Items: items,
+	})
+}
+
+// Timings returns the recorded phases in execution order (nil for a
+// nil or empty profile).
+func (p *Profile) Timings() []PhaseTiming {
+	if p == nil {
+		return nil
+	}
+	return p.phases
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"couchgo/internal/n1ql"
 	"couchgo/internal/planner"
@@ -50,28 +51,35 @@ func (ex *selectExec) run() ([]any, error) {
 
 	// Join / Nest / Unnest expand or restructure rows.
 	for _, j := range p.Joins {
+		t0 := time.Now()
 		rows, err = ex.join(rows, j)
 		if err != nil {
 			return nil, err
 		}
+		ex.opts.Prof.Record("join", t0, len(rows))
 	}
 	for _, u := range p.Unnests {
+		t0 := time.Now()
 		rows, err = ex.unnest(rows, u)
 		if err != nil {
 			return nil, err
 		}
+		ex.opts.Prof.Record("unnest", t0, len(rows))
 	}
 
 	// Filter.
 	if p.Where != nil {
+		t0 := time.Now()
 		rows, err = filterRows(rows, p.Where)
 		if err != nil {
 			return nil, err
 		}
+		ex.opts.Prof.Record("filter", t0, len(rows))
 	}
 
 	// Group / aggregate.
 	if len(p.GroupBy) > 0 || len(p.Aggregates) > 0 {
+		t0 := time.Now()
 		rows, err = ex.group(rows)
 		if err != nil {
 			return nil, err
@@ -83,9 +91,11 @@ func (ex *selectExec) run() ([]any, error) {
 				return nil, err
 			}
 		}
+		ex.opts.Prof.Record("group", t0, len(rows))
 	}
 
 	// Project (and compute sort keys while contexts are still around).
+	tProject := time.Now()
 	if err := ex.project(rows); err != nil {
 		return nil, err
 	}
@@ -94,9 +104,11 @@ func (ex *selectExec) run() ([]any, error) {
 	if p.Distinct {
 		rows = distinctRows(rows)
 	}
+	ex.opts.Prof.Record("project", tProject, len(rows))
 
 	// Sort.
 	if len(p.OrderBy) > 0 && !p.OrderFromIndex {
+		tSort := time.Now()
 		sort.SliceStable(rows, func(i, j int) bool {
 			for k := range rows[i].sortKey {
 				c := value.Compare(rows[i].sortKey[k], rows[j].sortKey[k])
@@ -110,6 +122,7 @@ func (ex *selectExec) run() ([]any, error) {
 			}
 			return false
 		})
+		ex.opts.Prof.Record("sort", tSort, len(rows))
 	}
 
 	// Offset / Limit.
@@ -170,18 +183,21 @@ func (ex *selectExec) scanAndAssemble(limit, offset int) ([]row, error) {
 		return []row{{ctx: ctx}}, nil
 	}
 
+	tScan := time.Now()
 	switch scan := p.Scan.(type) {
 	case *planner.KeyScan:
 		ids, err := ex.keyScanIDs(scan)
 		if err != nil {
 			return nil, err
 		}
+		ex.opts.Prof.Record("scan", tScan, len(ids))
 		return ex.fetchRows(ids)
 	case *planner.IndexScan:
 		entries, err := ex.indexScan(scan.Index, scan.Using, scan.Span, scan.Reverse, limit, offset)
 		if err != nil {
 			return nil, err
 		}
+		ex.opts.Prof.Record("scan", tScan, len(entries))
 		if scan.Covering {
 			return ex.coverRows(entries), nil
 		}
@@ -195,6 +211,7 @@ func (ex *selectExec) scanAndAssemble(limit, offset int) ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
+		ex.opts.Prof.Record("scan", tScan, len(entries))
 		if !ex.p.Fetch {
 			return ex.coverRows(entries), nil
 		}
@@ -306,6 +323,7 @@ func (ex *selectExec) coverRows(entries []IndexEntry) []row {
 // fetchRows is the parallel Fetch operator: it retrieves documents by
 // ID with a worker pool, preserving scan order. Missing IDs drop out.
 func (ex *selectExec) fetchRows(ids []string) ([]row, error) {
+	tFetch := time.Now()
 	par := ex.opts.FetchParallelism
 	if par <= 0 {
 		par = 8
@@ -344,6 +362,7 @@ func (ex *selectExec) fetchRows(ids []string) ([]row, error) {
 		}
 		rows = append(rows, row{ctx: ctx})
 	}
+	ex.opts.Prof.Record("fetch", tFetch, len(rows))
 	return rows, nil
 }
 

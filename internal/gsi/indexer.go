@@ -137,6 +137,7 @@ func (ix *Indexer) Apply(kv KeyVersion) {
 		}
 		return
 	}
+	mIndexed.Inc()
 	ix.lastSeq[kv.DocID] = kv.Seqno
 	old := ix.back[kv.DocID]
 	for _, tk := range old {

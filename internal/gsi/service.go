@@ -7,7 +7,17 @@ import (
 	"sync"
 
 	"couchgo/internal/dcp"
+	"couchgo/internal/metrics"
 	"couchgo/internal/value"
+)
+
+// Drain-rate counters for the §4.4.2 projector→indexer pipeline:
+// mutations the projector routed toward index builds versus entries
+// the indexers actually applied. Their rates diverging means an
+// indexer is falling behind its stream.
+var (
+	mProjected = metrics.Default.Counter("couchgo_gsi_projected_total")
+	mIndexed   = metrics.Default.Counter("couchgo_gsi_indexed_total")
 )
 
 // Service is the index service of one cluster (logically; partitions
@@ -282,6 +292,9 @@ func (s *Service) route(keyspace string, vb int, m dcp.Mutation) {
 		}
 	}
 	s.mu.Unlock()
+	if len(states) > 0 {
+		mProjected.Inc()
+	}
 	for _, st := range states {
 		routeTo(st, vb, m)
 	}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowQuery is one entry in the slow-query log.
+type SlowQuery struct {
+	Statement string        `json:"statement"`
+	Elapsed   time.Duration `json:"-"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	At        time.Time     `json:"at"`
+}
+
+// SlowQueryLog is a bounded ring buffer of queries that exceeded a
+// threshold. Fast queries pay one comparison; slow ones take a short
+// mutex — by definition off the fast path.
+type SlowQueryLog struct {
+	threshold time.Duration
+	mu        sync.Mutex
+	buf       []SlowQuery
+	next      int // ring write position
+	total     uint64
+}
+
+// NewSlowQueryLog returns a log keeping the most recent size entries
+// at or above threshold. size <= 0 defaults to 64; threshold <= 0
+// defaults to 100ms.
+func NewSlowQueryLog(threshold time.Duration, size int) *SlowQueryLog {
+	if size <= 0 {
+		size = 64
+	}
+	if threshold <= 0 {
+		threshold = 100 * time.Millisecond
+	}
+	return &SlowQueryLog{threshold: threshold, buf: make([]SlowQuery, 0, size)}
+}
+
+// Threshold returns the configured slowness cutoff.
+func (l *SlowQueryLog) Threshold() time.Duration { return l.threshold }
+
+// Observe records stmt if elapsed crossed the threshold, reporting
+// whether it did.
+func (l *SlowQueryLog) Observe(stmt string, elapsed time.Duration) bool {
+	if elapsed < l.threshold {
+		return false
+	}
+	e := SlowQuery{
+		Statement: stmt,
+		Elapsed:   elapsed,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		At:        time.Now(),
+	}
+	l.mu.Lock()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[l.next] = e
+		l.next = (l.next + 1) % cap(l.buf)
+	}
+	l.total++
+	l.mu.Unlock()
+	return true
+}
+
+// Total returns how many queries ever crossed the threshold,
+// including ones the ring has since overwritten.
+func (l *SlowQueryLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Entries returns the retained slow queries, most recent first.
+func (l *SlowQueryLog) Entries() []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQuery, 0, len(l.buf))
+	// Newest entry is just before the ring write position.
+	for i := 0; i < len(l.buf); i++ {
+		idx := (l.next - 1 - i + len(l.buf)) % len(l.buf)
+		out = append(out, l.buf[idx])
+	}
+	return out
+}

@@ -8,6 +8,7 @@ package query
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"couchgo/internal/executor"
 	"couchgo/internal/n1ql"
@@ -36,6 +37,9 @@ type Result struct {
 	MutationCount int
 	// Status is "success" or a DDL acknowledgement.
 	Status string
+	// Profile holds per-operator timings when the request asked for
+	// `profile: timings` (opts.Prof was set).
+	Profile []executor.PhaseTiming
 }
 
 // ErrEmptyStatement rejects blank input.
@@ -54,15 +58,25 @@ func (e *Engine) Execute(statement string, opts executor.Options) (*Result, erro
 	if statement == "" {
 		return nil, ErrEmptyStatement
 	}
+	t0 := time.Now()
 	stmt, err := n1ql.Parse(statement)
 	if err != nil {
 		return nil, err
 	}
+	opts.Prof.Record("parse", t0, 0)
 	return e.ExecuteStmt(stmt, opts)
 }
 
 // ExecuteStmt runs an already-parsed statement.
 func (e *Engine) ExecuteStmt(stmt n1ql.Statement, opts executor.Options) (*Result, error) {
+	res, err := e.executeStmt(stmt, opts)
+	if res != nil {
+		res.Profile = opts.Prof.Timings()
+	}
+	return res, err
+}
+
+func (e *Engine) executeStmt(stmt n1ql.Statement, opts executor.Options) (*Result, error) {
 	switch t := stmt.(type) {
 	case *n1ql.Explain:
 		return e.explain(t)
@@ -76,10 +90,12 @@ func (e *Engine) ExecuteStmt(stmt n1ql.Statement, opts executor.Options) (*Resul
 				return nil, fmt.Errorf("query: general (non-key) joins are not supported by N1QL (§3.2.4); use ON KEYS, or run the query on the analytics service")
 			}
 		}
+		tPlan := time.Now()
 		p, err := planner.PlanSelect(t, e.store)
 		if err != nil {
 			return nil, err
 		}
+		opts.Prof.Record("plan", tPlan, 0)
 		rows, err := executor.ExecuteSelect(p, e.store, opts)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,109 @@
+package rest
+
+import (
+	"net/http"
+	"sort"
+
+	"couchgo/internal/core"
+	"couchgo/internal/metrics"
+)
+
+// handleMetrics serves Prometheus text exposition format: everything
+// registered in metrics.Default, plus gauges computed from cluster
+// state at scrape time (queue depths, DCP lag, per-bucket residency).
+// Computing the latter on demand instead of maintaining registered
+// gauges means they can never drift from the truth.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	tw := metrics.NewTextWriter(w)
+	metrics.Default.WriteTo(tw)
+	writeClusterGauges(tw, s.c)
+}
+
+// writeClusterGauges emits scrape-time gauges family by family so each
+// family's samples stay contiguous, as the exposition format requires.
+func writeClusterGauges(tw *metrics.TextWriter, c *core.Cluster) {
+	buckets := c.BucketNames()
+	type row struct {
+		bucket string
+		st     core.NodeStats
+	}
+	var rows []row
+	for _, b := range buckets {
+		for _, st := range c.Stats(b) {
+			rows = append(rows, row{b, st})
+		}
+	}
+	emit := func(name string, v func(row) float64) {
+		for _, r := range rows {
+			tw.Gauge(name, metrics.LabelString("bucket", r.bucket, "node", string(r.st.ID)), v(r))
+		}
+	}
+	emit("couchgo_bucket_items", func(r row) float64 { return float64(r.st.Items) })
+	emit("couchgo_bucket_mem_used_bytes", func(r row) float64 { return float64(r.st.MemUsed) })
+	emit("couchgo_bucket_tombstones", func(r row) float64 { return float64(r.st.Tombstones) })
+	emit("couchgo_bucket_nonresident_items", func(r row) float64 { return float64(r.st.NonResident) })
+	emit("couchgo_flusher_queue_depth", func(r row) float64 { return float64(r.st.QueueDepth) })
+	emit("couchgo_storage_file_bytes", func(r row) float64 { return float64(r.st.DiskBytes) })
+	emit("couchgo_storage_live_bytes", func(r row) float64 { return float64(r.st.DiskLiveBytes) })
+
+	// DCP lag per bucket and stream name, summed across nodes.
+	for _, b := range buckets {
+		lags := map[string]uint64{}
+		for _, r := range rows {
+			if r.bucket != b {
+				continue
+			}
+			for name, lag := range r.st.DCPLags {
+				lags[name] += lag
+			}
+		}
+		names := make([]string, 0, len(lags))
+		for name := range lags {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			tw.Gauge("couchgo_dcp_lag", metrics.LabelString("bucket", b, "stream", name), float64(lags[name]))
+		}
+	}
+
+	for _, n := range c.Nodes() {
+		up := 0.0
+		if n.Alive() {
+			up = 1.0
+		}
+		tw.Gauge("couchgo_node_up", metrics.LabelString("node", string(n.ID())), up)
+	}
+	tw.Gauge("couchgo_slow_queries_retained", "", float64(len(c.SlowQueries())))
+}
+
+// handleStatsDetail returns the structured-JSON twin of /metrics:
+// extended per-node stats for every bucket, the full registry
+// snapshot (histograms as percentile summaries), and the slow-query
+// log.
+func (s *Server) handleStatsDetail(w http.ResponseWriter, r *http.Request) {
+	var nodes []map[string]any
+	for _, n := range s.c.Nodes() {
+		nodes = append(nodes, map[string]any{
+			"id":       string(n.ID()),
+			"services": n.Services().String(),
+			"alive":    n.Alive(),
+		})
+	}
+	buckets := map[string]any{}
+	for _, b := range s.c.BucketNames() {
+		buckets[b] = map[string]any{"nodes": s.c.Stats(b)}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"orchestrator": string(s.c.Orchestrator()),
+		"nodes":        nodes,
+		"buckets":      buckets,
+		"metrics":      metrics.Default.Snapshot(),
+		"slow_queries": map[string]any{
+			"threshold_ms": float64(s.c.SlowQueryThreshold().Milliseconds()),
+			"total":        s.c.SlowQueryTotal(),
+			"entries":      s.c.SlowQueries(),
+		},
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"couchgo/internal/analytics"
 	"couchgo/internal/cache"
@@ -47,6 +48,8 @@ func NewServer(c *core.Cluster) *Server {
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /buckets/{bucket}/analytics/enable", s.handleAnalyticsEnable)
 	s.mux.HandleFunc("POST /buckets/{bucket}/analytics/query", s.handleAnalyticsQuery)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /stats/detail", s.handleStatsDetail)
 	return s
 }
 
@@ -114,6 +117,10 @@ func (s *Server) handleFailover(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	bucket := r.PathValue("bucket")
+	if !s.c.HasBucket(bucket) {
+		writeErr(w, core.ErrNoSuchBucket)
+		return
+	}
 	stats := s.c.Stats(bucket)
 	var out []map[string]any
 	for _, st := range stats {
@@ -124,6 +131,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"replica_vbs": st.ReplicaVBs,
 			"items":       st.Items,
 			"mem_used":    st.MemUsed,
+			"tombstones":  st.Tombstones,
+			"queue_depth": st.QueueDepth,
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"bucket": bucket, "nodes": out})
@@ -314,12 +323,14 @@ func (s *Server) handleQueryView(w http.ResponseWriter, r *http.Request) {
 // --- N1QL ---
 
 // handleQuery is the query service endpoint: POST {"statement": "...",
-// "args": {...}, "scan_consistency": "request_plus"}.
+// "args": {...}, "scan_consistency": "request_plus", "profile":
+// "timings"}.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Statement       string         `json:"statement"`
 		Args            map[string]any `json:"args"`
 		ScanConsistency string         `json:"scan_consistency"`
+		Profile         string         `json:"profile"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
@@ -329,16 +340,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if strings.EqualFold(req.ScanConsistency, "request_plus") {
 		opts.Consistency = executor.RequestPlus
 	}
+	profiling := strings.EqualFold(req.Profile, "timings")
+	if profiling {
+		opts.Prof = executor.NewProfile()
+	}
+	t0 := time.Now()
 	res, err := s.c.Query(req.Statement, opts)
 	if err != nil {
+		// Topology problems are the server's fault, not the request's.
+		if errors.Is(err, core.ErrNoQueryNode) || errors.Is(err, core.ErrNoIndexNode) {
+			writeErr(w, err)
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"status":        res.Status,
 		"results":       res.Rows,
 		"mutationCount": res.MutationCount,
-	})
+	}
+	if profiling {
+		out["profile"] = map[string]any{
+			"elapsedTime":      time.Since(t0).String(),
+			"executionTimings": res.Profile,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // --- analytics (§6.2) ---
@@ -368,6 +396,10 @@ func (s *Server) handleAnalyticsQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	rows, err := s.c.AnalyticsQuery(bucket, req.Statement, opts)
 	if err != nil {
+		if errors.Is(err, core.ErrNoSuchBucket) {
+			writeErr(w, err)
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
 		return
 	}

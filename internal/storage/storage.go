@@ -24,6 +24,20 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"couchgo/internal/metrics"
+)
+
+// Storage-engine metrics, process-wide across every vBucket file.
+// Fsync timing is the durability ladder's expensive rung (§2.3.2:
+// replication ≪ persistence); compactions and reclaimed bytes track
+// the append-only files' garbage collection.
+var (
+	mBytesWritten   = metrics.Default.Counter("couchgo_storage_bytes_written_total")
+	mFsyncDuration  = metrics.Default.Histogram("couchgo_storage_fsync_duration_seconds")
+	mCompactions    = metrics.Default.Counter("couchgo_storage_compactions_total")
+	mBytesReclaimed = metrics.Default.Counter("couchgo_storage_compaction_reclaimed_bytes_total")
 )
 
 // Errors returned by the storage engine.
@@ -222,10 +236,13 @@ func (v *VBFile) Append(recs []Record) error {
 	if _, err := v.f.Write(buf); err != nil {
 		return err
 	}
+	mBytesWritten.Add(uint64(len(buf)))
 	if v.sync {
+		t0 := time.Now()
 		if err := v.f.Sync(); err != nil {
 			return err
 		}
+		mFsyncDuration.ObserveSince(t0)
 	}
 	for i := range recs {
 		v.indexRecord(&recs[i], offsets[i], encodedSize(&recs[i]))
@@ -417,6 +434,10 @@ func (v *VBFile) Compact() error {
 	}
 	v.f.Close()
 	v.f = nf
+	mCompactions.Inc()
+	if reclaimed := v.fileBytes - off; reclaimed > 0 {
+		mBytesReclaimed.Add(uint64(reclaimed))
+	}
 	v.byID = newIndex
 	v.fileBytes = off
 	v.liveBytes = live

@@ -26,7 +26,33 @@ import (
 
 	"couchgo/internal/cache"
 	"couchgo/internal/dcp"
+	"couchgo/internal/metrics"
 	"couchgo/internal/storage"
+)
+
+// KV-path metrics, shared across every vBucket in the process. Gets
+// resolve one of three ways — value served from RAM (hit), value
+// restored from the storage engine (bgfetch), or key absent (miss) —
+// so gets_total = hits + bgfetches + misses. Latency histograms are
+// sampled (metrics.Sample) because two clock reads are material
+// against a sub-microsecond cache hit; mutation ops are counted
+// unsampled via couchgo_kv_ops_total.
+var (
+	mCacheHits   = metrics.Default.Counter("couchgo_cache_hits_total")
+	mCacheMisses = metrics.Default.Counter("couchgo_cache_misses_total")
+	mBgFetches   = metrics.Default.Counter("couchgo_cache_bgfetches_total")
+
+	mGetLatency    = metrics.Default.Histogram("couchgo_kv_op_duration_seconds", "op", "get")
+	mSetLatency    = metrics.Default.Histogram("couchgo_kv_op_duration_seconds", "op", "set")
+	mCasLatency    = metrics.Default.Histogram("couchgo_kv_op_duration_seconds", "op", "cas")
+	mDeleteLatency = metrics.Default.Histogram("couchgo_kv_op_duration_seconds", "op", "delete")
+
+	mSetOps    = metrics.Default.Counter("couchgo_kv_ops_total", "op", "set")
+	mCasOps    = metrics.Default.Counter("couchgo_kv_ops_total", "op", "cas")
+	mDeleteOps = metrics.Default.Counter("couchgo_kv_ops_total", "op", "delete")
+
+	mFlushBatchItems = metrics.Default.ValueHistogram("couchgo_flusher_batch_items")
+	mFlushDuration   = metrics.Default.Histogram("couchgo_flusher_flush_duration_seconds")
 )
 
 // State is the partition state machine from §4.3.1: "Throughout the
@@ -235,6 +261,8 @@ func (vb *VBucket) flusher() {
 		vb.queueMu.Unlock()
 
 		batch = dedupBatch(batch)
+		mFlushBatchItems.ObserveValue(uint64(len(batch)))
+		t0 := time.Now()
 		if vb.cfg.DiskDelay > 0 {
 			time.Sleep(vb.cfg.DiskDelay)
 		}
@@ -244,6 +272,7 @@ func (vb *VBucket) flusher() {
 			// memory and in replicas — the paper's durability model.
 			return
 		}
+		mFlushDuration.ObserveSince(t0)
 		var high uint64
 		for i := range batch {
 			if batch[i].Seqno > high {
@@ -317,6 +346,14 @@ func (vb *VBucket) PersistedSeqno() uint64 {
 	return vb.persistedSeqno
 }
 
+// QueueDepth is the number of mutations waiting in the disk-write
+// queue — the drain backlog operators watch on a memory-first store.
+func (vb *VBucket) QueueDepth() int {
+	vb.queueMu.Lock()
+	defer vb.queueMu.Unlock()
+	return len(vb.queue)
+}
+
 // --- KV operations (active copies only) ---
 
 // Get returns the document, transparently restoring evicted values from
@@ -325,15 +362,24 @@ func (vb *VBucket) Get(key string, now int64) (cache.Item, error) {
 	if err := vb.requireActive(); err != nil {
 		return cache.Item{}, err
 	}
+	if t0, ok := metrics.Sample(); ok {
+		defer mGetLatency.ObserveSince(t0)
+	}
 	vb.ensureResident(key)
 	it, err := vb.Table.Get(key, now)
 	if err == cache.ErrValueEvicted {
+		mBgFetches.Inc()
 		rec, rerr := vb.file.Get(key)
 		if rerr != nil {
 			return cache.Item{}, fmt.Errorf("vbucket: bgfetch %s: %w", key, rerr)
 		}
 		vb.Table.RestoreValue(key, it.CAS, rec.Value)
 		return vb.Table.Get(key, now)
+	}
+	if err == nil {
+		mCacheHits.Inc()
+	} else {
+		mCacheMisses.Inc()
 	}
 	return it, err
 }
@@ -348,6 +394,14 @@ func (vb *VBucket) GetMeta(key string) (cache.Item, error) {
 func (vb *VBucket) Set(key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64) (cache.Item, error) {
 	if err := vb.requireActive(); err != nil {
 		return cache.Item{}, err
+	}
+	ops, lat := mSetOps, mSetLatency
+	if casCheck != 0 {
+		ops, lat = mCasOps, mCasLatency
+	}
+	ops.Inc()
+	if t0, ok := metrics.Sample(); ok {
+		defer lat.ObserveSince(t0)
 	}
 	vb.ensureResident(key)
 	return vb.Table.Set(key, value, flags, expiry, casCheck, now)
@@ -375,6 +429,10 @@ func (vb *VBucket) Replace(key string, value []byte, flags uint32, expiry int64,
 func (vb *VBucket) Delete(key string, casCheck uint64, now int64) (cache.Item, error) {
 	if err := vb.requireActive(); err != nil {
 		return cache.Item{}, err
+	}
+	mDeleteOps.Inc()
+	if t0, ok := metrics.Sample(); ok {
+		defer mDeleteLatency.ObserveSince(t0)
 	}
 	vb.ensureResident(key)
 	return vb.Table.Delete(key, casCheck, now)

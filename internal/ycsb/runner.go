@@ -3,11 +3,12 @@ package ycsb
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"couchgo/internal/metrics"
 )
 
 // DB is the system under test. The couchgo adapter lives in CouchDB
@@ -100,14 +101,17 @@ type Result struct {
 	Errors     int
 	Elapsed    time.Duration
 	Throughput float64 // ops/sec
-	// Latency percentiles over a sample of operations.
-	P50, P95, P99 time.Duration
+	// Latency percentiles over every operation (log₂-bucketed
+	// histogram, so tail quantiles are interpolated within a bucket).
+	P50, P95, P99, P999 time.Duration
+	// Max is the slowest single operation observed.
+	Max time.Duration
 }
 
 // String renders one figure row.
 func (r Result) String() string {
-	return fmt.Sprintf("workload=%s threads=%3d ops=%8d errors=%d elapsed=%8s throughput=%10.0f ops/sec p50=%-10s p95=%-10s p99=%s",
-		r.Workload, r.Threads, r.Ops, r.Errors, r.Elapsed.Round(time.Millisecond), r.Throughput, r.P50, r.P95, r.P99)
+	return fmt.Sprintf("workload=%s threads=%3d ops=%8d errors=%d elapsed=%8s throughput=%10.0f ops/sec p50=%-10s p95=%-10s p99=%-10s p99.9=%-10s max=%s",
+		r.Workload, r.Threads, r.Ops, r.Errors, r.Elapsed.Round(time.Millisecond), r.Throughput, r.P50, r.P95, r.P99, r.P999, r.Max)
 }
 
 // Load inserts the initial data set using the runner's thread count.
@@ -161,17 +165,9 @@ func (r *Runner) Run() Result {
 
 	var opsIssued atomic.Int64
 	var errs atomic.Int64
-	// Latency samples: each thread records every 16th op.
-	sampleCh := make(chan time.Duration, 4096)
-	var samples []time.Duration
-	var collectWg sync.WaitGroup
-	collectWg.Add(1)
-	go func() {
-		defer collectWg.Done()
-		for d := range sampleCh {
-			samples = append(samples, d)
-		}
-	}()
+	// Latency histogram: atomic log₂ buckets, so every operation is
+	// recorded without per-op allocation or a collector goroutine.
+	hist := metrics.NewHistogram()
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -181,34 +177,21 @@ func (r *Runner) Run() Result {
 			defer wg.Done()
 			rng := rngPool.Get().(*rand.Rand)
 			defer rngPool.Put(rng)
-			n := 0
 			for {
 				if opsIssued.Add(1) > int64(r.Ops) {
 					return
 				}
 				op := pickOp(w, rng)
-				var t0 time.Time
-				sampled := n%16 == 0
-				if sampled {
-					t0 = time.Now()
-				}
+				t0 := time.Now()
 				if err := r.doOp(op, chooser, insertCounter, rng); err != nil {
 					errs.Add(1)
 				}
-				if sampled {
-					select {
-					case sampleCh <- time.Since(t0):
-					default:
-					}
-				}
-				n++
+				hist.ObserveSince(t0)
 			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	close(sampleCh)
-	collectWg.Wait()
 
 	res := Result{
 		Workload: w.Name,
@@ -220,11 +203,12 @@ func (r *Runner) Run() Result {
 	if elapsed > 0 {
 		res.Throughput = float64(r.Ops) / elapsed.Seconds()
 	}
-	if len(samples) > 0 {
-		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-		res.P50 = samples[len(samples)/2]
-		res.P95 = samples[len(samples)*95/100]
-		res.P99 = samples[len(samples)*99/100]
+	if snap := hist.Snapshot(); snap.Count > 0 {
+		res.P50 = snap.QuantileDuration(0.50)
+		res.P95 = snap.QuantileDuration(0.95)
+		res.P99 = snap.QuantileDuration(0.99)
+		res.P999 = snap.QuantileDuration(0.999)
+		res.Max = snap.MaxDuration()
 	}
 	return res
 }
