@@ -14,4 +14,4 @@ vet:
 	go vet ./...
 
 race:
-	go test -race ./internal/metrics ./internal/rest ./internal/dcp
+	go test -race ./internal/metrics ./internal/rest ./internal/dcp ./internal/feed ./internal/core

@@ -28,6 +28,7 @@ import (
 
 	"couchgo/internal/dcp"
 	"couchgo/internal/executor"
+	"couchgo/internal/feed"
 	"couchgo/internal/n1ql"
 	"couchgo/internal/planner"
 	"couchgo/internal/value"
@@ -45,14 +46,16 @@ type entry struct {
 	meta n1ql.Meta
 }
 
-// Engine shadows one bucket for analytical querying.
+// Engine shadows one bucket for analytical querying. DCP consumption
+// goes through the shared feed layer: vBucket producers register with
+// the engine's hub, and Enable subscribes the engine itself as the
+// single "analytics" consumer.
 type Engine struct {
 	keyspace string
+	hub      *feed.Hub
 
-	mu        sync.Mutex
-	enabled   bool
-	producers map[int]*dcp.Producer
-	streams   map[int]*dcp.Stream
+	mu      sync.Mutex
+	enabled bool
 	// docs key: "<vb>\x00<docID>" so DetachVB can drop one partition.
 	docs      map[string]entry
 	processed map[int]uint64
@@ -64,8 +67,7 @@ type Engine struct {
 func NewEngine(keyspace string) *Engine {
 	e := &Engine{
 		keyspace:  keyspace,
-		producers: make(map[int]*dcp.Producer),
-		streams:   make(map[int]*dcp.Stream),
+		hub:       feed.NewHub("analytics"),
 		docs:      make(map[string]entry),
 		processed: make(map[int]uint64),
 	}
@@ -76,41 +78,17 @@ func NewEngine(keyspace string) *Engine {
 // AttachVB registers a vBucket's producer. If the dataset is enabled,
 // shadowing starts immediately; otherwise Enable starts it later.
 func (e *Engine) AttachVB(vb int, p *dcp.Producer) error {
-	e.mu.Lock()
-	if e.producers[vb] == p {
-		e.mu.Unlock()
-		return nil
-	}
-	e.producers[vb] = p
-	enabled := e.enabled
-	e.mu.Unlock()
-	if enabled {
-		return e.openStream(vb, p)
-	}
-	return nil
+	return e.hub.AttachVB(vb, p)
 }
 
 // DetachVB stops shadowing a vBucket and removes its documents.
 func (e *Engine) DetachVB(vb int) {
-	e.mu.Lock()
-	delete(e.producers, vb)
-	s := e.streams[vb]
-	delete(e.streams, vb)
-	delete(e.processed, vb)
-	prefix := strconv.Itoa(vb) + "\x00"
-	for k := range e.docs {
-		if strings.HasPrefix(k, prefix) {
-			delete(e.docs, k)
-		}
-	}
-	e.mu.Unlock()
-	if s != nil {
-		s.Close()
-	}
+	e.hub.DetachVB(vb)
+	e.Rollback(vb, 0)
 }
 
-// Enable starts shadowing: a DCP stream from seqno 0 per attached
-// vBucket backfills the dataset, then follows live mutations.
+// Enable starts shadowing: a DCP feed per attached vBucket backfills
+// the dataset from seqno 0, then follows live mutations.
 func (e *Engine) Enable() error {
 	e.mu.Lock()
 	if e.enabled {
@@ -118,15 +96,12 @@ func (e *Engine) Enable() error {
 		return nil
 	}
 	e.enabled = true
-	producers := make(map[int]*dcp.Producer, len(e.producers))
-	for vb, p := range e.producers {
-		producers[vb] = p
-	}
 	e.mu.Unlock()
-	for vb, p := range producers {
-		if err := e.openStream(vb, p); err != nil {
-			return err
-		}
+	if _, err := e.hub.Subscribe("analytics", e); err != nil {
+		e.mu.Lock()
+		e.enabled = false
+		e.mu.Unlock()
+		return err
 	}
 	return nil
 }
@@ -138,31 +113,29 @@ func (e *Engine) Enabled() bool {
 	return e.enabled
 }
 
-func (e *Engine) openStream(vb int, p *dcp.Producer) error {
-	s, err := p.OpenStream("analytics", 0)
-	if err != nil {
-		return err
-	}
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		s.Close()
-		return nil
-	}
-	if old := e.streams[vb]; old != nil {
-		defer old.Close()
-	}
-	e.streams[vb] = s
-	e.mu.Unlock()
-	go func() {
-		for m := range s.C() {
-			e.apply(vb, m)
-		}
-	}()
-	return nil
+// FeedStats describes the engine's feed (empty until enabled).
+func (e *Engine) FeedStats() []feed.Stat {
+	return e.hub.Stats()
 }
 
-func (e *Engine) apply(vb int, m dcp.Mutation) {
+// Rollback implements feed.Rollbacker: drop the vBucket's shadow
+// documents and seqno state; the feed re-streams the partition from
+// the promoted copy's history.
+func (e *Engine) Rollback(vb int, _ uint64) uint64 {
+	e.mu.Lock()
+	delete(e.processed, vb)
+	prefix := strconv.Itoa(vb) + "\x00"
+	for k := range e.docs {
+		if strings.HasPrefix(k, prefix) {
+			delete(e.docs, k)
+		}
+	}
+	e.mu.Unlock()
+	return 0
+}
+
+// Apply implements feed.Consumer: shadow one mutation.
+func (e *Engine) Apply(vb int, m dcp.Mutation) {
 	key := strconv.Itoa(vb) + "\x00" + m.Key
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -208,18 +181,11 @@ func (e *Engine) DatasetSize() int {
 
 // Close stops all streams.
 func (e *Engine) Close() {
+	e.hub.Close()
 	e.mu.Lock()
 	e.closed = true
-	streams := make([]*dcp.Stream, 0, len(e.streams))
-	for _, s := range e.streams {
-		streams = append(streams, s)
-	}
-	e.streams = make(map[int]*dcp.Stream)
 	e.cond.Broadcast()
 	e.mu.Unlock()
-	for _, s := range streams {
-		s.Close()
-	}
 }
 
 // QueryOptions parameterize an analytics query.

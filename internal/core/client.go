@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math/rand/v2"
 	"time"
 
 	"couchgo/internal/cache"
@@ -48,7 +49,22 @@ func (cl *Client) SetClock(fn func() int64) { cl.clock = fn }
 // Bucket returns the bucket name.
 func (cl *Client) Bucket() string { return cl.bucket }
 
-const maxRouteRetries = 20
+const (
+	maxRouteRetries  = 20
+	routeBackoffBase = time.Millisecond
+	routeBackoffCap  = 50 * time.Millisecond
+)
+
+// routeBackoff returns the sleep before retry attempt+1: exponential
+// from 1ms, capped at 50ms, with ±50% jitter so clients retrying
+// through the same failover don't stampede the new active in lockstep.
+func routeBackoff(attempt int) time.Duration {
+	d := routeBackoffBase << min(attempt, 10)
+	if d > routeBackoffCap {
+		d = routeBackoffCap
+	}
+	return d/2 + rand.N(d/2+1)
+}
 
 // route finds the active vBucket for key, retrying through map
 // refreshes while rebalance or failover move the partition.
@@ -67,13 +83,13 @@ func (cl *Client) route(key string, op func(vb *vbucket.VBucket) error) error {
 		node, err := cl.cluster.Node(nodeID)
 		if err != nil {
 			lastErr = err
-			time.Sleep(2 * time.Millisecond)
+			time.Sleep(routeBackoff(attempt))
 			continue
 		}
 		vb, err := node.kvVB(cl.bucket, vbID)
 		if err != nil {
 			lastErr = err
-			time.Sleep(2 * time.Millisecond)
+			time.Sleep(routeBackoff(attempt))
 			continue
 		}
 		err = op(vb)
@@ -82,7 +98,7 @@ func (cl *Client) route(key string, op func(vb *vbucket.VBucket) error) error {
 			// library with the new cluster map" — here the client
 			// re-reads it and retries.
 			lastErr = err
-			time.Sleep(2 * time.Millisecond)
+			time.Sleep(routeBackoff(attempt))
 			continue
 		}
 		return err

@@ -11,6 +11,7 @@ import (
 	"couchgo/internal/analytics"
 	"couchgo/internal/cmap"
 	"couchgo/internal/dcp"
+	"couchgo/internal/feed"
 	"couchgo/internal/fts"
 	"couchgo/internal/gsi"
 	"couchgo/internal/metrics"
@@ -392,6 +393,10 @@ func (c *Cluster) startReplicaStream(b *bucketState, vbID int, src, dst *Node) {
 	if srcVB == nil || dstVB == nil {
 		return
 	}
+	// The replica adopts the active's failover log: if this replica is
+	// later promoted, consumers that resumed on the old active's branch
+	// present a (UUID, seqno) the promoted producer can validate.
+	dstVB.Producer().SetFailoverLog(srcVB.Producer().FailoverLog())
 	stream, err := srcVB.Producer().OpenStream("replica:"+string(dst.id), dstVB.HighSeqno())
 	if err != nil {
 		return
@@ -693,11 +698,13 @@ func (c *Cluster) NumVBuckets(bucketName string) (int, error) {
 	return b.Map().NumVBuckets, nil
 }
 
-// VBStream opens a named DCP stream on the current active copy of one
-// vBucket, from the given seqno. XDCR uses this: it is how the
+// VBProducer resolves the DCP producer of the current active copy of
+// one vBucket. XDCR's topology loop uses this: it is how the
 // replicator stays "cluster topology aware" — after failover or
-// rebalance a re-opened stream lands on the new active automatically.
-func (c *Cluster) VBStream(bucketName string, vbID int, name string, from uint64) (*dcp.Stream, error) {
+// rebalance the next resolution lands on the new active automatically,
+// and the shared feed layer reattaches (with failover-log validation)
+// against it.
+func (c *Cluster) VBProducer(bucketName string, vbID int) (*dcp.Producer, error) {
 	b, err := c.bucket(bucketName)
 	if err != nil {
 		return nil, err
@@ -715,7 +722,37 @@ func (c *Cluster) VBStream(bucketName string, vbID int, name string, from uint64
 	if err != nil {
 		return nil, err
 	}
-	return vb.Producer().OpenStream(name, from)
+	return vb.Producer(), nil
+}
+
+// FeedStats aggregates the bucket's DCP feed stats across every
+// consuming service: the cluster-shared GSI projector, FTS, and
+// analytics feeds, plus each alive data node's local view feeds
+// (annotated with the node ID).
+func (c *Cluster) FeedStats(bucketName string) ([]feed.Stat, error) {
+	b, err := c.bucket(bucketName)
+	if err != nil {
+		return nil, err
+	}
+	out := b.gsiSvc.FeedStats(b.name)
+	out = append(out, b.ftsEng.FeedStats()...)
+	out = append(out, b.analyticsEng.FeedStats()...)
+	for _, n := range c.Nodes() {
+		if !n.Alive() {
+			continue
+		}
+		n.mu.Lock()
+		nb := n.buckets[bucketName]
+		n.mu.Unlock()
+		if nb == nil {
+			continue
+		}
+		for _, st := range nb.viewEngine.FeedStats() {
+			st.Node = string(n.id)
+			out = append(out, st)
+		}
+	}
+	return out, nil
 }
 
 // Stats aggregates per-node stats for one bucket.

@@ -273,17 +273,15 @@ func (nb *nodeBucket) attachConsumersLocked(vb *vbucket.VBucket) {
 	}
 }
 
+// detachConsumers removes the vBucket from this node's PER-NODE
+// consumers only (the view engine, §4.3.3 — views are co-located with
+// the data). The GSI projector, FTS, and analytics engines are shared
+// across the cluster: when a vBucket moves, the new active node's
+// AttachVB replaces the shared feeds' producer (closing the old
+// streams), so detaching them here would wipe index state that the
+// promoted copy still serves.
 func (nb *nodeBucket) detachConsumers(vbID int) {
 	nb.viewEngine.DetachVB(vbID)
-	if nb.projector != nil {
-		nb.projector.DetachVB(vbID)
-	}
-	if nb.fts != nil {
-		nb.fts.DetachVB(vbID)
-	}
-	if nb.analytics != nil {
-		nb.analytics.DetachVB(vbID)
-	}
 }
 
 // vb returns the vBucket, or nil.
@@ -304,6 +302,10 @@ func (nb *nodeBucket) promote(vbID int) {
 		return
 	}
 	vb.SetState(vbucket.Active)
+	// Takeover: append a new (UUID, high-seqno) entry to the failover
+	// log. Consumers that resumed past this point on the old active
+	// branch get a rollback to here when they reattach (§4.1.1).
+	vb.Producer().Takeover(vb.HighSeqno())
 	nb.attachConsumersLocked(vb)
 	nb.mu.Unlock()
 	nb.stopReplStream(vbID)
@@ -370,9 +372,6 @@ func (nb *nodeBucket) close() {
 		s()
 	}
 	nb.viewEngine.Close()
-	if nb.projector != nil {
-		nb.projector.Close()
-	}
 	for _, vb := range vbs {
 		vb.Close()
 	}

@@ -17,12 +17,46 @@ package dcp
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
 
 // ErrClosed is returned when operating on a closed producer or stream.
 var ErrClosed = errors.New("dcp: closed")
+
+// FailoverEntry is one branch of a vBucket's mutation history: the
+// UUID minted when a copy took over as active, and the seqno at which
+// that branch began. The newest entry is last; its UUID is the
+// vBucket's current UUID.
+type FailoverEntry struct {
+	UUID  uint64 `json:"uuid"`
+	Seqno uint64 `json:"seqno"`
+}
+
+// RollbackError is returned by ResumeStream when the consumer's
+// (UUID, seqno) position lies on a branch of history this producer
+// does not have: mutations past Seqno on the presented branch were
+// never seen by the current lineage and must be rewound. The consumer
+// rolls its state back to at most Seqno and re-streams.
+type RollbackError struct {
+	// UUID is the producer's current vBucket UUID, for the consumer's
+	// next resume attempt.
+	UUID uint64
+	// Seqno is the highest seqno of the presented history that is also
+	// part of this producer's lineage (the divergence point).
+	Seqno uint64
+}
+
+func (e *RollbackError) Error() string {
+	return fmt.Sprintf("dcp: rollback to seqno %d (vbucket uuid %d)", e.Seqno, e.UUID)
+}
+
+// uuidCounter mints process-unique vBucket UUIDs. Real DCP uses random
+// 64-bit UUIDs; a counter gives the same uniqueness deterministically.
+var uuidCounter atomic.Uint64
+
+func nextUUID() uint64 { return uuidCounter.Add(1) }
 
 // Mutation is one document change flowing through the protocol.
 type Mutation struct {
@@ -55,11 +89,59 @@ type Producer struct {
 	streams map[*Stream]struct{}
 	high    uint64
 	closed  bool
+	// failover is the vBucket's failover log, oldest branch first. It
+	// always has at least one entry; the last entry's UUID is current.
+	failover []FailoverEntry
 }
 
 // NewProducer creates a producer for vb backed by the snapshot source.
+// The fresh vBucket starts a new history branch at seqno 0.
 func NewProducer(vb int, source SnapshotSource) *Producer {
-	return &Producer{vb: vb, source: source, streams: make(map[*Stream]struct{})}
+	return &Producer{
+		vb:       vb,
+		source:   source,
+		streams:  make(map[*Stream]struct{}),
+		failover: []FailoverEntry{{UUID: nextUUID(), Seqno: 0}},
+	}
+}
+
+// UUID returns the vBucket's current UUID (the newest failover entry).
+func (p *Producer) UUID() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failover[len(p.failover)-1].UUID
+}
+
+// FailoverLog returns a copy of the failover log, oldest branch first.
+func (p *Producer) FailoverLog() []FailoverEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]FailoverEntry(nil), p.failover...)
+}
+
+// SetFailoverLog replaces the producer's failover log. Replica copies
+// adopt the active's log so that, if they are later promoted, they can
+// validate consumer histories recorded against the old active.
+func (p *Producer) SetFailoverLog(entries []FailoverEntry) {
+	if len(entries) == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.failover = append([]FailoverEntry(nil), entries...)
+	p.mu.Unlock()
+}
+
+// Takeover appends a new branch to the failover log: this copy became
+// active with history up to seqno. Mutations another lineage assigned
+// beyond seqno are not part of this producer's history, and consumers
+// resuming past it will be told to roll back.
+func (p *Producer) Takeover(seqno uint64) {
+	p.mu.Lock()
+	p.failover = append(p.failover, FailoverEntry{UUID: nextUUID(), Seqno: seqno})
+	if seqno > p.high {
+		p.high = seqno
+	}
+	p.mu.Unlock()
 }
 
 // Publish delivers a mutation to all open streams. The caller must
@@ -132,7 +214,9 @@ func (p *Producer) Close() {
 
 // OpenStream starts a named stream delivering every change after
 // fromSeqno: first a backfill snapshot, then live mutations. The name
-// identifies the consumer in stats and tests.
+// identifies the consumer in stats and tests. OpenStream trusts the
+// caller's fromSeqno without history validation — replica bootstrap
+// and index backfill use it; resumable consumers use ResumeStream.
 func (p *Producer) OpenStream(name string, fromSeqno uint64) (*Stream, error) {
 	p.mu.Lock()
 	if p.closed {
@@ -141,6 +225,7 @@ func (p *Producer) OpenStream(name string, fromSeqno uint64) (*Stream, error) {
 	}
 	s := &Stream{
 		Name:            name,
+		UUID:            p.failover[len(p.failover)-1].UUID,
 		producer:        p,
 		out:             make(chan Mutation, 64),
 		wake:            make(chan struct{}, 1),
@@ -176,10 +261,50 @@ func (p *Producer) OpenStream(name string, fromSeqno uint64) (*Stream, error) {
 	return s, nil
 }
 
+// ResumeStream reopens a named stream at a position the consumer
+// recorded earlier: uuid is the vBucket UUID the consumer last
+// streamed under and fromSeqno the last seqno it applied. The producer
+// checks the pair against its failover log; if the consumer's branch
+// diverged before fromSeqno — it holds mutations a failed-over active
+// never saw — ResumeStream returns a *RollbackError carrying the
+// seqno to rewind to. uuid 0 (a consumer with no history) skips
+// validation and behaves like OpenStream.
+func (p *Producer) ResumeStream(name string, uuid, fromSeqno uint64) (*Stream, error) {
+	if uuid != 0 && fromSeqno > 0 {
+		p.mu.Lock()
+		branch := -1
+		for i, e := range p.failover {
+			if e.UUID == uuid {
+				branch = i
+				break
+			}
+		}
+		cur := p.failover[len(p.failover)-1].UUID
+		switch {
+		case branch < 0:
+			// Unknown lineage entirely: nothing past 0 is trustworthy.
+			p.mu.Unlock()
+			return nil, &RollbackError{UUID: cur, Seqno: 0}
+		case branch < len(p.failover)-1:
+			// The consumer's branch ended at the next entry's start
+			// seqno; anything it applied beyond that was lost history.
+			if upper := p.failover[branch+1].Seqno; fromSeqno > upper {
+				p.mu.Unlock()
+				return nil, &RollbackError{UUID: cur, Seqno: upper}
+			}
+		}
+		p.mu.Unlock()
+	}
+	return p.OpenStream(name, fromSeqno)
+}
+
 // Stream is one consumer's ordered view of a vBucket's changes.
 // Mutations arrive on C; the channel closes when the stream ends.
+// UUID is the vBucket UUID the stream was opened under; a resumable
+// consumer records it alongside its applied seqno.
 type Stream struct {
 	Name     string
+	UUID     uint64
 	producer *Producer
 
 	mu              sync.Mutex

@@ -1,0 +1,284 @@
+// Package feed is the shared DCP-consumer layer (paper §4.4): every
+// secondary service — GSI projector, views, FTS, analytics, XDCR — is
+// a DCP consumer, and the value of DCP is precisely its shared
+// semantics: ordered per-vBucket delivery, snapshot/backfill handoff,
+// and failure recovery via failover logs and rollback. Rather than
+// each service carrying its own producer/stream maps and drain loops,
+// a service implements Consumer (and usually Rollbacker) and a Feed
+// owns everything else:
+//
+//   - per-vBucket producer attachment and stream lifecycle,
+//   - resume state: the (vBucket UUID, seqno) position of the last
+//     applied mutation, carried across producer changes so failover
+//     and rebalance re-attachments resume rather than rebuild,
+//   - rollback: a resume the producer rejects (stale branch of
+//     history) rewinds the consumer via Rollback before re-streaming,
+//   - a bounded-buffer drain loop with backpressure accounting.
+//
+// Feed metrics are exported through metrics.Default per service:
+// couchgo_feed_mutations_total, couchgo_feed_rollbacks_total, and
+// couchgo_feed_backpressure_stalls_total.
+package feed
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"couchgo/internal/dcp"
+	"couchgo/internal/metrics"
+)
+
+// ErrClosed is returned when attaching to a closed feed or hub.
+var ErrClosed = errors.New("feed: closed")
+
+// Consumer applies one vBucket's mutations in seqno order. Apply is
+// called from the feed's drain goroutine for that vBucket; different
+// vBuckets may apply concurrently.
+type Consumer interface {
+	Apply(vb int, m dcp.Mutation)
+}
+
+// Rollbacker is implemented by consumers that can rewind a vBucket's
+// state to a seqno. Rollback must discard every applied mutation with
+// a seqno greater than toSeqno and return the seqno it actually
+// rewound to (at most toSeqno; 0 means "discarded the partition",
+// after which the feed re-streams from scratch). Consumers that do
+// not implement it are restarted from seqno 0 on rollback, which is
+// only safe if re-applying history removes stale state — partition
+// wipes via Rollback are the reliable path.
+type Rollbacker interface {
+	Rollback(vb int, toSeqno uint64) uint64
+}
+
+// Config tunes one feed.
+type Config struct {
+	// Service labels the feed's metrics (one label value per consumer
+	// service: "gsi", "views", "fts", "analytics", "xdcr"). Defaults
+	// to the feed name.
+	Service string
+	// Buffer is the drain buffer capacity in mutations (default 64).
+	// When the consumer falls behind by more than Buffer, the stall
+	// counter increments and the puller blocks until space frees.
+	Buffer int
+}
+
+// Feed connects one Consumer to any number of vBucket producers,
+// surviving producer changes (failover, rebalance) via resume state
+// and the DCP failover log.
+type Feed struct {
+	name     string
+	consumer Consumer
+	buffer   int
+
+	mMutations *metrics.Counter
+	mRollbacks *metrics.Counter
+	mStalls    *metrics.Counter
+
+	// opMu serializes Attach/Detach/Close so stream replacement and
+	// drain shutdown never interleave.
+	opMu sync.Mutex
+
+	mu     sync.Mutex
+	closed bool
+	vbs    map[int]*vbFeed
+}
+
+// vbFeed is one vBucket's attachment state.
+type vbFeed struct {
+	producer *dcp.Producer
+	stream   *dcp.Stream
+	// uuid is the vBucket UUID the stream was opened under and seqno
+	// the last mutation handed to the consumer — together the resume
+	// position presented to the next producer.
+	uuid  uint64
+	seqno atomic.Uint64
+	// done closes when the drain goroutine has exited (no more Apply
+	// calls for this vBucket).
+	done chan struct{}
+}
+
+// New creates a feed delivering to c. The name becomes the DCP stream
+// name on every attached producer.
+func New(name string, c Consumer, cfg Config) *Feed {
+	if cfg.Service == "" {
+		cfg.Service = name
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 64
+	}
+	return &Feed{
+		name:       name,
+		consumer:   c,
+		buffer:     cfg.Buffer,
+		mMutations: metrics.Default.Counter("couchgo_feed_mutations_total", "service", cfg.Service),
+		mRollbacks: metrics.Default.Counter("couchgo_feed_rollbacks_total", "service", cfg.Service),
+		mStalls:    metrics.Default.Counter("couchgo_feed_backpressure_stalls_total", "service", cfg.Service),
+	}
+}
+
+// Name returns the feed (and stream) name.
+func (f *Feed) Name() string { return f.name }
+
+// Attach connects the feed to a vBucket's producer, resuming from the
+// recorded (UUID, seqno) position. Re-attaching the same producer
+// while its drain is live is a no-op, so reconciliation can call it
+// idempotently. A changed producer — the vBucket moved or failed over
+// — stops the old drain first, then resumes on the new producer; if
+// the producer rejects the resume position (stale branch of history),
+// the consumer is rolled back and the stream reopened from the
+// rollback point.
+func (f *Feed) Attach(vb int, p *dcp.Producer) error {
+	f.opMu.Lock()
+	defer f.opMu.Unlock()
+
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	cur := f.vbs[vb]
+	f.mu.Unlock()
+
+	var uuid, seqno uint64
+	if cur != nil {
+		if cur.producer == p && drainAlive(cur) {
+			return nil
+		}
+		cur.stream.Close()
+		<-cur.done
+		uuid = cur.uuid
+		seqno = cur.seqno.Load()
+	}
+
+	s, err := p.ResumeStream(f.name, uuid, seqno)
+	var rb *dcp.RollbackError
+	if errors.As(err, &rb) {
+		f.mRollbacks.Inc()
+		to := rb.Seqno
+		if r, ok := f.consumer.(Rollbacker); ok {
+			if got := r.Rollback(vb, rb.Seqno); got < to {
+				to = got
+			}
+		} else {
+			to = 0
+		}
+		s, err = p.ResumeStream(f.name, 0, to)
+		seqno = to
+	}
+	if err != nil {
+		return err
+	}
+
+	vf := &vbFeed{producer: p, stream: s, uuid: s.UUID, done: make(chan struct{})}
+	vf.seqno.Store(seqno)
+
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		s.Close()
+		return ErrClosed
+	}
+	if f.vbs == nil {
+		f.vbs = make(map[int]*vbFeed)
+	}
+	f.vbs[vb] = vf
+	f.mu.Unlock()
+
+	go f.drain(vb, vf)
+	return nil
+}
+
+func drainAlive(vf *vbFeed) bool {
+	select {
+	case <-vf.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// drain pumps the stream through a bounded buffer into the consumer.
+// The pull side counts a backpressure stall whenever the buffer is
+// full — the consumer is more than `buffer` mutations behind — and
+// then blocks, so a slow consumer is visible in metrics without
+// unbounded memory growth in this layer. (The dcp layer's per-stream
+// queue stays unbounded, preserving the never-block-the-publisher
+// memory-first contract.)
+func (f *Feed) drain(vb int, vf *vbFeed) {
+	buf := make(chan dcp.Mutation, f.buffer)
+	go func() {
+		defer close(buf)
+		for m := range vf.stream.C() {
+			select {
+			case buf <- m:
+			default:
+				f.mStalls.Inc()
+				buf <- m
+			}
+		}
+	}()
+	defer close(vf.done)
+	for m := range buf {
+		f.consumer.Apply(vb, m)
+		vf.seqno.Store(m.Seqno)
+		f.mMutations.Inc()
+	}
+}
+
+// Detach disconnects a vBucket and forgets its resume state. The next
+// Attach for the vBucket streams from scratch.
+func (f *Feed) Detach(vb int) {
+	f.opMu.Lock()
+	defer f.opMu.Unlock()
+	f.mu.Lock()
+	vf := f.vbs[vb]
+	delete(f.vbs, vb)
+	f.mu.Unlock()
+	if vf != nil {
+		vf.stream.Close()
+		<-vf.done
+	}
+}
+
+// Close stops every drain. Apply is never called after Close returns.
+func (f *Feed) Close() {
+	f.opMu.Lock()
+	defer f.opMu.Unlock()
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	vbs := f.vbs
+	f.vbs = nil
+	f.mu.Unlock()
+	for _, vf := range vbs {
+		vf.stream.Close()
+		<-vf.done
+	}
+}
+
+// Processed returns the per-vBucket seqno of the last mutation handed
+// to the consumer.
+func (f *Feed) Processed() map[int]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[int]uint64, len(f.vbs))
+	for vb, vf := range f.vbs {
+		out[vb] = vf.seqno.Load()
+	}
+	return out
+}
+
+// Stat describes one feed for the REST stats surface.
+type Stat struct {
+	Service string `json:"service"`
+	Name    string `json:"name"`
+	// Node is set for per-node feeds (views); empty for cluster-level
+	// services.
+	Node      string         `json:"node,omitempty"`
+	VBuckets  int            `json:"vbuckets"`
+	Processed map[int]uint64 `json:"processed,omitempty"`
+}

@@ -1,0 +1,163 @@
+package feed
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"couchgo/internal/dcp"
+)
+
+// Hub multiplexes one service's set of feeds over one set of vBucket
+// producers. Engines that maintain several named consumers over the
+// same vBuckets (one feed per view, per FTS index, per GSI keyspace
+// projector) register producers once via AttachVB and subscribe each
+// consumer by name; the hub attaches every feed to every producer and
+// keeps both sides reconciled as either set changes.
+type Hub struct {
+	service string
+
+	mu        sync.Mutex
+	closed    bool
+	producers map[int]*dcp.Producer
+	feeds     map[string]*Feed
+}
+
+// NewHub creates an empty hub; service labels all subscribed feeds'
+// metrics.
+func NewHub(service string) *Hub {
+	return &Hub{
+		service:   service,
+		producers: make(map[int]*dcp.Producer),
+		feeds:     make(map[string]*Feed),
+	}
+}
+
+// AttachVB registers (or replaces) a vBucket's producer and attaches
+// every subscribed feed to it. Idempotent for an unchanged producer.
+func (h *Hub) AttachVB(vb int, p *dcp.Producer) error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrClosed
+	}
+	h.producers[vb] = p
+	feeds := h.feedList()
+	h.mu.Unlock()
+	for _, f := range feeds {
+		if err := f.Attach(vb, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DetachVB forgets a vBucket's producer and detaches every feed from
+// it, dropping resume state.
+func (h *Hub) DetachVB(vb int) {
+	h.mu.Lock()
+	delete(h.producers, vb)
+	feeds := h.feedList()
+	h.mu.Unlock()
+	for _, f := range feeds {
+		f.Detach(vb)
+	}
+}
+
+// Subscribe creates a feed named name delivering to c and attaches it
+// to every registered producer. The name doubles as the DCP stream
+// name.
+func (h *Hub) Subscribe(name string, c Consumer) (*Feed, error) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if _, ok := h.feeds[name]; ok {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("feed: duplicate subscription %q", name)
+	}
+	f := New(name, c, Config{Service: h.service})
+	h.feeds[name] = f
+	producers := make(map[int]*dcp.Producer, len(h.producers))
+	for vb, p := range h.producers {
+		producers[vb] = p
+	}
+	h.mu.Unlock()
+	for vb, p := range producers {
+		if err := f.Attach(vb, p); err != nil {
+			h.Unsubscribe(name)
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Unsubscribe removes and closes a named feed.
+func (h *Hub) Unsubscribe(name string) {
+	h.mu.Lock()
+	f := h.feeds[name]
+	delete(h.feeds, name)
+	h.mu.Unlock()
+	if f != nil {
+		f.Close()
+	}
+}
+
+// Producers returns a copy of the registered producer set (index
+// backfill iterates it).
+func (h *Hub) Producers() map[int]*dcp.Producer {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[int]*dcp.Producer, len(h.producers))
+	for vb, p := range h.producers {
+		out[vb] = p
+	}
+	return out
+}
+
+// Stats describes every subscribed feed, sorted by name.
+func (h *Hub) Stats() []Stat {
+	h.mu.Lock()
+	feeds := h.feedList()
+	service := h.service
+	h.mu.Unlock()
+	out := make([]Stat, 0, len(feeds))
+	for _, f := range feeds {
+		processed := f.Processed()
+		out = append(out, Stat{
+			Service:   service,
+			Name:      f.Name(),
+			VBuckets:  len(processed),
+			Processed: processed,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Close closes every feed; further Attach/Subscribe calls fail.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	feeds := h.feedList()
+	h.feeds = make(map[string]*Feed)
+	h.producers = make(map[int]*dcp.Producer)
+	h.mu.Unlock()
+	for _, f := range feeds {
+		f.Close()
+	}
+}
+
+// feedList snapshots the feed set; callers hold h.mu.
+func (h *Hub) feedList() []*Feed {
+	out := make([]*Feed, 0, len(h.feeds))
+	for _, f := range h.feeds {
+		out = append(out, f)
+	}
+	return out
+}

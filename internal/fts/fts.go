@@ -21,6 +21,7 @@ import (
 
 	"couchgo/internal/btree"
 	"couchgo/internal/dcp"
+	"couchgo/internal/feed"
 	"couchgo/internal/value"
 )
 
@@ -60,20 +61,22 @@ type ftsIndex struct {
 	docTerms  map[string][]string // back index: docID -> terms
 	processed map[int]uint64      // vb -> seqno
 	cond      *sync.Cond
-	streams   map[int]*dcp.Stream
 	closed    bool
 }
 
-// Engine is the per-node FTS service instance.
+// Engine is the FTS service instance for one bucket. DCP consumption
+// goes through the shared feed layer: each index subscribes to the
+// engine's hub as one named consumer.
 type Engine struct {
-	mu        sync.Mutex
-	indexes   map[string]*ftsIndex
-	producers map[int]*dcp.Producer
+	hub *feed.Hub
+
+	mu      sync.Mutex
+	indexes map[string]*ftsIndex
 }
 
 // NewEngine creates an empty FTS engine.
 func NewEngine() *Engine {
-	return &Engine{indexes: make(map[string]*ftsIndex), producers: make(map[int]*dcp.Producer)}
+	return &Engine{hub: feed.NewHub("fts"), indexes: make(map[string]*ftsIndex)}
 }
 
 // Define creates an index and begins building it over attached
@@ -84,7 +87,6 @@ func (e *Engine) Define(def IndexDef) error {
 		terms:     btree.New(nil),
 		docTerms:  make(map[string][]string),
 		processed: make(map[int]uint64),
-		streams:   make(map[int]*dcp.Stream),
 	}
 	fi.cond = sync.NewCond(&fi.mu)
 	for _, f := range def.Fields {
@@ -95,15 +97,18 @@ func (e *Engine) Define(def IndexDef) error {
 		fi.fields = append(fi.fields, p)
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if _, ok := e.indexes[def.Name]; ok {
+		e.mu.Unlock()
 		return ErrIndexExists
 	}
 	e.indexes[def.Name] = fi
-	for vb, p := range e.producers {
-		if err := fi.attach(vb, p); err != nil {
-			return err
-		}
+	e.mu.Unlock()
+	if _, err := e.hub.Subscribe("fts:"+def.Name, fi); err != nil {
+		e.mu.Lock()
+		delete(e.indexes, def.Name)
+		e.mu.Unlock()
+		fi.close()
+		return err
 	}
 	return nil
 }
@@ -117,6 +122,7 @@ func (e *Engine) Drop(name string) error {
 	if !ok {
 		return ErrNoSuchIndex
 	}
+	e.hub.Unsubscribe("fts:" + name)
 	fi.close()
 	return nil
 }
@@ -124,77 +130,51 @@ func (e *Engine) Drop(name string) error {
 // AttachVB begins indexing a vBucket's mutations. Idempotent for the
 // same producer.
 func (e *Engine) AttachVB(vb int, p *dcp.Producer) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.producers[vb] == p {
-		return nil
-	}
-	e.producers[vb] = p
-	for _, fi := range e.indexes {
-		if err := fi.attach(vb, p); err != nil {
-			return err
-		}
-	}
-	return nil
+	return e.hub.AttachVB(vb, p)
 }
 
 // DetachVB stops indexing a vBucket and removes its entries.
 func (e *Engine) DetachVB(vb int) {
+	e.hub.DetachVB(vb)
 	e.mu.Lock()
-	delete(e.producers, vb)
 	list := make([]*ftsIndex, 0, len(e.indexes))
 	for _, fi := range e.indexes {
 		list = append(list, fi)
 	}
 	e.mu.Unlock()
 	for _, fi := range list {
-		fi.detach(vb)
+		fi.Rollback(vb, 0)
 	}
+}
+
+// FeedStats describes the engine's feeds (one per index).
+func (e *Engine) FeedStats() []feed.Stat {
+	return e.hub.Stats()
 }
 
 // Close stops everything.
 func (e *Engine) Close() {
+	e.hub.Close()
 	e.mu.Lock()
 	list := make([]*ftsIndex, 0, len(e.indexes))
 	for _, fi := range e.indexes {
 		list = append(list, fi)
 	}
 	e.indexes = make(map[string]*ftsIndex)
-	e.producers = make(map[int]*dcp.Producer)
 	e.mu.Unlock()
 	for _, fi := range list {
 		fi.close()
 	}
 }
 
-func (fi *ftsIndex) attach(vb int, p *dcp.Producer) error {
-	s, err := p.OpenStream("fts:"+fi.def.Name, 0)
-	if err != nil {
-		return err
-	}
+// Rollback implements feed.Rollbacker: drop this vBucket's documents
+// and seqno state so the feed can re-stream the partition from the
+// promoted copy's (shorter) history.
+func (fi *ftsIndex) Rollback(vb int, _ uint64) uint64 {
 	fi.mu.Lock()
-	if fi.closed {
-		fi.mu.Unlock()
-		s.Close()
-		return nil
-	}
-	fi.streams[vb] = s
-	fi.mu.Unlock()
-	go func() {
-		for m := range s.C() {
-			fi.apply(vb, m)
-		}
-	}()
-	return nil
-}
-
-func (fi *ftsIndex) detach(vb int) {
-	fi.mu.Lock()
-	s := fi.streams[vb]
-	delete(fi.streams, vb)
 	delete(fi.processed, vb)
-	// Remove this vBucket's documents. The back index has no vb info;
-	// removing by doc requires a vb marker — store vb in docTerms key.
+	// The back index has no vb field; the vb marker lives in the
+	// docTerms key.
 	var drop []string
 	for dockey := range fi.docTerms {
 		if docVB(dockey) == vb {
@@ -205,24 +185,14 @@ func (fi *ftsIndex) detach(vb int) {
 		fi.removeDocLocked(dockey)
 	}
 	fi.mu.Unlock()
-	if s != nil {
-		s.Close()
-	}
+	return 0
 }
 
 func (fi *ftsIndex) close() {
 	fi.mu.Lock()
 	fi.closed = true
-	streams := make([]*dcp.Stream, 0, len(fi.streams))
-	for _, s := range fi.streams {
-		streams = append(streams, s)
-	}
-	fi.streams = make(map[int]*dcp.Stream)
 	fi.cond.Broadcast()
 	fi.mu.Unlock()
-	for _, s := range streams {
-		s.Close()
-	}
 }
 
 // docKey packs (vb, docID) into the back-index key.
@@ -287,7 +257,8 @@ func (fi *ftsIndex) tokensOf(doc any) []string {
 	return out
 }
 
-func (fi *ftsIndex) apply(vb int, m dcp.Mutation) {
+// Apply implements feed.Consumer: index one mutation.
+func (fi *ftsIndex) Apply(vb int, m dcp.Mutation) {
 	var tokens []string
 	if !m.Deleted {
 		if doc, ok := value.Parse(m.Value); ok {

@@ -66,8 +66,11 @@ type Indexer struct {
 	// backfill stream races the steady-state projector stream, and a
 	// document's index contribution must only ever move forward.
 	lastSeq map[string]uint64
-	cond    *sync.Cond
-	closed  bool
+	// docVB records which vBucket last contributed each document, so
+	// PurgeVB can drop one partition's state on rollback.
+	docVB  map[string]int
+	cond   *sync.Cond
+	closed bool
 
 	// Standard mode: the append-only maintenance log (real disk I/O on
 	// the maintenance path, as with the on-disk index of 4.1).
@@ -97,6 +100,7 @@ func NewIndexer(cd *compiledDef, part int, logPath string) (*Indexer, error) {
 		back:      make(map[string][][]byte),
 		processed: make(map[int]uint64),
 		lastSeq:   make(map[string]uint64),
+		docVB:     make(map[string]int),
 	}
 	ix.cond = sync.NewCond(&ix.mu)
 	if cd.Mode == Standard {
@@ -139,6 +143,7 @@ func (ix *Indexer) Apply(kv KeyVersion) {
 	}
 	mIndexed.Inc()
 	ix.lastSeq[kv.DocID] = kv.Seqno
+	ix.docVB[kv.DocID] = kv.VB
 	old := ix.back[kv.DocID]
 	for _, tk := range old {
 		ix.tree.Delete(tk)
@@ -188,6 +193,32 @@ func (ix *Indexer) appendLogLocked(kv KeyVersion) {
 		ix.log.Sync()
 		ix.pendingOps = 0
 	}
+}
+
+// PurgeVB drops one vBucket's contribution entirely: tree entries,
+// back-index rows, seqno guards, and the consistency-vector slot. The
+// feed layer calls it on rollback, when a promoted copy's history is
+// shorter than what this partition already applied; clearing lastSeq
+// is what lets the re-streamed (lower-seqno) versions apply again.
+func (ix *Indexer) PurgeVB(vb int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed {
+		return
+	}
+	for doc, dvb := range ix.docVB {
+		if dvb != vb {
+			continue
+		}
+		for _, tk := range ix.back[doc] {
+			ix.tree.Delete(tk)
+		}
+		delete(ix.back, doc)
+		delete(ix.lastSeq, doc)
+		delete(ix.docVB, doc)
+	}
+	delete(ix.processed, vb)
+	ix.cond.Broadcast()
 }
 
 // Processed returns a copy of the applied-seqno vector.

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"couchgo/internal/dcp"
+	"couchgo/internal/feed"
 	"couchgo/internal/metrics"
 	"couchgo/internal/value"
 )
@@ -31,9 +32,12 @@ var (
 type Service struct {
 	dir string
 
-	mu         sync.Mutex
-	indexes    map[string]*indexState // key: keyspace + "/" + name
-	projectors []*Projector
+	mu      sync.Mutex
+	indexes map[string]*indexState // key: keyspace + "/" + name
+	// projectors: one shared projector per keyspace. The projector's
+	// feed state (resume positions) lives here, at the service level,
+	// so it survives vBucket movement between data nodes.
+	projectors map[string]*Projector
 }
 
 type indexState struct {
@@ -45,7 +49,11 @@ type indexState struct {
 // NewService creates an index service writing standard-mode logs under
 // dir.
 func NewService(dir string) *Service {
-	return &Service{dir: dir, indexes: make(map[string]*indexState)}
+	return &Service{
+		dir:        dir,
+		indexes:    make(map[string]*indexState),
+		projectors: make(map[string]*Projector),
+	}
 }
 
 func indexKey(keyspace, name string) string { return keyspace + "/" + name }
@@ -73,17 +81,13 @@ func (s *Service) CreateIndex(def Def) error {
 		st.parts = append(st.parts, ix)
 	}
 	s.indexes[key] = st
-	projectors := append([]*Projector(nil), s.projectors...)
+	proj := s.projectors[def.Keyspace]
 	s.mu.Unlock()
 	// Initial build: stream the existing data set through this index
 	// only. The per-document seqno guard in the indexer resolves races
 	// with the steady-state projector feed.
-	if !def.Deferred {
-		for _, p := range projectors {
-			if p.keyspace == def.Keyspace {
-				p.backfillIndex(st)
-			}
-		}
+	if !def.Deferred && proj != nil {
+		proj.backfillIndex(st)
 	}
 	s.mu.Lock()
 	return nil
@@ -105,15 +109,13 @@ func sanitize(s string) string {
 func (s *Service) BuildIndex(keyspace, name string) error {
 	s.mu.Lock()
 	st, ok := s.indexes[indexKey(keyspace, name)]
-	projectors := append([]*Projector(nil), s.projectors...)
+	proj := s.projectors[keyspace]
 	s.mu.Unlock()
 	if !ok {
 		return ErrNoSuchIndex
 	}
-	for _, p := range projectors {
-		if p.keyspace == keyspace {
-			p.backfillIndex(st)
-		}
+	if proj != nil {
+		proj.backfillIndex(st)
 	}
 	s.mu.Lock()
 	st.built = true
@@ -323,71 +325,78 @@ func routeTo(st *indexState, vb int, m dcp.Mutation) {
 	}
 }
 
-// Projector consumes one vBucket's DCP feed on the data service node
-// and feeds the router.
+// Projector consumes the keyspace's per-vBucket DCP feeds and routes
+// key versions to the indexers. One shared Projector exists per
+// keyspace; every data node attaches its active vBuckets' producers
+// through the same instance, so the feed layer's resume state follows
+// partitions as they move between nodes.
 type Projector struct {
 	svc      *Service
 	keyspace string
-
-	mu        sync.Mutex
-	streams   map[int]*dcp.Stream
-	producers map[int]*dcp.Producer
+	hub      *feed.Hub
 }
 
-// NewProjector creates a projector for one keyspace (bucket) and
-// registers it with the service so CREATE INDEX can trigger initial
-// builds over the projector's vBuckets.
+// NewProjector returns the keyspace's shared projector, creating it on
+// first use and registering it with the service so CREATE INDEX can
+// trigger initial builds over the projector's vBuckets.
 func NewProjector(svc *Service, keyspace string) *Projector {
-	p := &Projector{
-		svc:       svc,
-		keyspace:  keyspace,
-		streams:   make(map[int]*dcp.Stream),
-		producers: make(map[int]*dcp.Producer),
-	}
 	svc.mu.Lock()
-	svc.projectors = append(svc.projectors, p)
+	if p, ok := svc.projectors[keyspace]; ok {
+		svc.mu.Unlock()
+		return p
+	}
+	p := &Projector{svc: svc, keyspace: keyspace, hub: feed.NewHub("gsi")}
+	svc.projectors[keyspace] = p
 	svc.mu.Unlock()
+	p.hub.Subscribe("gsi-projector", p)
 	return p
 }
 
-// AttachVB starts projecting a vBucket's mutations. Re-attaching the
-// same producer is a no-op (idempotent reconciliation).
-func (p *Projector) AttachVB(vb int, producer *dcp.Producer) error {
-	p.mu.Lock()
-	if p.producers[vb] == producer {
-		p.mu.Unlock()
-		return nil
-	}
-	p.mu.Unlock()
-	s, err := producer.OpenStream("gsi-projector", 0)
-	if err != nil {
-		return err
-	}
-	p.mu.Lock()
-	if old := p.streams[vb]; old != nil {
-		defer old.Close()
-	}
-	p.streams[vb] = s
-	p.producers[vb] = producer
-	p.mu.Unlock()
-	go func() {
-		for m := range s.C() {
-			p.svc.route(p.keyspace, vb, m)
-		}
-	}()
-	return nil
+// Apply implements feed.Consumer: route one mutation's key versions to
+// every index on the keyspace.
+func (p *Projector) Apply(vb int, m dcp.Mutation) {
+	p.svc.route(p.keyspace, vb, m)
 }
 
-// DetachVB stops projecting a vBucket (it moved to another node).
-func (p *Projector) DetachVB(vb int) {
-	p.mu.Lock()
-	s := p.streams[vb]
-	delete(p.streams, vb)
-	delete(p.producers, vb)
-	p.mu.Unlock()
-	if s != nil {
-		s.Close()
+// Rollback implements feed.Rollbacker: a promoted vBucket copy lacks
+// mutations the indexers already applied, so purge the partition from
+// every index on the keyspace and rebuild it from the re-streamed
+// history. Without the purge the per-document seqno guard would
+// reject the re-streamed (lower-seqno) versions and entries from the
+// lost branch would linger as phantoms.
+func (p *Projector) Rollback(vb int, _ uint64) uint64 {
+	p.svc.mu.Lock()
+	states := make([]*indexState, 0, len(p.svc.indexes))
+	for _, st := range p.svc.indexes {
+		if st.cd.Keyspace == p.keyspace {
+			states = append(states, st)
+		}
 	}
+	p.svc.mu.Unlock()
+	for _, st := range states {
+		for _, ix := range st.parts {
+			ix.PurgeVB(vb)
+		}
+	}
+	return 0
+}
+
+// AttachVB starts projecting a vBucket's mutations. Re-attaching the
+// same producer is a no-op (idempotent reconciliation); a changed
+// producer resumes from the recorded position, rolling indexes back
+// first if the new producer's history demands it.
+func (p *Projector) AttachVB(vb int, producer *dcp.Producer) error {
+	return p.hub.AttachVB(vb, producer)
+}
+
+// DetachVB stops projecting a vBucket.
+func (p *Projector) DetachVB(vb int) {
+	p.hub.DetachVB(vb)
+}
+
+// FeedStats describes the projector's feeds.
+func (p *Projector) FeedStats() []feed.Stat {
+	return p.hub.Stats()
 }
 
 // backfillIndex performs an index's initial build over this
@@ -396,13 +405,7 @@ func (p *Projector) DetachVB(vb int) {
 // mutations arrive via the steady-state stream; the indexer's
 // per-document seqno guard makes the overlap safe.
 func (p *Projector) backfillIndex(st *indexState) {
-	p.mu.Lock()
-	producers := make(map[int]*dcp.Producer, len(p.producers))
-	for vb, pr := range p.producers {
-		producers[vb] = pr
-	}
-	p.mu.Unlock()
-	for vb, producer := range producers {
+	for vb, producer := range p.hub.Producers() {
 		target := producer.HighSeqno()
 		if target == 0 {
 			continue
@@ -421,23 +424,33 @@ func (p *Projector) backfillIndex(st *indexState) {
 	}
 }
 
-// Close stops all streams.
+// Close stops the projector's feeds.
 func (p *Projector) Close() {
-	p.mu.Lock()
-	streams := p.streams
-	p.streams = make(map[int]*dcp.Stream)
-	p.mu.Unlock()
-	for _, s := range streams {
-		s.Close()
-	}
+	p.hub.Close()
 }
 
-// Close shuts down every indexer.
+// FeedStats describes the feeds of one keyspace's projector.
+func (s *Service) FeedStats(keyspace string) []feed.Stat {
+	s.mu.Lock()
+	p := s.projectors[keyspace]
+	s.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	return p.FeedStats()
+}
+
+// Close shuts down every projector feed and every indexer.
 func (s *Service) Close() {
 	s.mu.Lock()
 	states := s.indexes
 	s.indexes = make(map[string]*indexState)
+	projectors := s.projectors
+	s.projectors = make(map[string]*Projector)
 	s.mu.Unlock()
+	for _, p := range projectors {
+		p.Close()
+	}
 	for _, st := range states {
 		for _, p := range st.parts {
 			p.Close()

@@ -1,0 +1,71 @@
+package rest
+
+import (
+	"net/http"
+	"testing"
+)
+
+func TestFeedsEndpoint(t *testing.T) {
+	s, c := newServer(t)
+	// Give the bucket at least one feed: a view subscribes per node.
+	rec := do(t, s, "PUT", "/buckets/default/views/byName",
+		`{"key": "name"}`, nil)
+	if rec.Code != http.StatusCreated {
+		t.Fatalf("define view: %d %s", rec.Code, rec.Body)
+	}
+
+	rec = do(t, s, "GET", "/buckets/default/feeds", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("feeds: %d %s", rec.Code, rec.Body)
+	}
+	body := decode(t, rec)
+	feeds, ok := body["feeds"].([]any)
+	if !ok {
+		t.Fatalf("feeds payload = %v", body)
+	}
+	views := 0
+	for _, f := range feeds {
+		st := f.(map[string]any)
+		if st["service"] == "views" {
+			views++
+			if st["node"] == "" || st["node"] == nil {
+				t.Fatalf("view feed missing node annotation: %v", st)
+			}
+		}
+	}
+	if views != 2 { // one view feed per data node
+		t.Fatalf("view feeds = %d, want 2: %v", feeds, views)
+	}
+
+	// Service filter narrows to one service.
+	rec = do(t, s, "GET", "/buckets/default/feeds/views", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("feeds/views: %d %s", rec.Code, rec.Body)
+	}
+	for _, f := range decode(t, rec)["feeds"].([]any) {
+		if svc := f.(map[string]any)["service"]; svc != "views" {
+			t.Fatalf("filtered feeds leaked service %v", svc)
+		}
+	}
+
+	// A valid service with no subscriptions is an empty 200 list, not
+	// an error.
+	rec = do(t, s, "GET", "/buckets/default/feeds/fts", "", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("feeds/fts: %d %s", rec.Code, rec.Body)
+	}
+	if feeds := decode(t, rec)["feeds"].([]any); len(feeds) != 0 {
+		t.Fatalf("fts feeds = %v, want empty", feeds)
+	}
+
+	// Unknown bucket and unknown service are 404s, not empty 200s.
+	rec = do(t, s, "GET", "/buckets/nope/feeds", "", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown bucket: %d %s", rec.Code, rec.Body)
+	}
+	rec = do(t, s, "GET", "/buckets/default/feeds/bogus", "", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown service: %d %s", rec.Code, rec.Body)
+	}
+	_ = c
+}

@@ -20,6 +20,7 @@ import (
 	"couchgo/internal/cmap"
 	"couchgo/internal/core"
 	"couchgo/internal/executor"
+	"couchgo/internal/feed"
 	"couchgo/internal/fts"
 	"couchgo/internal/views"
 )
@@ -37,6 +38,8 @@ func NewServer(c *core.Cluster) *Server {
 	s.mux.HandleFunc("POST /cluster/rebalance", s.handleRebalance)
 	s.mux.HandleFunc("POST /cluster/failover", s.handleFailover)
 	s.mux.HandleFunc("GET /buckets/{bucket}/stats", s.handleStats)
+	s.mux.HandleFunc("GET /buckets/{bucket}/feeds", s.handleFeeds)
+	s.mux.HandleFunc("GET /buckets/{bucket}/feeds/{service}", s.handleFeeds)
 	s.mux.HandleFunc("GET /buckets/{bucket}/docs/{key}", s.handleGet)
 	s.mux.HandleFunc("PUT /buckets/{bucket}/docs/{key}", s.handlePut)
 	s.mux.HandleFunc("DELETE /buckets/{bucket}/docs/{key}", s.handleDelete)
@@ -136,6 +139,38 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"bucket": bucket, "nodes": out})
+}
+
+// feedServices whitelists the {service} path segment of the feeds
+// endpoint; anything else is a 404, not an empty 200.
+var feedServices = map[string]bool{
+	"gsi": true, "views": true, "fts": true, "analytics": true,
+}
+
+func (s *Server) handleFeeds(w http.ResponseWriter, r *http.Request) {
+	bucket := r.PathValue("bucket")
+	stats, err := s.c.FeedStats(bucket)
+	if err != nil {
+		writeErr(w, err) // unknown bucket -> 404
+		return
+	}
+	if service := r.PathValue("service"); service != "" {
+		if !feedServices[service] {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": "rest: no such feed service " + service})
+			return
+		}
+		filtered := stats[:0]
+		for _, st := range stats {
+			if st.Service == service {
+				filtered = append(filtered, st)
+			}
+		}
+		stats = filtered
+	}
+	if stats == nil {
+		stats = []feed.Stat{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"bucket": bucket, "feeds": stats})
 }
 
 // --- KV ---

@@ -21,6 +21,7 @@ import (
 
 	"couchgo/internal/btree"
 	"couchgo/internal/dcp"
+	"couchgo/internal/feed"
 	"couchgo/internal/n1ql"
 	"couchgo/internal/value"
 )
@@ -166,17 +167,19 @@ func (cm *compiledMap) emit(docID string, doc any) (key, val any, ok bool, err e
 }
 
 // Engine is the per-node view engine: it consumes each local vBucket's
-// DCP feed and maintains every defined view's B-tree.
+// DCP feed through the shared feed layer and maintains every defined
+// view's B-tree. The feed hub owns all stream lifecycle; each view
+// subscribes as one named consumer.
 type Engine struct {
+	hub *feed.Hub
+
 	mu    sync.Mutex
 	views map[string]*viewIndex
-	// producers for currently attached (active) vBuckets.
-	producers map[int]*dcp.Producer
 }
 
 // NewEngine creates an empty view engine.
 func NewEngine() *Engine {
-	return &Engine{views: make(map[string]*viewIndex), producers: make(map[int]*dcp.Producer)}
+	return &Engine{hub: feed.NewHub("views"), views: make(map[string]*viewIndex)}
 }
 
 // viewIndex is one view's local index.
@@ -189,7 +192,6 @@ type viewIndex struct {
 	back      map[int]map[string][][]byte // vb -> docID -> tree keys
 	processed map[int]uint64              // vb -> last applied seqno
 	cond      *sync.Cond
-	streams   map[int]*dcp.Stream
 	closed    bool
 }
 
@@ -207,8 +209,8 @@ func (e *Engine) Define(def Definition) error {
 		return err
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if _, ok := e.views[def.Name]; ok {
+		e.mu.Unlock()
 		return ErrViewExists
 	}
 	vi := &viewIndex{
@@ -217,14 +219,18 @@ func (e *Engine) Define(def Definition) error {
 		tree:      btree.New(red),
 		back:      make(map[int]map[string][][]byte),
 		processed: make(map[int]uint64),
-		streams:   make(map[int]*dcp.Stream),
 	}
 	vi.cond = sync.NewCond(&vi.mu)
 	e.views[def.Name] = vi
-	for vb, p := range e.producers {
-		if err := vi.attach(vb, p); err != nil {
-			return err
-		}
+	e.mu.Unlock()
+	// Materialize from every attached vBucket: the hub opens a backfill
+	// stream from seqno 0 per producer for the new subscription.
+	if _, err := e.hub.Subscribe("view:"+def.Name, vi); err != nil {
+		e.mu.Lock()
+		delete(e.views, def.Name)
+		e.mu.Unlock()
+		vi.close()
+		return err
 	}
 	return nil
 }
@@ -238,6 +244,7 @@ func (e *Engine) Drop(name string) error {
 	if !ok {
 		return ErrNoSuchView
 	}
+	e.hub.Unsubscribe("view:" + name)
 	vi.close()
 	return nil
 }
@@ -257,18 +264,7 @@ func (e *Engine) Names() []string {
 // Attaching an already-attached vBucket is a no-op, so cluster state
 // reconciliation can call it idempotently.
 func (e *Engine) AttachVB(vb int, p *dcp.Producer) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.producers[vb] == p {
-		return nil
-	}
-	e.producers[vb] = p
-	for _, vi := range e.views {
-		if err := vi.attach(vb, p); err != nil {
-			return err
-		}
-	}
-	return nil
+	return e.hub.AttachVB(vb, p)
 }
 
 // DetachVB stops indexing a vBucket and removes its entries. This is
@@ -277,59 +273,44 @@ func (e *Engine) AttachVB(vb int, p *dcp.Producer) error {
 // belong to the migrated partition should not be used in the view
 // result anymore."
 func (e *Engine) DetachVB(vb int) {
+	e.hub.DetachVB(vb)
 	e.mu.Lock()
-	delete(e.producers, vb)
 	views := make([]*viewIndex, 0, len(e.views))
 	for _, vi := range e.views {
 		views = append(views, vi)
 	}
 	e.mu.Unlock()
 	for _, vi := range views {
-		vi.detach(vb)
+		vi.Rollback(vb, 0)
 	}
+}
+
+// FeedStats describes the engine's feeds (one per view).
+func (e *Engine) FeedStats() []feed.Stat {
+	return e.hub.Stats()
 }
 
 // Close stops all views.
 func (e *Engine) Close() {
+	e.hub.Close()
 	e.mu.Lock()
 	views := make([]*viewIndex, 0, len(e.views))
 	for _, vi := range e.views {
 		views = append(views, vi)
 	}
 	e.views = make(map[string]*viewIndex)
-	e.producers = make(map[int]*dcp.Producer)
 	e.mu.Unlock()
 	for _, vi := range views {
 		vi.close()
 	}
 }
 
-func (vi *viewIndex) attach(vb int, p *dcp.Producer) error {
-	s, err := p.OpenStream("view:"+vi.def.Name, 0)
-	if err != nil {
-		return err
-	}
+// Rollback implements feed.Rollbacker: discard the partition's entries
+// entirely and let the feed re-stream it. A promoted copy's history is
+// shorter than what this view applied, and emitted rows from the lost
+// branch must not survive.
+func (vi *viewIndex) Rollback(vb int, _ uint64) uint64 {
 	vi.mu.Lock()
-	if vi.closed {
-		vi.mu.Unlock()
-		s.Close()
-		return nil
-	}
-	vi.streams[vb] = s
-	vi.mu.Unlock()
-	go func() {
-		for m := range s.C() {
-			vi.apply(vb, m)
-		}
-	}()
-	return nil
-}
-
-func (vi *viewIndex) detach(vb int) {
-	vi.mu.Lock()
-	s := vi.streams[vb]
-	delete(vi.streams, vb)
-	// Remove the partition's entries so queries no longer see them.
 	for _, treeKeys := range vi.back[vb] {
 		for _, tk := range treeKeys {
 			vi.tree.Delete(tk)
@@ -338,24 +319,14 @@ func (vi *viewIndex) detach(vb int) {
 	delete(vi.back, vb)
 	delete(vi.processed, vb)
 	vi.mu.Unlock()
-	if s != nil {
-		s.Close()
-	}
+	return 0
 }
 
 func (vi *viewIndex) close() {
 	vi.mu.Lock()
 	vi.closed = true
-	streams := make([]*dcp.Stream, 0, len(vi.streams))
-	for _, s := range vi.streams {
-		streams = append(streams, s)
-	}
-	vi.streams = make(map[int]*dcp.Stream)
 	vi.cond.Broadcast()
 	vi.mu.Unlock()
-	for _, s := range streams {
-		s.Close()
-	}
 }
 
 // treeKey builds the composite key: encoded emit key, 0x00 separator,
@@ -368,9 +339,9 @@ func treeKey(k any, docID string) []byte {
 	return append(out, docID...)
 }
 
-// apply processes one DCP mutation: drop the doc's old emissions, then
+// Apply implements feed.Consumer: drop the doc's old emissions, then
 // add new ones.
-func (vi *viewIndex) apply(vb int, m dcp.Mutation) {
+func (vi *viewIndex) Apply(vb int, m dcp.Mutation) {
 	var k, v any
 	var emitOK bool
 	if !m.Deleted {

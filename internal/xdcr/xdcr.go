@@ -16,6 +16,13 @@
 //     (§4.6.1): most-updates (RevSeqno) wins, metadata (CAS) tiebreak,
 //     applied identically on both sides, so bidirectional replication
 //     converges to the same winner.
+//
+// DCP consumption goes through the shared feed layer (internal/feed):
+// a topology loop resolves each vBucket's current active producer and
+// (re)attaches the replicator's feed to it; the feed owns stream
+// lifecycle, resume seqnos, and failover-log rollback. On rollback the
+// replicator keeps its resume point — the destination's conflict
+// resolution deduplicates any re-sent mutations.
 package xdcr
 
 import (
@@ -26,6 +33,7 @@ import (
 
 	"couchgo/internal/core"
 	"couchgo/internal/dcp"
+	"couchgo/internal/feed"
 )
 
 // Options configure one replication.
@@ -33,7 +41,7 @@ type Options struct {
 	// FilterExpr, when non-empty, is a regular expression on document
 	// IDs; only matching documents replicate.
 	FilterExpr string
-	// RetryInterval between stream re-opens after topology changes.
+	// RetryInterval between topology re-resolution passes.
 	RetryInterval time.Duration
 }
 
@@ -45,14 +53,13 @@ type Replicator struct {
 	dest         *core.Client
 	filter       *regexp.Regexp
 	retry        time.Duration
+	nvb          int
+	feed         *feed.Feed
 
 	mu      sync.Mutex
 	stopped bool
 	stopCh  chan struct{}
 	wg      sync.WaitGroup
-
-	// lastSeqno per vb, for stream resumption across re-opens.
-	lastSeqno []atomic.Uint64
 
 	// Stats.
 	sent     atomic.Int64
@@ -76,8 +83,8 @@ func Start(source *core.Cluster, sourceBucket string, dest *core.Cluster, destBu
 		sourceBucket: sourceBucket,
 		dest:         destClient,
 		retry:        opts.RetryInterval,
+		nvb:          nvb,
 		stopCh:       make(chan struct{}),
-		lastSeqno:    make([]atomic.Uint64, nvb),
 	}
 	if r.retry <= 0 {
 		r.retry = 20 * time.Millisecond
@@ -89,77 +96,67 @@ func Start(source *core.Cluster, sourceBucket string, dest *core.Cluster, destBu
 		}
 		r.filter = re
 	}
-	for vb := 0; vb < nvb; vb++ {
-		r.wg.Add(1)
-		go r.replicateVB(vb)
-	}
+	r.feed = feed.New("xdcr", r, feed.Config{Service: "xdcr"})
+	r.wg.Add(1)
+	go r.topologyLoop()
 	return r, nil
 }
 
-// replicateVB follows one source vBucket forever: open a stream on the
-// current active copy, push mutations, and re-open on stream end (the
-// topology-awareness loop — failover/rebalance close producer streams,
-// and the re-open lands on the new active).
-func (r *Replicator) replicateVB(vb int) {
+// topologyLoop keeps the feed attached to each vBucket's current
+// active producer: failover/rebalance close producer streams, the feed
+// drain exits, and the next pass re-resolves and reattaches on the new
+// active, resuming from the recorded (uuid, seqno).
+func (r *Replicator) topologyLoop() {
 	defer r.wg.Done()
+	t := time.NewTicker(r.retry)
+	defer t.Stop()
 	for {
-		select {
-		case <-r.stopCh:
-			return
-		default:
-		}
-		stream, err := r.source.VBStream(r.sourceBucket, vb, "xdcr", r.lastSeqno[vb].Load())
-		if err != nil {
-			select {
-			case <-r.stopCh:
-				return
-			case <-time.After(r.retry):
+		for vb := 0; vb < r.nvb; vb++ {
+			p, err := r.source.VBProducer(r.sourceBucket, vb)
+			if err != nil {
+				continue // vBucket has no alive active right now
 			}
-			continue
+			// Attach is idempotent for a live unchanged producer;
+			// errors (producer closed under us mid-pass) retry on the
+			// next tick.
+			_ = r.feed.Attach(vb, p)
 		}
-		r.consume(vb, stream)
 		select {
 		case <-r.stopCh:
 			return
-		case <-time.After(r.retry):
+		case <-t.C:
 		}
 	}
 }
 
-// consume drains one stream until it closes (producer gone) or the
-// replicator stops.
-func (r *Replicator) consume(vb int, stream *dcp.Stream) {
-	defer stream.Close()
-	for {
-		select {
-		case <-r.stopCh:
-			return
-		case m, ok := <-stream.C():
-			if !ok {
-				return
-			}
-			r.lastSeqno[vb].Store(m.Seqno)
-			if r.filter != nil && !r.filter.MatchString(m.Key) {
-				r.filtered.Add(1)
-				continue
-			}
-			r.sent.Add(1)
-			applied, err := r.dest.XDCRApply(m.Key, m.Value, m.Deleted, m.CAS, m.RevSeqno, m.Flags, m.Expiry)
-			if err != nil {
-				// Destination unavailable for this key right now; the
-				// stream position was advanced, so rely on the next
-				// full pass. In a production system this would queue
-				// and retry; here topology changes re-open from the
-				// recorded seqno.
-				continue
-			}
-			if applied {
-				r.applied.Add(1)
-			} else {
-				r.rejected.Add(1)
-			}
-		}
+// Apply implements feed.Consumer: push one mutation to the
+// destination.
+func (r *Replicator) Apply(_ int, m dcp.Mutation) {
+	if r.filter != nil && !r.filter.MatchString(m.Key) {
+		r.filtered.Add(1)
+		return
 	}
+	r.sent.Add(1)
+	applied, err := r.dest.XDCRApply(m.Key, m.Value, m.Deleted, m.CAS, m.RevSeqno, m.Flags, m.Expiry)
+	if err != nil {
+		// Destination unavailable for this key right now; rely on the
+		// next topology pass. In a production system this would queue
+		// and retry; here topology changes re-stream from the recorded
+		// seqno.
+		return
+	}
+	if applied {
+		r.applied.Add(1)
+	} else {
+		r.rejected.Add(1)
+	}
+}
+
+// Rollback implements feed.Rollbacker: XDCR keeps its position — the
+// destination's conflict resolution (RevSeqno/CAS) deduplicates any
+// mutations re-sent from the rollback point.
+func (r *Replicator) Rollback(_ int, toSeqno uint64) uint64 {
+	return toSeqno
 }
 
 // Stop halts replication. Mutations already queued may still land.
@@ -173,6 +170,17 @@ func (r *Replicator) Stop() {
 	close(r.stopCh)
 	r.mu.Unlock()
 	r.wg.Wait()
+	r.feed.Close()
+}
+
+// FeedStats describes the replication feed.
+func (r *Replicator) FeedStats() []feed.Stat {
+	return []feed.Stat{{
+		Service:   "xdcr",
+		Name:      r.feed.Name(),
+		VBuckets:  r.nvb,
+		Processed: r.feed.Processed(),
+	}}
 }
 
 // Stats reports replication counters.
