@@ -1,8 +1,9 @@
-# Tier-1 gate plus the race-sensitive instrumented packages.
+# Tier-1 gate plus the repo-specific static analyzer, formatting,
+# full-tree race detection, and fuzz smoke runs.
 
-.PHONY: verify build test race vet
+.PHONY: verify build test race vet fmtcheck couchvet fuzz-smoke
 
-verify: vet build test race
+verify: fmtcheck vet build test couchvet race
 
 build:
 	go build ./...
@@ -13,5 +14,21 @@ test:
 vet:
 	go vet ./...
 
+fmtcheck:
+	@out=$$(gofmt -l cmd internal); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+couchvet:
+	go run ./cmd/couchvet ./...
+
 race:
-	go test -race ./internal/metrics ./internal/rest ./internal/dcp ./internal/feed ./internal/core
+	go test -race ./...
+
+# Each fuzz target gets a short bounded run; any crasher fails the
+# target. Lengthen with FUZZTIME=1m etc. for local soak runs.
+FUZZTIME ?= 10s
+
+fuzz-smoke:
+	go test -run='^$$' -fuzz=FuzzCollate -fuzztime=$(FUZZTIME) ./internal/value
+	go test -run='^$$' -fuzz=FuzzPathParse -fuzztime=$(FUZZTIME) ./internal/value
+	go test -run='^$$' -fuzz=FuzzRecordDecode -fuzztime=$(FUZZTIME) ./internal/storage

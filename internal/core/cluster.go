@@ -244,6 +244,20 @@ func (c *Cluster) Orchestrator() cmap.NodeID {
 // CreateBucket provisions a bucket across the current data nodes with
 // a balanced vBucket map.
 func (c *Cluster) CreateBucket(name string, opts BucketOptions) error {
+	// Build the per-bucket engines before taking any cluster lock: the
+	// index services take their own locks and must not be entered with
+	// cluster state locked. A duplicate-name race loses the existence
+	// check below and discards its engines unstarted.
+	b := &bucketState{
+		name:         name,
+		opts:         opts,
+		gsiSvc:       gsi.NewService(filepath.Join(c.cfg.Dir, "gsi", name)),
+		ftsEng:       fts.NewEngine(),
+		analyticsEng: analytics.NewEngine(name),
+	}
+	if err := os.MkdirAll(filepath.Join(c.cfg.Dir, "gsi", name), 0o755); err != nil {
+		return err
+	}
 	c.rebalanceMu.Lock()
 	defer c.rebalanceMu.Unlock()
 	c.mu.Lock()
@@ -254,17 +268,6 @@ func (c *Cluster) CreateBucket(name string, opts BucketOptions) error {
 	if _, ok := c.buckets[name]; ok {
 		c.mu.Unlock()
 		return ErrBucketExists
-	}
-	b := &bucketState{
-		name:         name,
-		opts:         opts,
-		gsiSvc:       gsi.NewService(filepath.Join(c.cfg.Dir, "gsi", name)),
-		ftsEng:       fts.NewEngine(),
-		analyticsEng: analytics.NewEngine(name),
-	}
-	if err := os.MkdirAll(filepath.Join(c.cfg.Dir, "gsi", name), 0o755); err != nil {
-		c.mu.Unlock()
-		return err
 	}
 	c.buckets[name] = b
 	nodes := make([]*Node, 0, len(c.nodes))

@@ -125,11 +125,9 @@ func (n *Node) bucket(name string) (*nodeBucket, error) {
 // A nonzero memory quota bounds this node's cache for the bucket and
 // starts the item pager (§4.3.3 value or full eviction).
 func (n *Node) addBucket(name string, svc *gsi.Service, ftsEng *fts.Engine, anEng *analytics.Engine, cfg Config, opts BucketOptions) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if _, ok := n.buckets[name]; ok {
-		return ErrBucketExists
-	}
+	// Build everything before taking n.mu: store creation touches disk
+	// and the engine constructors enter other services' locks. A
+	// concurrent duplicate loses the insert race below and is released.
 	store, err := storage.NewStore(filepath.Join(n.dir, "data", name), cfg.SyncPersist)
 	if err != nil {
 		return err
@@ -149,6 +147,12 @@ func (n *Node) addBucket(name string, svc *gsi.Service, ftsEng *fts.Engine, anEn
 	if svc != nil {
 		nb.projector = gsi.NewProjector(svc, name)
 	}
+	n.mu.Lock()
+	if _, ok := n.buckets[name]; ok {
+		n.mu.Unlock()
+		store.Close()
+		return ErrBucketExists
+	}
 	if opts.MemoryQuotaBytes > 0 {
 		nb.pagerStop = make(chan struct{})
 		go nb.pagerLoop(opts.MemoryQuotaBytes, opts.FullEviction)
@@ -157,6 +161,7 @@ func (n *Node) addBucket(name string, svc *gsi.Service, ftsEng *fts.Engine, anEn
 	go nb.maintenanceLoop()
 	n.buckets[name] = nb
 	n.diskDelay = cfg.DiskDelay
+	n.mu.Unlock()
 	return nil
 }
 
@@ -216,13 +221,19 @@ func (nb *nodeBucket) pagerLoop(quota int64, fullEviction bool) {
 		case <-ticker.C:
 		}
 		nb.mu.Lock()
-		tables := make([]*cache.HashTable, 0, len(nb.vbs))
-		persisted := make([]uint64, 0, len(nb.vbs))
+		vbs := make([]*vbucket.VBucket, 0, len(nb.vbs))
 		for _, vb := range nb.vbs {
+			vbs = append(vbs, vb)
+		}
+		nb.mu.Unlock()
+		// Query the vBuckets after releasing nb.mu: PersistedSeqno takes
+		// vbucket-internal locks.
+		tables := make([]*cache.HashTable, 0, len(vbs))
+		persisted := make([]uint64, 0, len(vbs))
+		for _, vb := range vbs {
 			tables = append(tables, vb.Table)
 			persisted = append(persisted, vb.PersistedSeqno())
 		}
-		nb.mu.Unlock()
 		if pager.NeedsEviction(tables) {
 			pager.Run(tables, persisted, time.Now().Unix())
 		}
@@ -243,13 +254,17 @@ func (nb *nodeBucket) createVB(id int, state vbucket.State, diskDelay time.Durat
 	}
 	cfg := nb.vbCfg
 	cfg.DiskDelay = diskDelay
-	vb := vbucket.New(id, f, state, cfg)
+	// Creation, warmup, and map insert must be atomic under nb.mu so a
+	// concurrent createVB neither double-builds nor observes a cold
+	// vBucket. The vbucket layer never calls back into core, so the
+	// lock order nb.mu -> vbucket is acyclic.
+	vb := vbucket.New(id, f, state, cfg) //couchvet:ignore lockblock -- atomic create+insert; vbucket never re-enters core
 	// Restart warmup: a pre-existing file means a previous incarnation
 	// persisted data here; replay it into the cache before any
 	// consumer attaches.
 	if f.HighSeqno() > 0 {
-		if err := vb.WarmUp(); err != nil {
-			vb.Close()
+		if err := vb.WarmUp(); err != nil { //couchvet:ignore lockblock -- atomic create+insert; vbucket never re-enters core
+			vb.Close() //couchvet:ignore lockblock -- atomic create+insert; vbucket never re-enters core
 			return nil, err
 		}
 	}
@@ -301,11 +316,14 @@ func (nb *nodeBucket) promote(vbID int) {
 		nb.mu.Unlock()
 		return
 	}
-	vb.SetState(vbucket.Active)
+	// State flip, failover-log append, and consumer attach are one
+	// atomic promotion under nb.mu; the vbucket/dcp layers never call
+	// back into core, so the lock order is acyclic.
+	vb.SetState(vbucket.Active) //couchvet:ignore lockblock -- atomic promotion; vbucket/dcp never re-enter core
 	// Takeover: append a new (UUID, high-seqno) entry to the failover
 	// log. Consumers that resumed past this point on the old active
 	// branch get a rollback to here when they reattach (§4.1.1).
-	vb.Producer().Takeover(vb.HighSeqno())
+	vb.Producer().Takeover(vb.HighSeqno()) //couchvet:ignore lockblock -- atomic promotion; vbucket/dcp never re-enter core
 	nb.attachConsumersLocked(vb)
 	nb.mu.Unlock()
 	nb.stopReplStream(vbID)
@@ -413,8 +431,14 @@ func (n *Node) stats(bucketName string) NodeStats {
 		return st
 	}
 	nb.mu.Lock()
-	defer nb.mu.Unlock()
+	vbs := make([]*vbucket.VBucket, 0, len(nb.vbs))
 	for _, vb := range nb.vbs {
+		vbs = append(vbs, vb)
+	}
+	nb.mu.Unlock()
+	// Per-vBucket queries take vbucket/dcp/storage locks; do them after
+	// releasing nb.mu.
+	for _, vb := range vbs {
 		switch vb.State() {
 		case vbucket.Active:
 			st.ActiveVBs++

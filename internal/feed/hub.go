@@ -42,7 +42,7 @@ func (h *Hub) AttachVB(vb int, p *dcp.Producer) error {
 		return ErrClosed
 	}
 	h.producers[vb] = p
-	feeds := h.feedList()
+	feeds := h.feedListLocked()
 	h.mu.Unlock()
 	for _, f := range feeds {
 		if err := f.Attach(vb, p); err != nil {
@@ -57,7 +57,7 @@ func (h *Hub) AttachVB(vb int, p *dcp.Producer) error {
 func (h *Hub) DetachVB(vb int) {
 	h.mu.Lock()
 	delete(h.producers, vb)
-	feeds := h.feedList()
+	feeds := h.feedListLocked()
 	h.mu.Unlock()
 	for _, f := range feeds {
 		f.Detach(vb)
@@ -119,7 +119,7 @@ func (h *Hub) Producers() map[int]*dcp.Producer {
 // Stats describes every subscribed feed, sorted by name.
 func (h *Hub) Stats() []Stat {
 	h.mu.Lock()
-	feeds := h.feedList()
+	feeds := h.feedListLocked()
 	service := h.service
 	h.mu.Unlock()
 	out := make([]Stat, 0, len(feeds))
@@ -144,7 +144,7 @@ func (h *Hub) Close() {
 		return
 	}
 	h.closed = true
-	feeds := h.feedList()
+	feeds := h.feedListLocked()
 	h.feeds = make(map[string]*Feed)
 	h.producers = make(map[int]*dcp.Producer)
 	h.mu.Unlock()
@@ -153,8 +153,8 @@ func (h *Hub) Close() {
 	}
 }
 
-// feedList snapshots the feed set; callers hold h.mu.
-func (h *Hub) feedList() []*Feed {
+// feedListLocked snapshots the feed set; callers hold h.mu.
+func (h *Hub) feedListLocked() []*Feed {
 	out := make([]*Feed, 0, len(h.feeds))
 	for _, f := range h.feeds {
 		out = append(out, f)

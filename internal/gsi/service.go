@@ -340,16 +340,19 @@ type Projector struct {
 // first use and registering it with the service so CREATE INDEX can
 // trigger initial builds over the projector's vBuckets.
 func NewProjector(svc *Service, keyspace string) *Projector {
+	// Construct outside svc.mu: the feed layer takes its own locks and
+	// must never be entered with service state locked. A concurrent
+	// first use loses the race below and discards its hub unsubscribed.
+	np := &Projector{svc: svc, keyspace: keyspace, hub: feed.NewHub("gsi")}
 	svc.mu.Lock()
 	if p, ok := svc.projectors[keyspace]; ok {
 		svc.mu.Unlock()
 		return p
 	}
-	p := &Projector{svc: svc, keyspace: keyspace, hub: feed.NewHub("gsi")}
-	svc.projectors[keyspace] = p
+	svc.projectors[keyspace] = np
 	svc.mu.Unlock()
-	p.hub.Subscribe("gsi-projector", p)
-	return p
+	np.hub.Subscribe("gsi-projector", np)
+	return np
 }
 
 // Apply implements feed.Consumer: route one mutation's key versions to

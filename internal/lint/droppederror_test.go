@@ -1,0 +1,64 @@
+package lint
+
+import "testing"
+
+func TestDroppedError(t *testing.T) {
+	fixtures := []fixture{
+		{name: "critical_package", path: ModulePath + "/internal/storage", src: `
+package storage
+
+import "os"
+
+func bare(f *os.File) {
+	f.Close() // want: droppederror
+}
+
+func blank(f *os.File) {
+	_ = f.Close() // want: droppederror
+}
+
+func multi(path string) *os.File {
+	f, _ := os.Create(path) // want: droppederror
+	return f
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want: droppederror
+}
+
+func background(f *os.File) {
+	go f.Close() // want: droppederror
+}
+
+func propagated(f *os.File) error {
+	return f.Close()
+}
+
+func handled(f *os.File) {
+	if err := f.Close(); err != nil {
+		panic(err)
+	}
+}
+
+func nonError(path string) {
+	_, _ = len(path), cap([]int{}) // ints, not errors
+}
+`},
+		{name: "other_package_not_gated", path: ModulePath + "/internal/query", src: `
+package query
+
+import "os"
+
+func bare(f *os.File) {
+	f.Close()
+}
+
+func blank(f *os.File) {
+	_ = f.Close()
+}
+`},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) { checkFixture(t, DroppedError, fx) })
+	}
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LeakedGoroutine flags `go` statements that launch an infinite loop
+// (`for { ... }`) with no way to stop: no channel receive, no select,
+// no context.Done, and no return or break. Such goroutines outlive
+// their owner — the leak shape that matters for per-vBucket drain and
+// pull loops, which must die when the stream or service closes.
+// Ranging over a channel is inherently stoppable (close the channel)
+// and is never flagged.
+var LeakedGoroutine = &Analyzer{
+	Name: "leakedgoroutine",
+	Doc:  "go statement launches an unstoppable infinite loop",
+	Run:  runLeakedGoroutine,
+}
+
+func runLeakedGoroutine(pkg *Package) []Diagnostic {
+	// Index same-package function declarations so `go w.run()` can be
+	// checked through the call.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj := pkg.Info.Defs[fn.Name]; obj != nil {
+					decls[obj] = fn
+				}
+			}
+		}
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goTargetBody(pkg, decls, g.Call)
+			if body == nil {
+				return true
+			}
+			if loop := unstoppableLoop(body); loop != nil {
+				diags = append(diags, Diagnostic{
+					Pos:     pkg.pos(g.Pos()),
+					Rule:    "leakedgoroutine",
+					Message: "goroutine runs an infinite loop with no stop signal (no channel receive, select, context, return, or break)",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// goTargetBody resolves the body the go statement will run: a function
+// literal, or a function/method declared in this package.
+func goTargetBody(pkg *Package, decls map[types.Object]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn := decls[pkg.Info.Uses[fun]]; fn != nil {
+			return fn.Body
+		}
+	case *ast.SelectorExpr:
+		if fn := decls[pkg.Info.Uses[fun.Sel]]; fn != nil {
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// unstoppableLoop returns the first `for { ... }` in body (not nested
+// inside another function literal) that contains no stop signal.
+func unstoppableLoop(body *ast.BlockStmt) *ast.ForStmt {
+	var found *ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil && !hasStopSignal(n.Body) {
+				found = n
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasStopSignal reports whether the loop body contains anything that
+// can end or park the loop: a receive, select, range-over-channel
+// (detected syntactically as any range — conservative), return, break,
+// goto, or a call to a Done method (context-style).
+func hasStopSignal(body *ast.BlockStmt) bool {
+	stop := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if stop {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				stop = true
+			}
+		case *ast.SelectStmt, *ast.RangeStmt, *ast.ReturnStmt:
+			stop = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				stop = true
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Done" {
+				stop = true
+			}
+		}
+		return !stop
+	})
+	return stop
+}

@@ -1,0 +1,101 @@
+package lint
+
+import "testing"
+
+func TestLeakedGoroutine(t *testing.T) {
+	fixtures := []fixture{
+		{name: "busy_loop_literal", src: `
+package a
+
+func bad() {
+	n := 0
+	go func() { // want: leakedgoroutine
+		for {
+			n++
+		}
+	}()
+	_ = n
+}
+`},
+		{name: "stop_channel_select", src: `
+package a
+
+func good(stop chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+`},
+		{name: "range_over_channel", src: `
+package a
+
+func good(ch chan int) {
+	n := 0
+	go func() {
+		for v := range ch {
+			n += v
+		}
+	}()
+	_ = n
+}
+`},
+		{name: "named_method_target", src: `
+package a
+
+type W struct {
+	n int
+}
+
+func (w *W) loop() {
+	for {
+		w.n++
+	}
+}
+
+func (w *W) Start() {
+	go w.loop() // want: leakedgoroutine
+}
+`},
+		{name: "break_makes_stoppable", src: `
+package a
+
+type W struct {
+	n int
+}
+
+func (w *W) Start() {
+	go func() {
+		for {
+			w.n++
+			if w.n > 10 {
+				break
+			}
+		}
+	}()
+}
+`},
+		{name: "conditional_loop_not_flagged", src: `
+package a
+
+func good(done *bool) {
+	n := 0
+	go func() {
+		for !*done {
+			n++
+		}
+	}()
+	_ = n
+}
+`},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) { checkFixture(t, LeakedGoroutine, fx) })
+	}
+}

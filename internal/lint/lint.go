@@ -1,0 +1,259 @@
+// Package lint is couchvet's analysis engine: a repo-specific static
+// analyzer built only on the standard library's go/ast, go/parser,
+// go/types, and go/token. It enforces invariants that stock `go vet`
+// cannot see — the concurrency and error-handling conventions the
+// memory-first data service, DCP producers, and asynchronous consumer
+// services (paper §4.3, §5) uphold today only by discipline:
+//
+//   - lockblock:        no mutex held across a channel send/receive,
+//     select, or call into another internal package
+//   - mixedatomic:      no struct field accessed both via sync/atomic
+//     and via plain loads/stores
+//   - unlockedescape:   no method touching mutex-guarded fields
+//     without acquiring the lock its siblings use
+//   - leakedgoroutine:  no `go` statement launching an infinite loop
+//     with no stop channel, context, or exit path
+//   - droppederror:     no silently discarded error returns in the
+//     storage/cache/feed packages
+//
+// Deliberate exceptions are annotated in source with
+//
+//	//couchvet:ignore <rule> [<rule>...]  -- reason
+//
+// on the offending line or the line above it. The driver suppresses
+// matching diagnostics; `//couchvet:ignore all` suppresses every rule.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ModulePath is the import-path prefix of this repository's module.
+// The analyzers use it to tell in-repo internal packages apart from
+// the standard library.
+const ModulePath = "couchgo"
+
+// Diagnostic is one finding, positioned for editor-clickable output.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Rule, d.Message)
+}
+
+// Package is one loaded, type-checked package under analysis.
+type Package struct {
+	Path  string // import path, e.g. couchgo/internal/feed
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is one couchvet rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Package) []Diagnostic
+}
+
+// All is every analyzer couchvet runs, in report order.
+var All = []*Analyzer{
+	LockBlock,
+	MixedAtomic,
+	UnlockedEscape,
+	LeakedGoroutine,
+	DroppedError,
+}
+
+// NewInfo returns a types.Info with every map the analyzers need.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// Load parses and type-checks every non-test package under root (the
+// module directory). Vendored, hidden, and testdata directories are
+// skipped. Dependencies — standard library and in-module alike — are
+// resolved from source via the stdlib importer, so the analyzer needs
+// nothing beyond the go toolchain.
+func Load(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loadDir(fset, imp, root, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// packageDirs walks root for directories containing buildable .go files.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func loadDir(fset *token.FileSet, imp types.Importer, root, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := ModulePath
+	if rel != "." {
+		path = ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Run executes the analyzers over pkgs, drops pragma-suppressed
+// findings, and returns the rest sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		ignored := ignoreLines(pkg)
+		for _, a := range analyzers {
+			for _, d := range a.Run(pkg) {
+				if suppressed(ignored, d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// ignoreKey identifies one pragma-covered source line.
+type ignoreKey struct {
+	file string
+	line int
+	rule string
+}
+
+const ignorePragma = "//couchvet:ignore"
+
+// ignoreLines collects every //couchvet:ignore pragma in the package,
+// keyed by file, line, and rule ("all" matches any rule).
+func ignoreLines(pkg *Package) map[ignoreKey]bool {
+	out := make(map[ignoreKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePragma) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePragma)
+				// Allow a trailing justification after " -- ".
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = rest[:i]
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, rule := range strings.Fields(rest) {
+					out[ignoreKey{pos.Filename, pos.Line, rule}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether d is covered by a pragma on its own line
+// or the line directly above.
+func suppressed(ignored map[ignoreKey]bool, d Diagnostic) bool {
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, rule := range []string{d.Rule, "all"} {
+			if ignored[ignoreKey{d.Pos.Filename, line, rule}] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Fixtures share one FileSet and one source importer so the standard
+// library is type-checked once per test binary, not once per case.
+var (
+	testFset     = token.NewFileSet()
+	testImporter = importer.ForCompiler(testFset, "source", nil)
+)
+
+// fixture is one table-driven analyzer test case: source with expected
+// diagnostics embedded as `// want: <rule> [<rule>...]` comments on
+// the offending lines.
+type fixture struct {
+	name string
+	path string // import path to type-check under (affects path-gated rules)
+	src  string
+}
+
+// checkFixture type-checks src as a single-file package, runs analyzer
+// a through the driver (including pragma suppression), and compares
+// the diagnostics' (line, rule) pairs against the // want: comments.
+func checkFixture(t *testing.T, a *Analyzer, fx fixture) {
+	t.Helper()
+	filename := fmt.Sprintf("%s_%s.go", a.Name, fx.name)
+	file, err := parser.ParseFile(testFset, filename, fx.src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	path := fx.path
+	if path == "" {
+		path = ModulePath + "/internal/fixture"
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: testImporter}
+	tpkg, err := conf.Check(path, testFset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("typecheck fixture: %v", err)
+	}
+	pkg := &Package{Path: path, Fset: testFset, Files: []*ast.File{file}, Types: tpkg, Info: info}
+
+	var got []string
+	for _, d := range Run([]*Package{pkg}, []*Analyzer{a}) {
+		got = append(got, fmt.Sprintf("%d:%s", d.Pos.Line, d.Rule))
+	}
+	want := wantDiags(pkg, file)
+	sort.Strings(got)
+	sort.Strings(want)
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("diagnostics mismatch\n got: %v\nwant: %v", got, want)
+	}
+}
+
+// wantDiags extracts `// want: rule [rule...]` expectations as
+// "line:rule" strings.
+func wantDiags(pkg *Package, file *ast.File) []string {
+	var out []string
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			// Substring, not prefix: a want marker may trail another
+			// comment (e.g. a pragma under test).
+			idx := strings.Index(c.Text, "// want:")
+			if idx < 0 {
+				continue
+			}
+			text := c.Text[idx+len("// want:"):]
+			line := pkg.Fset.Position(c.Pos()).Line
+			for _, rule := range strings.Fields(text) {
+				out = append(out, fmt.Sprintf("%d:%s", line, rule))
+			}
+		}
+	}
+	return out
+}
+
+// TestLoadRepo loads and analyzes the entire module — the same work
+// `go run ./cmd/couchvet ./...` does — and requires a clean result, so
+// a finding introduced anywhere in the tree fails this package's tests
+// too, not just the CI lint step.
+func TestLoadRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module typecheck is slow; run without -short")
+	}
+	pkgs, err := Load("../..")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("Load found %d packages, expected the full tree (>=20)", len(pkgs))
+	}
+	for _, want := range []string{ModulePath, ModulePath + "/internal/feed", ModulePath + "/cmd/couchvet"} {
+		found := false
+		for _, p := range pkgs {
+			if p.Path == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Load missed package %s", want)
+		}
+	}
+	if diags := Run(pkgs, All); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+}
+
+// TestIgnorePragma exercises the suppression pragma through the
+// driver: same-line and line-above placement, rule matching, and the
+// "all" wildcard.
+func TestIgnorePragma(t *testing.T) {
+	fixtures := []fixture{
+		{name: "same_line", src: `
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *S) f() {
+	s.mu.Lock()
+	s.ch <- 1 //couchvet:ignore lockblock -- fixture
+	s.mu.Unlock()
+}
+`},
+		{name: "line_above", src: `
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *S) f() {
+	s.mu.Lock()
+	//couchvet:ignore lockblock -- fixture
+	s.ch <- 1
+	s.mu.Unlock()
+}
+`},
+		{name: "all_wildcard", src: `
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *S) f() {
+	s.mu.Lock()
+	s.ch <- 1 //couchvet:ignore all -- fixture
+	s.mu.Unlock()
+}
+`},
+		{name: "wrong_rule_does_not_suppress", src: `
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *S) f() {
+	s.mu.Lock()
+	s.ch <- 1 //couchvet:ignore droppederror -- wrong rule // want: lockblock
+	s.mu.Unlock()
+}
+`},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) { checkFixture(t, LockBlock, fx) })
+	}
+}

@@ -1,0 +1,197 @@
+package lint
+
+import "testing"
+
+func TestLockBlock(t *testing.T) {
+	fixtures := []fixture{
+		{name: "send_while_locked", src: `
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *S) bad() {
+	s.mu.Lock()
+	s.ch <- 1 // want: lockblock
+	s.mu.Unlock()
+}
+
+func (s *S) good() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1
+}
+`},
+		{name: "receive_under_defer_unlock", src: `
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *S) bad() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want: lockblock
+}
+`},
+		{name: "select_under_rlock", src: `
+package a
+
+import "sync"
+
+type S struct {
+	mu   sync.RWMutex
+	ch   chan int
+	done chan struct{}
+}
+
+func (s *S) bad() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	select { // want: lockblock
+	case <-s.ch:
+	case <-s.done:
+	}
+}
+
+func (s *S) good() {
+	s.mu.RLock()
+	s.mu.RUnlock()
+	select {
+	case <-s.ch:
+	case <-s.done:
+	}
+}
+`},
+		{name: "range_over_channel", src: `
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func (s *S) bad() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.ch { // want: lockblock
+		s.n += v
+	}
+}
+
+func (s *S) goodSlice(xs []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range xs {
+		s.n += v
+	}
+}
+`},
+		{name: "branch_unlock_scoped", src: `
+package a
+
+import "sync"
+
+type S struct {
+	mu     sync.Mutex
+	ch     chan int
+	closed bool
+}
+
+func (s *S) good() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.ch <- 1
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+}
+`},
+		{name: "cross_internal_call", src: `
+package a
+
+import (
+	"sync"
+
+	"couchgo/internal/dcp"
+	"couchgo/internal/metrics"
+)
+
+type S struct {
+	mu sync.Mutex
+	p  *dcp.Producer
+}
+
+func (s *S) bad() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.p = dcp.NewProducer(0, nil) // want: lockblock
+}
+
+func (s *S) goodAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.p = dcp.NewProducer(0, nil)
+}
+
+func (s *S) goodExempt() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metrics.Default.Counter("couchgo_fixture_total", "op", "x").Inc()
+}
+`},
+		{name: "goroutine_gets_fresh_lock_set", src: `
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *S) good() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- 1
+	}()
+}
+`},
+		{name: "distinct_mutexes_tracked_separately", src: `
+package a
+
+import "sync"
+
+type S struct {
+	opMu sync.Mutex
+	mu   sync.Mutex
+	ch   chan int
+}
+
+func (s *S) bad() {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1 // want: lockblock
+}
+`},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) { checkFixture(t, LockBlock, fx) })
+	}
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MixedAtomic flags struct fields that are accessed through sync/atomic
+// functions in one place (atomic.AddUint64(&s.n, 1)) and through plain
+// loads or stores elsewhere (s.n++ / x := s.n). Mixing the two races:
+// the plain access is invisible to the atomic protocol. Fields declared
+// as atomic.Uint64 etc. are safe by construction and not tracked.
+var MixedAtomic = &Analyzer{
+	Name: "mixedatomic",
+	Doc:  "struct field accessed both via sync/atomic and via plain load/store",
+	Run:  runMixedAtomic,
+}
+
+func runMixedAtomic(pkg *Package) []Diagnostic {
+	// Pass 1: fields passed by address to a sync/atomic function, and
+	// the positions of those (sanctioned) selector uses.
+	atomicFields := make(map[*types.Var]string) // field -> atomic func name
+	sanctioned := make(map[token.Pos]bool)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || calleePackage(pkg, call) != "sync/atomic" {
+				return true
+			}
+			fn := ""
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				fn = sel.Sel.Name
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				obj := fieldObject(pkg, sel)
+				if obj == nil {
+					continue
+				}
+				atomicFields[obj] = fn
+				sanctioned[sel.Pos()] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: every other selector use of those fields is a plain
+	// access racing the atomic protocol.
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel.Pos()] {
+				return true
+			}
+			obj := fieldObject(pkg, sel)
+			if obj == nil {
+				return true
+			}
+			if fn, tracked := atomicFields[obj]; tracked {
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.pos(sel.Pos()),
+					Rule: "mixedatomic",
+					Message: fmt.Sprintf(
+						"plain access to field %s, which is accessed via atomic.%s elsewhere",
+						obj.Name(), fn),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// fieldObject resolves sel to the struct-field object it selects, or
+// nil when sel is not a field selection.
+func fieldObject(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	selection, ok := pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := selection.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,88 @@
+package lint
+
+import "testing"
+
+func TestMixedAtomic(t *testing.T) {
+	fixtures := []fixture{
+		{name: "mixed_access", src: `
+package a
+
+import "sync/atomic"
+
+type C struct {
+	n uint64
+}
+
+func (c *C) inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *C) badRead() uint64 {
+	return c.n // want: mixedatomic
+}
+
+func (c *C) badWrite() {
+	c.n = 0 // want: mixedatomic
+}
+
+func (c *C) goodLoad() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+`},
+		{name: "all_atomic_clean", src: `
+package a
+
+import "sync/atomic"
+
+type C struct {
+	n uint64
+}
+
+func (c *C) inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *C) load() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+`},
+		{name: "atomic_typed_field_clean", src: `
+package a
+
+import "sync/atomic"
+
+type C struct {
+	n atomic.Uint64
+}
+
+func (c *C) inc() {
+	c.n.Add(1)
+}
+
+func (c *C) load() uint64 {
+	return c.n.Load()
+}
+`},
+		{name: "untracked_field_clean", src: `
+package a
+
+import "sync/atomic"
+
+type C struct {
+	n uint64
+	m uint64
+}
+
+func (c *C) inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *C) bumpM() {
+	c.m++
+}
+`},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) { checkFixture(t, MixedAtomic, fx) })
+	}
+}

@@ -1,0 +1,412 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// UnlockedEscape infers, per struct type with a mutex field, which
+// sibling fields that mutex guards — any field *written* while a
+// method holds the mutex — and then flags methods that read or write a
+// guarded field without acquiring the lock. Methods whose names end in
+// "Locked" are exempt by convention: they document that the caller
+// holds the lock. Fields of sync/atomic types manage themselves and
+// are never considered guarded.
+var UnlockedEscape = &Analyzer{
+	Name: "unlockedescape",
+	Doc:  "mutex-guarded field accessed by a method that does not hold the lock",
+	Run:  runUnlockedEscape,
+}
+
+// fieldAccess is one recv.field touch inside a method body.
+type fieldAccess struct {
+	field *types.Var
+	pos   token.Pos
+	write bool
+	held  map[string]bool // mutex field names held at this point
+}
+
+// methodInfo is the per-method access summary for one receiver type.
+type methodInfo struct {
+	decl     *ast.FuncDecl
+	accesses []fieldAccess
+}
+
+func runUnlockedEscape(pkg *Package) []Diagnostic {
+	// Group methods by receiver base type (named structs only).
+	byType := make(map[*types.Named][]*methodInfo)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			named := receiverNamed(pkg, fn)
+			if named == nil {
+				continue
+			}
+			if _, ok := named.Underlying().(*types.Struct); !ok {
+				continue
+			}
+			byType[named] = append(byType[named], collectAccesses(pkg, named, fn))
+		}
+	}
+
+	var diags []Diagnostic
+	for named, methods := range byType {
+		mutexes := mutexFieldNames(named)
+		if len(mutexes) == 0 {
+			continue
+		}
+		// A field is guarded by mutex m when some method writes it
+		// while holding m. A write under several mutexes at once (a
+		// double-locked rebalance, say) guards the field with each;
+		// holding any one of them at an access site is accepted.
+		guardedBy := make(map[*types.Var]map[string]bool)
+		for _, mi := range methods {
+			for _, acc := range mi.accesses {
+				if !acc.write {
+					continue
+				}
+				for m := range acc.held {
+					if guardedBy[acc.field] == nil {
+						guardedBy[acc.field] = make(map[string]bool)
+					}
+					guardedBy[acc.field][m] = true
+				}
+			}
+		}
+		for _, mi := range methods {
+			if strings.HasSuffix(mi.decl.Name.Name, "Locked") {
+				continue
+			}
+			for _, acc := range mi.accesses {
+				guards := guardedBy[acc.field]
+				if len(guards) == 0 || holdsAny(acc.held, guards) {
+					continue
+				}
+				verb := "reads"
+				if acc.write {
+					verb = "writes"
+				}
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.pos(acc.pos),
+					Rule: "unlockedescape",
+					Message: fmt.Sprintf("%s %s field %s.%s without holding %s (guarded in sibling methods)",
+						funcName(mi.decl), verb, named.Obj().Name(), acc.field.Name(), guardNames(guards)),
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// receiverNamed resolves a method's receiver to its named base type.
+func receiverNamed(pkg *Package, fn *ast.FuncDecl) *types.Named {
+	names := fn.Recv.List[0].Names
+	if len(names) == 0 {
+		return nil
+	}
+	obj := pkg.Info.Defs[names[0]]
+	if obj == nil {
+		return nil
+	}
+	t := obj.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// mutexFieldNames lists fields of named's struct whose type is
+// sync.Mutex or sync.RWMutex.
+func mutexFieldNames(named *types.Named) []string {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		t := f.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		n, ok := t.(*types.Named)
+		if !ok || n.Obj().Pkg() == nil || n.Obj().Pkg().Path() != "sync" {
+			continue
+		}
+		if name := n.Obj().Name(); name == "Mutex" || name == "RWMutex" {
+			out = append(out, f.Name())
+		}
+	}
+	return out
+}
+
+// accessWalker records receiver-field accesses with the set of
+// receiver mutexes held at each point, using the same sequential
+// region model as lockblock.
+type accessWalker struct {
+	pkg      *Package
+	recv     types.Object // receiver variable
+	recvName string
+	named    *types.Named
+	out      *methodInfo
+}
+
+func collectAccesses(pkg *Package, named *types.Named, fn *ast.FuncDecl) *methodInfo {
+	mi := &methodInfo{decl: fn}
+	names := fn.Recv.List[0].Names
+	w := &accessWalker{
+		pkg:      pkg,
+		recv:     pkg.Info.Defs[names[0]],
+		recvName: names[0].Name,
+		named:    named,
+		out:      mi,
+	}
+	w.walkStmts(fn.Body.List, map[string]bool{})
+	return mi
+}
+
+// recvMutexOp reports whether call locks/unlocks a mutex field of the
+// receiver (recv.m.Lock() and friends) and returns the field name.
+func (w *accessWalker) recvMutexOp(call *ast.CallExpr) (field string, op lockOp) {
+	key, op := mutexOp(w.pkg, call)
+	if op == opNone {
+		return "", opNone
+	}
+	prefix := w.recvName + "."
+	if !strings.HasPrefix(key, prefix) {
+		return "", opNone
+	}
+	field = strings.TrimPrefix(key, prefix)
+	if strings.Contains(field, ".") {
+		return "", opNone
+	}
+	return field, op
+}
+
+func (w *accessWalker) walkStmts(stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		w.walkStmt(s, held)
+	}
+}
+
+func (w *accessWalker) walkStmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if field, op := w.recvMutexOp(call); op != opNone {
+				if op == opLock {
+					held[field] = true
+				} else {
+					delete(held, field)
+				}
+				return
+			}
+		}
+		w.scanExpr(s.X, held, false)
+	case *ast.DeferStmt:
+		if _, op := w.recvMutexOp(s.Call); op != opNone {
+			return // defer recv.m.Unlock(): held until return
+		}
+		for _, a := range s.Call.Args {
+			w.scanExpr(a, held, false)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.walkStmts(lit.Body.List, copyBoolSet(held))
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			w.scanExpr(a, held, false)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.walkStmts(lit.Body.List, map[string]bool{})
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e, held, false)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(e, held, true)
+		}
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, held, true)
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, held, false)
+		w.scanExpr(s.Value, held, false)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.scanExpr(e, held, false)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e, held, false)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.scanExpr(s.Cond, held, false)
+		w.walkStmts(s.Body.List, copyBoolSet(held))
+		if s.Else != nil {
+			w.walkStmt(s.Else, copyBoolSet(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, held, false)
+		}
+		w.walkStmts(s.Body.List, copyBoolSet(held))
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, held, false)
+		w.walkStmts(s.Body.List, copyBoolSet(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, held, false)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyBoolSet(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyBoolSet(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, copyBoolSet(held))
+			}
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, held)
+	}
+}
+
+// scanExpr records receiver-field accesses in e. write applies to the
+// outermost selector only (a[i] = x writes a; x = a[i] reads it).
+func (w *accessWalker) scanExpr(e ast.Expr, held map[string]bool, write bool) {
+	if e == nil {
+		return
+	}
+	// Peel write-through wrappers: recv.f[i] = x and *recv.f = x write
+	// the field; &recv.f escapes it (treated as a write, conservatively).
+	target := ast.Unparen(e)
+	for {
+		switch t := target.(type) {
+		case *ast.IndexExpr:
+			w.scanExpr(t.Index, held, false)
+			target = ast.Unparen(t.X)
+			continue
+		case *ast.StarExpr:
+			target = ast.Unparen(t.X)
+			continue
+		case *ast.UnaryExpr:
+			if t.Op == token.AND {
+				write = true
+				target = ast.Unparen(t.X)
+				continue
+			}
+		}
+		break
+	}
+	if sel, ok := target.(*ast.SelectorExpr); ok && w.recordIfRecvField(sel, held, write) {
+		// The selector itself is recorded; still scan deeper for
+		// nested expressions on the base (none: base is the receiver).
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.walkStmts(n.Body.List, copyBoolSet(held))
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok && w.recordIfRecvField(sel, held, true) {
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			if w.recordIfRecvField(n, held, false) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// recordIfRecvField records sel when it is recv.f for a plain data
+// field f of the receiver struct (mutex and sync/atomic fields are
+// skipped). Reports whether it recorded.
+func (w *accessWalker) recordIfRecvField(sel *ast.SelectorExpr, held map[string]bool, write bool) bool {
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || w.pkg.Info.Uses[base] != w.recv {
+		return false
+	}
+	obj := fieldObject(w.pkg, sel)
+	if obj == nil || isSyncOrAtomicType(obj.Type()) {
+		return false
+	}
+	w.out.accesses = append(w.out.accesses, fieldAccess{
+		field: obj,
+		pos:   sel.Pos(),
+		write: write,
+		held:  copyBoolSet(held),
+	})
+	return true
+}
+
+func holdsAny(held, guards map[string]bool) bool {
+	for m := range guards {
+		if held[m] {
+			return true
+		}
+	}
+	return false
+}
+
+// guardNames renders a guard set as "m" or "one of m1, m2".
+func guardNames(guards map[string]bool) string {
+	names := make([]string, 0, len(guards))
+	for m := range guards {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	if len(names) == 1 {
+		return names[0]
+	}
+	return "one of " + strings.Join(names, ", ")
+}
+
+func copyBoolSet(in map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockOp classifies a sync.Mutex / sync.RWMutex method call.
+type lockOp int
+
+const (
+	opNone   lockOp = iota
+	opLock          // Lock, RLock
+	opUnlock        // Unlock, RUnlock
+)
+
+// mutexOp reports whether call is a Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex, and if so returns the op and a stable
+// string key for the mutex expression (e.g. "v.mu", "s", "mu").
+func mutexOp(pkg *Package, call *ast.CallExpr) (key string, op lockOp) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = opLock
+	case "Unlock", "RUnlock":
+		op = opUnlock
+	default:
+		return "", opNone
+	}
+	selection, ok := pkg.Info.Selections[sel]
+	if !ok {
+		return "", opNone
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", opNone
+	}
+	return exprKey(sel.X), op
+}
+
+// exprKey renders a (simple) expression as a stable identity string.
+// Good enough to match `v.mu.Lock()` with `v.mu.Unlock()`.
+func exprKey(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	case *ast.IndexExpr:
+		return exprKey(e.X) + "[" + exprKey(e.Index) + "]"
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return "?"
+	}
+}
+
+// calleePackage returns the import path of the package a call's callee
+// belongs to ("" when unknown, e.g. calls through function values).
+func calleePackage(pkg *Package, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	obj := pkg.Info.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// isChan reports whether t's core type is a channel.
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// returnsError reports whether call's result type is, or includes, the
+// built-in error interface.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok &&
+		named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+		return true
+	}
+	return types.Implements(t, errorIface)
+}
+
+// isSyncOrAtomicType reports whether t (or the type it points to) is
+// declared in sync or sync/atomic — fields of such types manage their
+// own synchronization.
+func isSyncOrAtomicType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "sync" || p == "sync/atomic"
+}
+
+// internalPackage reports whether path is an in-module internal
+// package other than self.
+func internalPackage(path, self string) bool {
+	return path != self &&
+		strings.HasPrefix(path, ModulePath+"/internal/") &&
+		path != ""
+}
+
+func (pkg *Package) pos(p token.Pos) token.Position { return pkg.Fset.Position(p) }
+
+// funcName labels a function declaration for diagnostics.
+func funcName(fn *ast.FuncDecl) string {
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		return "(" + exprKey(fn.Recv.List[0].Type) + ")." + fn.Name.Name
+	}
+	return fn.Name.Name
+}

@@ -38,7 +38,24 @@ var (
 	mFsyncDuration  = metrics.Default.Histogram("couchgo_storage_fsync_duration_seconds")
 	mCompactions    = metrics.Default.Counter("couchgo_storage_compactions_total")
 	mBytesReclaimed = metrics.Default.Counter("couchgo_storage_compaction_reclaimed_bytes_total")
+
+	// Secondary-path errors that cannot be propagated without masking
+	// the primary failure (closing a file while unwinding, removing a
+	// leftover compaction temp file). They must still be visible: a
+	// leaking descriptor or an undeletable temp file is an operational
+	// problem long before it is a correctness one.
+	mCloseErrors  = metrics.Default.Counter("couchgo_storage_side_errors_total", "op", "close")
+	mRemoveErrors = metrics.Default.Counter("couchgo_storage_side_errors_total", "op", "remove")
 )
+
+// closeCounted closes f, counting (rather than silently dropping) an
+// error, for paths where a close failure must not mask the primary
+// error being returned.
+func closeCounted(f *os.File) {
+	if err := f.Close(); err != nil {
+		mCloseErrors.Inc()
+	}
+}
 
 // Errors returned by the storage engine.
 var (
@@ -170,15 +187,18 @@ func Open(path string, syncOnWrite bool) (*VBFile, error) {
 	}
 	v := &VBFile{f: f, path: path, sync: syncOnWrite, byID: make(map[string]recInfo)}
 	if err := v.recover(); err != nil {
-		f.Close()
+		closeCounted(f)
 		return nil, err
 	}
 	return v, nil
 }
 
 // recover scans the file, building the index and truncating any torn
-// tail left by a crash.
+// tail left by a crash. It takes the lock for the analyzer's benefit:
+// the file has not escaped Open yet, so there is no contention.
 func (v *VBFile) recover() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	data, err := io.ReadAll(v.f)
 	if err != nil {
 		return err
@@ -193,7 +213,7 @@ func (v *VBFile) recover() error {
 			}
 			break
 		}
-		v.indexRecord(&rec, off, int64(n))
+		v.indexRecordLocked(&rec, off, int64(n))
 		off += int64(n)
 	}
 	v.fileBytes = off
@@ -201,7 +221,7 @@ func (v *VBFile) recover() error {
 	return err
 }
 
-func (v *VBFile) indexRecord(rec *Record, off, size int64) {
+func (v *VBFile) indexRecordLocked(rec *Record, off, size int64) {
 	if old, ok := v.byID[rec.Key]; ok {
 		v.liveBytes -= old.size
 	}
@@ -245,7 +265,7 @@ func (v *VBFile) Append(recs []Record) error {
 		mFsyncDuration.ObserveSince(t0)
 	}
 	for i := range recs {
-		v.indexRecord(&recs[i], offsets[i], encodedSize(&recs[i]))
+		v.indexRecordLocked(&recs[i], offsets[i], encodedSize(&recs[i]))
 	}
 	v.fileBytes = off
 	return nil
@@ -267,10 +287,10 @@ func (v *VBFile) getLocked(key string) (Record, error) {
 	if !ok || info.Deleted {
 		return Record{}, ErrNotFound
 	}
-	return v.readAt(info)
+	return v.readAtLocked(info)
 }
 
-func (v *VBFile) readAt(info recInfo) (Record, error) {
+func (v *VBFile) readAtLocked(info recInfo) (Record, error) {
 	buf := make([]byte, info.size)
 	if _, err := v.f.ReadAt(buf, info.offset); err != nil {
 		return Record{}, fmt.Errorf("storage: read %s@%d: %w", info.Key, info.offset, err)
@@ -332,7 +352,7 @@ func (v *VBFile) ScanBySeqno(fromExclusive, toInclusive uint64, fn func(Record) 
 			v.mu.Unlock()
 			continue
 		}
-		rec, err := v.readAt(info)
+		rec, err := v.readAtLocked(info)
 		v.mu.Unlock()
 		if err != nil {
 			return err
@@ -386,7 +406,14 @@ func (v *VBFile) Compact() error {
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmpPath)
+	// After a successful rename the temp path no longer exists; on any
+	// failure path this cleans up the partial file. Either way a
+	// removal error (other than "already gone") is counted, not lost.
+	defer func() {
+		if err := os.Remove(tmpPath); err != nil && !os.IsNotExist(err) {
+			mRemoveErrors.Inc()
+		}
+	}()
 
 	infos := make([]recInfo, 0, len(v.byID))
 	for _, info := range v.byID {
@@ -399,14 +426,14 @@ func (v *VBFile) Compact() error {
 	var off int64
 	var live int64
 	for _, info := range infos {
-		rec, err := v.readAt(info)
+		rec, err := v.readAtLocked(info)
 		if err != nil {
-			tmp.Close()
+			closeCounted(tmp)
 			return err
 		}
 		buf = encodeRecord(buf[:0], &rec)
 		if _, err := tmp.Write(buf); err != nil {
-			tmp.Close()
+			closeCounted(tmp)
 			return err
 		}
 		size := int64(len(buf))
@@ -415,7 +442,7 @@ func (v *VBFile) Compact() error {
 		live += size
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		closeCounted(tmp)
 		return err
 	}
 	if err := tmp.Close(); err != nil {
@@ -429,10 +456,12 @@ func (v *VBFile) Compact() error {
 		return err
 	}
 	if _, err := nf.Seek(off, io.SeekStart); err != nil {
-		nf.Close()
+		closeCounted(nf)
 		return err
 	}
-	v.f.Close()
+	// The swap already succeeded; a close failure on the replaced
+	// handle cannot be propagated meaningfully, only counted.
+	closeCounted(v.f)
 	v.f = nf
 	mCompactions.Inc()
 	if reclaimed := v.fileBytes - off; reclaimed > 0 {
@@ -456,9 +485,9 @@ func (v *VBFile) Close() error {
 }
 
 // Remove closes and deletes the file (vBucket dropped from this node).
+// A close failure does not stop the removal; both errors are reported.
 func (v *VBFile) Remove() error {
-	v.Close()
-	return os.Remove(v.path)
+	return errors.Join(v.Close(), os.Remove(v.path))
 }
 
 // Store manages the per-vBucket files of one bucket on one node.

@@ -580,6 +580,7 @@ func (vb *VBucket) SetReplicaSet(names []string) {
 // WaitPersist blocks until seqno is flushed to this node's disk —
 // PersistTo(1) in SDK terms.
 func (vb *VBucket) WaitPersist(seqno uint64, timeout time.Duration) error {
+	//couchvet:ignore unlockedescape -- the condition closure runs under durMu inside waitDur (sync.Cond pattern)
 	return vb.waitDur(timeout, func() bool { return vb.persistedSeqno >= seqno })
 }
 
@@ -590,6 +591,7 @@ func (vb *VBucket) WaitPersist(seqno uint64, timeout time.Duration) error {
 func (vb *VBucket) WaitReplicas(seqno uint64, n int, timeout time.Duration) error {
 	return vb.waitDur(timeout, func() bool {
 		count := 0
+		//couchvet:ignore unlockedescape -- the condition closure runs under durMu inside waitDur (sync.Cond pattern)
 		for _, s := range vb.replicaSeqnos {
 			if s >= seqno {
 				count++
