@@ -1,7 +1,7 @@
 # Tier-1 gate plus the repo-specific static analyzer, formatting,
 # full-tree race detection, and fuzz smoke runs.
 
-.PHONY: verify build test race vet fmtcheck couchvet fuzz-smoke
+.PHONY: verify build test race vet fmtcheck couchvet fuzz-smoke trace-demo
 
 verify: fmtcheck vet build test couchvet race
 
@@ -23,6 +23,11 @@ couchvet:
 
 race:
 	go test -race ./...
+
+# End-to-end tracing demo: a small YCSB run with 1-in-8 sampling,
+# printing the slowest cross-layer trace per phase (DESIGN.md §7).
+trace-demo:
+	go run ./cmd/ycsb -workload a -records 2000 -ops 4000 -threads 8 -nodes 2 -vbuckets 32 -trace 8
 
 # Each fuzz target gets a short bounded run; any crasher fails the
 # target. Lengthen with FUZZTIME=1m etc. for local soak runs.

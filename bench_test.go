@@ -7,6 +7,7 @@
 package couchgo
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -130,17 +131,17 @@ func BenchmarkKVLatency(b *testing.B) {
 		b.Fatal(err)
 	}
 	doc := []byte(`{"name": "user", "age": 30, "city": "SF"}`)
-	cl.Set("warm", doc, 0)
+	cl.Set(context.Background(), "warm", doc, 0)
 	b.Run("Get", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := cl.Get("warm"); err != nil {
+			if _, err := cl.Get(context.Background(), "warm"); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("Set", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := cl.Set("warm", doc, 0); err != nil {
+			if _, err := cl.Set(context.Background(), "warm", doc, 0); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -165,7 +166,7 @@ func BenchmarkDurabilityLevels(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			key := fmt.Sprintf("doc%06d", i%1024)
-			if _, err := cl.SetWithOptions(key, doc, 0, 0, 0, dur); err != nil {
+			if _, err := cl.SetWithOptions(context.Background(), key, doc, 0, 0, 0, dur); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -197,7 +198,7 @@ func BenchmarkCoveringVsFetch(b *testing.B) {
 	for i := 0; i < 2000; i++ {
 		doc := fmt.Sprintf(`{"email": "user%05d@x.com", "age": %d, "bio": "%s"}`,
 			i, 20+i%50, "filler filler filler filler filler filler filler")
-		cl.Set(fmt.Sprintf("u%05d", i), []byte(doc), 0)
+		cl.Set(context.Background(), fmt.Sprintf("u%05d", i), []byte(doc), 0)
 	}
 	if _, err := c.Query("CREATE INDEX byEmail ON `bench`(email)", executor.Options{}); err != nil {
 		b.Fatal(err)
@@ -235,7 +236,7 @@ func BenchmarkPrimaryScanLinear(b *testing.B) {
 			c := benchCluster(b, core.Config{}, 0)
 			cl, _ := c.OpenBucket("bench")
 			for i := 0; i < n; i++ {
-				cl.Set(fmt.Sprintf("d%06d", i), []byte(fmt.Sprintf(`{"v": %d}`, i)), 0)
+				cl.Set(context.Background(), fmt.Sprintf("d%06d", i), []byte(fmt.Sprintf(`{"v": %d}`, i)), 0)
 			}
 			if _, err := c.Query("CREATE PRIMARY INDEX ON `bench`", executor.Options{}); err != nil {
 				b.Fatal(err)
@@ -265,7 +266,7 @@ func BenchmarkScanConsistency(b *testing.B) {
 		c := benchCluster(b, core.Config{}, 0)
 		cl, _ := c.OpenBucket("bench")
 		for i := 0; i < 1000; i++ {
-			cl.Set(fmt.Sprintf("d%05d", i), []byte(fmt.Sprintf(`{"age": %d}`, i%80)), 0)
+			cl.Set(context.Background(), fmt.Sprintf("d%05d", i), []byte(fmt.Sprintf(`{"age": %d}`, i%80)), 0)
 		}
 		if _, err := c.Query("CREATE INDEX byAge ON `bench`(age)", executor.Options{}); err != nil {
 			b.Fatal(err)
@@ -287,7 +288,7 @@ func BenchmarkScanConsistency(b *testing.B) {
 					return
 				case <-ticker.C:
 				}
-				cl.Set(fmt.Sprintf("d%05d", i%1000), []byte(fmt.Sprintf(`{"age": %d}`, i%80)), 0)
+				cl.Set(context.Background(), fmt.Sprintf("d%05d", i%1000), []byte(fmt.Sprintf(`{"age": %d}`, i%80)), 0)
 				i++
 			}
 		}()
@@ -437,7 +438,7 @@ func BenchmarkViewReduceVsScan(b *testing.B) {
 		}
 		for i := 0; i < 20000; i++ {
 			doc := fmt.Sprintf(`{"region": "r%02d", "amount": %d}`, i%20, i%500)
-			vb.Set(fmt.Sprintf("sale%06d", i), []byte(doc), 0, 0, 0, 0)
+			vb.Set(context.Background(), fmt.Sprintf("sale%06d", i), []byte(doc), 0, 0, 0, 0)
 		}
 		// Let the indexer catch up once.
 		if _, err := eng.Query("sales", views.QueryOptions{
@@ -499,7 +500,7 @@ func BenchmarkWriteAggregation(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			key := fmt.Sprintf("k%07d", i%hotKeys)
-			if _, err := vb.Set(key, val, 0, 0, 0, 0); err != nil {
+			if _, err := vb.Set(context.Background(), key, val, 0, 0, 0, 0); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -14,13 +14,26 @@
 //	curl -X POST localhost:8091/query -d '{"statement":"SELECT * FROM default"}'
 //	curl localhost:8091/metrics
 //	curl localhost:8091/stats/detail
+//
+// Request tracing (off unless -trace-rate > 0):
+//
+//	cbserver -trace-rate 100 -trace-threshold 50ms
+//	curl localhost:8091/traces
+//	curl localhost:8091/traces/42
+//	curl -X POST localhost:8091/traces/config -d '{"rate": 1}'
+//
+// Profiling (off unless -debug-addr is set): -debug-addr :6060 serves
+// net/http/pprof and expvar on a separate listener that should stay
+// private to operators.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
@@ -28,6 +41,7 @@ import (
 	"couchgo/internal/cmap"
 	"couchgo/internal/core"
 	"couchgo/internal/rest"
+	"couchgo/internal/trace"
 )
 
 func main() {
@@ -41,8 +55,14 @@ func main() {
 		syncWrite = flag.Bool("sync", false, "fsync every persisted batch")
 		slowQuery = flag.Duration("slow-query-threshold", 100*time.Millisecond, "N1QL latency before a statement lands in the slow-query log")
 		slowLog   = flag.Int("slow-query-log-size", 64, "slow-query ring buffer capacity")
+		traceRate = flag.Int("trace-rate", 0, "sample 1 in N requests for end-to-end tracing (0 disables)")
+		traceSlow = flag.Duration("trace-threshold", trace.DefaultSlowThreshold, "latency above which a sampled trace is always retained")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty disables)")
 	)
 	flag.Parse()
+
+	trace.Default.SetRate(*traceRate)
+	trace.Default.SetThreshold("", *traceSlow)
 
 	cluster, err := core.NewCluster(core.Config{
 		Dir:                *dir,
@@ -68,6 +88,13 @@ func main() {
 	}
 	log.Printf("cluster up: %d nodes, bucket %q (%d vbuckets, %d replicas), orchestrator %s",
 		*nodes, *bucket, *vbuckets, *replicas, cluster.Orchestrator())
+	if *traceRate > 0 {
+		log.Printf("tracing 1 in %d requests (slow threshold %s); inspect at /traces", *traceRate, *traceSlow)
+	}
+
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
 
 	srv := &http.Server{Addr: *listen, Handler: rest.NewServer(cluster)}
 	go func() {
@@ -82,4 +109,22 @@ func main() {
 	<-sig
 	log.Print("shutting down")
 	srv.Close()
+}
+
+// serveDebug exposes the Go runtime's profiling surface on its own
+// listener, kept off the data-plane mux so operators can firewall it
+// separately. Registration is explicit (the pprof/expvar import side
+// effects target http.DefaultServeMux, which we never serve).
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	log.Printf("debug server (pprof, expvar) on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("debug server: %v", err)
+	}
 }

@@ -27,6 +27,7 @@ import (
 	"couchgo/internal/cmap"
 	"couchgo/internal/core"
 	"couchgo/internal/executor"
+	"couchgo/internal/trace"
 	"couchgo/internal/ycsb"
 )
 
@@ -39,8 +40,13 @@ func main() {
 		nodes    = flag.Int("nodes", 4, "cluster nodes (paper: 4)")
 		vbuckets = flag.Int("vbuckets", 128, "vBucket count (1024 in production; lower is faster to set up)")
 		dir      = flag.String("dir", "", "storage directory (default temp)")
+		doTrace  = flag.Int("trace", 0, "sample 1 in N operations for end-to-end tracing and print the slowest trace per phase (0 disables)")
 	)
 	flag.Parse()
+
+	if *doTrace > 0 {
+		trace.Default.SetRate(*doTrace)
+	}
 
 	w, err := ycsb.WorkloadByName(*workload)
 	if err != nil {
@@ -76,6 +82,7 @@ func main() {
 	if err := loader.Load(); err != nil {
 		log.Fatal(err)
 	}
+	printSlowest("load")
 
 	fmt.Printf("# workload %s: %d ops per measurement\n", w.Name, *ops)
 	fmt.Printf("# figure: %s\n", figureFor(w.Name))
@@ -93,7 +100,24 @@ func main() {
 			Record:      ycsb.DefaultRecord,
 		}
 		fmt.Println(r.Run())
+		printSlowest(fmt.Sprintf("%d threads", tc))
 	}
+}
+
+// printSlowest reports the slowest sampled trace of the phase that
+// just finished, then resets retention so phases don't mix. No-op
+// while tracing is disabled.
+func printSlowest(phase string) {
+	if trace.Default.Rate() <= 0 {
+		return
+	}
+	if t := trace.Default.Slowest(""); t != nil {
+		fmt.Printf("# slowest trace, %s:\n", phase)
+		for _, line := range strings.Split(strings.TrimRight(trace.Format(t), "\n"), "\n") {
+			fmt.Println("#   " + line)
+		}
+	}
+	trace.Default.Clear()
 }
 
 func figureFor(name string) string {

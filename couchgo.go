@@ -23,6 +23,7 @@
 package couchgo
 
 import (
+	"context"
 	"encoding/json"
 	"time"
 
@@ -274,7 +275,7 @@ func toDocument(key string, it cache.Item) Document {
 
 // Get fetches a document by key.
 func (b *Bucket) Get(key string) (Document, error) {
-	it, err := b.cl.Get(key)
+	it, err := b.cl.Get(context.Background(), key)
 	if err != nil {
 		return Document{}, err
 	}
@@ -293,7 +294,7 @@ func (b *Bucket) Insert(key string, doc any) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	it, err := b.cl.Add(key, body)
+	it, err := b.cl.Add(context.Background(), key, body)
 	if err != nil {
 		return 0, err
 	}
@@ -307,7 +308,7 @@ func (b *Bucket) Replace(key string, doc any, cas uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	it, err := b.cl.Replace(key, body, cas)
+	it, err := b.cl.Replace(context.Background(), key, body, cas)
 	if err != nil {
 		return 0, err
 	}
@@ -320,7 +321,7 @@ func (b *Bucket) Write(key string, doc any, opts WriteOptions) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	it, err := b.cl.SetWithOptions(key, body, opts.Flags, opts.Expiry, opts.CAS, core.DurabilityOptions{
+	it, err := b.cl.SetWithOptions(context.Background(), key, body, opts.Flags, opts.Expiry, opts.CAS, core.DurabilityOptions{
 		ReplicateTo: opts.Durability.ReplicateTo,
 		PersistTo:   opts.Durability.PersistTo,
 		Timeout:     opts.Durability.Timeout,
@@ -333,12 +334,12 @@ func (b *Bucket) Write(key string, doc any, opts WriteOptions) (uint64, error) {
 
 // Remove deletes a document. cas=0 skips the optimistic check.
 func (b *Bucket) Remove(key string, cas uint64) error {
-	return b.cl.Delete(key, cas)
+	return b.cl.Delete(context.Background(), key, cas)
 }
 
 // Touch updates a document's TTL without changing its value.
 func (b *Bucket) Touch(key string, expiry int64) error {
-	return b.cl.Touch(key, expiry)
+	return b.cl.Touch(context.Background(), key, expiry)
 }
 
 // --- Sub-document API (path-level lookups and mutations) ---
@@ -346,40 +347,40 @@ func (b *Bucket) Touch(key string, expiry int64) error {
 // LookupIn reads the value at a path inside a document without
 // fetching the whole document.
 func (b *Bucket) LookupIn(key, path string) (any, error) {
-	return b.cl.SubdocGet(key, path)
+	return b.cl.SubdocGet(context.Background(), key, path)
 }
 
 // MutateIn writes the value at a path inside a document atomically,
 // creating intermediate objects as needed. cas=0 skips the check.
 func (b *Bucket) MutateIn(key, path string, v any, cas uint64) (uint64, error) {
-	it, err := b.cl.SubdocSet(key, path, v, cas)
+	it, err := b.cl.SubdocSet(context.Background(), key, path, v, cas)
 	return it.CAS, err
 }
 
 // RemoveIn deletes the field at a path inside a document atomically.
 func (b *Bucket) RemoveIn(key, path string, cas uint64) (uint64, error) {
-	it, err := b.cl.SubdocRemove(key, path, cas)
+	it, err := b.cl.SubdocRemove(context.Background(), key, path, cas)
 	return it.CAS, err
 }
 
 // ArrayAppendIn appends v to the array at a path atomically (the
 // array is created if absent).
 func (b *Bucket) ArrayAppendIn(key, path string, v any, cas uint64) (uint64, error) {
-	it, err := b.cl.SubdocArrayAppend(key, path, v, cas)
+	it, err := b.cl.SubdocArrayAppend(context.Background(), key, path, v, cas)
 	return it.CAS, err
 }
 
 // Increment atomically adds delta to the number at a path and returns
 // the new value (created as delta when absent).
 func (b *Bucket) Increment(key, path string, delta float64) (float64, error) {
-	return b.cl.SubdocCounter(key, path, delta, 0)
+	return b.cl.SubdocCounter(context.Background(), key, path, delta, 0)
 }
 
 // GetAndLock fetches the document and takes the hard lock for up to
 // lockSeconds (released early by a write using the returned CAS, or by
 // Unlock).
 func (b *Bucket) GetAndLock(key string, lockSeconds int64) (Document, error) {
-	it, err := b.cl.GetAndLock(key, lockSeconds)
+	it, err := b.cl.GetAndLock(context.Background(), key, lockSeconds)
 	if err != nil {
 		return Document{}, err
 	}
@@ -388,7 +389,7 @@ func (b *Bucket) GetAndLock(key string, lockSeconds int64) (Document, error) {
 
 // Unlock releases the hard lock using the CAS from GetAndLock.
 func (b *Bucket) Unlock(key string, cas uint64) error {
-	return b.cl.Unlock(key, cas)
+	return b.cl.Unlock(context.Background(), key, cas)
 }
 
 // --- Views (the MapReduce-style local indexes of §3.1.2) ---

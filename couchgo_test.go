@@ -1,6 +1,7 @@
 package couchgo
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -353,10 +354,10 @@ func TestPublicTouchAndAppend(t *testing.T) {
 	// Raw byte append via the internal client surface.
 	cl := c.Internal()
 	bcl, _ := cl.OpenBucket("default")
-	bcl.Set("log", []byte("a"), 0)
-	bcl.Append("log", []byte("b"), 0)
-	bcl.Prepend("log", []byte("-"), 0)
-	it, _ := bcl.Get("log")
+	bcl.Set(context.Background(), "log", []byte("a"), 0)
+	bcl.Append(context.Background(), "log", []byte("b"), 0)
+	bcl.Prepend(context.Background(), "log", []byte("-"), 0)
+	it, _ := bcl.Get(context.Background(), "log")
 	if string(it.Value) != "-ab" {
 		t.Fatalf("concat: %q", it.Value)
 	}

@@ -20,6 +20,7 @@
 package analytics
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"strconv"
@@ -268,7 +269,7 @@ func (s *shadowStore) snapshot() []executor.ScannedDoc {
 	return out
 }
 
-func (s *shadowStore) Fetch(_ string, id string) (any, n1ql.Meta, error) {
+func (s *shadowStore) Fetch(_ context.Context, _ string, id string) (any, n1ql.Meta, error) {
 	s.e.mu.Lock()
 	defer s.e.mu.Unlock()
 	for _, en := range s.e.docs {
@@ -279,7 +280,7 @@ func (s *shadowStore) Fetch(_ string, id string) (any, n1ql.Meta, error) {
 	return nil, n1ql.Meta{}, executor.ErrNotFound
 }
 
-func (s *shadowStore) ScanIndex(_, _ string, _ n1ql.IndexUsing, opts executor.IndexScanOpts) ([]executor.IndexEntry, error) {
+func (s *shadowStore) ScanIndex(_ context.Context, _, _ string, _ n1ql.IndexUsing, opts executor.IndexScanOpts) ([]executor.IndexEntry, error) {
 	docs := s.snapshot()
 	var out []executor.IndexEntry
 	for _, d := range docs {
@@ -336,6 +337,8 @@ func (s *shadowStore) ScanKeyspace(keyspace string) ([]executor.ScannedDoc, erro
 func (s *shadowStore) ConsistencyVector(string) map[int]uint64 { return nil }
 
 // The analytics copy is read-only.
-func (s *shadowStore) InsertDoc(string, string, any, bool) error { return ErrDML }
-func (s *shadowStore) UpdateDoc(string, string, any) error       { return ErrDML }
-func (s *shadowStore) DeleteDoc(string, string) error            { return ErrDML }
+func (s *shadowStore) InsertDoc(context.Context, string, string, any, bool) error {
+	return ErrDML
+}
+func (s *shadowStore) UpdateDoc(context.Context, string, string, any) error { return ErrDML }
+func (s *shadowStore) DeleteDoc(context.Context, string, string) error      { return ErrDML }

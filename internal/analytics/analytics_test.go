@@ -1,6 +1,7 @@
 package analytics
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"testing"
@@ -36,7 +37,7 @@ func newHarness(t *testing.T, nvb int) *harness {
 
 func (h *harness) put(t *testing.T, vb int, key, doc string) {
 	t.Helper()
-	if _, err := h.vbs[vb].Set(key, []byte(doc), 0, 0, 0, 0); err != nil {
+	if _, err := h.vbs[vb].Set(context.Background(), key, []byte(doc), 0, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -116,7 +117,7 @@ func TestShadowFollowsMutations(t *testing.T) {
 	if rows[0].(map[string]any)["v"] != 2.0 {
 		t.Fatalf("after update: %v", rows)
 	}
-	h.vbs[0].Delete("d1", 0, 0)
+	h.vbs[0].Delete(context.Background(), "d1", 0, 0)
 	rows = h.query(t, `SELECT v FROM store USE KEYS "d1"`)
 	if len(rows) != 0 {
 		t.Fatalf("after delete: %v", rows)

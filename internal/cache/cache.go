@@ -14,6 +14,7 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -133,8 +134,11 @@ type HashTable struct {
 	// onMutate, when set, observes every applied mutation while the
 	// table lock is held, guaranteeing the observer sees mutations in
 	// seqno order. The vBucket layer uses this to feed the disk-write
-	// queue and the DCP producer atomically with the cache write.
-	onMutate func(Item)
+	// queue and the DCP producer atomically with the cache write. The
+	// context is the mutating caller's (it carries the active trace
+	// span); internally triggered mutations such as lazy expiry pass
+	// context.Background().
+	onMutate func(ctx context.Context, it Item)
 }
 
 // NewHashTable creates an empty table.
@@ -144,7 +148,7 @@ func NewHashTable() *HashTable {
 
 // OnMutate registers the ordered mutation observer. Must be called
 // before the table receives traffic.
-func (h *HashTable) OnMutate(fn func(Item)) { h.onMutate = fn }
+func (h *HashTable) OnMutate(fn func(context.Context, Item)) { h.onMutate = fn }
 
 // HighSeqno returns the max sequence number assigned so far.
 func (h *HashTable) HighSeqno() uint64 {
@@ -204,7 +208,7 @@ func (h *HashTable) Get(key string, now int64) (Item, error) {
 	}
 	if it.expired(now) {
 		mExpirations.Inc()
-		h.deleteLocked(it)
+		h.deleteLocked(context.Background(), it)
 		return Item{}, ErrKeyNotFound
 	}
 	it.nru = 0
@@ -230,24 +234,24 @@ func (h *HashTable) GetMeta(key string) (Item, error) {
 // current CAS or ErrCASMismatch is returned ("the server will then
 // check this ID against the current ID in the server", §3.1.1).
 // Writing to a hard-locked document requires the lock-holder's CAS.
-func (h *HashTable) Set(key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64) (Item, error) {
+func (h *HashTable) Set(ctx context.Context, key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64) (Item, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.storeLocked(key, value, flags, expiry, casCheck, now, storeSet)
+	return h.storeLocked(ctx, key, value, flags, expiry, casCheck, now, storeSet)
 }
 
 // Add stores value only if the key does not already exist.
-func (h *HashTable) Add(key string, value []byte, flags uint32, expiry int64, now int64) (Item, error) {
+func (h *HashTable) Add(ctx context.Context, key string, value []byte, flags uint32, expiry int64, now int64) (Item, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.storeLocked(key, value, flags, expiry, 0, now, storeAdd)
+	return h.storeLocked(ctx, key, value, flags, expiry, 0, now, storeAdd)
 }
 
 // Replace stores value only if the key already exists.
-func (h *HashTable) Replace(key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64) (Item, error) {
+func (h *HashTable) Replace(ctx context.Context, key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64) (Item, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.storeLocked(key, value, flags, expiry, casCheck, now, storeReplace)
+	return h.storeLocked(ctx, key, value, flags, expiry, casCheck, now, storeReplace)
 }
 
 type storeMode int
@@ -258,12 +262,12 @@ const (
 	storeReplace
 )
 
-func (h *HashTable) storeLocked(key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64, mode storeMode) (Item, error) {
+func (h *HashTable) storeLocked(ctx context.Context, key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64, mode storeMode) (Item, error) {
 	it, exists := h.items[key]
 	if exists && (it.Deleted || it.expired(now)) {
 		if it.expired(now) && !it.Deleted {
 			mExpirations.Inc()
-			h.deleteLocked(it)
+			h.deleteLocked(ctx, it)
 		}
 		exists = false
 		it = h.items[key] // tombstone (possibly just created)
@@ -308,19 +312,19 @@ func (h *HashTable) storeLocked(key string, value []byte, flags uint32, expiry i
 		Expiry:   expiry,
 		Resident: true,
 	}
-	h.replaceLocked(key, it, nit)
+	h.replaceLocked(ctx, key, it, nit)
 	return nit.snapshot(), nil
 }
 
 // Delete tombstones the document. casCheck semantics match Set.
-func (h *HashTable) Delete(key string, casCheck uint64, now int64) (Item, error) {
+func (h *HashTable) Delete(ctx context.Context, key string, casCheck uint64, now int64) (Item, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	it, ok := h.items[key]
 	if !ok || it.Deleted || it.expired(now) {
 		if ok && it.expired(now) && !it.Deleted {
 			mExpirations.Inc()
-			h.deleteLocked(it)
+			h.deleteLocked(ctx, it)
 		}
 		return Item{}, ErrKeyNotFound
 	}
@@ -330,11 +334,11 @@ func (h *HashTable) Delete(key string, casCheck uint64, now int64) (Item, error)
 	if casCheck != 0 && it.CAS != casCheck {
 		return Item{}, ErrCASMismatch
 	}
-	return h.deleteLocked(it), nil
+	return h.deleteLocked(ctx, it), nil
 }
 
 // deleteLocked tombstones it and notifies observers.
-func (h *HashTable) deleteLocked(it *Item) Item {
+func (h *HashTable) deleteLocked(ctx context.Context, it *Item) Item {
 	h.nextSeqno++
 	nit := &Item{
 		Key:      it.Key,
@@ -343,13 +347,13 @@ func (h *HashTable) deleteLocked(it *Item) Item {
 		Seqno:    h.nextSeqno,
 		Deleted:  true,
 	}
-	h.replaceLocked(it.Key, it, nit)
+	h.replaceLocked(ctx, it.Key, it, nit)
 	return nit.snapshot()
 }
 
 // replaceLocked swaps old (may be nil) for nit under key, maintaining
 // accounting, and emits the mutation to the observer in seqno order.
-func (h *HashTable) replaceLocked(key string, old, nit *Item) {
+func (h *HashTable) replaceLocked(ctx context.Context, key string, old, nit *Item) {
 	if old != nil {
 		h.memUsed -= old.memSize()
 		if old.Deleted {
@@ -366,22 +370,22 @@ func (h *HashTable) replaceLocked(key string, old, nit *Item) {
 		h.itemCount++
 	}
 	if h.onMutate != nil {
-		h.onMutate(nit.snapshot())
+		h.onMutate(ctx, nit.snapshot())
 	}
 }
 
 // Append concatenates data after the existing raw value — the
 // memcached-heritage byte-level operation. The document must exist.
-func (h *HashTable) Append(key string, data []byte, casCheck uint64, now int64) (Item, error) {
-	return h.concat(key, data, casCheck, now, false)
+func (h *HashTable) Append(ctx context.Context, key string, data []byte, casCheck uint64, now int64) (Item, error) {
+	return h.concat(ctx, key, data, casCheck, now, false)
 }
 
 // Prepend concatenates data before the existing raw value.
-func (h *HashTable) Prepend(key string, data []byte, casCheck uint64, now int64) (Item, error) {
-	return h.concat(key, data, casCheck, now, true)
+func (h *HashTable) Prepend(ctx context.Context, key string, data []byte, casCheck uint64, now int64) (Item, error) {
+	return h.concat(ctx, key, data, casCheck, now, true)
 }
 
-func (h *HashTable) concat(key string, data []byte, casCheck uint64, now int64, front bool) (Item, error) {
+func (h *HashTable) concat(ctx context.Context, key string, data []byte, casCheck uint64, now int64, front bool) (Item, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	it, exists := h.items[key]
@@ -397,7 +401,7 @@ func (h *HashTable) concat(key string, data []byte, casCheck uint64, now int64, 
 	} else {
 		nv = append(append([]byte{}, it.Value...), data...)
 	}
-	return h.storeLocked(key, nv, it.Flags, it.Expiry, casCheck, now, storeSet)
+	return h.storeLocked(ctx, key, nv, it.Flags, it.Expiry, casCheck, now, storeSet)
 }
 
 // Touch updates the expiry without changing the value.
@@ -459,7 +463,7 @@ func (h *HashTable) Unlock(key string, cas uint64, now int64) error {
 // CAS, rev). Replica vBuckets and XDCR consumers use this so the copy
 // carries the origin's metadata. The vBucket seqno clock advances to
 // cover the applied seqno.
-func (h *HashTable) ApplyMeta(it Item) {
+func (h *HashTable) ApplyMeta(ctx context.Context, it Item) {
 	BumpCAS(it.CAS)
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -469,7 +473,7 @@ func (h *HashTable) ApplyMeta(it Item) {
 	if it.Seqno > h.nextSeqno {
 		h.nextSeqno = it.Seqno
 	}
-	h.replaceLocked(it.Key, old, &cp)
+	h.replaceLocked(ctx, it.Key, old, &cp)
 }
 
 // ApplyRemote applies a cross-datacenter (XDCR) mutation using the
@@ -481,7 +485,7 @@ func (h *HashTable) ApplyMeta(it Item) {
 // assigned a fresh local sequence number, since seqnos are a
 // per-vBucket, per-cluster lineage. It reports whether the incoming
 // revision won.
-func (h *HashTable) ApplyRemote(key string, value []byte, deleted bool, cas, revSeqno uint64, flags uint32, expiry int64) bool {
+func (h *HashTable) ApplyRemote(ctx context.Context, key string, value []byte, deleted bool, cas, revSeqno uint64, flags uint32, expiry int64) bool {
 	BumpCAS(cas)
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -506,7 +510,7 @@ func (h *HashTable) ApplyRemote(key string, value []byte, deleted bool, cas, rev
 		Deleted:  deleted,
 		Resident: !deleted,
 	}
-	h.replaceLocked(key, old, nit)
+	h.replaceLocked(ctx, key, old, nit)
 	return true
 }
 

@@ -1,15 +1,18 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"testing"
 )
 
+var bg = context.Background()
+
 func TestSetGetRoundTrip(t *testing.T) {
 	h := NewHashTable()
-	it, err := h.Set("k1", []byte(`{"a":1}`), 7, 0, 0, 100)
+	it, err := h.Set(bg, "k1", []byte(`{"a":1}`), 7, 0, 0, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +39,7 @@ func TestSeqnoMonotonicPerMutation(t *testing.T) {
 	h := NewHashTable()
 	var last uint64
 	for i := 0; i < 10; i++ {
-		it, err := h.Set(fmt.Sprintf("k%d", i%3), []byte("v"), 0, 0, 0, 0)
+		it, err := h.Set(bg, fmt.Sprintf("k%d", i%3), []byte("v"), 0, 0, 0, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -52,15 +55,15 @@ func TestSeqnoMonotonicPerMutation(t *testing.T) {
 
 func TestCASOptimisticLocking(t *testing.T) {
 	h := NewHashTable()
-	it1, _ := h.Set("doc", []byte("v1"), 0, 0, 0, 0)
+	it1, _ := h.Set(bg, "doc", []byte("v1"), 0, 0, 0, 0)
 	// Another client sneaks in a write.
-	it2, _ := h.Set("doc", []byte("v2"), 0, 0, 0, 0)
+	it2, _ := h.Set(bg, "doc", []byte("v2"), 0, 0, 0, 0)
 	// Original client's CAS is now stale.
-	if _, err := h.Set("doc", []byte("v3"), 0, 0, it1.CAS, 0); err != ErrCASMismatch {
+	if _, err := h.Set(bg, "doc", []byte("v3"), 0, 0, it1.CAS, 0); err != ErrCASMismatch {
 		t.Fatalf("stale CAS should fail: %v", err)
 	}
 	// Re-read and retry, per the paper's protocol.
-	if _, err := h.Set("doc", []byte("v3"), 0, 0, it2.CAS, 0); err != nil {
+	if _, err := h.Set(bg, "doc", []byte("v3"), 0, 0, it2.CAS, 0); err != nil {
 		t.Fatalf("fresh CAS should succeed: %v", err)
 	}
 	got, _ := h.Get("doc", 0)
@@ -74,31 +77,31 @@ func TestCASOptimisticLocking(t *testing.T) {
 
 func TestCASOnMissingKey(t *testing.T) {
 	h := NewHashTable()
-	if _, err := h.Set("ghost", []byte("v"), 0, 0, 42, 0); err != ErrKeyNotFound {
+	if _, err := h.Set(bg, "ghost", []byte("v"), 0, 0, 42, 0); err != ErrKeyNotFound {
 		t.Errorf("err = %v", err)
 	}
 }
 
 func TestAddReplaceSemantics(t *testing.T) {
 	h := NewHashTable()
-	if _, err := h.Replace("k", []byte("v"), 0, 0, 0, 0); err != ErrKeyNotFound {
+	if _, err := h.Replace(bg, "k", []byte("v"), 0, 0, 0, 0); err != ErrKeyNotFound {
 		t.Errorf("Replace on missing: %v", err)
 	}
-	if _, err := h.Add("k", []byte("v"), 0, 0, 0); err != nil {
+	if _, err := h.Add(bg, "k", []byte("v"), 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := h.Add("k", []byte("v2"), 0, 0, 0); err != ErrKeyExists {
+	if _, err := h.Add(bg, "k", []byte("v2"), 0, 0, 0); err != ErrKeyExists {
 		t.Errorf("Add on existing: %v", err)
 	}
-	if _, err := h.Replace("k", []byte("v2"), 0, 0, 0, 0); err != nil {
+	if _, err := h.Replace(bg, "k", []byte("v2"), 0, 0, 0, 0); err != nil {
 		t.Errorf("Replace on existing: %v", err)
 	}
 }
 
 func TestDeleteCreatesTombstone(t *testing.T) {
 	h := NewHashTable()
-	h.Set("k", []byte("v"), 0, 0, 0, 0)
-	del, err := h.Delete("k", 0, 0)
+	h.Set(bg, "k", []byte("v"), 0, 0, 0, 0)
+	del, err := h.Delete(bg, "k", 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +117,7 @@ func TestDeleteCreatesTombstone(t *testing.T) {
 		t.Errorf("GetMeta after delete: %+v, %v", meta, err)
 	}
 	// Re-creating continues the rev lineage.
-	it, _ := h.Set("k", []byte("v2"), 0, 0, 0, 0)
+	it, _ := h.Set(bg, "k", []byte("v2"), 0, 0, 0, 0)
 	if it.RevSeqno != 3 {
 		t.Errorf("revSeqno after resurrect = %d, want 3", it.RevSeqno)
 	}
@@ -126,18 +129,18 @@ func TestDeleteCreatesTombstone(t *testing.T) {
 
 func TestDeleteWithWrongCAS(t *testing.T) {
 	h := NewHashTable()
-	h.Set("k", []byte("v"), 0, 0, 0, 0)
-	if _, err := h.Delete("k", 999999, 0); err != ErrCASMismatch {
+	h.Set(bg, "k", []byte("v"), 0, 0, 0, 0)
+	if _, err := h.Delete(bg, "k", 999999, 0); err != ErrCASMismatch {
 		t.Errorf("err = %v", err)
 	}
-	if _, err := h.Delete("zz", 0, 0); err != ErrKeyNotFound {
+	if _, err := h.Delete(bg, "zz", 0, 0); err != ErrKeyNotFound {
 		t.Errorf("err = %v", err)
 	}
 }
 
 func TestExpiryLazyReap(t *testing.T) {
 	h := NewHashTable()
-	h.Set("k", []byte("v"), 0, 50, 0, 10) // expires at t=50
+	h.Set(bg, "k", []byte("v"), 0, 50, 0, 10) // expires at t=50
 	if _, err := h.Get("k", 49); err != nil {
 		t.Fatalf("not yet expired: %v", err)
 	}
@@ -156,20 +159,20 @@ func TestExpiryLazyReap(t *testing.T) {
 
 func TestSetOverwritesExpired(t *testing.T) {
 	h := NewHashTable()
-	h.Set("k", []byte("v"), 0, 50, 0, 10)
+	h.Set(bg, "k", []byte("v"), 0, 50, 0, 10)
 	// CAS write against an expired doc fails as not-found.
 	it, _ := h.GetMeta("k")
-	if _, err := h.Set("k", []byte("v2"), 0, 0, it.CAS, 60); err != ErrKeyNotFound {
+	if _, err := h.Set(bg, "k", []byte("v2"), 0, 0, it.CAS, 60); err != ErrKeyNotFound {
 		t.Errorf("CAS set on expired doc: %v", err)
 	}
-	if _, err := h.Set("k", []byte("v2"), 0, 0, 0, 60); err != nil {
+	if _, err := h.Set(bg, "k", []byte("v2"), 0, 0, 0, 60); err != nil {
 		t.Errorf("plain set on expired doc: %v", err)
 	}
 }
 
 func TestTouch(t *testing.T) {
 	h := NewHashTable()
-	h.Set("k", []byte("v"), 0, 50, 0, 10)
+	h.Set(bg, "k", []byte("v"), 0, 50, 0, 10)
 	if _, err := h.Touch("k", 500, 20); err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +186,7 @@ func TestTouch(t *testing.T) {
 
 func TestGetAndLock(t *testing.T) {
 	h := NewHashTable()
-	h.Set("k", []byte("v"), 0, 0, 0, 100)
+	h.Set(bg, "k", []byte("v"), 0, 0, 0, 100)
 	locked, err := h.GetAndLock("k", 15, 100)
 	if err != nil {
 		t.Fatal(err)
@@ -193,38 +196,38 @@ func TestGetAndLock(t *testing.T) {
 		t.Errorf("double lock: %v", err)
 	}
 	// Plain writes and deletes are blocked.
-	if _, err := h.Set("k", []byte("x"), 0, 0, 0, 101); err != ErrLocked {
+	if _, err := h.Set(bg, "k", []byte("x"), 0, 0, 0, 101); err != ErrLocked {
 		t.Errorf("set while locked: %v", err)
 	}
-	if _, err := h.Delete("k", 0, 101); err != ErrLocked {
+	if _, err := h.Delete(bg, "k", 0, 101); err != ErrLocked {
 		t.Errorf("delete while locked: %v", err)
 	}
 	if _, err := h.Touch("k", 10, 101); err != ErrLocked {
 		t.Errorf("touch while locked: %v", err)
 	}
 	// Write with the lock token succeeds and releases the lock.
-	if _, err := h.Set("k", []byte("x"), 0, 0, locked.CAS, 101); err != nil {
+	if _, err := h.Set(bg, "k", []byte("x"), 0, 0, locked.CAS, 101); err != nil {
 		t.Fatalf("set with lock CAS: %v", err)
 	}
-	if _, err := h.Set("k", []byte("y"), 0, 0, 0, 102); err != nil {
+	if _, err := h.Set(bg, "k", []byte("y"), 0, 0, 0, 102); err != nil {
 		t.Errorf("lock should be released after CAS write: %v", err)
 	}
 }
 
 func TestLockTimesOut(t *testing.T) {
 	h := NewHashTable()
-	h.Set("k", []byte("v"), 0, 0, 0, 100)
+	h.Set(bg, "k", []byte("v"), 0, 0, 0, 100)
 	h.GetAndLock("k", 15, 100)
 	// "This lock will be released after a certain timeout to avoid
 	// deadlocks."
-	if _, err := h.Set("k", []byte("x"), 0, 0, 0, 115); err != nil {
+	if _, err := h.Set(bg, "k", []byte("x"), 0, 0, 0, 115); err != nil {
 		t.Errorf("lock should expire at t=115: %v", err)
 	}
 }
 
 func TestUnlock(t *testing.T) {
 	h := NewHashTable()
-	h.Set("k", []byte("v"), 0, 0, 0, 100)
+	h.Set(bg, "k", []byte("v"), 0, 0, 0, 100)
 	locked, _ := h.GetAndLock("k", 15, 100)
 	if err := h.Unlock("k", 123456, 101); err != ErrLocked {
 		t.Errorf("unlock with wrong token: %v", err)
@@ -235,7 +238,7 @@ func TestUnlock(t *testing.T) {
 	if err := h.Unlock("k", locked.CAS, 101); err != ErrNotLocked {
 		t.Errorf("double unlock: %v", err)
 	}
-	if _, err := h.Set("k", []byte("x"), 0, 0, 0, 101); err != nil {
+	if _, err := h.Set(bg, "k", []byte("x"), 0, 0, 0, 101); err != nil {
 		t.Errorf("set after unlock: %v", err)
 	}
 	if err := h.Unlock("zz", 1, 0); err != ErrKeyNotFound {
@@ -245,7 +248,7 @@ func TestUnlock(t *testing.T) {
 
 func TestApplyMetaReplicaPath(t *testing.T) {
 	h := NewHashTable()
-	h.ApplyMeta(Item{Key: "k", Value: []byte("v"), CAS: 77, RevSeqno: 5, Seqno: 42})
+	h.ApplyMeta(bg, Item{Key: "k", Value: []byte("v"), CAS: 77, RevSeqno: 5, Seqno: 42})
 	got, err := h.Get("k", 0)
 	if err != nil {
 		t.Fatal(err)
@@ -257,7 +260,7 @@ func TestApplyMetaReplicaPath(t *testing.T) {
 		t.Errorf("seqno clock should follow applied seqno: %d", h.HighSeqno())
 	}
 	// Promotion: new active continues numbering after the replica state.
-	it, _ := h.Set("k2", []byte("v"), 0, 0, 0, 0)
+	it, _ := h.Set(bg, "k2", []byte("v"), 0, 0, 0, 0)
 	if it.Seqno != 43 {
 		t.Errorf("next seqno = %d, want 43", it.Seqno)
 	}
@@ -265,7 +268,7 @@ func TestApplyMetaReplicaPath(t *testing.T) {
 
 func TestEvictAndRestoreValue(t *testing.T) {
 	h := NewHashTable()
-	it, _ := h.Set("k", []byte("payload"), 0, 0, 0, 0)
+	it, _ := h.Set(bg, "k", []byte("payload"), 0, 0, 0, 0)
 	if freed := h.EvictValue("k"); freed <= 0 {
 		t.Fatal("evict freed nothing")
 	}
@@ -295,10 +298,10 @@ func TestEvictAndRestoreValue(t *testing.T) {
 func TestOnMutateOrderedFeed(t *testing.T) {
 	h := NewHashTable()
 	var seqnos []uint64
-	h.OnMutate(func(it Item) { seqnos = append(seqnos, it.Seqno) })
-	h.Set("a", []byte("1"), 0, 0, 0, 0)
-	h.Set("b", []byte("2"), 0, 0, 0, 0)
-	h.Delete("a", 0, 0)
+	h.OnMutate(func(_ context.Context, it Item) { seqnos = append(seqnos, it.Seqno) })
+	h.Set(bg, "a", []byte("1"), 0, 0, 0, 0)
+	h.Set(bg, "b", []byte("2"), 0, 0, 0, 0)
+	h.Delete(bg, "a", 0, 0)
 	if len(seqnos) != 3 {
 		t.Fatalf("observer saw %d mutations", len(seqnos))
 	}
@@ -313,7 +316,7 @@ func TestConcurrentMutationsKeepInvariants(t *testing.T) {
 	h := NewHashTable()
 	var mu sync.Mutex
 	var feed []uint64
-	h.OnMutate(func(it Item) {
+	h.OnMutate(func(_ context.Context, it Item) {
 		mu.Lock()
 		feed = append(feed, it.Seqno)
 		mu.Unlock()
@@ -327,9 +330,9 @@ func TestConcurrentMutationsKeepInvariants(t *testing.T) {
 				key := fmt.Sprintf("k%d", (g*50+i)%17)
 				switch i % 3 {
 				case 0, 1:
-					h.Set(key, []byte("v"), 0, 0, 0, 0)
+					h.Set(bg, key, []byte("v"), 0, 0, 0, 0)
 				case 2:
-					h.Delete(key, 0, 0)
+					h.Delete(bg, key, 0, 0)
 				}
 			}
 		}(g)
@@ -351,13 +354,13 @@ func TestStatsAccounting(t *testing.T) {
 	if st := h.Stats(); st.Items != 0 || st.MemUsed != 0 {
 		t.Fatalf("empty stats: %+v", st)
 	}
-	h.Set("a", []byte("xxxx"), 0, 0, 0, 0)
-	h.Set("b", []byte("yyyy"), 0, 0, 0, 0)
+	h.Set(bg, "a", []byte("xxxx"), 0, 0, 0, 0)
+	h.Set(bg, "b", []byte("yyyy"), 0, 0, 0, 0)
 	st := h.Stats()
 	if st.Items != 2 || st.MemUsed <= 0 {
 		t.Errorf("stats: %+v", st)
 	}
-	h.Delete("a", 0, 0)
+	h.Delete(bg, "a", 0, 0)
 	st2 := h.Stats()
 	if st2.Items != 1 || st2.Tombstones != 1 {
 		t.Errorf("stats after delete: %+v", st2)
@@ -371,7 +374,7 @@ func TestPagerEvictsUnderPressure(t *testing.T) {
 	h := NewHashTable()
 	val := make([]byte, 1000)
 	for i := 0; i < 100; i++ {
-		h.Set(fmt.Sprintf("doc-%03d", i), val, 0, 0, 0, 0)
+		h.Set(bg, fmt.Sprintf("doc-%03d", i), val, 0, 0, 0, 0)
 	}
 	tables := []*HashTable{h}
 	used := MemUsed(tables)
@@ -402,7 +405,7 @@ func TestPagerSkipsRecentlyUsed(t *testing.T) {
 	h := NewHashTable()
 	val := make([]byte, 1000)
 	for i := 0; i < 20; i++ {
-		h.Set(fmt.Sprintf("doc-%02d", i), val, 0, 0, 0, 0)
+		h.Set(bg, fmt.Sprintf("doc-%02d", i), val, 0, 0, 0, 0)
 	}
 	// Heat up doc-00 by touching it during pager passes.
 	p := &Pager{Quota: Quota{Bytes: 1}} // force maximal eviction
@@ -417,9 +420,9 @@ func TestPagerSkipsRecentlyUsed(t *testing.T) {
 
 func TestExpiryPager(t *testing.T) {
 	h := NewHashTable()
-	h.Set("stay", []byte("v"), 0, 0, 0, 0)
-	h.Set("go1", []byte("v"), 0, 50, 0, 0)
-	h.Set("go2", []byte("v"), 0, 60, 0, 0)
+	h.Set(bg, "stay", []byte("v"), 0, 0, 0, 0)
+	h.Set(bg, "go1", []byte("v"), 0, 50, 0, 0)
+	h.Set(bg, "go2", []byte("v"), 0, 60, 0, 0)
 	if n := ExpiryPager([]*HashTable{h}, 100); n != 2 {
 		t.Fatalf("reaped %d, want 2", n)
 	}
@@ -438,11 +441,11 @@ func TestNextCASMonotone(t *testing.T) {
 
 func TestAppendPrepend(t *testing.T) {
 	h := NewHashTable()
-	h.Set("k", []byte("middle"), 0, 0, 0, 0)
-	if _, err := h.Append("k", []byte("-end"), 0, 0); err != nil {
+	h.Set(bg, "k", []byte("middle"), 0, 0, 0, 0)
+	if _, err := h.Append(bg, "k", []byte("-end"), 0, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := h.Prepend("k", []byte("start-"), 0, 0); err != nil {
+	if _, err := h.Prepend(bg, "k", []byte("start-"), 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	it, _ := h.Get("k", 0)
@@ -452,11 +455,11 @@ func TestAppendPrepend(t *testing.T) {
 	if it.RevSeqno != 3 {
 		t.Errorf("concat ops must be real mutations: rev %d", it.RevSeqno)
 	}
-	if _, err := h.Append("ghost", []byte("x"), 0, 0); err != ErrKeyNotFound {
+	if _, err := h.Append(bg, "ghost", []byte("x"), 0, 0); err != ErrKeyNotFound {
 		t.Errorf("append missing: %v", err)
 	}
 	// CAS discipline.
-	if _, err := h.Append("k", []byte("x"), 12345, 0); err != ErrCASMismatch {
+	if _, err := h.Append(bg, "k", []byte("x"), 12345, 0); err != ErrCASMismatch {
 		t.Errorf("stale cas: %v", err)
 	}
 }

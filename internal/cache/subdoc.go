@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -50,7 +51,7 @@ func (h *HashTable) SubdocGet(key, path string, now int64) (any, error) {
 // subdocMutate applies fn to the parsed document under the table lock
 // and stores the result through the normal mutation path (CAS checks,
 // lock checks, rev/seqno assignment, observer notification).
-func (h *HashTable) subdocMutate(key string, casCheck uint64, now int64, fn func(doc any) (any, error)) (Item, error) {
+func (h *HashTable) subdocMutate(ctx context.Context, key string, casCheck uint64, now int64, fn func(doc any) (any, error)) (Item, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	it, exists := h.items[key]
@@ -68,16 +69,16 @@ func (h *HashTable) subdocMutate(key string, casCheck uint64, now int64, fn func
 	if err != nil {
 		return Item{}, err
 	}
-	return h.storeLocked(key, value.Marshal(nd), it.Flags, it.Expiry, casCheck, now, storeSet)
+	return h.storeLocked(ctx, key, value.Marshal(nd), it.Flags, it.Expiry, casCheck, now, storeSet)
 }
 
 // SubdocSet writes v at path, creating intermediate objects as needed.
-func (h *HashTable) SubdocSet(key, path string, v any, casCheck uint64, now int64) (Item, error) {
+func (h *HashTable) SubdocSet(ctx context.Context, key, path string, v any, casCheck uint64, now int64) (Item, error) {
 	p, ok := value.ParsePath(path)
 	if !ok || p.Len() == 0 {
 		return Item{}, fmt.Errorf("%w: %q", ErrPathInvalid, path)
 	}
-	return h.subdocMutate(key, casCheck, now, func(doc any) (any, error) {
+	return h.subdocMutate(ctx, key, casCheck, now, func(doc any) (any, error) {
 		nd, applied := p.Set(doc, v)
 		if !applied {
 			return nil, fmt.Errorf("%w: %q", ErrPathMismatch, path)
@@ -87,12 +88,12 @@ func (h *HashTable) SubdocSet(key, path string, v any, casCheck uint64, now int6
 }
 
 // SubdocRemove deletes the field at path.
-func (h *HashTable) SubdocRemove(key, path string, casCheck uint64, now int64) (Item, error) {
+func (h *HashTable) SubdocRemove(ctx context.Context, key, path string, casCheck uint64, now int64) (Item, error) {
 	p, ok := value.ParsePath(path)
 	if !ok || p.Len() == 0 {
 		return Item{}, fmt.Errorf("%w: %q", ErrPathInvalid, path)
 	}
-	return h.subdocMutate(key, casCheck, now, func(doc any) (any, error) {
+	return h.subdocMutate(ctx, key, casCheck, now, func(doc any) (any, error) {
 		nd, removed := p.Delete(doc)
 		if !removed {
 			return nil, fmt.Errorf("%w: %q", ErrPathNotFound, path)
@@ -102,12 +103,12 @@ func (h *HashTable) SubdocRemove(key, path string, casCheck uint64, now int64) (
 }
 
 // SubdocArrayAppend appends v to the array at path.
-func (h *HashTable) SubdocArrayAppend(key, path string, v any, casCheck uint64, now int64) (Item, error) {
+func (h *HashTable) SubdocArrayAppend(ctx context.Context, key, path string, v any, casCheck uint64, now int64) (Item, error) {
 	p, ok := value.ParsePath(path)
 	if !ok {
 		return Item{}, fmt.Errorf("%w: %q", ErrPathInvalid, path)
 	}
-	return h.subdocMutate(key, casCheck, now, func(doc any) (any, error) {
+	return h.subdocMutate(ctx, key, casCheck, now, func(doc any) (any, error) {
 		cur := p.Eval(doc)
 		arr, isArr := cur.([]any)
 		if value.IsMissing(cur) {
@@ -125,13 +126,13 @@ func (h *HashTable) SubdocArrayAppend(key, path string, v any, casCheck uint64, 
 
 // SubdocCounter atomically adds delta to the number at path (creating
 // it as delta if absent) and returns the new value.
-func (h *HashTable) SubdocCounter(key, path string, delta float64, casCheck uint64, now int64) (float64, Item, error) {
+func (h *HashTable) SubdocCounter(ctx context.Context, key, path string, delta float64, casCheck uint64, now int64) (float64, Item, error) {
 	p, ok := value.ParsePath(path)
 	if !ok || p.Len() == 0 {
 		return 0, Item{}, fmt.Errorf("%w: %q", ErrPathInvalid, path)
 	}
 	var result float64
-	it, err := h.subdocMutate(key, casCheck, now, func(doc any) (any, error) {
+	it, err := h.subdocMutate(ctx, key, casCheck, now, func(doc any) (any, error) {
 		cur := p.Eval(doc)
 		switch {
 		case value.IsMissing(cur):

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -11,7 +12,7 @@ import (
 func subdocTable(t *testing.T) *HashTable {
 	t.Helper()
 	h := NewHashTable()
-	if _, err := h.Set("doc", []byte(`{"name": "A", "stats": {"visits": 5}, "tags": ["x"]}`), 0, 0, 0, 0); err != nil {
+	if _, err := h.Set(bg, "doc", []byte(`{"name": "A", "stats": {"visits": 5}, "tags": ["x"]}`), 0, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	return h
@@ -36,7 +37,7 @@ func TestSubdocGet(t *testing.T) {
 
 func TestSubdocSetAndRemove(t *testing.T) {
 	h := subdocTable(t)
-	it, err := h.SubdocSet("doc", "stats.clicks", 9.0, 0, 0)
+	it, err := h.SubdocSet(bg, "doc", "stats.clicks", 9.0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,28 +51,28 @@ func TestSubdocSetAndRemove(t *testing.T) {
 	if v, _ := h.SubdocGet("doc", "name", 0); v != "A" {
 		t.Errorf("sibling: %v", v)
 	}
-	if _, err := h.SubdocRemove("doc", "stats.clicks", 0, 0); err != nil {
+	if _, err := h.SubdocRemove(bg, "doc", "stats.clicks", 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := h.SubdocGet("doc", "stats.clicks", 0); err != ErrPathNotFound {
 		t.Errorf("after remove: %v", err)
 	}
-	if _, err := h.SubdocRemove("doc", "stats.clicks", 0, 0); !errors.Is(err, ErrPathNotFound) {
+	if _, err := h.SubdocRemove(bg, "doc", "stats.clicks", 0, 0); !errors.Is(err, ErrPathNotFound) {
 		t.Errorf("double remove: %v", err)
 	}
 	// CAS discipline applies.
 	cur, _ := h.GetMeta("doc")
-	if _, err := h.SubdocSet("doc", "x", 1.0, cur.CAS+999, 0); err != ErrCASMismatch {
+	if _, err := h.SubdocSet(bg, "doc", "x", 1.0, cur.CAS+999, 0); err != ErrCASMismatch {
 		t.Errorf("stale cas: %v", err)
 	}
-	if _, err := h.SubdocSet("doc", "x", 1.0, cur.CAS, 0); err != nil {
+	if _, err := h.SubdocSet(bg, "doc", "x", 1.0, cur.CAS, 0); err != nil {
 		t.Errorf("fresh cas: %v", err)
 	}
 }
 
 func TestSubdocArrayAppend(t *testing.T) {
 	h := subdocTable(t)
-	if _, err := h.SubdocArrayAppend("doc", "tags", "y", 0, 0); err != nil {
+	if _, err := h.SubdocArrayAppend(bg, "doc", "tags", "y", 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	v, _ := h.SubdocGet("doc", "tags", 0)
@@ -79,7 +80,7 @@ func TestSubdocArrayAppend(t *testing.T) {
 		t.Fatalf("tags: %v", v)
 	}
 	// Creates absent arrays.
-	if _, err := h.SubdocArrayAppend("doc", "fresh", 1.0, 0, 0); err != nil {
+	if _, err := h.SubdocArrayAppend(bg, "doc", "fresh", 1.0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	v, _ = h.SubdocGet("doc", "fresh", 0)
@@ -87,28 +88,28 @@ func TestSubdocArrayAppend(t *testing.T) {
 		t.Fatalf("fresh: %v", v)
 	}
 	// Type mismatch.
-	if _, err := h.SubdocArrayAppend("doc", "name", "z", 0, 0); !errors.Is(err, ErrPathMismatch) {
+	if _, err := h.SubdocArrayAppend(bg, "doc", "name", "z", 0, 0); !errors.Is(err, ErrPathMismatch) {
 		t.Errorf("append to string: %v", err)
 	}
 }
 
 func TestSubdocCounter(t *testing.T) {
 	h := subdocTable(t)
-	n, _, err := h.SubdocCounter("doc", "stats.visits", 3, 0, 0)
+	n, _, err := h.SubdocCounter(bg, "doc", "stats.visits", 3, 0, 0)
 	if err != nil || n != 8.0 {
 		t.Fatalf("counter: %v %v", n, err)
 	}
-	n, _, _ = h.SubdocCounter("doc", "stats.visits", -10, 0, 0)
+	n, _, _ = h.SubdocCounter(bg, "doc", "stats.visits", -10, 0, 0)
 	if n != -2.0 {
 		t.Fatalf("negative: %v", n)
 	}
 	// Created when absent.
-	n, _, err = h.SubdocCounter("doc", "brandnew", 1, 0, 0)
+	n, _, err = h.SubdocCounter(bg, "doc", "brandnew", 1, 0, 0)
 	if err != nil || n != 1.0 {
 		t.Fatalf("create: %v %v", n, err)
 	}
 	// Non-number.
-	if _, _, err := h.SubdocCounter("doc", "name", 1, 0, 0); !errors.Is(err, ErrPathMismatch) {
+	if _, _, err := h.SubdocCounter(bg, "doc", "name", 1, 0, 0); !errors.Is(err, ErrPathMismatch) {
 		t.Errorf("counter on string: %v", err)
 	}
 }
@@ -122,7 +123,7 @@ func TestSubdocCounterIsAtomic(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < each; i++ {
-				if _, _, err := h.SubdocCounter("doc", "stats.visits", 1, 0, 0); err != nil {
+				if _, _, err := h.SubdocCounter(bg, "doc", "stats.visits", 1, 0, 0); err != nil {
 					t.Error(err)
 					return
 				}
@@ -138,11 +139,11 @@ func TestSubdocCounterIsAtomic(t *testing.T) {
 
 func TestSubdocOnBinaryDoc(t *testing.T) {
 	h := NewHashTable()
-	h.Set("blob", []byte("not json {"), 0, 0, 0, 0)
+	h.Set(bg, "blob", []byte("not json {"), 0, 0, 0, 0)
 	if _, err := h.SubdocGet("blob", "x", 0); err != ErrNotJSON {
 		t.Errorf("get on binary: %v", err)
 	}
-	if _, err := h.SubdocSet("blob", "x", 1.0, 0, 0); err != ErrNotJSON {
+	if _, err := h.SubdocSet(bg, "blob", "x", 1.0, 0, 0); err != ErrNotJSON {
 		t.Errorf("set on binary: %v", err)
 	}
 }
@@ -150,9 +151,9 @@ func TestSubdocOnBinaryDoc(t *testing.T) {
 func TestSubdocMutationsFlowToObservers(t *testing.T) {
 	h := subdocTable(t)
 	var seen []uint64
-	h.OnMutate(func(it Item) { seen = append(seen, it.Seqno) })
-	h.SubdocSet("doc", "a", 1.0, 0, 0)
-	h.SubdocCounter("doc", "n", 1, 0, 0)
+	h.OnMutate(func(_ context.Context, it Item) { seen = append(seen, it.Seqno) })
+	h.SubdocSet(bg, "doc", "a", 1.0, 0, 0)
+	h.SubdocCounter(bg, "doc", "n", 1, 0, 0)
 	if len(seen) != 2 {
 		t.Fatalf("observer saw %d mutations", len(seen))
 	}

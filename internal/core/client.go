@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand/v2"
+	"strconv"
 	"time"
 
 	"couchgo/internal/cache"
+	"couchgo/internal/trace"
 	"couchgo/internal/vbucket"
 )
 
@@ -13,6 +16,10 @@ import (
 // map, hashes each document ID with CRC32 to its vBucket, and talks
 // directly to the node owning that partition. On a stale map
 // (not-my-vbucket) it refreshes and retries.
+//
+// Client methods are the KV tracing roots: each op makes the sampling
+// decision (or joins the caller's span) and every routing attempt gets
+// its own child span with node/vBucket/backoff annotations.
 type Client struct {
 	cluster *Cluster
 	bucket  string
@@ -66,227 +73,312 @@ func routeBackoff(attempt int) time.Duration {
 	return d/2 + rand.N(d/2+1)
 }
 
+// startOp opens the root (or child) span for one client KV operation.
+func (cl *Client) startOp(ctx context.Context, name, key string) (context.Context, *trace.Span) {
+	ctx, sp := trace.Default.Start(ctx, name)
+	if sp != nil {
+		sp.Annotate("bucket", cl.bucket)
+		sp.Annotate("key", key)
+	}
+	return ctx, sp
+}
+
 // route finds the active vBucket for key, retrying through map
-// refreshes while rebalance or failover move the partition.
-func (cl *Client) route(key string, op func(vb *vbucket.VBucket) error) error {
+// refreshes while rebalance or failover move the partition. Each
+// attempt is its own span so a trace shows exactly which hops a
+// request took and how long it backed off between them.
+func (cl *Client) route(ctx context.Context, key string, op func(ctx context.Context, vb *vbucket.VBucket) error) error {
 	b, err := cl.cluster.bucket(cl.bucket)
 	if err != nil {
 		return err
 	}
+	parent := trace.FromContext(ctx)
 	var lastErr error
 	for attempt := 0; attempt < maxRouteRetries; attempt++ {
+		asp := parent.Child("route")
+		if asp != nil {
+			asp.Annotate("attempt", strconv.Itoa(attempt))
+		}
+		retry := func(err error) {
+			lastErr = err
+			d := routeBackoff(attempt)
+			if asp != nil {
+				asp.Error(err)
+				asp.Annotate("backoff", d.String())
+				asp.End()
+			}
+			time.Sleep(d)
+		}
 		m := b.Map()
 		nodeID, vbID := m.NodeForKey(key)
 		if nodeID == "" {
-			return errors.New("core: no active node for key (partition lost)")
+			err := errors.New("core: no active node for key (partition lost)")
+			asp.Error(err)
+			asp.End()
+			return err
+		}
+		if asp != nil {
+			asp.Annotate("node", string(nodeID))
+			asp.Annotate("vb", strconv.Itoa(vbID))
 		}
 		node, err := cl.cluster.Node(nodeID)
 		if err != nil {
-			lastErr = err
-			time.Sleep(routeBackoff(attempt))
+			retry(err)
 			continue
 		}
 		vb, err := node.kvVB(cl.bucket, vbID)
 		if err != nil {
-			lastErr = err
-			time.Sleep(routeBackoff(attempt))
+			retry(err)
 			continue
 		}
-		err = op(vb)
+		err = op(trace.ContextWith(ctx, asp), vb)
 		if errors.Is(err, vbucket.ErrNotMyVBucket) {
 			// Stale map: "the cluster updates each connected client
 			// library with the new cluster map" — here the client
 			// re-reads it and retries.
-			lastErr = err
-			time.Sleep(routeBackoff(attempt))
+			retry(err)
 			continue
 		}
+		asp.Error(err)
+		asp.End()
 		return err
 	}
 	return lastErr
 }
 
 // Get retrieves a document.
-func (cl *Client) Get(key string) (cache.Item, error) {
+func (cl *Client) Get(ctx context.Context, key string) (cache.Item, error) {
+	ctx, sp := cl.startOp(ctx, "kv:get", key)
 	var out cache.Item
-	err := cl.route(key, func(vb *vbucket.VBucket) error {
-		it, err := vb.Get(key, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
+		it, err := vb.Get(ctx, key, cl.clock())
 		out = it
 		return err
 	})
+	sp.Error(err)
+	sp.End()
 	return out, err
 }
 
 // Set writes a document. casCheck=0 skips optimistic locking.
-func (cl *Client) Set(key string, value []byte, casCheck uint64) (cache.Item, error) {
-	return cl.SetWithOptions(key, value, 0, 0, casCheck, DurabilityOptions{})
+func (cl *Client) Set(ctx context.Context, key string, value []byte, casCheck uint64) (cache.Item, error) {
+	return cl.SetWithOptions(ctx, key, value, 0, 0, casCheck, DurabilityOptions{})
 }
 
 // SetWithOptions writes with flags, expiry, CAS, and durability.
-func (cl *Client) SetWithOptions(key string, value []byte, flags uint32, expiry int64, casCheck uint64, dur DurabilityOptions) (cache.Item, error) {
+func (cl *Client) SetWithOptions(ctx context.Context, key string, value []byte, flags uint32, expiry int64, casCheck uint64, dur DurabilityOptions) (cache.Item, error) {
+	ctx, sp := cl.startOp(ctx, "kv:set", key)
 	var out cache.Item
-	err := cl.route(key, func(vb *vbucket.VBucket) error {
-		it, err := vb.Set(key, value, flags, expiry, casCheck, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
+		it, err := vb.Set(ctx, key, value, flags, expiry, casCheck, cl.clock())
 		if err != nil {
 			return err
 		}
 		out = it
-		return cl.waitDurability(vb, it.Seqno, dur)
+		return cl.waitDurability(ctx, vb, it.Seqno, dur)
 	})
+	sp.Error(err)
+	sp.End()
 	return out, err
 }
 
 // Add inserts a document that must not exist.
-func (cl *Client) Add(key string, value []byte) (cache.Item, error) {
+func (cl *Client) Add(ctx context.Context, key string, value []byte) (cache.Item, error) {
+	ctx, sp := cl.startOp(ctx, "kv:add", key)
 	var out cache.Item
-	err := cl.route(key, func(vb *vbucket.VBucket) error {
-		it, err := vb.Add(key, value, 0, 0, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
+		it, err := vb.Add(ctx, key, value, 0, 0, cl.clock())
 		out = it
 		return err
 	})
+	sp.Error(err)
+	sp.End()
 	return out, err
 }
 
 // Replace updates a document that must exist.
-func (cl *Client) Replace(key string, value []byte, casCheck uint64) (cache.Item, error) {
+func (cl *Client) Replace(ctx context.Context, key string, value []byte, casCheck uint64) (cache.Item, error) {
+	ctx, sp := cl.startOp(ctx, "kv:replace", key)
 	var out cache.Item
-	err := cl.route(key, func(vb *vbucket.VBucket) error {
-		it, err := vb.Replace(key, value, 0, 0, casCheck, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
+		it, err := vb.Replace(ctx, key, value, 0, 0, casCheck, cl.clock())
 		out = it
 		return err
 	})
+	sp.Error(err)
+	sp.End()
 	return out, err
 }
 
 // Delete removes a document.
-func (cl *Client) Delete(key string, casCheck uint64) error {
-	return cl.route(key, func(vb *vbucket.VBucket) error {
-		_, err := vb.Delete(key, casCheck, cl.clock())
+func (cl *Client) Delete(ctx context.Context, key string, casCheck uint64) error {
+	ctx, sp := cl.startOp(ctx, "kv:delete", key)
+	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
+		_, err := vb.Delete(ctx, key, casCheck, cl.clock())
 		return err
 	})
+	sp.Error(err)
+	sp.End()
+	return err
 }
 
 // DeleteWithDurability removes a document and applies durability.
-func (cl *Client) DeleteWithDurability(key string, casCheck uint64, dur DurabilityOptions) error {
-	return cl.route(key, func(vb *vbucket.VBucket) error {
-		it, err := vb.Delete(key, casCheck, cl.clock())
+func (cl *Client) DeleteWithDurability(ctx context.Context, key string, casCheck uint64, dur DurabilityOptions) error {
+	ctx, sp := cl.startOp(ctx, "kv:delete", key)
+	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
+		it, err := vb.Delete(ctx, key, casCheck, cl.clock())
 		if err != nil {
 			return err
 		}
-		return cl.waitDurability(vb, it.Seqno, dur)
+		return cl.waitDurability(ctx, vb, it.Seqno, dur)
 	})
+	sp.Error(err)
+	sp.End()
+	return err
 }
 
 // Touch updates a document's TTL.
-func (cl *Client) Touch(key string, expiry int64) error {
-	return cl.route(key, func(vb *vbucket.VBucket) error {
-		_, err := vb.Touch(key, expiry, cl.clock())
+func (cl *Client) Touch(ctx context.Context, key string, expiry int64) error {
+	ctx, sp := cl.startOp(ctx, "kv:touch", key)
+	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
+		_, err := vb.Touch(ctx, key, expiry, cl.clock())
 		return err
 	})
+	sp.Error(err)
+	sp.End()
+	return err
 }
 
 // GetAndLock takes the document hard lock (§3.1.1).
-func (cl *Client) GetAndLock(key string, lockSeconds int64) (cache.Item, error) {
+func (cl *Client) GetAndLock(ctx context.Context, key string, lockSeconds int64) (cache.Item, error) {
+	ctx, sp := cl.startOp(ctx, "kv:getandlock", key)
 	var out cache.Item
-	err := cl.route(key, func(vb *vbucket.VBucket) error {
-		it, err := vb.GetAndLock(key, lockSeconds, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
+		it, err := vb.GetAndLock(ctx, key, lockSeconds, cl.clock())
 		out = it
 		return err
 	})
+	sp.Error(err)
+	sp.End()
 	return out, err
 }
 
 // Unlock releases the hard lock.
-func (cl *Client) Unlock(key string, casToken uint64) error {
-	return cl.route(key, func(vb *vbucket.VBucket) error {
-		return vb.Unlock(key, casToken, cl.clock())
+func (cl *Client) Unlock(ctx context.Context, key string, casToken uint64) error {
+	ctx, sp := cl.startOp(ctx, "kv:unlock", key)
+	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
+		return vb.Unlock(ctx, key, casToken, cl.clock())
 	})
+	sp.Error(err)
+	sp.End()
+	return err
 }
 
 // Append concatenates raw bytes to a document's value (memcached
 // heritage: binary values, not JSON).
-func (cl *Client) Append(key string, data []byte, casCheck uint64) (cache.Item, error) {
+func (cl *Client) Append(ctx context.Context, key string, data []byte, casCheck uint64) (cache.Item, error) {
+	ctx, sp := cl.startOp(ctx, "kv:append", key)
 	var out cache.Item
-	err := cl.route(key, func(vb *vbucket.VBucket) error {
-		it, err := vb.Append(key, data, casCheck, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
+		it, err := vb.Append(ctx, key, data, casCheck, cl.clock())
 		out = it
 		return err
 	})
+	sp.Error(err)
+	sp.End()
 	return out, err
 }
 
 // Prepend concatenates raw bytes before a document's value.
-func (cl *Client) Prepend(key string, data []byte, casCheck uint64) (cache.Item, error) {
+func (cl *Client) Prepend(ctx context.Context, key string, data []byte, casCheck uint64) (cache.Item, error) {
+	ctx, sp := cl.startOp(ctx, "kv:prepend", key)
 	var out cache.Item
-	err := cl.route(key, func(vb *vbucket.VBucket) error {
-		it, err := vb.Prepend(key, data, casCheck, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
+		it, err := vb.Prepend(ctx, key, data, casCheck, cl.clock())
 		out = it
 		return err
 	})
+	sp.Error(err)
+	sp.End()
 	return out, err
 }
 
 // SubdocGet reads one path inside a document without fetching it all.
-func (cl *Client) SubdocGet(key, path string) (any, error) {
+func (cl *Client) SubdocGet(ctx context.Context, key, path string) (any, error) {
+	ctx, sp := cl.startOp(ctx, "kv:subdoc:get", key)
 	var out any
-	err := cl.route(key, func(vb *vbucket.VBucket) error {
-		v, err := vb.SubdocGet(key, path, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
+		v, err := vb.SubdocGet(ctx, key, path, cl.clock())
 		out = v
 		return err
 	})
+	sp.Error(err)
+	sp.End()
 	return out, err
 }
 
 // SubdocSet writes one path inside a document atomically.
-func (cl *Client) SubdocSet(key, path string, v any, casCheck uint64) (cache.Item, error) {
+func (cl *Client) SubdocSet(ctx context.Context, key, path string, v any, casCheck uint64) (cache.Item, error) {
+	ctx, sp := cl.startOp(ctx, "kv:subdoc:set", key)
 	var out cache.Item
-	err := cl.route(key, func(vb *vbucket.VBucket) error {
-		it, err := vb.SubdocSet(key, path, v, casCheck, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
+		it, err := vb.SubdocSet(ctx, key, path, v, casCheck, cl.clock())
 		out = it
 		return err
 	})
+	sp.Error(err)
+	sp.End()
 	return out, err
 }
 
 // SubdocRemove deletes one path inside a document atomically.
-func (cl *Client) SubdocRemove(key, path string, casCheck uint64) (cache.Item, error) {
+func (cl *Client) SubdocRemove(ctx context.Context, key, path string, casCheck uint64) (cache.Item, error) {
+	ctx, sp := cl.startOp(ctx, "kv:subdoc:remove", key)
 	var out cache.Item
-	err := cl.route(key, func(vb *vbucket.VBucket) error {
-		it, err := vb.SubdocRemove(key, path, casCheck, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
+		it, err := vb.SubdocRemove(ctx, key, path, casCheck, cl.clock())
 		out = it
 		return err
 	})
+	sp.Error(err)
+	sp.End()
 	return out, err
 }
 
 // SubdocArrayAppend appends to an array field atomically.
-func (cl *Client) SubdocArrayAppend(key, path string, v any, casCheck uint64) (cache.Item, error) {
+func (cl *Client) SubdocArrayAppend(ctx context.Context, key, path string, v any, casCheck uint64) (cache.Item, error) {
+	ctx, sp := cl.startOp(ctx, "kv:subdoc:arrayappend", key)
 	var out cache.Item
-	err := cl.route(key, func(vb *vbucket.VBucket) error {
-		it, err := vb.SubdocArrayAppend(key, path, v, casCheck, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
+		it, err := vb.SubdocArrayAppend(ctx, key, path, v, casCheck, cl.clock())
 		out = it
 		return err
 	})
+	sp.Error(err)
+	sp.End()
 	return out, err
 }
 
 // SubdocCounter adds delta to a numeric field atomically, returning
 // the new value.
-func (cl *Client) SubdocCounter(key, path string, delta float64, casCheck uint64) (float64, error) {
+func (cl *Client) SubdocCounter(ctx context.Context, key, path string, delta float64, casCheck uint64) (float64, error) {
+	ctx, sp := cl.startOp(ctx, "kv:subdoc:counter", key)
 	var out float64
-	err := cl.route(key, func(vb *vbucket.VBucket) error {
-		v, _, err := vb.SubdocCounter(key, path, delta, casCheck, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
+		v, _, err := vb.SubdocCounter(ctx, key, path, delta, casCheck, cl.clock())
 		out = v
 		return err
 	})
+	sp.Error(err)
+	sp.End()
 	return out, err
 }
 
 // GetMeta returns a document's metadata (tombstones included), used by
 // XDCR and diagnostics.
-func (cl *Client) GetMeta(key string) (cache.Item, error) {
+func (cl *Client) GetMeta(ctx context.Context, key string) (cache.Item, error) {
 	var out cache.Item
-	err := cl.route(key, func(vb *vbucket.VBucket) error {
+	err := cl.route(ctx, key, func(_ context.Context, vb *vbucket.VBucket) error {
 		it, err := vb.GetMeta(key)
 		out = it
 		return err
@@ -297,28 +389,45 @@ func (cl *Client) GetMeta(key string) (cache.Item, error) {
 // XDCRApply installs a mutation replicated from another cluster,
 // applying the §4.6.1 conflict-resolution rule on this side. It
 // reports whether the incoming revision won.
-func (cl *Client) XDCRApply(key string, value []byte, deleted bool, cas, revSeqno uint64, flags uint32, expiry int64) (bool, error) {
+func (cl *Client) XDCRApply(ctx context.Context, key string, value []byte, deleted bool, cas, revSeqno uint64, flags uint32, expiry int64) (bool, error) {
+	ctx, sp := cl.startOp(ctx, "kv:xdcr", key)
 	var applied bool
-	err := cl.route(key, func(vb *vbucket.VBucket) error {
-		a, err := vb.ApplyRemote(key, value, deleted, cas, revSeqno, flags, expiry)
+	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
+		a, err := vb.ApplyRemote(ctx, key, value, deleted, cas, revSeqno, flags, expiry)
 		applied = a
 		return err
 	})
+	sp.Error(err)
+	sp.End()
 	return applied, err
 }
 
-func (cl *Client) waitDurability(vb *vbucket.VBucket, seqno uint64, dur DurabilityOptions) error {
+// waitDurability blocks until the mutation's durability requirement
+// holds. The wait gets its own span — on a slow durable write it is
+// usually the whole story.
+func (cl *Client) waitDurability(ctx context.Context, vb *vbucket.VBucket, seqno uint64, dur DurabilityOptions) error {
+	if dur.ReplicateTo <= 0 && !dur.PersistTo {
+		return nil
+	}
+	sp := trace.FromContext(ctx).Child("durability:wait")
+	if sp != nil {
+		sp.Annotate("replicate_to", strconv.Itoa(dur.ReplicateTo))
+		sp.Annotate("persist_to", strconv.FormatBool(dur.PersistTo))
+		defer sp.End()
+	}
 	timeout := dur.Timeout
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
 	if dur.ReplicateTo > 0 {
 		if err := vb.WaitReplicas(seqno, dur.ReplicateTo, timeout); err != nil {
+			sp.Error(err)
 			return err
 		}
 	}
 	if dur.PersistTo {
 		if err := vb.WaitPersist(seqno, timeout); err != nil {
+			sp.Error(err)
 			return err
 		}
 	}

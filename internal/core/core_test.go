@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -44,13 +45,13 @@ func TestKVAcrossNodes(t *testing.T) {
 	// Keys spread across vBuckets and nodes; all operations route.
 	for i := 0; i < 100; i++ {
 		key := fmt.Sprintf("user::%04d", i)
-		if _, err := cl.Set(key, []byte(fmt.Sprintf(`{"n": %d}`, i)), 0); err != nil {
+		if _, err := cl.Set(context.Background(), key, []byte(fmt.Sprintf(`{"n": %d}`, i)), 0); err != nil {
 			t.Fatalf("set %s: %v", key, err)
 		}
 	}
 	for i := 0; i < 100; i++ {
 		key := fmt.Sprintf("user::%04d", i)
-		it, err := cl.Get(key)
+		it, err := cl.Get(context.Background(), key)
 		if err != nil {
 			t.Fatalf("get %s: %v", key, err)
 		}
@@ -69,15 +70,15 @@ func TestKVAcrossNodes(t *testing.T) {
 
 func TestCASAcrossCluster(t *testing.T) {
 	_, cl := newTestCluster(t, 2, 0)
-	it1, _ := cl.Set("doc", []byte("v1"), 0)
-	it2, _ := cl.Set("doc", []byte("v2"), 0)
-	if _, err := cl.Set("doc", []byte("v3"), it1.CAS); err != cache.ErrCASMismatch {
+	it1, _ := cl.Set(context.Background(), "doc", []byte("v1"), 0)
+	it2, _ := cl.Set(context.Background(), "doc", []byte("v2"), 0)
+	if _, err := cl.Set(context.Background(), "doc", []byte("v3"), it1.CAS); err != cache.ErrCASMismatch {
 		t.Fatalf("stale CAS: %v", err)
 	}
-	if _, err := cl.Set("doc", []byte("v3"), it2.CAS); err != nil {
+	if _, err := cl.Set(context.Background(), "doc", []byte("v3"), it2.CAS); err != nil {
 		t.Fatalf("fresh CAS: %v", err)
 	}
-	if err := cl.Delete("missing", 0); err != cache.ErrKeyNotFound {
+	if err := cl.Delete(context.Background(), "missing", 0); err != cache.ErrKeyNotFound {
 		t.Fatalf("delete missing: %v", err)
 	}
 }
@@ -86,13 +87,13 @@ func TestReplicationAndDurability(t *testing.T) {
 	c, cl := newTestCluster(t, 3, 2)
 	// ReplicateTo(2): both replicas must ack; the write then exists in
 	// three memories.
-	it, err := cl.SetWithOptions("durable", []byte(`{"ok": true}`), 0, 0, 0,
+	it, err := cl.SetWithOptions(context.Background(), "durable", []byte(`{"ok": true}`), 0, 0, 0,
 		DurabilityOptions{ReplicateTo: 2, Timeout: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// PersistTo: flushed on the active.
-	if _, err := cl.SetWithOptions("persisted", []byte("x"), 0, 0, 0,
+	if _, err := cl.SetWithOptions(context.Background(), "persisted", []byte("x"), 0, 0, 0,
 		DurabilityOptions{PersistTo: true, Timeout: 10 * time.Second}); err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestManualFailoverPromotesReplicas(t *testing.T) {
 	c, cl := newTestCluster(t, 3, 1)
 	for i := 0; i < 60; i++ {
 		k := fmt.Sprintf("k%03d", i)
-		if _, err := cl.SetWithOptions(k, []byte(`{"v": 1}`), 0, 0, 0,
+		if _, err := cl.SetWithOptions(context.Background(), k, []byte(`{"v": 1}`), 0, 0, 0,
 			DurabilityOptions{ReplicateTo: 1}); err != nil {
 			t.Fatal(err)
 		}
@@ -133,13 +134,13 @@ func TestManualFailoverPromotesReplicas(t *testing.T) {
 	// the data without incurring downtime").
 	for i := 0; i < 60; i++ {
 		k := fmt.Sprintf("k%03d", i)
-		it, err := cl.Get(k)
+		it, err := cl.Get(context.Background(), k)
 		if err != nil || string(it.Value) != `{"v": 1}` {
 			t.Fatalf("get %s after failover: %v", k, err)
 		}
 	}
 	// And writable.
-	if _, err := cl.Set("post-failover", []byte("x"), 0); err != nil {
+	if _, err := cl.Set(context.Background(), "post-failover", []byte("x"), 0); err != nil {
 		t.Fatal(err)
 	}
 	// The failed node owns nothing in the new map.
@@ -167,7 +168,7 @@ func TestAutoFailoverViaHeartbeat(t *testing.T) {
 	c.CreateBucket("default", BucketOptions{NumReplicas: 1})
 	cl, _ := c.OpenBucket("default")
 	for i := 0; i < 30; i++ {
-		if _, err := cl.SetWithOptions(fmt.Sprintf("k%d", i), []byte("v"), 0, 0, 0,
+		if _, err := cl.SetWithOptions(context.Background(), fmt.Sprintf("k%d", i), []byte("v"), 0, 0, 0,
 			DurabilityOptions{ReplicateTo: 1}); err != nil {
 			t.Fatal(err)
 		}
@@ -192,7 +193,7 @@ func TestAutoFailoverViaHeartbeat(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	for i := 0; i < 30; i++ {
-		if _, err := cl.Get(fmt.Sprintf("k%d", i)); err != nil {
+		if _, err := cl.Get(context.Background(), fmt.Sprintf("k%d", i)); err != nil {
 			t.Fatalf("get after auto-failover: %v", err)
 		}
 	}
@@ -201,7 +202,7 @@ func TestAutoFailoverViaHeartbeat(t *testing.T) {
 func TestRebalanceScaleOut(t *testing.T) {
 	c, cl := newTestCluster(t, 2, 1)
 	for i := 0; i < 80; i++ {
-		if _, err := cl.Set(fmt.Sprintf("doc%03d", i), []byte(fmt.Sprintf(`{"i": %d}`, i)), 0); err != nil {
+		if _, err := cl.Set(context.Background(), fmt.Sprintf("doc%03d", i), []byte(fmt.Sprintf(`{"i": %d}`, i)), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -224,13 +225,13 @@ func TestRebalanceScaleOut(t *testing.T) {
 	// All data survived the moves.
 	for i := 0; i < 80; i++ {
 		k := fmt.Sprintf("doc%03d", i)
-		it, err := cl.Get(k)
+		it, err := cl.Get(context.Background(), k)
 		if err != nil || string(it.Value) != fmt.Sprintf(`{"i": %d}`, i) {
 			t.Fatalf("get %s after rebalance: %v", k, err)
 		}
 	}
 	// Writes continue.
-	if _, err := cl.Set("after-rebalance", []byte("x"), 0); err != nil {
+	if _, err := cl.Set(context.Background(), "after-rebalance", []byte("x"), 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -241,7 +242,7 @@ func TestRebalanceScaleIn(t *testing.T) {
 		// ReplicateTo(1): without it, mutations still in flight to the
 		// replica die with the killed node — the paper's explicit
 		// durability tradeoff (§2.3.2).
-		if _, err := cl.SetWithOptions(fmt.Sprintf("doc%02d", i), []byte("v"), 0, 0, 0,
+		if _, err := cl.SetWithOptions(context.Background(), fmt.Sprintf("doc%02d", i), []byte("v"), 0, 0, 0,
 			DurabilityOptions{ReplicateTo: 1}); err != nil {
 			t.Fatal(err)
 		}
@@ -263,7 +264,7 @@ func TestRebalanceScaleIn(t *testing.T) {
 		}
 	}
 	for i := 0; i < 50; i++ {
-		if _, err := cl.Get(fmt.Sprintf("doc%02d", i)); err != nil {
+		if _, err := cl.Get(context.Background(), fmt.Sprintf("doc%02d", i)); err != nil {
 			t.Fatalf("get after scale-in: %v", err)
 		}
 	}
@@ -283,7 +284,7 @@ func TestWritesDuringRebalance(t *testing.T) {
 			default:
 			}
 			key := fmt.Sprintf("live%04d", i)
-			if _, err := cl.Set(key, []byte("v"), 0); err != nil {
+			if _, err := cl.Set(context.Background(), key, []byte("v"), 0); err != nil {
 				errs <- fmt.Errorf("set %s: %w", key, err)
 				return
 			}
@@ -311,7 +312,7 @@ func TestViewsClusterScatterGather(t *testing.T) {
 	}
 	cities := []string{"SF", "NY", "SF", "LA", "SF", "NY", "SF"}
 	for i, city := range cities {
-		cl.Set(fmt.Sprintf("u%02d", i), []byte(fmt.Sprintf(`{"city": %q, "name": "user%d"}`, city, i)), 0)
+		cl.Set(context.Background(), fmt.Sprintf("u%02d", i), []byte(fmt.Sprintf(`{"city": %q, "name": "user%d"}`, city, i)), 0)
 	}
 	// stale=false sees everything across all nodes.
 	rows, err := c.QueryView("default", "byCity", views.QueryOptions{Stale: views.StaleFalse})
@@ -351,7 +352,7 @@ func TestViewsClusterScatterGather(t *testing.T) {
 func TestN1QLOnCluster(t *testing.T) {
 	c, cl := newTestCluster(t, 2, 0)
 	for i := 0; i < 20; i++ {
-		cl.Set(fmt.Sprintf("profile::%02d", i),
+		cl.Set(context.Background(), fmt.Sprintf("profile::%02d", i),
 			[]byte(fmt.Sprintf(`{"name": "user%02d", "age": %d, "city": "%s"}`, i, 20+i, []string{"SF", "NY"}[i%2])), 0)
 	}
 	// DDL through N1QL.
@@ -390,7 +391,7 @@ func TestN1QLOnCluster(t *testing.T) {
 	if res.MutationCount != 2 {
 		t.Fatalf("updated %d", res.MutationCount)
 	}
-	it, _ := cl.Get("profile::19")
+	it, _ := cl.Get(context.Background(), "profile::19")
 	if string(it.Value) == "" || !contains(string(it.Value), `"vip":true`) {
 		t.Errorf("updated doc: %s", it.Value)
 	}
@@ -418,7 +419,7 @@ func contains(s, sub string) bool {
 func TestViewBackedIndexUSINGVIEW(t *testing.T) {
 	c, cl := newTestCluster(t, 2, 0)
 	for i := 0; i < 10; i++ {
-		cl.Set(fmt.Sprintf("p%02d", i), []byte(fmt.Sprintf(`{"email": "e%02d@x.com"}`, i)), 0)
+		cl.Set(context.Background(), fmt.Sprintf("p%02d", i), []byte(fmt.Sprintf(`{"email": "e%02d@x.com"}`, i)), 0)
 	}
 	if _, err := c.Query("CREATE INDEX email ON `default`(email) USING VIEW", executor.Options{}); err != nil {
 		t.Fatal(err)
@@ -453,7 +454,7 @@ func TestMDSTopologyEnforcement(t *testing.T) {
 	c.AddNode("data0", cmap.ServiceSet(cmap.ServiceData))
 	c.CreateBucket("default", BucketOptions{})
 	cl, _ := c.OpenBucket("default")
-	if _, err := cl.Set("k", []byte("v"), 0); err != nil {
+	if _, err := cl.Set(context.Background(), "k", []byte("v"), 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.Query("SELECT 1", executor.Options{}); err != ErrNoQueryNode {
@@ -488,8 +489,8 @@ func TestFTSOnCluster(t *testing.T) {
 	if err := h.Engine().Define(ftsIndexDef("content", "body")); err != nil {
 		t.Fatal(err)
 	}
-	cl.Set("d1", []byte(`{"body": "distributed database systems"}`), 0)
-	cl.Set("d2", []byte(`{"body": "key value caching"}`), 0)
+	cl.Set(context.Background(), "d1", []byte(`{"body": "distributed database systems"}`), 0)
+	cl.Set(context.Background(), "d2", []byte(`{"body": "key value caching"}`), 0)
 	hits, err := h.Engine().SearchTerm("content", "database", ftsSearchOpts(h.ConsistencyVector()))
 	if err != nil {
 		t.Fatal(err)
@@ -501,18 +502,18 @@ func TestFTSOnCluster(t *testing.T) {
 
 func TestGetAndLockOnCluster(t *testing.T) {
 	_, cl := newTestCluster(t, 2, 0)
-	cl.Set("doc", []byte("v"), 0)
-	locked, err := cl.GetAndLock("doc", 15)
+	cl.Set(context.Background(), "doc", []byte("v"), 0)
+	locked, err := cl.GetAndLock(context.Background(), "doc", 15)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Set("doc", []byte("x"), 0); err != cache.ErrLocked {
+	if _, err := cl.Set(context.Background(), "doc", []byte("x"), 0); err != cache.ErrLocked {
 		t.Fatalf("locked write: %v", err)
 	}
-	if err := cl.Unlock("doc", locked.CAS); err != nil {
+	if err := cl.Unlock(context.Background(), "doc", locked.CAS); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Set("doc", []byte("x"), 0); err != nil {
+	if _, err := cl.Set(context.Background(), "doc", []byte("x"), 0); err != nil {
 		t.Fatalf("after unlock: %v", err)
 	}
 }
@@ -550,7 +551,7 @@ func TestMemoryQuotaEvictsValues(t *testing.T) {
 		big[i] = 'x'
 	}
 	for i := 0; i < 200; i++ {
-		if _, err := cl.SetWithOptions(fmt.Sprintf("big%03d", i), big, 0, 0, 0,
+		if _, err := cl.SetWithOptions(context.Background(), fmt.Sprintf("big%03d", i), big, 0, 0, 0,
 			DurabilityOptions{PersistTo: true}); err != nil {
 			t.Fatal(err)
 		}
@@ -573,7 +574,7 @@ func TestMemoryQuotaEvictsValues(t *testing.T) {
 	// Every key and value remains readable (bg-fetch restores evicted
 	// values from the storage engine).
 	for i := 0; i < 200; i++ {
-		it, err := cl.Get(fmt.Sprintf("big%03d", i))
+		it, err := cl.Get(context.Background(), fmt.Sprintf("big%03d", i))
 		if err != nil || len(it.Value) != len(big) {
 			t.Fatalf("get big%03d after eviction: %v", i, err)
 		}
@@ -592,11 +593,11 @@ func TestAnalyticsServiceOnCluster(t *testing.T) {
 	c, cl := newTestCluster(t, 2, 0)
 	// Load the two-document-type analytic fixture.
 	for i := 0; i < 4; i++ {
-		cl.Set(fmt.Sprintf("customer::%d", i),
+		cl.Set(context.Background(), fmt.Sprintf("customer::%d", i),
 			[]byte(fmt.Sprintf(`{"type": "customer", "cid": %d}`, i)), 0)
 	}
 	for i := 0; i < 12; i++ {
-		cl.Set(fmt.Sprintf("order::%d", i),
+		cl.Set(context.Background(), fmt.Sprintf("order::%d", i),
 			[]byte(fmt.Sprintf(`{"type": "order", "customer": %d, "total": %d}`, i%4, i)), 0)
 	}
 	if err := c.EnableAnalytics("default"); err != nil {
@@ -649,7 +650,7 @@ func TestOnlineCompactionTriggersAutomatically(t *testing.T) {
 	big := make([]byte, 4096)
 	var last cache.Item
 	for i := 0; i < 100; i++ {
-		it, err := cl.SetWithOptions("hot", big, 0, 0, 0, DurabilityOptions{PersistTo: true})
+		it, err := cl.SetWithOptions(context.Background(), "hot", big, 0, 0, 0, DurabilityOptions{PersistTo: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -677,7 +678,7 @@ func TestOnlineCompactionTriggersAutomatically(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 	}
 	// Data intact after compaction.
-	it, err := cl.Get("hot")
+	it, err := cl.Get(context.Background(), "hot")
 	if err != nil || len(it.Value) != len(big) {
 		t.Fatalf("doc after compaction: %v", err)
 	}
@@ -687,7 +688,7 @@ func TestExpiryPagerReapsProactively(t *testing.T) {
 	c, cl := newTestCluster(t, 1, 0)
 	past := time.Now().Unix() - 10
 	for i := 0; i < 10; i++ {
-		if _, err := cl.SetWithOptions(fmt.Sprintf("ttl%d", i), []byte("v"), 0, past, 0, DurabilityOptions{}); err != nil {
+		if _, err := cl.SetWithOptions(context.Background(), fmt.Sprintf("ttl%d", i), []byte("v"), 0, past, 0, DurabilityOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -729,21 +730,21 @@ func TestClusterRestartRecoversPersistedData(t *testing.T) {
 	c1, cl1 := open()
 	var metas []cache.Item
 	for i := 0; i < 40; i++ {
-		it, err := cl1.SetWithOptions(fmt.Sprintf("doc%02d", i), []byte(fmt.Sprintf(`{"i": %d}`, i)),
+		it, err := cl1.SetWithOptions(context.Background(), fmt.Sprintf("doc%02d", i), []byte(fmt.Sprintf(`{"i": %d}`, i)),
 			0, 0, 0, DurabilityOptions{PersistTo: true})
 		if err != nil {
 			t.Fatal(err)
 		}
 		metas = append(metas, it)
 	}
-	cl1.Delete("doc00", 0)
+	cl1.Delete(context.Background(), "doc00", 0)
 	c1.Close()
 
 	// Same directory, same topology: the data comes back.
 	c2, cl2 := open()
 	defer c2.Close()
 	for i := 1; i < 40; i++ {
-		it, err := cl2.Get(fmt.Sprintf("doc%02d", i))
+		it, err := cl2.Get(context.Background(), fmt.Sprintf("doc%02d", i))
 		if err != nil || string(it.Value) != fmt.Sprintf(`{"i": %d}`, i) {
 			t.Fatalf("doc%02d after restart: %v", i, err)
 		}
@@ -755,7 +756,7 @@ func TestClusterRestartRecoversPersistedData(t *testing.T) {
 	// shutdown; the delete above was not PersistTo-acknowledged, so
 	// only assert the live set is a superset of what was durable.
 	// New writes get CAS values beyond the recovered ones.
-	it, err := cl2.Set("fresh", []byte("x"), 0)
+	it, err := cl2.Set(context.Background(), "fresh", []byte("x"), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -788,7 +789,7 @@ func TestViewsStayConsistentAcrossRebalance(t *testing.T) {
 	}
 	const docs = 60
 	for i := 0; i < docs; i++ {
-		cl.Set(fmt.Sprintf("d%03d", i), []byte(fmt.Sprintf(`{"n": %d}`, i)), 0)
+		cl.Set(context.Background(), fmt.Sprintf("d%03d", i), []byte(fmt.Sprintf(`{"n": %d}`, i)), 0)
 	}
 	check := func(stage string) {
 		rows, err := c.QueryView("default", "byN", views.QueryOptions{Stale: views.StaleFalse})
@@ -813,7 +814,7 @@ func TestViewsStayConsistentAcrossRebalance(t *testing.T) {
 	}
 	check("after rebalance")
 	// Post-rebalance mutations index on the new owners.
-	cl.Set("d000", []byte(`{"n": 999}`), 0)
+	cl.Set(context.Background(), "d000", []byte(`{"n": 999}`), 0)
 	rows, _ := c.QueryView("default", "byN", views.QueryOptions{
 		Stale: views.StaleFalse, Key: 999.0, HasKey: true,
 	})
@@ -829,7 +830,7 @@ func TestGSIStaysConsistentAcrossRebalance(t *testing.T) {
 	}
 	const docs = 60
 	for i := 0; i < docs; i++ {
-		cl.Set(fmt.Sprintf("d%03d", i), []byte(fmt.Sprintf(`{"n": %d}`, i)), 0)
+		cl.Set(context.Background(), fmt.Sprintf("d%03d", i), []byte(fmt.Sprintf(`{"n": %d}`, i)), 0)
 	}
 	count := func(stage string) {
 		res, err := c.Query("SELECT COUNT(*) AS c FROM `default` WHERE n >= 0",
@@ -848,7 +849,7 @@ func TestGSIStaysConsistentAcrossRebalance(t *testing.T) {
 	}
 	count("after rebalance")
 	// Update through the new topology; the index follows.
-	cl.Set("d000", []byte(`{"n": -1}`), 0)
+	cl.Set(context.Background(), "d000", []byte(`{"n": -1}`), 0)
 	res, _ := c.Query("SELECT COUNT(*) AS c FROM `default` WHERE n >= 0",
 		executor.Options{Consistency: executor.RequestPlus})
 	if got := res.Rows[0].(map[string]any)["c"]; got != float64(docs-1) {
@@ -863,7 +864,7 @@ func TestGSIStaysConsistentAcrossFailover(t *testing.T) {
 	}
 	const docs = 45
 	for i := 0; i < docs; i++ {
-		if _, err := cl.SetWithOptions(fmt.Sprintf("d%03d", i), []byte(fmt.Sprintf(`{"n": %d}`, i)),
+		if _, err := cl.SetWithOptions(context.Background(), fmt.Sprintf("d%03d", i), []byte(fmt.Sprintf(`{"n": %d}`, i)),
 			0, 0, 0, DurabilityOptions{ReplicateTo: 1}); err != nil {
 			t.Fatal(err)
 		}
@@ -904,7 +905,7 @@ func TestFullEvictionModeOnCluster(t *testing.T) {
 	}
 	big := []byte(fmt.Sprintf(`{"pad": "%s"}`, filler))
 	for i := 0; i < 200; i++ {
-		if _, err := cl.SetWithOptions(fmt.Sprintf("big%03d", i), big, 0, 0, 0,
+		if _, err := cl.SetWithOptions(context.Background(), fmt.Sprintf("big%03d", i), big, 0, 0, 0,
 			DurabilityOptions{PersistTo: true}); err != nil {
 			t.Fatal(err)
 		}
@@ -928,7 +929,7 @@ func TestFullEvictionModeOnCluster(t *testing.T) {
 	}
 	// Everything still readable via disk miss-fetch.
 	for i := 0; i < 200; i++ {
-		it, err := cl.Get(fmt.Sprintf("big%03d", i))
+		it, err := cl.Get(context.Background(), fmt.Sprintf("big%03d", i))
 		if err != nil || len(it.Value) != len(big) {
 			t.Fatalf("get big%03d after full eviction: %v", i, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -53,7 +54,7 @@ func TestFeedRollbackOnFailover(t *testing.T) {
 	// Replicated baseline.
 	const base = 20
 	for i := 0; i < base; i++ {
-		if _, err := cl.SetWithOptions(fmt.Sprintf("d%03d", i), []byte(fmt.Sprintf(`{"n": %d}`, i)),
+		if _, err := cl.SetWithOptions(context.Background(), fmt.Sprintf("d%03d", i), []byte(fmt.Sprintf(`{"n": %d}`, i)),
 			0, 0, 0, DurabilityOptions{ReplicateTo: 1}); err != nil {
 			t.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func TestFeedRollbackOnFailover(t *testing.T) {
 	sawNode0 := false
 	for i := 0; i < divergent; i++ {
 		k := fmt.Sprintf("x%03d", i)
-		if _, err := cl.Set(k, []byte(`{"n": 100}`), 0); err != nil {
+		if _, err := cl.Set(context.Background(), k, []byte(`{"n": 100}`), 0); err != nil {
 			t.Fatal(err)
 		}
 		if nodeID, _ := oldMap.NodeForKey(k); nodeID == "node0" {
@@ -112,7 +113,7 @@ func TestFeedRollbackOnFailover(t *testing.T) {
 	}
 
 	// The cluster stays writable and the index follows new mutations.
-	if _, err := cl.Set("post", []byte(`{"n": 1}`), 0); err != nil {
+	if _, err := cl.Set(context.Background(), "post", []byte(`{"n": 1}`), 0); err != nil {
 		t.Fatal(err)
 	}
 	if got := count("post-failover write"); got != surviving+1 {

@@ -10,9 +10,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
@@ -22,6 +24,7 @@ import (
 	"couchgo/internal/fts"
 	"couchgo/internal/gsi"
 	"couchgo/internal/storage"
+	"couchgo/internal/trace"
 	"couchgo/internal/vbucket"
 	"couchgo/internal/views"
 )
@@ -199,7 +202,19 @@ func (nb *nodeBucket) maintenanceLoop() {
 			st := f.Stats()
 			// Only compact files big enough for it to matter.
 			if st.FileBytes > 64*1024 && f.Fragmentation() > compactionThreshold {
-				f.Compact()
+				// Compactions are rare and interesting, so they bypass
+				// the sampling tick: every one is traced while tracing
+				// is enabled at all.
+				_, sp := trace.Default.Force(context.Background(), "storage:compact")
+				if sp != nil {
+					sp.Annotate("vb", strconv.Itoa(vb.ID))
+					sp.Annotate("file_bytes", strconv.FormatInt(st.FileBytes, 10))
+				}
+				err := f.Compact()
+				if sp != nil {
+					sp.Error(err)
+					sp.End()
+				}
 			}
 		}
 		cache.ExpiryPager(tables, time.Now().Unix())
@@ -468,7 +483,7 @@ func (n *Node) stats(bucketName string) NodeStats {
 
 // --- node-level KV entry points (invoked by the cluster router) ---
 
-func (n *Node) kvGet(bucket string, vbID int, key string, now int64) (cache.Item, error) {
+func (n *Node) kvGet(ctx context.Context, bucket string, vbID int, key string, now int64) (cache.Item, error) {
 	nb, err := n.bucket(bucket)
 	if err != nil {
 		return cache.Item{}, err
@@ -477,7 +492,7 @@ func (n *Node) kvGet(bucket string, vbID int, key string, now int64) (cache.Item
 	if vb == nil {
 		return cache.Item{}, fmt.Errorf("%w (vb %d absent)", vbucket.ErrNotMyVBucket, vbID)
 	}
-	return vb.Get(key, now)
+	return vb.Get(ctx, key, now)
 }
 
 func (n *Node) kvVB(bucket string, vbID int) (*vbucket.VBucket, error) {

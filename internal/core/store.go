@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"couchgo/internal/n1ql"
 	"couchgo/internal/planner"
 	"couchgo/internal/query"
+	"couchgo/internal/trace"
 	"couchgo/internal/value"
 	"couchgo/internal/views"
 )
@@ -48,6 +50,11 @@ func (c *Cluster) Query(statement string, opts executor.Options) (*query.Result,
 	if !c.hasService(cmap.ServiceQuery) {
 		return nil, ErrNoQueryNode
 	}
+	ctx, sp := trace.Default.Start(opts.Context(), "query")
+	if sp != nil {
+		sp.Annotate("statement", statement)
+	}
+	opts.Ctx = ctx
 	t0 := time.Now()
 	eng := query.NewEngine(&clusterStore{c: c})
 	res, err := eng.Execute(statement, opts)
@@ -55,6 +62,13 @@ func (c *Cluster) Query(statement string, opts executor.Options) (*query.Result,
 	mQueryDuration.Observe(elapsed)
 	if c.slowLog.Observe(statement, elapsed) {
 		mSlowQueries.Inc()
+	}
+	if sp != nil {
+		if res != nil {
+			sp.Annotate("rows", fmt.Sprint(len(res.Rows)))
+		}
+		sp.Error(err)
+		sp.End()
 	}
 	return res, err
 }
@@ -226,12 +240,12 @@ func (c *Cluster) DropIndexByName(keyspace, name string) error {
 
 // --- executor.Datastore ---
 
-func (s *clusterStore) Fetch(keyspace, id string) (any, n1ql.Meta, error) {
+func (s *clusterStore) Fetch(ctx context.Context, keyspace, id string) (any, n1ql.Meta, error) {
 	cl, err := s.c.OpenBucket(keyspace)
 	if err != nil {
 		return nil, n1ql.Meta{}, err
 	}
-	it, err := cl.Get(id)
+	it, err := cl.Get(ctx, id)
 	if err != nil {
 		if errors.Is(err, cache.ErrKeyNotFound) {
 			return nil, n1ql.Meta{}, executor.ErrNotFound
@@ -275,7 +289,7 @@ func (c *Cluster) consistencyVector(keyspace string) map[int]uint64 {
 	return out
 }
 
-func (s *clusterStore) ScanIndex(keyspace, index string, using n1ql.IndexUsing, opts executor.IndexScanOpts) ([]executor.IndexEntry, error) {
+func (s *clusterStore) ScanIndex(ctx context.Context, keyspace, index string, using n1ql.IndexUsing, opts executor.IndexScanOpts) ([]executor.IndexEntry, error) {
 	if using == n1ql.UsingView {
 		return s.c.scanViewIndex(keyspace, index, opts)
 	}
@@ -346,35 +360,35 @@ func (c *Cluster) scanViewIndex(keyspace, index string, opts executor.IndexScanO
 
 // --- DML (routed through the data service) ---
 
-func (s *clusterStore) InsertDoc(keyspace, id string, doc any, upsert bool) error {
+func (s *clusterStore) InsertDoc(ctx context.Context, keyspace, id string, doc any, upsert bool) error {
 	cl, err := s.c.OpenBucket(keyspace)
 	if err != nil {
 		return err
 	}
 	data := value.Marshal(doc)
 	if upsert {
-		_, err = cl.Set(id, data, 0)
+		_, err = cl.Set(ctx, id, data, 0)
 		return err
 	}
-	_, err = cl.Add(id, data)
+	_, err = cl.Add(ctx, id, data)
 	return err
 }
 
-func (s *clusterStore) UpdateDoc(keyspace, id string, doc any) error {
+func (s *clusterStore) UpdateDoc(ctx context.Context, keyspace, id string, doc any) error {
 	cl, err := s.c.OpenBucket(keyspace)
 	if err != nil {
 		return err
 	}
-	_, err = cl.Replace(id, value.Marshal(doc), 0)
+	_, err = cl.Replace(ctx, id, value.Marshal(doc), 0)
 	return err
 }
 
-func (s *clusterStore) DeleteDoc(keyspace, id string) error {
+func (s *clusterStore) DeleteDoc(ctx context.Context, keyspace, id string) error {
 	cl, err := s.c.OpenBucket(keyspace)
 	if err != nil {
 		return err
 	}
-	return cl.Delete(id, 0)
+	return cl.Delete(ctx, id, 0)
 }
 
 // --- view management + scatter/gather querying ---

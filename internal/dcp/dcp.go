@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"couchgo/internal/trace"
 )
 
 // ErrClosed is returned when operating on a closed producer or stream.
@@ -69,6 +71,11 @@ type Mutation struct {
 	Flags    uint32
 	Expiry   int64
 	Deleted  bool
+	// Trace, when non-nil, is the sampled trace of the originating
+	// client write; downstream consumers (flusher, replicas, feeds)
+	// attach their apply spans to it so the trace shows every
+	// asynchronous hop. Backfill snapshots carry no trace.
+	Trace *trace.Trace
 }
 
 // SnapshotSource provides deduplicated backfill state: every document

@@ -8,6 +8,7 @@
 package executor
 
 import (
+	"context"
 	"errors"
 
 	"couchgo/internal/n1ql"
@@ -39,18 +40,19 @@ type IndexScanOpts struct {
 // (§4.5.1: "the query service issues all key-value access requests ...
 // an index simply returns the document ID for each attribute match").
 type Datastore interface {
-	// Fetch retrieves one document and its metadata by ID.
-	Fetch(keyspace, id string) (doc any, meta n1ql.Meta, err error)
+	// Fetch retrieves one document and its metadata by ID. ctx carries
+	// the query's trace so KV fetches chain into the query trace.
+	Fetch(ctx context.Context, keyspace, id string) (doc any, meta n1ql.Meta, err error)
 	// ScanIndex runs an index scan (GSI or view-backed, §3.3).
-	ScanIndex(keyspace, index string, using n1ql.IndexUsing, opts IndexScanOpts) ([]IndexEntry, error)
+	ScanIndex(ctx context.Context, keyspace, index string, using n1ql.IndexUsing, opts IndexScanOpts) ([]IndexEntry, error)
 	// ConsistencyVector reports the data service's current per-vBucket
 	// high seqnos, captured at query start for request_plus.
 	ConsistencyVector(keyspace string) map[int]uint64
 
 	// DML surface.
-	InsertDoc(keyspace, id string, doc any, upsert bool) error
-	UpdateDoc(keyspace, id string, doc any) error
-	DeleteDoc(keyspace, id string) error
+	InsertDoc(ctx context.Context, keyspace, id string, doc any, upsert bool) error
+	UpdateDoc(ctx context.Context, keyspace, id string, doc any) error
+	DeleteDoc(ctx context.Context, keyspace, id string) error
 }
 
 // Consistency selects the §3.2.3 scan_consistency level.
@@ -74,4 +76,15 @@ type Options struct {
 	// Prof, when non-nil, collects per-operator timings for the
 	// response's `profile: timings` section.
 	Prof *Profile
+	// Ctx carries the request trace (and future cancellation) through
+	// execution. A zero Options executes with context.Background().
+	Ctx context.Context
+}
+
+// Context returns opts.Ctx, or context.Background() when unset.
+func (o Options) Context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }

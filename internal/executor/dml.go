@@ -34,7 +34,7 @@ func ExecuteInsert(ins *n1ql.Insert, ds Datastore, cat planner.Catalog, opts Opt
 		if err != nil {
 			return nil, err
 		}
-		if err := ds.InsertDoc(ins.Keyspace, key, doc, ins.Upsert); err != nil {
+		if err := ds.InsertDoc(opts.Context(), ins.Keyspace, key, doc, ins.Upsert); err != nil {
 			return nil, err
 		}
 		res.MutationCount++
@@ -95,7 +95,7 @@ func ExecuteDelete(del *n1ql.Delete, ds Datastore, cat planner.Catalog, opts Opt
 	res := &MutationResult{}
 	for _, r := range rows {
 		id := r.ctx.Metas[del.Alias].ID
-		if err := ds.DeleteDoc(del.Keyspace, id); err != nil {
+		if err := ds.DeleteDoc(opts.Context(), del.Keyspace, id); err != nil {
 			continue // concurrently deleted
 		}
 		res.MutationCount++
@@ -136,7 +136,7 @@ func ExecuteUpdate(upd *n1ql.Update, ds Datastore, cat planner.Catalog, opts Opt
 				return nil, err
 			}
 		}
-		if err := ds.UpdateDoc(upd.Keyspace, id, doc); err != nil {
+		if err := ds.UpdateDoc(opts.Context(), upd.Keyspace, id, doc); err != nil {
 			continue
 		}
 		res.MutationCount++

@@ -1,6 +1,7 @@
 package executor
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -25,7 +26,7 @@ func newStubDS() *stubDS { return &stubDS{docs: map[string]any{}} }
 
 func (s *stubDS) put(id, doc string) { s.docs[id] = value.MustParse(doc) }
 
-func (s *stubDS) Fetch(_ string, id string) (any, n1ql.Meta, error) {
+func (s *stubDS) Fetch(_ context.Context, _ string, id string) (any, n1ql.Meta, error) {
 	cur := s.inFlight.Add(1)
 	for {
 		max := s.maxInFlight.Load()
@@ -46,7 +47,7 @@ func (s *stubDS) Fetch(_ string, id string) (any, n1ql.Meta, error) {
 	return doc, n1ql.Meta{ID: id}, nil
 }
 
-func (s *stubDS) ScanIndex(_, _ string, _ n1ql.IndexUsing, opts IndexScanOpts) ([]IndexEntry, error) {
+func (s *stubDS) ScanIndex(_ context.Context, _, _ string, _ n1ql.IndexUsing, opts IndexScanOpts) ([]IndexEntry, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []IndexEntry
@@ -69,7 +70,7 @@ func (s *stubDS) ScanIndex(_, _ string, _ n1ql.IndexUsing, opts IndexScanOpts) (
 
 func (s *stubDS) ConsistencyVector(string) map[int]uint64 { return nil }
 
-func (s *stubDS) InsertDoc(_, id string, doc any, upsert bool) error {
+func (s *stubDS) InsertDoc(_ context.Context, _, id string, doc any, upsert bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.docs[id]; ok && !upsert {
@@ -79,7 +80,7 @@ func (s *stubDS) InsertDoc(_, id string, doc any, upsert bool) error {
 	return nil
 }
 
-func (s *stubDS) UpdateDoc(_, id string, doc any) error {
+func (s *stubDS) UpdateDoc(_ context.Context, _, id string, doc any) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.docs[id]; !ok {
@@ -89,7 +90,7 @@ func (s *stubDS) UpdateDoc(_, id string, doc any) error {
 	return nil
 }
 
-func (s *stubDS) DeleteDoc(_, id string) error {
+func (s *stubDS) DeleteDoc(_ context.Context, _, id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.docs[id]; !ok {

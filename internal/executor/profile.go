@@ -1,9 +1,11 @@
 package executor
 
 import (
+	"strconv"
 	"time"
 
 	"couchgo/internal/metrics"
+	"couchgo/internal/trace"
 )
 
 // PhaseTiming is one operator's contribution to a statement, the unit
@@ -54,6 +56,18 @@ func (p *Profile) Record(op string, t0 time.Time, items int) {
 	p.phases = append(p.phases, PhaseTiming{
 		Operator: op, Elapsed: d, ExecTime: d.String(), Items: items,
 	})
+}
+
+// Record logs one operator phase through every observability surface
+// at once: the per-query profile (`profile: timings`), the process-wide
+// phase histograms, and — when the request is traced — a completed
+// "query:<op>" span on the request trace. Operators call this instead
+// of Prof.Record directly so profiling and tracing can never drift.
+func (o Options) Record(op string, t0 time.Time, items int) {
+	o.Prof.Record(op, t0, items)
+	if sp := trace.FromContext(o.Context()); sp != nil {
+		sp.Completed("query:"+op, t0, "items", strconv.Itoa(items))
+	}
 }
 
 // Timings returns the recorded phases in execution order (nil for a

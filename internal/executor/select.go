@@ -56,7 +56,7 @@ func (ex *selectExec) run() ([]any, error) {
 		if err != nil {
 			return nil, err
 		}
-		ex.opts.Prof.Record("join", t0, len(rows))
+		ex.opts.Record("join", t0, len(rows))
 	}
 	for _, u := range p.Unnests {
 		t0 := time.Now()
@@ -64,7 +64,7 @@ func (ex *selectExec) run() ([]any, error) {
 		if err != nil {
 			return nil, err
 		}
-		ex.opts.Prof.Record("unnest", t0, len(rows))
+		ex.opts.Record("unnest", t0, len(rows))
 	}
 
 	// Filter.
@@ -74,7 +74,7 @@ func (ex *selectExec) run() ([]any, error) {
 		if err != nil {
 			return nil, err
 		}
-		ex.opts.Prof.Record("filter", t0, len(rows))
+		ex.opts.Record("filter", t0, len(rows))
 	}
 
 	// Group / aggregate.
@@ -91,7 +91,7 @@ func (ex *selectExec) run() ([]any, error) {
 				return nil, err
 			}
 		}
-		ex.opts.Prof.Record("group", t0, len(rows))
+		ex.opts.Record("group", t0, len(rows))
 	}
 
 	// Project (and compute sort keys while contexts are still around).
@@ -104,7 +104,7 @@ func (ex *selectExec) run() ([]any, error) {
 	if p.Distinct {
 		rows = distinctRows(rows)
 	}
-	ex.opts.Prof.Record("project", tProject, len(rows))
+	ex.opts.Record("project", tProject, len(rows))
 
 	// Sort.
 	if len(p.OrderBy) > 0 && !p.OrderFromIndex {
@@ -122,7 +122,7 @@ func (ex *selectExec) run() ([]any, error) {
 			}
 			return false
 		})
-		ex.opts.Prof.Record("sort", tSort, len(rows))
+		ex.opts.Record("sort", tSort, len(rows))
 	}
 
 	// Offset / Limit.
@@ -190,14 +190,14 @@ func (ex *selectExec) scanAndAssemble(limit, offset int) ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
-		ex.opts.Prof.Record("scan", tScan, len(ids))
+		ex.opts.Record("scan", tScan, len(ids))
 		return ex.fetchRows(ids)
 	case *planner.IndexScan:
 		entries, err := ex.indexScan(scan.Index, scan.Using, scan.Span, scan.Reverse, limit, offset)
 		if err != nil {
 			return nil, err
 		}
-		ex.opts.Prof.Record("scan", tScan, len(entries))
+		ex.opts.Record("scan", tScan, len(entries))
 		if scan.Covering {
 			return ex.coverRows(entries), nil
 		}
@@ -211,7 +211,7 @@ func (ex *selectExec) scanAndAssemble(limit, offset int) ([]row, error) {
 		if err != nil {
 			return nil, err
 		}
-		ex.opts.Prof.Record("scan", tScan, len(entries))
+		ex.opts.Record("scan", tScan, len(entries))
 		if !ex.p.Fetch {
 			return ex.coverRows(entries), nil
 		}
@@ -285,7 +285,7 @@ func (ex *selectExec) indexScan(index string, using n1ql.IndexUsing, span planne
 	if ex.opts.Consistency == RequestPlus {
 		opts.Wait = ex.ds.ConsistencyVector(ex.p.Keyspace)
 	}
-	return ex.ds.ScanIndex(ex.p.Keyspace, index, using, opts)
+	return ex.ds.ScanIndex(ex.opts.Context(), ex.p.Keyspace, index, using, opts)
 }
 
 // limitPushable: no residual operator may drop rows before the limit.
@@ -342,7 +342,7 @@ func (ex *selectExec) fetchRows(ids []string) ([]row, error) {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			doc, meta, err := ex.ds.Fetch(ex.p.Keyspace, ids[i])
+			doc, meta, err := ex.ds.Fetch(ex.opts.Context(), ex.p.Keyspace, ids[i])
 			if err == nil {
 				slots[i] = slot{doc: doc, meta: meta, ok: true}
 			}
@@ -362,7 +362,7 @@ func (ex *selectExec) fetchRows(ids []string) ([]row, error) {
 		}
 		rows = append(rows, row{ctx: ctx})
 	}
-	ex.opts.Prof.Record("fetch", tFetch, len(rows))
+	ex.opts.Record("fetch", tFetch, len(rows))
 	return rows, nil
 }
 
@@ -394,7 +394,7 @@ func (ex *selectExec) join(rows []row, j n1ql.JoinTerm) ([]row, error) {
 		var docs []any
 		var metas []n1ql.Meta
 		for _, id := range ids {
-			doc, meta, err := ex.ds.Fetch(j.Keyspace, id)
+			doc, meta, err := ex.ds.Fetch(ex.opts.Context(), j.Keyspace, id)
 			if err != nil {
 				continue
 			}

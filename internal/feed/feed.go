@@ -16,17 +16,27 @@
 //   - a bounded-buffer drain loop with backpressure accounting.
 //
 // Feed metrics are exported through metrics.Default per service:
-// couchgo_feed_mutations_total, couchgo_feed_rollbacks_total, and
-// couchgo_feed_backpressure_stalls_total.
+// couchgo_feed_mutations_total, couchgo_feed_rollbacks_total,
+// couchgo_feed_stalls_total (alias couchgo_feed_backpressure_stalls_total),
+// and the couchgo_feed_buffer_high_watermark gauge (the deepest the
+// drain buffer has been per service — how far behind the consumer got).
+//
+// Mutations carrying a sampled trace gain a per-hop apply span, and a
+// rollback attaches its span to the trace of the last mutation the
+// consumer applied — so a KV write's trace shows both its index-apply
+// hop and, after a failover onto divergent history, the rollback that
+// un-applied it.
 package feed
 
 import (
 	"errors"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"couchgo/internal/dcp"
 	"couchgo/internal/metrics"
+	"couchgo/internal/trace"
 )
 
 // ErrClosed is returned when attaching to a closed feed or hub.
@@ -68,12 +78,17 @@ type Config struct {
 // and the DCP failover log.
 type Feed struct {
 	name     string
+	service  string
 	consumer Consumer
 	buffer   int
 
 	mMutations *metrics.Counter
 	mRollbacks *metrics.Counter
 	mStalls    *metrics.Counter
+	// mStallsAlias keeps the original backpressure-stalls name live for
+	// existing dashboards; both count the same events.
+	mStallsAlias *metrics.Counter
+	mHighWater   *metrics.Gauge
 
 	// opMu serializes Attach/Detach/Close so stream replacement and
 	// drain shutdown never interleave.
@@ -96,6 +111,11 @@ type vbFeed struct {
 	// done closes when the drain goroutine has exited (no more Apply
 	// calls for this vBucket).
 	done chan struct{}
+	// lastTrace is the trace of the last mutation handed to the
+	// consumer. Written only by the drain goroutine; read after its
+	// exit (close(done) orders the accesses) to attach rollback spans
+	// to the originating mutation's trace.
+	lastTrace *trace.Trace
 }
 
 // New creates a feed delivering to c. The name becomes the DCP stream
@@ -108,12 +128,15 @@ func New(name string, c Consumer, cfg Config) *Feed {
 		cfg.Buffer = 64
 	}
 	return &Feed{
-		name:       name,
-		consumer:   c,
-		buffer:     cfg.Buffer,
-		mMutations: metrics.Default.Counter("couchgo_feed_mutations_total", "service", cfg.Service),
-		mRollbacks: metrics.Default.Counter("couchgo_feed_rollbacks_total", "service", cfg.Service),
-		mStalls:    metrics.Default.Counter("couchgo_feed_backpressure_stalls_total", "service", cfg.Service),
+		name:         name,
+		service:      cfg.Service,
+		consumer:     c,
+		buffer:       cfg.Buffer,
+		mMutations:   metrics.Default.Counter("couchgo_feed_mutations_total", "service", cfg.Service),
+		mRollbacks:   metrics.Default.Counter("couchgo_feed_rollbacks_total", "service", cfg.Service),
+		mStalls:      metrics.Default.Counter("couchgo_feed_stalls_total", "service", cfg.Service),
+		mStallsAlias: metrics.Default.Counter("couchgo_feed_backpressure_stalls_total", "service", cfg.Service),
+		mHighWater:   metrics.Default.Gauge("couchgo_feed_buffer_high_watermark", "service", cfg.Service),
 	}
 }
 
@@ -159,6 +182,16 @@ func (f *Feed) Attach(vb int, p *dcp.Producer) error {
 	var rb *dcp.RollbackError
 	if errors.As(err, &rb) {
 		f.mRollbacks.Inc()
+		// The rollback belongs to the trace of the last mutation this
+		// consumer applied — that write (or one before it) is being
+		// un-applied as a stale branch of history.
+		var rsp *trace.Span
+		if cur != nil && cur.lastTrace != nil {
+			rsp = cur.lastTrace.StartSpan("feed:rollback")             //couchvet:ignore lockblock -- trace ops take only the trace's own mutex, never block
+			rsp.Annotate("service", f.service)                         //couchvet:ignore lockblock -- trace ops take only the trace's own mutex, never block
+			rsp.Annotate("vb", strconv.Itoa(vb))                       //couchvet:ignore lockblock -- trace ops take only the trace's own mutex, never block
+			rsp.Annotate("to_seqno", strconv.FormatUint(rb.Seqno, 10)) //couchvet:ignore lockblock -- trace ops take only the trace's own mutex, never block
+		}
 		to := rb.Seqno
 		if r, ok := f.consumer.(Rollbacker); ok {
 			if got := r.Rollback(vb, rb.Seqno); got < to {
@@ -166,6 +199,10 @@ func (f *Feed) Attach(vb int, p *dcp.Producer) error {
 			}
 		} else {
 			to = 0
+		}
+		if rsp != nil {
+			rsp.Annotate("rewound_to", strconv.FormatUint(to, 10)) //couchvet:ignore lockblock -- trace ops take only the trace's own mutex, never block
+			rsp.End()                                              //couchvet:ignore lockblock -- trace ops take only the trace's own mutex, never block
 		}
 		s, err = p.ResumeStream(f.name, 0, to) //couchvet:ignore lockblock -- opMu lifecycle serializer; dcp never re-enters feed
 		seqno = to
@@ -218,13 +255,31 @@ func (f *Feed) drain(vb int, vf *vbFeed) {
 			case buf <- m:
 			default:
 				f.mStalls.Inc()
+				f.mStallsAlias.Inc()
 				buf <- m
 			}
 		}
 	}()
 	defer close(vf.done)
+	highWater := 0
 	for m := range buf {
-		f.consumer.Apply(vb, m)
+		// Track the deepest backlog this drain has seen; the gauge is
+		// monotone per service so operators see worst-case lag depth.
+		if d := len(buf) + 1; d > highWater {
+			highWater = d
+			f.mHighWater.SetMax(int64(d))
+		}
+		if m.Trace != nil {
+			sp := m.Trace.StartSpan("feed:apply")
+			sp.Annotate("service", f.service)
+			sp.Annotate("vb", strconv.Itoa(vb))
+			sp.Annotate("seqno", strconv.FormatUint(m.Seqno, 10))
+			f.consumer.Apply(vb, m)
+			sp.End()
+		} else {
+			f.consumer.Apply(vb, m)
+		}
+		vf.lastTrace = m.Trace
 		vf.seqno.Store(m.Seqno)
 		f.mMutations.Inc()
 	}

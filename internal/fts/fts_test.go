@@ -1,6 +1,7 @@
 package fts
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"testing"
@@ -36,7 +37,7 @@ func newHarness(t *testing.T, nvb int) *harness {
 
 func (h *harness) put(t *testing.T, vb int, key, doc string) {
 	t.Helper()
-	if _, err := h.vbs[vb].Set(key, []byte(doc), 0, 0, 0, 0); err != nil {
+	if _, err := h.vbs[vb].Set(context.Background(), key, []byte(doc), 0, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -175,7 +176,7 @@ func TestUpdateAndDeleteMaintenance(t *testing.T) {
 	if len(hits) != 1 {
 		t.Fatal("updated term missing")
 	}
-	h.vbs[0].Delete("d1", 0, 0)
+	h.vbs[0].Delete(context.Background(), "d1", 0, 0)
 	hits, _ = h.engine.SearchTerm("docs", "beta", SearchOptions{WaitSeqnos: h.fresh()})
 	if len(hits) != 0 {
 		t.Fatalf("deleted doc still indexed: %+v", hits)

@@ -2,6 +2,7 @@ package gsi
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"path/filepath"
 	"testing"
@@ -40,7 +41,7 @@ func newHarness(t *testing.T, nvb int) *harness {
 
 func (h *harness) put(t *testing.T, vb int, key, doc string) {
 	t.Helper()
-	if _, err := h.vbs[vb].Set(key, []byte(doc), 0, 0, 0, 0); err != nil {
+	if _, err := h.vbs[vb].Set(context.Background(), key, []byte(doc), 0, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -102,7 +103,7 @@ func TestIndexMaintenanceOnUpdateDelete(t *testing.T) {
 	if len(items) != 1 || items[0].SecKey[0] != "new@x.com" {
 		t.Fatalf("after update: %+v", items)
 	}
-	h.vbs[0].Delete("u1", 0, 0)
+	h.vbs[0].Delete(context.Background(), "u1", 0, 0)
 	items = h.scanFresh(t, "email", ScanOptions{})
 	if len(items) != 0 {
 		t.Fatalf("after delete: %+v", items)
@@ -418,7 +419,7 @@ func TestDetachVBStopsProjection(t *testing.T) {
 	h.scanFresh(t, "age", ScanOptions{})
 	h.proj.DetachVB(1)
 	// Further writes to vb1 are not projected.
-	h.vbs[1].Set("c", []byte(`{"age": 3}`), 0, 0, 0, 0)
+	h.vbs[1].Set(context.Background(), "c", []byte(`{"age": 3}`), 0, 0, 0, 0)
 	items, _ := h.svc.Scan("Profile", "age", ScanOptions{})
 	for _, it := range items {
 		if it.DocID == "c" {

@@ -44,6 +44,17 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// SetMax raises the gauge to v if v is greater — a monotone
+// high-watermark update safe under concurrent writers.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // numBuckets covers raw values up to 2^39-1; in nanoseconds that is
 // ~9.2 minutes, far beyond any latency this system produces. Larger
 // values clamp into the last bucket.
@@ -132,18 +143,23 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
-// Quantile returns the q-th quantile (0 < q <= 1) in raw units,
-// linearly interpolated within the log₂ bucket holding the rank.
-// Returns 0 for an empty histogram.
+// Quantile returns the q-th quantile (clamped to [0, 1]) in raw
+// units, linearly interpolated within the log₂ bucket holding the
+// rank. Edge cases are exact rather than interpolated: an empty
+// histogram returns 0, q >= 1 (or a single observation) returns the
+// tracked maximum, and q <= 0 returns the lower bound of the first
+// populated bucket.
 func (s *HistSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 {
 		return 0
 	}
+	if q >= 1 || s.Count == 1 {
+		// The true maximum is tracked exactly; interpolating within
+		// the top bucket would only blur it.
+		return float64(s.Max)
+	}
 	if q < 0 {
 		q = 0
-	}
-	if q > 1 {
-		q = 1
 	}
 	rank := q * float64(s.Count)
 	var cum float64
@@ -155,9 +171,10 @@ func (s *HistSnapshot) Quantile(q float64) float64 {
 		if rank <= next {
 			lo, hi := bucketBounds(i)
 			est := lo + (hi-lo)*(rank-cum)/float64(n)
-			// The true maximum tightens the tail estimate: no
-			// observation exceeds it.
-			if m := float64(s.Max); m > 0 && est > m {
+			// The true maximum tightens the estimate: no observation
+			// exceeds it (Max is 0 when every observation was 0, so
+			// the clamp must apply at zero too).
+			if m := float64(s.Max); est > m {
 				est = m
 			}
 			return est

@@ -337,3 +337,120 @@ func TestSample(t *testing.T) {
 		t.Fatalf("sample rate off: %d/%d", hits, n)
 	}
 }
+
+// TestQuantileEdgeCases pins the exact (non-interpolated) answers at
+// the boundaries of the quantile function's domain.
+func TestQuantileEdgeCases(t *testing.T) {
+	single := NewHistogram()
+	single.ObserveValue(300)
+
+	zeros := NewHistogram()
+	for i := 0; i < 10; i++ {
+		zeros.ObserveValue(0)
+	}
+
+	spread := NewHistogram()
+	for _, v := range []uint64{2, 3, 5, 700} {
+		spread.ObserveValue(v)
+	}
+
+	cases := []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want float64
+	}{
+		{"empty/q0", NewHistogram(), 0, 0},
+		{"empty/q0.5", NewHistogram(), 0.5, 0},
+		{"empty/q1", NewHistogram(), 1, 0},
+		{"single/q0.5 is the one value", single, 0.5, 300},
+		{"single/q1 is the one value", single, 1, 300},
+		{"single/negative q clamps", single, -3, 300},
+		{"all-zero/q1 must not interpolate above max", zeros, 1, 0},
+		{"all-zero/q0.5 must not interpolate above max", zeros, 0.5, 0},
+		{"spread/q1 is exact max not bucket bound", spread, 1, 700},
+		{"spread/q above 1 clamps to max", spread, 1.5, 700},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			snap := c.h.Snapshot()
+			if got := snap.Quantile(c.q); got != c.want {
+				t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+			}
+		})
+	}
+
+	// q <= 0 with multiple observations: lower bound of the first
+	// populated bucket (2 and 3 share bucket [2,4)).
+	snap := spread.Snapshot()
+	if got := snap.Quantile(0); got != 2 {
+		t.Fatalf("Quantile(0) = %v, want 2", got)
+	}
+}
+
+// TestSlowQueryLogConcurrent hammers Observe from many goroutines
+// while Entries/Total snapshot concurrently — the ring must stay
+// internally consistent under -race.
+func TestSlowQueryLogConcurrent(t *testing.T) {
+	l := NewSlowQueryLog(time.Millisecond, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Observe(fmt.Sprintf("w%d-%d", g, i), 2*time.Millisecond)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if got := l.Entries(); len(got) > 8 {
+					t.Errorf("ring overflow: %d entries", len(got))
+					return
+				}
+				l.Total()
+			}
+		}()
+	}
+	wg.Wait()
+	if total := l.Total(); total != 8*200 {
+		t.Fatalf("total = %d, want %d", total, 8*200)
+	}
+	got := l.Entries()
+	if len(got) != 8 {
+		t.Fatalf("retained %d, want 8", len(got))
+	}
+	for _, e := range got {
+		if e.Statement == "" || e.Elapsed != 2*time.Millisecond {
+			t.Fatalf("corrupt entry: %+v", e)
+		}
+	}
+}
+
+// TestGaugeSetMax exercises the CAS high-watermark under contention:
+// the final value must be the global max ever offered.
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.SetMax(int64(w*1000 + i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 7999 {
+		t.Fatalf("SetMax converged to %d, want 7999", got)
+	}
+	g.SetMax(5) // lower value must not regress the watermark
+	if got := g.Value(); got != 7999 {
+		t.Fatalf("SetMax regressed to %d", got)
+	}
+}

@@ -144,6 +144,27 @@ func (s *PrimaryScan) Describe() map[string]any {
 	}
 }
 
+// ScanSummary names a plan's access path in one token — e.g.
+// "IndexScan(idx_age)" or "PrimaryScan" — compact enough for a trace
+// annotation or log line where Describe() would be too much.
+func ScanSummary(s Scan) string {
+	switch t := s.(type) {
+	case *KeyScan:
+		return "KeyScan"
+	case *IndexScan:
+		if t.Covering {
+			return "IndexScan(" + t.Index + ",covering)"
+		}
+		return "IndexScan(" + t.Index + ")"
+	case *PrimaryScan:
+		return "PrimaryScan(" + t.Index + ")"
+	case nil:
+		return "ExpressionScan"
+	default:
+		return fmt.Sprintf("%T", s)
+	}
+}
+
 // SelectPlan is the full plan for a SELECT: the scan followed by the
 // Figure-11 operator pipeline (Fetch → Join/Nest/Unnest → Filter →
 // Group → Project → Distinct → Sort → Offset → Limit).

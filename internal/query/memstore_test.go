@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -137,7 +138,7 @@ func (s *memStore) BuildIndex(keyspace, name string) error {
 
 // --- executor.Datastore ---
 
-func (s *memStore) Fetch(keyspace, id string) (any, n1ql.Meta, error) {
+func (s *memStore) Fetch(_ context.Context, keyspace, id string) (any, n1ql.Meta, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	doc, ok := s.docs[keyspace][id]
@@ -149,7 +150,7 @@ func (s *memStore) Fetch(keyspace, id string) (any, n1ql.Meta, error) {
 
 func (s *memStore) ConsistencyVector(string) map[int]uint64 { return nil }
 
-func (s *memStore) ScanIndex(keyspace, index string, _ n1ql.IndexUsing, opts executor.IndexScanOpts) ([]executor.IndexEntry, error) {
+func (s *memStore) ScanIndex(_ context.Context, keyspace, index string, _ n1ql.IndexUsing, opts executor.IndexScanOpts) ([]executor.IndexEntry, error) {
 	s.mu.Lock()
 	var mi *memIndex
 	for i := range s.indexes[keyspace] {
@@ -276,7 +277,7 @@ func (s *memStore) ScanIndex(keyspace, index string, _ n1ql.IndexUsing, opts exe
 
 // --- DML ---
 
-func (s *memStore) InsertDoc(keyspace, id string, doc any, upsert bool) error {
+func (s *memStore) InsertDoc(_ context.Context, keyspace, id string, doc any, upsert bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.docs[keyspace][id]; exists && !upsert {
@@ -286,7 +287,7 @@ func (s *memStore) InsertDoc(keyspace, id string, doc any, upsert bool) error {
 	return nil
 }
 
-func (s *memStore) UpdateDoc(keyspace, id string, doc any) error {
+func (s *memStore) UpdateDoc(_ context.Context, keyspace, id string, doc any) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.docs[keyspace][id]; !exists {
@@ -296,7 +297,7 @@ func (s *memStore) UpdateDoc(keyspace, id string, doc any) error {
 	return nil
 }
 
-func (s *memStore) DeleteDoc(keyspace, id string) error {
+func (s *memStore) DeleteDoc(_ context.Context, keyspace, id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.docs[keyspace][id]; !exists {

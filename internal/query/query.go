@@ -13,6 +13,7 @@ import (
 	"couchgo/internal/executor"
 	"couchgo/internal/n1ql"
 	"couchgo/internal/planner"
+	"couchgo/internal/trace"
 )
 
 // Store is everything the query service needs from the rest of the
@@ -63,7 +64,7 @@ func (e *Engine) Execute(statement string, opts executor.Options) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	opts.Prof.Record("parse", t0, 0)
+	opts.Record("parse", t0, 0)
 	return e.ExecuteStmt(stmt, opts)
 }
 
@@ -95,7 +96,10 @@ func (e *Engine) executeStmt(stmt n1ql.Statement, opts executor.Options) (*Resul
 		if err != nil {
 			return nil, err
 		}
-		opts.Prof.Record("plan", tPlan, 0)
+		opts.Record("plan", tPlan, 0)
+		if sp := trace.FromContext(opts.Context()); sp != nil {
+			sp.Annotate("scan", planner.ScanSummary(p.Scan))
+		}
 		rows, err := executor.ExecuteSelect(p, e.store, opts)
 		if err != nil {
 			return nil, err

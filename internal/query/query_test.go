@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -237,7 +238,7 @@ func TestInsertUpsertDelete(t *testing.T) {
 		t.Error("duplicate insert should fail")
 	}
 	mustExec(t, e, `UPSERT INTO Profile (KEY, VALUE) VALUES ("new1", {"name": "New2"})`)
-	doc, _, _ := s.Fetch("Profile", "new1")
+	doc, _, _ := s.Fetch(context.Background(), "Profile", "new1")
 	if field(doc, "name") != "New2" {
 		t.Errorf("after upsert: %+v", doc)
 	}
@@ -262,7 +263,7 @@ func TestUpdateSetUnset(t *testing.T) {
 	if res.MutationCount != 1 || field(res.Rows[0], "age") != 61.0 {
 		t.Fatalf("update: %+v", res)
 	}
-	doc, _, _ := s.Fetch("Profile", "carey000")
+	doc, _, _ := s.Fetch(context.Background(), "Profile", "carey000")
 	if field(doc, "age") != 61.0 {
 		t.Errorf("age: %v", field(doc, "age"))
 	}

@@ -22,6 +22,7 @@ import (
 	"couchgo/internal/executor"
 	"couchgo/internal/feed"
 	"couchgo/internal/fts"
+	"couchgo/internal/trace"
 	"couchgo/internal/views"
 )
 
@@ -53,6 +54,9 @@ func NewServer(c *core.Cluster) *Server {
 	s.mux.HandleFunc("POST /buckets/{bucket}/analytics/query", s.handleAnalyticsQuery)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /stats/detail", s.handleStatsDetail)
+	s.mux.HandleFunc("GET /traces", s.handleTraces)
+	s.mux.HandleFunc("GET /traces/{id}", s.handleTrace)
+	s.mux.HandleFunc("POST /traces/config", s.handleTraceConfig)
 	return s
 }
 
@@ -185,7 +189,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	it, err := cl.Get(r.PathValue("key"))
+	it, err := cl.Get(r.Context(), r.PathValue("key"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -226,7 +230,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	if e := r.URL.Query().Get("expiry"); e != "" {
 		expiry, _ = strconv.ParseInt(e, 10, 64)
 	}
-	it, err := cl.SetWithOptions(r.PathValue("key"), body, 0, expiry, casCheck, dur)
+	it, err := cl.SetWithOptions(r.Context(), r.PathValue("key"), body, 0, expiry, casCheck, dur)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -244,7 +248,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if h := r.Header.Get("X-CAS"); h != "" {
 		casCheck, _ = strconv.ParseUint(h, 10, 64)
 	}
-	if err := cl.Delete(r.PathValue("key"), casCheck); err != nil {
+	if err := cl.Delete(r.Context(), r.PathValue("key"), casCheck); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -371,7 +375,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
 		return
 	}
-	opts := executor.Options{Params: req.Args}
+	opts := executor.Options{Params: req.Args, Ctx: r.Context()}
 	if strings.EqualFold(req.ScanConsistency, "request_plus") {
 		opts.Consistency = executor.RequestPlus
 	}
@@ -402,6 +406,89 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// --- tracing ---
+
+// handleTraces lists retained traces, newest first. Filter with
+// ?op=kv:set (exact root-op match) or ?slow=true.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	sums := trace.Default.Traces()
+	op := r.URL.Query().Get("op")
+	slowOnly := r.URL.Query().Get("slow") == "true"
+	out := make([]trace.Summary, 0, len(sums))
+	for _, t := range sums {
+		if op != "" && t.Op != op {
+			continue
+		}
+		if slowOnly && !t.Slow {
+			continue
+		}
+		out = append(out, t)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rate":   trace.Default.Rate(),
+		"traces": out,
+	})
+}
+
+// handleTrace returns one trace's full span tree.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad trace id"})
+		return
+	}
+	t := trace.Default.Get(id)
+	if t == nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "no such trace (evicted or never sampled)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":          id,
+		"op":          t.Op,
+		"start":       t.Start,
+		"duration_us": t.Duration().Microseconds(),
+		"spans":       t.Tree(),
+	})
+}
+
+// handleTraceConfig adjusts tracing at runtime: {"rate": 100} samples
+// one op in 100 (0 disables), {"thresholds": {"kv:set": "5ms"}} sets
+// per-op always-keep latency thresholds, {"clear": true} drops retained
+// traces.
+func (s *Server) handleTraceConfig(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Rate       *int              `json:"rate"`
+		Thresholds map[string]string `json:"thresholds"`
+		Clear      bool              `json:"clear"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	for op, ds := range req.Thresholds {
+		d, err := time.ParseDuration(ds)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("threshold %q: %v", op, err)})
+			return
+		}
+		trace.Default.SetThreshold(op, d)
+	}
+	if req.Rate != nil {
+		trace.Default.SetRate(*req.Rate)
+	}
+	if req.Clear {
+		trace.Default.Clear()
+	}
+	thresholds := map[string]string{}
+	for op, d := range trace.Default.Thresholds() {
+		thresholds[op] = d.String()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rate":       trace.Default.Rate(),
+		"thresholds": thresholds,
+	})
 }
 
 // --- analytics (§6.2) ---

@@ -18,9 +18,11 @@
 package vbucket
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -28,6 +30,7 @@ import (
 	"couchgo/internal/dcp"
 	"couchgo/internal/metrics"
 	"couchgo/internal/storage"
+	"couchgo/internal/trace"
 )
 
 // KV-path metrics, shared across every vBucket in the process. Gets
@@ -125,8 +128,10 @@ type VBucket struct {
 	cfg Config
 
 	// Disk-write queue (Figure 6). The flusher drains it in order.
+	// Entries keep the originating mutation's trace so the commit hop
+	// shows up in sampled traces.
 	queueMu   sync.Mutex
-	queue     []storage.Record
+	queue     []flushEntry
 	queueCond *sync.Cond
 	closed    bool
 	flushDone chan struct{}
@@ -215,10 +220,20 @@ func (vb *VBucket) ensureResident(key string) {
 	}
 }
 
+// flushEntry is one disk-write queue element: the record plus the
+// originating mutation's sampled trace (nil almost always).
+type flushEntry struct {
+	rec storage.Record
+	tr  *trace.Trace
+}
+
 // onMutate runs under the hash-table lock for every applied mutation,
 // in seqno order: enqueue for disk and publish to DCP atomically with
-// the cache write.
-func (vb *VBucket) onMutate(it cache.Item) {
+// the cache write. The context is the mutating caller's; its sampled
+// trace (if any) rides both the disk-write queue entry and the DCP
+// mutation so the asynchronous hops land in the same trace.
+func (vb *VBucket) onMutate(ctx context.Context, it cache.Item) {
+	tr := trace.TraceFromContext(ctx)
 	rec := storage.Record{
 		Meta: storage.Meta{
 			Key: it.Key, Seqno: it.Seqno, CAS: it.CAS, RevSeqno: it.RevSeqno,
@@ -227,13 +242,14 @@ func (vb *VBucket) onMutate(it cache.Item) {
 		Value: it.Value,
 	}
 	vb.queueMu.Lock()
-	vb.queue = append(vb.queue, rec)
+	vb.queue = append(vb.queue, flushEntry{rec: rec, tr: tr})
 	vb.queueMu.Unlock()
 	vb.queueCond.Signal()
 
 	vb.producer.Publish(dcp.Mutation{
 		Key: it.Key, Value: it.Value, Seqno: it.Seqno, CAS: it.CAS,
 		RevSeqno: it.RevSeqno, Flags: it.Flags, Expiry: it.Expiry, Deleted: it.Deleted,
+		Trace: tr,
 	})
 }
 
@@ -257,26 +273,53 @@ func (vb *VBucket) flusher() {
 			n = vb.cfg.MaxBatch
 		}
 		batch := vb.queue[:n]
-		vb.queue = append([]storage.Record(nil), vb.queue[n:]...)
+		vb.queue = append([]flushEntry(nil), vb.queue[n:]...)
 		vb.queueMu.Unlock()
 
 		batch = dedupBatch(batch)
 		mFlushBatchItems.ObserveValue(uint64(len(batch)))
+		recs := make([]storage.Record, len(batch))
+		var commitSpans []*trace.Span
+		var seenTr map[*trace.Trace]bool
+		for i := range batch {
+			recs[i] = batch[i].rec
+			// One commit span per distinct trace in the batch, parented
+			// at the trace root (the client span ended long ago).
+			if tr := batch[i].tr; tr != nil {
+				if seenTr == nil {
+					seenTr = make(map[*trace.Trace]bool)
+				}
+				if !seenTr[tr] {
+					seenTr[tr] = true
+					sp := tr.StartSpan("storage:commit")
+					sp.Annotate("vb", strconv.Itoa(vb.ID))
+					sp.Annotate("batch_items", strconv.Itoa(len(batch)))
+					commitSpans = append(commitSpans, sp)
+				}
+			}
+		}
 		t0 := time.Now()
 		if vb.cfg.DiskDelay > 0 {
 			time.Sleep(vb.cfg.DiskDelay)
 		}
-		if err := vb.file.Append(batch); err != nil {
+		if err := vb.file.Append(recs); err != nil {
 			// The file is closed (shutdown) or the disk failed; either
 			// way the flusher stops. Unpersisted mutations remain in
 			// memory and in replicas — the paper's durability model.
+			for _, sp := range commitSpans {
+				sp.Error(err)
+				sp.End()
+			}
 			return
 		}
 		mFlushDuration.ObserveSince(t0)
+		for _, sp := range commitSpans {
+			sp.End()
+		}
 		var high uint64
-		for i := range batch {
-			if batch[i].Seqno > high {
-				high = batch[i].Seqno
+		for i := range recs {
+			if recs[i].Seqno > high {
+				high = recs[i].Seqno
 			}
 		}
 		vb.durMu.Lock()
@@ -290,19 +333,19 @@ func (vb *VBucket) flusher() {
 
 // dedupBatch keeps only the newest record per key, preserving seqno
 // order of the survivors.
-func dedupBatch(batch []storage.Record) []storage.Record {
+func dedupBatch(batch []flushEntry) []flushEntry {
 	if len(batch) <= 1 {
 		return batch
 	}
 	newest := make(map[string]uint64, len(batch))
 	for i := range batch {
-		if batch[i].Seqno > newest[batch[i].Key] {
-			newest[batch[i].Key] = batch[i].Seqno
+		if batch[i].rec.Seqno > newest[batch[i].rec.Key] {
+			newest[batch[i].rec.Key] = batch[i].rec.Seqno
 		}
 	}
 	out := batch[:0]
 	for i := range batch {
-		if batch[i].Seqno == newest[batch[i].Key] {
+		if batch[i].rec.Seqno == newest[batch[i].rec.Key] {
 			out = append(out, batch[i])
 		}
 	}
@@ -356,12 +399,22 @@ func (vb *VBucket) QueueDepth() int {
 
 // --- KV operations (active copies only) ---
 
+// cacheSpan opens a child span under the caller's trace (never a new
+// root — sampling decisions belong to the client/query entry points).
+// With no sampled parent it returns ctx unchanged and a nil span.
+func cacheSpan(ctx context.Context, name string) (context.Context, *trace.Span) {
+	sp := trace.FromContext(ctx).Child(name)
+	return trace.ContextWith(ctx, sp), sp
+}
+
 // Get returns the document, transparently restoring evicted values from
 // the storage engine (a "background fetch" in the real server).
-func (vb *VBucket) Get(key string, now int64) (cache.Item, error) {
+func (vb *VBucket) Get(ctx context.Context, key string, now int64) (cache.Item, error) {
 	if err := vb.requireActive(); err != nil {
 		return cache.Item{}, err
 	}
+	sp := trace.FromContext(ctx).Child("cache:get")
+	defer sp.End()
 	if t0, ok := metrics.Sample(); ok {
 		defer mGetLatency.ObserveSince(t0)
 	}
@@ -369,6 +422,7 @@ func (vb *VBucket) Get(key string, now int64) (cache.Item, error) {
 	it, err := vb.Table.Get(key, now)
 	if err == cache.ErrValueEvicted {
 		mBgFetches.Inc()
+		sp.Annotate("bgfetch", "true")
 		rec, rerr := vb.file.Get(key)
 		if rerr != nil {
 			return cache.Item{}, fmt.Errorf("vbucket: bgfetch %s: %w", key, rerr)
@@ -381,6 +435,7 @@ func (vb *VBucket) Get(key string, now int64) (cache.Item, error) {
 	} else {
 		mCacheMisses.Inc()
 	}
+	sp.Error(err)
 	return it, err
 }
 
@@ -391,7 +446,7 @@ func (vb *VBucket) GetMeta(key string) (cache.Item, error) {
 }
 
 // Set writes a document (CAS semantics per cache.HashTable.Set).
-func (vb *VBucket) Set(key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64) (cache.Item, error) {
+func (vb *VBucket) Set(ctx context.Context, key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64) (cache.Item, error) {
 	if err := vb.requireActive(); err != nil {
 		return cache.Item{}, err
 	}
@@ -403,30 +458,41 @@ func (vb *VBucket) Set(key string, value []byte, flags uint32, expiry int64, cas
 	if t0, ok := metrics.Sample(); ok {
 		defer lat.ObserveSince(t0)
 	}
+	ctx, sp := cacheSpan(ctx, "cache:set")
+	defer sp.End()
 	vb.ensureResident(key)
-	return vb.Table.Set(key, value, flags, expiry, casCheck, now)
+	it, err := vb.Table.Set(ctx, key, value, flags, expiry, casCheck, now)
+	sp.Error(err)
+	if sp != nil && err == nil {
+		sp.Annotate("seqno", strconv.FormatUint(it.Seqno, 10))
+	}
+	return it, err
 }
 
 // Add inserts a document that must not already exist.
-func (vb *VBucket) Add(key string, value []byte, flags uint32, expiry int64, now int64) (cache.Item, error) {
+func (vb *VBucket) Add(ctx context.Context, key string, value []byte, flags uint32, expiry int64, now int64) (cache.Item, error) {
 	if err := vb.requireActive(); err != nil {
 		return cache.Item{}, err
 	}
+	ctx, sp := cacheSpan(ctx, "cache:add")
+	defer sp.End()
 	vb.ensureResident(key)
-	return vb.Table.Add(key, value, flags, expiry, now)
+	return vb.Table.Add(ctx, key, value, flags, expiry, now)
 }
 
 // Replace updates a document that must already exist.
-func (vb *VBucket) Replace(key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64) (cache.Item, error) {
+func (vb *VBucket) Replace(ctx context.Context, key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64) (cache.Item, error) {
 	if err := vb.requireActive(); err != nil {
 		return cache.Item{}, err
 	}
+	ctx, sp := cacheSpan(ctx, "cache:replace")
+	defer sp.End()
 	vb.ensureResident(key)
-	return vb.Table.Replace(key, value, flags, expiry, casCheck, now)
+	return vb.Table.Replace(ctx, key, value, flags, expiry, casCheck, now)
 }
 
 // Delete tombstones a document.
-func (vb *VBucket) Delete(key string, casCheck uint64, now int64) (cache.Item, error) {
+func (vb *VBucket) Delete(ctx context.Context, key string, casCheck uint64, now int64) (cache.Item, error) {
 	if err := vb.requireActive(); err != nil {
 		return cache.Item{}, err
 	}
@@ -434,57 +500,73 @@ func (vb *VBucket) Delete(key string, casCheck uint64, now int64) (cache.Item, e
 	if t0, ok := metrics.Sample(); ok {
 		defer mDeleteLatency.ObserveSince(t0)
 	}
+	ctx, sp := cacheSpan(ctx, "cache:delete")
+	defer sp.End()
 	vb.ensureResident(key)
-	return vb.Table.Delete(key, casCheck, now)
+	it, err := vb.Table.Delete(ctx, key, casCheck, now)
+	sp.Error(err)
+	return it, err
 }
 
 // Touch updates a document's expiry.
-func (vb *VBucket) Touch(key string, expiry int64, now int64) (cache.Item, error) {
+func (vb *VBucket) Touch(ctx context.Context, key string, expiry int64, now int64) (cache.Item, error) {
 	if err := vb.requireActive(); err != nil {
 		return cache.Item{}, err
 	}
+	_, sp := cacheSpan(ctx, "cache:touch")
+	defer sp.End()
 	vb.ensureResident(key)
 	return vb.Table.Touch(key, expiry, now)
 }
 
 // GetAndLock takes the document-level hard lock.
-func (vb *VBucket) GetAndLock(key string, lockSeconds int64, now int64) (cache.Item, error) {
+func (vb *VBucket) GetAndLock(ctx context.Context, key string, lockSeconds int64, now int64) (cache.Item, error) {
 	if err := vb.requireActive(); err != nil {
 		return cache.Item{}, err
 	}
+	_, sp := cacheSpan(ctx, "cache:getandlock")
+	defer sp.End()
 	vb.ensureResident(key)
 	return vb.Table.GetAndLock(key, lockSeconds, now)
 }
 
 // Unlock releases the hard lock.
-func (vb *VBucket) Unlock(key string, casToken uint64, now int64) error {
+func (vb *VBucket) Unlock(ctx context.Context, key string, casToken uint64, now int64) error {
 	if err := vb.requireActive(); err != nil {
 		return err
 	}
+	_, sp := cacheSpan(ctx, "cache:unlock")
+	defer sp.End()
 	return vb.Table.Unlock(key, casToken, now)
 }
 
 // Append concatenates raw bytes after the document's value.
-func (vb *VBucket) Append(key string, data []byte, casCheck uint64, now int64) (cache.Item, error) {
+func (vb *VBucket) Append(ctx context.Context, key string, data []byte, casCheck uint64, now int64) (cache.Item, error) {
 	if err := vb.requireActive(); err != nil {
 		return cache.Item{}, err
 	}
-	return vb.Table.Append(key, data, casCheck, now)
+	ctx, sp := cacheSpan(ctx, "cache:append")
+	defer sp.End()
+	return vb.Table.Append(ctx, key, data, casCheck, now)
 }
 
 // Prepend concatenates raw bytes before the document's value.
-func (vb *VBucket) Prepend(key string, data []byte, casCheck uint64, now int64) (cache.Item, error) {
+func (vb *VBucket) Prepend(ctx context.Context, key string, data []byte, casCheck uint64, now int64) (cache.Item, error) {
 	if err := vb.requireActive(); err != nil {
 		return cache.Item{}, err
 	}
-	return vb.Table.Prepend(key, data, casCheck, now)
+	ctx, sp := cacheSpan(ctx, "cache:prepend")
+	defer sp.End()
+	return vb.Table.Prepend(ctx, key, data, casCheck, now)
 }
 
 // SubdocGet reads one path inside a document (sub-document lookup).
-func (vb *VBucket) SubdocGet(key, path string, now int64) (any, error) {
+func (vb *VBucket) SubdocGet(ctx context.Context, key, path string, now int64) (any, error) {
 	if err := vb.requireActive(); err != nil {
 		return nil, err
 	}
+	_, sp := cacheSpan(ctx, "cache:subdoc:get")
+	defer sp.End()
 	v, err := vb.Table.SubdocGet(key, path, now)
 	if err == cache.ErrValueEvicted {
 		if rec, rerr := vb.file.Get(key); rerr == nil {
@@ -497,41 +579,56 @@ func (vb *VBucket) SubdocGet(key, path string, now int64) (any, error) {
 }
 
 // SubdocSet writes one path inside a document atomically.
-func (vb *VBucket) SubdocSet(key, path string, v any, casCheck uint64, now int64) (cache.Item, error) {
+func (vb *VBucket) SubdocSet(ctx context.Context, key, path string, v any, casCheck uint64, now int64) (cache.Item, error) {
 	if err := vb.requireActive(); err != nil {
 		return cache.Item{}, err
 	}
-	return vb.Table.SubdocSet(key, path, v, casCheck, now)
+	ctx, sp := cacheSpan(ctx, "cache:subdoc:set")
+	defer sp.End()
+	return vb.Table.SubdocSet(ctx, key, path, v, casCheck, now)
 }
 
 // SubdocRemove deletes one path inside a document atomically.
-func (vb *VBucket) SubdocRemove(key, path string, casCheck uint64, now int64) (cache.Item, error) {
+func (vb *VBucket) SubdocRemove(ctx context.Context, key, path string, casCheck uint64, now int64) (cache.Item, error) {
 	if err := vb.requireActive(); err != nil {
 		return cache.Item{}, err
 	}
-	return vb.Table.SubdocRemove(key, path, casCheck, now)
+	ctx, sp := cacheSpan(ctx, "cache:subdoc:remove")
+	defer sp.End()
+	return vb.Table.SubdocRemove(ctx, key, path, casCheck, now)
 }
 
 // SubdocArrayAppend appends to an array inside a document atomically.
-func (vb *VBucket) SubdocArrayAppend(key, path string, v any, casCheck uint64, now int64) (cache.Item, error) {
+func (vb *VBucket) SubdocArrayAppend(ctx context.Context, key, path string, v any, casCheck uint64, now int64) (cache.Item, error) {
 	if err := vb.requireActive(); err != nil {
 		return cache.Item{}, err
 	}
-	return vb.Table.SubdocArrayAppend(key, path, v, casCheck, now)
+	ctx, sp := cacheSpan(ctx, "cache:subdoc:arrayappend")
+	defer sp.End()
+	return vb.Table.SubdocArrayAppend(ctx, key, path, v, casCheck, now)
 }
 
 // SubdocCounter adds delta to a numeric field atomically.
-func (vb *VBucket) SubdocCounter(key, path string, delta float64, casCheck uint64, now int64) (float64, cache.Item, error) {
+func (vb *VBucket) SubdocCounter(ctx context.Context, key, path string, delta float64, casCheck uint64, now int64) (float64, cache.Item, error) {
 	if err := vb.requireActive(); err != nil {
 		return 0, cache.Item{}, err
 	}
-	return vb.Table.SubdocCounter(key, path, delta, casCheck, now)
+	ctx, sp := cacheSpan(ctx, "cache:subdoc:counter")
+	defer sp.End()
+	return vb.Table.SubdocCounter(ctx, key, path, delta, casCheck, now)
 }
 
 // ApplyReplica installs a mutation received over a DCP replication
 // stream, preserving origin metadata. Valid in Replica/Pending states.
 func (vb *VBucket) ApplyReplica(m dcp.Mutation) {
-	vb.Table.ApplyMeta(cache.Item{
+	ctx := context.Background()
+	if m.Trace != nil {
+		sp := m.Trace.StartSpan("replica:apply")
+		sp.Annotate("vb", strconv.Itoa(vb.ID))
+		defer sp.End()
+		ctx = trace.ContextWith(ctx, sp)
+	}
+	vb.Table.ApplyMeta(ctx, cache.Item{
 		Key: m.Key, Value: m.Value, CAS: m.CAS, RevSeqno: m.RevSeqno,
 		Seqno: m.Seqno, Flags: m.Flags, Expiry: m.Expiry, Deleted: m.Deleted,
 	})
@@ -539,11 +636,13 @@ func (vb *VBucket) ApplyReplica(m dcp.Mutation) {
 
 // ApplyRemote applies an XDCR mutation with conflict resolution on the
 // active copy, reporting whether the incoming revision won.
-func (vb *VBucket) ApplyRemote(key string, value []byte, deleted bool, cas, revSeqno uint64, flags uint32, expiry int64) (bool, error) {
+func (vb *VBucket) ApplyRemote(ctx context.Context, key string, value []byte, deleted bool, cas, revSeqno uint64, flags uint32, expiry int64) (bool, error) {
 	if err := vb.requireActive(); err != nil {
 		return false, err
 	}
-	return vb.Table.ApplyRemote(key, value, deleted, cas, revSeqno, flags, expiry), nil
+	ctx, sp := cacheSpan(ctx, "cache:xdcr")
+	defer sp.End()
+	return vb.Table.ApplyRemote(ctx, key, value, deleted, cas, revSeqno, flags, expiry), nil
 }
 
 // --- Durability (per-mutation options, §2.3.2) ---

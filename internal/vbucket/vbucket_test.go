@@ -1,6 +1,7 @@
 package vbucket
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"testing"
@@ -10,6 +11,8 @@ import (
 	"couchgo/internal/dcp"
 	"couchgo/internal/storage"
 )
+
+var bg = context.Background()
 
 func newVB(t *testing.T, state State, cfg Config) (*VBucket, *storage.VBFile) {
 	t.Helper()
@@ -24,12 +27,12 @@ func newVB(t *testing.T, state State, cfg Config) (*VBucket, *storage.VBFile) {
 
 func TestMemoryFirstWritePath(t *testing.T) {
 	vb, f := newVB(t, Active, Config{})
-	it, err := vb.Set("k", []byte(`{"v":1}`), 0, 0, 0, 0)
+	it, err := vb.Set(bg, "k", []byte(`{"v":1}`), 0, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The write is acknowledged from memory; it reaches disk async.
-	got, err := vb.Get("k", 0)
+	got, err := vb.Get(bg, "k", 0)
 	if err != nil || string(got.Value) != `{"v":1}` {
 		t.Fatalf("read-your-write from cache: %+v %v", got, err)
 	}
@@ -48,14 +51,14 @@ func TestMemoryFirstWritePath(t *testing.T) {
 func TestNonActiveRejectsKVOps(t *testing.T) {
 	vb, _ := newVB(t, Replica, Config{})
 	ops := []func() error{
-		func() error { _, err := vb.Get("k", 0); return err },
-		func() error { _, err := vb.Set("k", nil, 0, 0, 0, 0); return err },
-		func() error { _, err := vb.Add("k", nil, 0, 0, 0); return err },
-		func() error { _, err := vb.Replace("k", nil, 0, 0, 0, 0); return err },
-		func() error { _, err := vb.Delete("k", 0, 0); return err },
-		func() error { _, err := vb.Touch("k", 0, 0); return err },
-		func() error { _, err := vb.GetAndLock("k", 1, 0); return err },
-		func() error { return vb.Unlock("k", 1, 0) },
+		func() error { _, err := vb.Get(bg, "k", 0); return err },
+		func() error { _, err := vb.Set(bg, "k", nil, 0, 0, 0, 0); return err },
+		func() error { _, err := vb.Add(bg, "k", nil, 0, 0, 0); return err },
+		func() error { _, err := vb.Replace(bg, "k", nil, 0, 0, 0, 0); return err },
+		func() error { _, err := vb.Delete(bg, "k", 0, 0); return err },
+		func() error { _, err := vb.Touch(bg, "k", 0, 0); return err },
+		func() error { _, err := vb.GetAndLock(bg, "k", 1, 0); return err },
+		func() error { return vb.Unlock(bg, "k", 1, 0) },
 	}
 	for i, op := range ops {
 		if err := op(); err == nil || !isNotMyVBucket(err) {
@@ -64,7 +67,7 @@ func TestNonActiveRejectsKVOps(t *testing.T) {
 	}
 	// Promotion makes them work.
 	vb.SetState(Active)
-	if _, err := vb.Set("k", []byte("v"), 0, 0, 0, 0); err != nil {
+	if _, err := vb.Set(bg, "k", []byte("v"), 0, 0, 0, 0); err != nil {
 		t.Errorf("after promotion: %v", err)
 	}
 }
@@ -90,9 +93,9 @@ func TestDCPStreamSeesWrites(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	vb.Set("a", []byte("1"), 0, 0, 0, 0)
-	vb.Set("b", []byte("2"), 0, 0, 0, 0)
-	vb.Delete("a", 0, 0)
+	vb.Set(bg, "a", []byte("1"), 0, 0, 0, 0)
+	vb.Set(bg, "b", []byte("2"), 0, 0, 0, 0)
+	vb.Delete(bg, "a", 0, 0)
 	var muts []dcp.Mutation
 	timeout := time.After(5 * time.Second)
 	for len(muts) < 3 {
@@ -110,7 +113,7 @@ func TestDCPStreamSeesWrites(t *testing.T) {
 
 func TestDCPBackfillRestoresEvictedValues(t *testing.T) {
 	vb, _ := newVB(t, Active, Config{})
-	it, _ := vb.Set("cold", []byte("payload"), 0, 0, 0, 0)
+	it, _ := vb.Set(bg, "cold", []byte("payload"), 0, 0, 0, 0)
 	vb.WaitPersist(it.Seqno, 5*time.Second)
 	vb.Table.EvictValue("cold")
 	s, err := vb.Producer().OpenStream("late", 0)
@@ -130,12 +133,12 @@ func TestDCPBackfillRestoresEvictedValues(t *testing.T) {
 
 func TestGetBGFetchesEvictedValue(t *testing.T) {
 	vb, _ := newVB(t, Active, Config{})
-	it, _ := vb.Set("k", []byte("big-value"), 0, 0, 0, 0)
+	it, _ := vb.Set(bg, "k", []byte("big-value"), 0, 0, 0, 0)
 	vb.WaitPersist(it.Seqno, 5*time.Second)
 	if freed := vb.Table.EvictValue("k"); freed <= 0 {
 		t.Fatal("evict failed")
 	}
-	got, err := vb.Get("k", 0)
+	got, err := vb.Get(bg, "k", 0)
 	if err != nil || string(got.Value) != "big-value" {
 		t.Fatalf("bgfetch: %+v %v", got, err)
 	}
@@ -147,7 +150,7 @@ func TestGetBGFetchesEvictedValue(t *testing.T) {
 
 func TestDurabilityReplicateTo(t *testing.T) {
 	vb, _ := newVB(t, Active, Config{})
-	it, _ := vb.Set("k", []byte("v"), 0, 0, 0, 0)
+	it, _ := vb.Set(bg, "k", []byte("v"), 0, 0, 0, 0)
 	// No replicas acked: wait times out.
 	if err := vb.WaitReplicas(it.Seqno, 1, 50*time.Millisecond); err != ErrTimeout {
 		t.Fatalf("expected timeout, got %v", err)
@@ -177,7 +180,7 @@ func TestFlusherDedupsBatch(t *testing.T) {
 	defer vb.Close()
 	var last cache.Item
 	for i := 0; i < 200; i++ {
-		last, _ = vb.Set("hot", []byte(fmt.Sprintf("v%d", i)), 0, 0, 0, 0)
+		last, _ = vb.Set(bg, "hot", []byte(fmt.Sprintf("v%d", i)), 0, 0, 0, 0)
 	}
 	if err := vb.WaitPersist(last.Seqno, 10*time.Second); err != nil {
 		t.Fatal(err)
@@ -203,9 +206,9 @@ func TestWarmUpAfterRestart(t *testing.T) {
 	vb := New(0, f, Active, Config{})
 	var last cache.Item
 	for i := 0; i < 20; i++ {
-		last, _ = vb.Set(fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("v%d", i)), 0, 0, 0, 0)
+		last, _ = vb.Set(bg, fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("v%d", i)), 0, 0, 0, 0)
 	}
-	vb.Delete("k00", 0, 0)
+	vb.Delete(bg, "k00", 0, 0)
 	vb.DrainDisk(5 * time.Second)
 	_ = last
 	vb.Close()
@@ -220,15 +223,15 @@ func TestWarmUpAfterRestart(t *testing.T) {
 	if err := vb2.WarmUp(); err != nil {
 		t.Fatal(err)
 	}
-	got, err := vb2.Get("k07", 0)
+	got, err := vb2.Get(bg, "k07", 0)
 	if err != nil || string(got.Value) != "v7" {
 		t.Fatalf("warmed doc: %v %v", got, err)
 	}
-	if _, err := vb2.Get("k00", 0); err != cache.ErrKeyNotFound {
+	if _, err := vb2.Get(bg, "k00", 0); err != cache.ErrKeyNotFound {
 		t.Errorf("deleted doc after warmup: %v", err)
 	}
 	// Seqno clock continues past the recovered history.
-	it, _ := vb2.Set("new", []byte("nv"), 0, 0, 0, 0)
+	it, _ := vb2.Set(bg, "new", []byte("nv"), 0, 0, 0, 0)
 	if it.Seqno <= vb2.PersistedSeqno() && it.Seqno <= 21 {
 		t.Errorf("seqno did not continue: %d", it.Seqno)
 	}
@@ -247,7 +250,7 @@ func TestApplyReplicaPreservesMetadata(t *testing.T) {
 	}
 	// Promote and continue the seqno lineage.
 	vb.SetState(Active)
-	it, _ := vb.Set("k2", []byte("v2"), 0, 0, 0, 0)
+	it, _ := vb.Set(bg, "k2", []byte("v2"), 0, 0, 0, 0)
 	if it.Seqno != 43 {
 		t.Errorf("promoted seqno = %d, want 43", it.Seqno)
 	}
@@ -256,7 +259,7 @@ func TestApplyReplicaPreservesMetadata(t *testing.T) {
 func TestDrainDiskAndClose(t *testing.T) {
 	vb, f := newVB(t, Active, Config{})
 	for i := 0; i < 50; i++ {
-		vb.Set(fmt.Sprintf("k%d", i), []byte("v"), 0, 0, 0, 0)
+		vb.Set(bg, fmt.Sprintf("k%d", i), []byte("v"), 0, 0, 0, 0)
 	}
 	if err := vb.DrainDisk(5 * time.Second); err != nil {
 		t.Fatal(err)
@@ -285,7 +288,7 @@ func TestFullEvictionRoundTrip(t *testing.T) {
 	vb := New(0, f, Active, Config{FullEviction: true})
 	defer vb.Close()
 
-	it, _ := vb.Set("k", []byte(`{"v": 1}`), 7, 0, 0, 0)
+	it, _ := vb.Set(bg, "k", []byte(`{"v": 1}`), 7, 0, 0, 0)
 	vb.WaitPersist(it.Seqno, 5*time.Second)
 	// Fully evict: key + metadata gone from memory.
 	if !vb.Table.EvictItem("k", vb.PersistedSeqno(), 0) {
@@ -295,7 +298,7 @@ func TestFullEvictionRoundTrip(t *testing.T) {
 		t.Fatal("item should be gone from cache")
 	}
 	// Read restores from disk with the original metadata.
-	got, err := vb.Get("k", 0)
+	got, err := vb.Get(bg, "k", 0)
 	if err != nil || string(got.Value) != `{"v": 1}` {
 		t.Fatalf("get after full eviction: %+v %v", got, err)
 	}
@@ -309,13 +312,13 @@ func TestFullEvictionRevLineageContinues(t *testing.T) {
 	defer f.Close()
 	vb := New(0, f, Active, Config{FullEviction: true})
 	defer vb.Close()
-	it, _ := vb.Set("k", []byte("v1"), 0, 0, 0, 0)
-	it2, _ := vb.Set("k", []byte("v2"), 0, 0, 0, 0)
+	it, _ := vb.Set(bg, "k", []byte("v1"), 0, 0, 0, 0)
+	it2, _ := vb.Set(bg, "k", []byte("v2"), 0, 0, 0, 0)
 	vb.WaitPersist(it2.Seqno, 5*time.Second)
 	vb.Table.EvictItem("k", vb.PersistedSeqno(), 0)
 	// A write to the evicted key must continue the rev lineage (3),
 	// not restart it — XDCR conflict resolution depends on this.
-	it3, err := vb.Set("k", []byte("v3"), 0, 0, 0, 0)
+	it3, err := vb.Set(bg, "k", []byte("v3"), 0, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,16 +328,16 @@ func TestFullEvictionRevLineageContinues(t *testing.T) {
 	// CAS against the pre-eviction CAS still works.
 	vb.WaitPersist(it3.Seqno, 5*time.Second)
 	vb.Table.EvictItem("k", vb.PersistedSeqno(), 0)
-	if _, err := vb.Set("k", []byte("v4"), 0, 0, it2.CAS, 0); err != cache.ErrCASMismatch {
+	if _, err := vb.Set(bg, "k", []byte("v4"), 0, 0, it2.CAS, 0); err != cache.ErrCASMismatch {
 		t.Fatalf("stale CAS on evicted key: %v", err)
 	}
-	if _, err := vb.Set("k", []byte("v4"), 0, 0, it3.CAS, 0); err != nil {
+	if _, err := vb.Set(bg, "k", []byte("v4"), 0, 0, it3.CAS, 0); err != nil {
 		t.Fatalf("fresh CAS on evicted key: %v", err)
 	}
 	// Add on an evicted key conflicts (the key exists on disk).
 	vb.DrainDisk(5 * time.Second)
 	vb.Table.EvictItem("k", vb.PersistedSeqno(), 0)
-	if _, err := vb.Add("k", []byte("x"), 0, 0, 0); err != cache.ErrKeyExists {
+	if _, err := vb.Add(bg, "k", []byte("x"), 0, 0, 0); err != cache.ErrKeyExists {
 		t.Fatalf("Add on evicted key: %v", err)
 	}
 	_ = it
@@ -346,7 +349,7 @@ func TestFullEvictionDCPSnapshotMergesDisk(t *testing.T) {
 	vb := New(0, f, Active, Config{FullEviction: true})
 	defer vb.Close()
 	for i := 0; i < 20; i++ {
-		vb.Set(fmt.Sprintf("k%02d", i), []byte("v"), 0, 0, 0, 0)
+		vb.Set(bg, fmt.Sprintf("k%02d", i), []byte("v"), 0, 0, 0, 0)
 	}
 	vb.DrainDisk(5 * time.Second)
 	// Evict half the items entirely.

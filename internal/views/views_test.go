@@ -1,6 +1,7 @@
 package views
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"testing"
@@ -40,7 +41,7 @@ func newHarness(t *testing.T, nvb int) *harness {
 // put writes doc JSON to the vbucket chosen by simple round robin.
 func (h *harness) put(t *testing.T, vb int, key, doc string) {
 	t.Helper()
-	if _, err := h.vbs[vb].Set(key, []byte(doc), 0, 0, 0, 0); err != nil {
+	if _, err := h.vbs[vb].Set(context.Background(), key, []byte(doc), 0, 0, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -128,7 +129,7 @@ func TestViewUpdatesAndDeletes(t *testing.T) {
 	}
 	// Re-add then delete the doc.
 	h.put(t, 0, "u1", `{"name": "Alice", "email": "a@x.com"}`)
-	if _, err := h.vbs[0].Delete("u1", 0, 0); err != nil {
+	if _, err := h.vbs[0].Delete(context.Background(), "u1", 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	rows = h.queryFresh(t, "profile", QueryOptions{})

@@ -26,6 +26,7 @@
 package xdcr
 
 import (
+	"context"
 	"regexp"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,7 @@ import (
 	"couchgo/internal/core"
 	"couchgo/internal/dcp"
 	"couchgo/internal/feed"
+	"couchgo/internal/trace"
 )
 
 // Options configure one replication.
@@ -137,7 +139,17 @@ func (r *Replicator) Apply(_ int, m dcp.Mutation) {
 		return
 	}
 	r.sent.Add(1)
-	applied, err := r.dest.XDCRApply(m.Key, m.Value, m.Deleted, m.CAS, m.RevSeqno, m.Flags, m.Expiry)
+	// When the mutation carries its originating trace, the cross-cluster
+	// hop rides along: the destination's kv:xdcr span lands under an
+	// xdcr:send span in the source write's trace.
+	ctx := context.Background()
+	if m.Trace != nil {
+		sp := m.Trace.StartSpan("xdcr:send")
+		sp.Annotate("key", m.Key)
+		defer sp.End()
+		ctx = trace.ContextWith(ctx, sp)
+	}
+	applied, err := r.dest.XDCRApply(ctx, m.Key, m.Value, m.Deleted, m.CAS, m.RevSeqno, m.Flags, m.Expiry)
 	if err != nil {
 		// Destination unavailable for this key right now; rely on the
 		// next topology pass. In a production system this would queue

@@ -1,6 +1,7 @@
 package xdcr
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -53,21 +54,21 @@ func TestBasicReplication(t *testing.T) {
 	scl, _ := src.OpenBucket("default")
 	dcl, _ := dst.OpenBucket("default")
 	for i := 0; i < 40; i++ {
-		if _, err := scl.Set(fmt.Sprintf("doc%02d", i), []byte(fmt.Sprintf(`{"i": %d}`, i)), 0); err != nil {
+		if _, err := scl.Set(context.Background(), fmt.Sprintf("doc%02d", i), []byte(fmt.Sprintf(`{"i": %d}`, i)), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
 	waitFor(t, "replication of 40 docs", func() bool {
 		for i := 0; i < 40; i++ {
-			if _, err := dcl.Get(fmt.Sprintf("doc%02d", i)); err != nil {
+			if _, err := dcl.Get(context.Background(), fmt.Sprintf("doc%02d", i)); err != nil {
 				return false
 			}
 		}
 		return true
 	})
 	// Values and metadata match.
-	sit, _ := scl.Get("doc07")
-	dit, _ := dcl.Get("doc07")
+	sit, _ := scl.Get(context.Background(), "doc07")
+	dit, _ := dcl.Get(context.Background(), "doc07")
 	if string(dit.Value) != string(sit.Value) || dit.CAS != sit.CAS || dit.RevSeqno != sit.RevSeqno {
 		t.Errorf("replica mismatch: %+v vs %+v", dit, sit)
 	}
@@ -83,14 +84,14 @@ func TestDeletesReplicate(t *testing.T) {
 	defer r.Stop()
 	scl, _ := src.OpenBucket("default")
 	dcl, _ := dst.OpenBucket("default")
-	scl.Set("gone", []byte("v"), 0)
+	scl.Set(context.Background(), "gone", []byte("v"), 0)
 	waitFor(t, "initial doc", func() bool {
-		_, err := dcl.Get("gone")
+		_, err := dcl.Get(context.Background(), "gone")
 		return err == nil
 	})
-	scl.Delete("gone", 0)
+	scl.Delete(context.Background(), "gone", 0)
 	waitFor(t, "tombstone", func() bool {
-		_, err := dcl.Get("gone")
+		_, err := dcl.Get(context.Background(), "gone")
 		return err == core.ErrKeyNotFound
 	})
 }
@@ -107,15 +108,15 @@ func TestFilteredReplication(t *testing.T) {
 	defer r.Stop()
 	scl, _ := src.OpenBucket("default")
 	dcl, _ := dst.OpenBucket("default")
-	scl.Set("user::1", []byte("u"), 0)
-	scl.Set("session::1", []byte("s"), 0)
-	scl.Set("user::2", []byte("u"), 0)
+	scl.Set(context.Background(), "user::1", []byte("u"), 0)
+	scl.Set(context.Background(), "session::1", []byte("s"), 0)
+	scl.Set(context.Background(), "user::2", []byte("u"), 0)
 	waitFor(t, "filtered docs", func() bool {
-		_, e1 := dcl.Get("user::1")
-		_, e2 := dcl.Get("user::2")
+		_, e1 := dcl.Get(context.Background(), "user::1")
+		_, e2 := dcl.Get(context.Background(), "user::2")
 		return e1 == nil && e2 == nil
 	})
-	if _, err := dcl.Get("session::1"); err != core.ErrKeyNotFound {
+	if _, err := dcl.Get(context.Background(), "session::1"); err != core.ErrKeyNotFound {
 		t.Fatalf("filtered-out doc replicated: %v", err)
 	}
 	if st := r.Stats(); st.Filtered == 0 {
@@ -137,9 +138,9 @@ func TestConflictResolutionMostUpdatesWins(t *testing.T) {
 	// Both clusters mutate the same key before any replication: west
 	// updates it 3 times, east once.
 	for i := 0; i < 3; i++ {
-		wcl.Set("conflict", []byte(fmt.Sprintf(`{"site": "west", "v": %d}`, i)), 0)
+		wcl.Set(context.Background(), "conflict", []byte(fmt.Sprintf(`{"site": "west", "v": %d}`, i)), 0)
 	}
-	ecl.Set("conflict", []byte(`{"site": "east", "v": 0}`), 0)
+	ecl.Set(context.Background(), "conflict", []byte(`{"site": "east", "v": 0}`), 0)
 
 	// Bidirectional replication.
 	r1, err := Start(west, "default", east, "default", Options{})
@@ -155,13 +156,13 @@ func TestConflictResolutionMostUpdatesWins(t *testing.T) {
 
 	// Both converge on west's copy (rev 3 beats rev 1).
 	waitFor(t, "convergence", func() bool {
-		w, err1 := wcl.Get("conflict")
-		e, err2 := ecl.Get("conflict")
+		w, err1 := wcl.Get(context.Background(), "conflict")
+		e, err2 := ecl.Get(context.Background(), "conflict")
 		return err1 == nil && err2 == nil &&
 			string(w.Value) == string(e.Value) &&
 			w.RevSeqno == e.RevSeqno
 	})
-	w, _ := wcl.Get("conflict")
+	w, _ := wcl.Get(context.Background(), "conflict")
 	if string(w.Value) != `{"site": "west", "v": 2}` {
 		t.Errorf("winner: %s", w.Value)
 	}
@@ -174,8 +175,8 @@ func TestConflictTiebreakIsDeterministic(t *testing.T) {
 	east := newCluster(t, "east", 1)
 	wcl, _ := west.OpenBucket("default")
 	ecl, _ := east.OpenBucket("default")
-	wcl.Set("tie", []byte(`{"site": "west"}`), 0)
-	ecl.Set("tie", []byte(`{"site": "east"}`), 0) // same rev (1), later CAS
+	wcl.Set(context.Background(), "tie", []byte(`{"site": "west"}`), 0)
+	ecl.Set(context.Background(), "tie", []byte(`{"site": "east"}`), 0) // same rev (1), later CAS
 
 	r1, _ := Start(west, "default", east, "default", Options{})
 	defer r1.Stop()
@@ -183,12 +184,12 @@ func TestConflictTiebreakIsDeterministic(t *testing.T) {
 	defer r2.Stop()
 
 	waitFor(t, "tie convergence", func() bool {
-		w, err1 := wcl.Get("tie")
-		e, err2 := ecl.Get("tie")
+		w, err1 := wcl.Get(context.Background(), "tie")
+		e, err2 := ecl.Get(context.Background(), "tie")
 		return err1 == nil && err2 == nil && string(w.Value) == string(e.Value)
 	})
-	w, _ := wcl.Get("tie")
-	e, _ := ecl.Get("tie")
+	w, _ := wcl.Get(context.Background(), "tie")
+	e, _ := ecl.Get(context.Background(), "tie")
 	if w.CAS != e.CAS {
 		t.Errorf("CAS mismatch after convergence: %d vs %d", w.CAS, e.CAS)
 	}
@@ -204,12 +205,12 @@ func TestContinuousWritesEventuallyConsistent(t *testing.T) {
 	// Interleave writes and overwrites.
 	for round := 0; round < 5; round++ {
 		for i := 0; i < 20; i++ {
-			scl.Set(fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf(`{"round": %d}`, round)), 0)
+			scl.Set(context.Background(), fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf(`{"round": %d}`, round)), 0)
 		}
 	}
 	waitFor(t, "all final values", func() bool {
 		for i := 0; i < 20; i++ {
-			it, err := dcl.Get(fmt.Sprintf("k%02d", i))
+			it, err := dcl.Get(context.Background(), fmt.Sprintf("k%02d", i))
 			if err != nil || string(it.Value) != `{"round": 4}` {
 				return false
 			}
@@ -243,14 +244,14 @@ func TestReplicationSurvivesSourceFailover(t *testing.T) {
 	scl, _ := src.OpenBucket("rep")
 	dcl, _ := dst.OpenBucket("rep")
 	for i := 0; i < 30; i++ {
-		if _, err := scl.SetWithOptions(fmt.Sprintf("k%02d", i), []byte("v1"), 0, 0, 0,
+		if _, err := scl.SetWithOptions(context.Background(), fmt.Sprintf("k%02d", i), []byte("v1"), 0, 0, 0,
 			core.DurabilityOptions{ReplicateTo: 1}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	waitFor(t, "pre-failover replication", func() bool {
 		for i := 0; i < 30; i++ {
-			if _, err := dcl.Get(fmt.Sprintf("k%02d", i)); err != nil {
+			if _, err := dcl.Get(context.Background(), fmt.Sprintf("k%02d", i)); err != nil {
 				return false
 			}
 		}
@@ -262,13 +263,13 @@ func TestReplicationSurvivesSourceFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 30; i < 50; i++ {
-		if _, err := scl.Set(fmt.Sprintf("k%02d", i), []byte("v2"), 0); err != nil {
+		if _, err := scl.Set(context.Background(), fmt.Sprintf("k%02d", i), []byte("v2"), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
 	waitFor(t, "post-failover replication", func() bool {
 		for i := 30; i < 50; i++ {
-			if _, err := dcl.Get(fmt.Sprintf("k%02d", i)); err != nil {
+			if _, err := dcl.Get(context.Background(), fmt.Sprintf("k%02d", i)); err != nil {
 				return false
 			}
 		}

@@ -1,6 +1,7 @@
 package ycsb
 
 import (
+	"context"
 	"fmt"
 
 	"couchgo/internal/core"
@@ -32,19 +33,19 @@ func NewCouchDB(c *core.Cluster, bucket string) (*CouchDB, error) {
 
 // Read implements DB.
 func (db *CouchDB) Read(key string) error {
-	_, err := db.Client.Get(key)
+	_, err := db.Client.Get(context.Background(), key)
 	return err
 }
 
 // Update implements DB.
 func (db *CouchDB) Update(key string, value []byte) error {
-	_, err := db.Client.Set(key, value, 0)
+	_, err := db.Client.Set(context.Background(), key, value, 0)
 	return err
 }
 
 // Insert implements DB.
 func (db *CouchDB) Insert(key string, value []byte) error {
-	_, err := db.Client.Set(key, value, 0)
+	_, err := db.Client.Set(context.Background(), key, value, 0)
 	return err
 }
 
