@@ -1,7 +1,7 @@
 # Tier-1 gate plus the repo-specific static analyzer, formatting,
 # full-tree race detection, and fuzz smoke runs.
 
-.PHONY: verify build test race vet fmtcheck couchvet fuzz-smoke trace-demo
+.PHONY: verify build test race vet fmtcheck couchvet fuzz-smoke trace-demo health-demo
 
 verify: fmtcheck vet build test couchvet race
 
@@ -28,6 +28,12 @@ race:
 # printing the slowest cross-layer trace per phase (DESIGN.md §7).
 trace-demo:
 	go run ./cmd/ycsb -workload a -records 2000 -ops 4000 -threads 8 -nodes 2 -vbuckets 32 -trace 8
+
+# Health engine demo: inject a feed stall behind a live REST facade
+# and watch GET /health walk ok -> warn -> critical -> ok with the
+# journal's health events printed at the end (DESIGN.md §8).
+health-demo:
+	go run ./cmd/healthdemo
 
 # Each fuzz target gets a short bounded run; any crasher fails the
 # target. Lengthen with FUZZTIME=1m etc. for local soak runs.

@@ -22,6 +22,15 @@
 //	curl localhost:8091/traces/42
 //	curl -X POST localhost:8091/traces/config -d '{"rate": 1}'
 //
+// Observability (always on; see cmd/cbtop for the live console):
+//
+//	curl localhost:8091/health
+//	curl 'localhost:8091/events?severity=warn'
+//	curl 'localhost:8091/events/stream?since=0&timeout=10s'
+//
+// -auto-failover arms the watchdog: a node held critical (down with
+// mapped partitions) for consecutive health ticks is failed over.
+//
 // Profiling (off unless -debug-addr is set): -debug-addr :6060 serves
 // net/http/pprof and expvar on a separate listener that should stay
 // private to operators.
@@ -40,24 +49,27 @@ import (
 
 	"couchgo/internal/cmap"
 	"couchgo/internal/core"
+	"couchgo/internal/health"
 	"couchgo/internal/rest"
 	"couchgo/internal/trace"
 )
 
 func main() {
 	var (
-		listen    = flag.String("listen", ":8091", "HTTP listen address")
-		nodes     = flag.Int("nodes", 4, "number of cluster nodes")
-		replicas  = flag.Int("replicas", 1, "bucket replica count (0-3)")
-		vbuckets  = flag.Int("vbuckets", cmap.NumVBuckets, "vBucket count")
-		dir       = flag.String("dir", "", "storage directory (default: temp)")
-		bucket    = flag.String("bucket", "default", "bucket to create")
-		syncWrite = flag.Bool("sync", false, "fsync every persisted batch")
-		slowQuery = flag.Duration("slow-query-threshold", 100*time.Millisecond, "N1QL latency before a statement lands in the slow-query log")
-		slowLog   = flag.Int("slow-query-log-size", 64, "slow-query ring buffer capacity")
-		traceRate = flag.Int("trace-rate", 0, "sample 1 in N requests for end-to-end tracing (0 disables)")
-		traceSlow = flag.Duration("trace-threshold", trace.DefaultSlowThreshold, "latency above which a sampled trace is always retained")
-		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty disables)")
+		listen       = flag.String("listen", ":8091", "HTTP listen address")
+		nodes        = flag.Int("nodes", 4, "number of cluster nodes")
+		replicas     = flag.Int("replicas", 1, "bucket replica count (0-3)")
+		vbuckets     = flag.Int("vbuckets", cmap.NumVBuckets, "vBucket count")
+		dir          = flag.String("dir", "", "storage directory (default: temp)")
+		bucket       = flag.String("bucket", "default", "bucket to create")
+		syncWrite    = flag.Bool("sync", false, "fsync every persisted batch")
+		slowQuery    = flag.Duration("slow-query-threshold", 100*time.Millisecond, "N1QL latency before a statement lands in the slow-query log")
+		slowLog      = flag.Int("slow-query-log-size", 64, "slow-query ring buffer capacity")
+		traceRate    = flag.Int("trace-rate", 0, "sample 1 in N requests for end-to-end tracing (0 disables)")
+		traceSlow    = flag.Duration("trace-threshold", trace.DefaultSlowThreshold, "latency above which a sampled trace is always retained")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty disables)")
+		healthEvery  = flag.Duration("health-interval", time.Second, "watchdog evaluation interval for /health")
+		autoFailover = flag.Bool("auto-failover", false, "fail over a node the watchdog holds critical (sustained down with mapped partitions)")
 	)
 	flag.Parse()
 
@@ -96,7 +108,31 @@ func main() {
 		go serveDebug(*debugAddr)
 	}
 
-	srv := &http.Server{Addr: *listen, Handler: rest.NewServer(cluster)}
+	// Health watchdog: the standard rule set over this cluster, served
+	// at /health. With -auto-failover, a node check held critical for
+	// RaiseAfter consecutive ticks triggers the same failover path an
+	// operator would hit — the journal records the whole causal chain.
+	watchdog := health.New(health.Options{Interval: *healthEvery})
+	health.RegisterClusterChecks(watchdog, cluster, health.ClusterCheckConfig{})
+	if *autoFailover {
+		watchdog.OnTransition(func(st health.CheckStatus) {
+			id := health.NodeIDFromCheck(st.Name)
+			if id == "" || st.State != health.Critical {
+				return
+			}
+			log.Printf("auto-failover: %s (%s)", id, st.Detail)
+			if err := cluster.Failover(id); err != nil {
+				log.Printf("auto-failover %s: %v", id, err)
+			}
+		})
+		log.Printf("auto-failover armed (health interval %s)", *healthEvery)
+	}
+	watchdog.Start()
+	defer watchdog.Stop()
+
+	api := rest.NewServer(cluster)
+	api.SetHealth(watchdog)
+	srv := &http.Server{Addr: *listen, Handler: api}
 	go func() {
 		log.Printf("listening on %s", *listen)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

@@ -1,0 +1,82 @@
+// Command cbtop is a live terminal console over a running cbserver —
+// the reproduction's cbstats/"Couchbase console" view. Each frame
+// shows build/uptime, the health watchdog's verdict per check,
+// per-bucket per-node stats (items, memory, flush queue, DCP lag), KV
+// and query latency quantiles, and a tail of the cluster event
+// journal.
+//
+// Usage:
+//
+//	cbtop -addr http://localhost:8091
+//	cbtop -interval 2s -events 15
+//	cbtop -count 1        # one frame, no screen clearing (scripts)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://localhost:8091", "cbserver base URL")
+		interval  = flag.Duration("interval", time.Second, "refresh interval")
+		count     = flag.Int("count", 0, "frames to draw before exiting (0: forever)")
+		maxEvents = flag.Int("events", 10, "event-tail length")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	var tail []map[string]any
+	var sinceSeq uint64
+	clear := *count != 1 // a single scripted frame shouldn't wipe the scrollback
+
+	for frame := 0; *count == 0 || frame < *count; frame++ {
+		if frame > 0 {
+			time.Sleep(*interval)
+		}
+		s := snapshot{Addr: *addr, When: time.Now()}
+		s.Err = poll(client, *addr+"/stats/detail", &s.Detail)
+		if s.Err == nil {
+			s.Err = poll(client, *addr+"/health", &s.Health)
+		}
+		if s.Err == nil {
+			var evResp struct {
+				Events  []map[string]any `json:"events"`
+				LastSeq uint64           `json:"last_seq"`
+			}
+			url := fmt.Sprintf("%s/events?since=%d", *addr, sinceSeq)
+			if err := poll(client, url, &evResp); err == nil {
+				tail = append(tail, evResp.Events...)
+				if len(tail) > *maxEvents {
+					tail = tail[len(tail)-*maxEvents:]
+				}
+				sinceSeq = evResp.LastSeq
+			}
+			s.Events = tail
+		}
+		if clear {
+			fmt.Print("\x1b[H\x1b[2J")
+		}
+		fmt.Print(render(s, *maxEvents))
+	}
+	_ = os.Stdout.Sync()
+}
+
+// poll GETs a JSON endpoint into out. Non-2xx/503 bodies still decode
+// (the /health endpoint speaks JSON at 503 by design).
+func poll(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

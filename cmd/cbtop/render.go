@@ -1,0 +1,209 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// snapshot is one poll of the server's observability surface, already
+// decoded from JSON. render is a pure function over it so the display
+// logic is testable without a server.
+type snapshot struct {
+	Addr   string
+	When   time.Time
+	Err    error            // poll failure; renders as a banner
+	Detail map[string]any   // GET /stats/detail
+	Health map[string]any   // GET /health
+	Events []map[string]any // tail of the event journal, oldest first
+}
+
+// render draws one full frame. maxEvents bounds the event tail.
+func render(s snapshot, maxEvents int) string {
+	var b strings.Builder
+
+	// --- header ---
+	fmt.Fprintf(&b, "cbtop — %s @ %s", s.Addr, s.When.Format("15:04:05"))
+	if srv, ok := s.Detail["server"].(map[string]any); ok {
+		fmt.Fprintf(&b, "   couchgo %v (%v) up %s",
+			srv["version"], srv["go"], fmtUptime(num(srv["uptime_seconds"])))
+	}
+	b.WriteString("\n")
+	if s.Err != nil {
+		fmt.Fprintf(&b, "\n  !! poll failed: %v\n", s.Err)
+		return b.String()
+	}
+
+	// --- health ---
+	status := "unknown"
+	if v, ok := s.Health["status"].(string); ok {
+		status = v
+	}
+	fmt.Fprintf(&b, "\nHEALTH: %s\n", strings.ToUpper(status))
+	if checks, ok := s.Health["checks"].([]any); ok {
+		for _, raw := range checks {
+			chk, ok := raw.(map[string]any)
+			if !ok {
+				continue
+			}
+			marker := "  "
+			switch chk["state"] {
+			case "warn":
+				marker = " !"
+			case "critical":
+				marker = "!!"
+			}
+			fmt.Fprintf(&b, "  %s %-16v %-8v %v\n", marker, chk["name"], chk["state"], chk["detail"])
+		}
+	}
+
+	// --- buckets ---
+	if buckets, ok := s.Detail["buckets"].(map[string]any); ok && len(buckets) > 0 {
+		fmt.Fprintf(&b, "\n%-10s %-8s %-5s %9s %10s %7s %7s %8s\n",
+			"BUCKET", "NODE", "ALIVE", "ITEMS", "MEM", "QUEUE", "TOMB", "DCP-LAG")
+		names := make([]string, 0, len(buckets))
+		for name := range buckets {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			bm, _ := buckets[name].(map[string]any)
+			nodes, _ := bm["nodes"].([]any)
+			for _, raw := range nodes {
+				st, ok := raw.(map[string]any)
+				if !ok {
+					continue
+				}
+				var lag float64
+				if lags, ok := st["DCPLags"].(map[string]any); ok {
+					for _, v := range lags {
+						lag += num(v)
+					}
+				}
+				fmt.Fprintf(&b, "%-10s %-8v %-5v %9.0f %10s %7.0f %7.0f %8.0f\n",
+					name, st["ID"], st["Alive"], num(st["Items"]),
+					fmtBytes(num(st["MemUsed"])), num(st["QueueDepth"]),
+					num(st["Tombstones"]), lag)
+			}
+		}
+	}
+
+	// --- KV / query latencies from the registry snapshot ---
+	if m, ok := s.Detail["metrics"].(map[string]any); ok {
+		b.WriteString(renderLatencies(m))
+	}
+
+	// --- event tail ---
+	b.WriteString("\nEVENTS")
+	if len(s.Events) == 0 {
+		b.WriteString(" (none)\n")
+		return b.String()
+	}
+	b.WriteString("\n")
+	start := 0
+	if len(s.Events) > maxEvents {
+		start = len(s.Events) - maxEvents
+	}
+	for _, e := range s.Events[start:] {
+		ts := ""
+		if raw, ok := e["time"].(string); ok {
+			if t, err := time.Parse(time.RFC3339Nano, raw); err == nil {
+				ts = t.Format("15:04:05")
+			}
+		}
+		sev, _ := e["severity"].(string)
+		fmt.Fprintf(&b, "  %s %-8s %-10v %v", ts, strings.ToUpper(sev), e["type"], e["msg"])
+		if node, ok := e["node"].(string); ok && node != "" {
+			fmt.Fprintf(&b, " [%s]", node)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// renderLatencies picks the operator-facing histogram families out of
+// the registry snapshot: per-op KV latency and overall query latency.
+func renderLatencies(m map[string]any) string {
+	var b strings.Builder
+	writeFam := func(title, fam string) {
+		series, ok := m[fam].(map[string]any)
+		if !ok || len(series) == 0 {
+			return
+		}
+		labels := make([]string, 0, len(series))
+		for ls := range series {
+			labels = append(labels, ls)
+		}
+		sort.Strings(labels)
+		fmt.Fprintf(&b, "\n%s\n", title)
+		fmt.Fprintf(&b, "  %-18s %9s %9s %9s %9s %9s\n", "", "count", "p50", "p95", "p99", "max")
+		for _, ls := range labels {
+			h, ok := series[ls].(map[string]any)
+			if !ok {
+				continue
+			}
+			name := strings.Trim(ls, "{}")
+			if name == "" {
+				name = "(all)"
+			}
+			fmt.Fprintf(&b, "  %-18s %9.0f %9s %9s %9s %9s\n",
+				name, num(h["count"]),
+				fmtLatency(num(h["p50"])), fmtLatency(num(h["p95"])),
+				fmtLatency(num(h["p99"])), fmtLatency(num(h["max"])))
+		}
+	}
+	writeFam("KV LATENCY", "couchgo_kv_op_duration_seconds")
+	writeFam("QUERY LATENCY", "couchgo_query_duration_seconds")
+	return b.String()
+}
+
+// num coerces any JSON number (or Go numeric, in tests) to float64.
+func num(v any) float64 {
+	switch n := v.(type) {
+	case float64:
+		return n
+	case int:
+		return float64(n)
+	case int64:
+		return float64(n)
+	case uint64:
+		return float64(n)
+	}
+	return 0
+}
+
+func fmtUptime(secs float64) string {
+	d := time.Duration(secs) * time.Second
+	switch {
+	case d >= time.Hour:
+		return fmt.Sprintf("%dh%dm", int(d.Hours()), int(d.Minutes())%60)
+	case d >= time.Minute:
+		return fmt.Sprintf("%dm%ds", int(d.Minutes()), int(d.Seconds())%60)
+	}
+	return fmt.Sprintf("%ds", int(d.Seconds()))
+}
+
+func fmtBytes(n float64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", n/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", n/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", n/(1<<10))
+	}
+	return fmt.Sprintf("%.0fB", n)
+}
+
+func fmtLatency(secs float64) string {
+	switch {
+	case secs <= 0:
+		return "-"
+	case secs < time.Millisecond.Seconds():
+		return fmt.Sprintf("%.0fµs", secs*1e6)
+	case secs < time.Second.Seconds():
+		return fmt.Sprintf("%.1fms", secs*1e3)
+	}
+	return fmt.Sprintf("%.2fs", secs)
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fabricatedSnapshot() snapshot {
+	return snapshot{
+		Addr: "http://localhost:8091",
+		When: time.Date(2026, 1, 2, 10, 30, 0, 0, time.UTC),
+		Detail: map[string]any{
+			"server": map[string]any{
+				"version": "0.6.0", "go": "go1.22", "uptime_seconds": 125.0,
+			},
+			"buckets": map[string]any{
+				"default": map[string]any{
+					"nodes": []any{
+						map[string]any{
+							"ID": "node0", "Alive": true, "Items": 1500.0,
+							"MemUsed": 2097152.0, "QueueDepth": 12.0, "Tombstones": 3.0,
+							"DCPLags": map[string]any{"replica:node1": 7.0, "gsi": 2.0},
+						},
+						map[string]any{
+							"ID": "node1", "Alive": false, "Items": 900.0,
+							"MemUsed": 1024.0, "QueueDepth": 0.0, "Tombstones": 0.0,
+						},
+					},
+				},
+			},
+			"metrics": map[string]any{
+				"couchgo_kv_op_duration_seconds": map[string]any{
+					`{op="set"}`: map[string]any{
+						"count": 4000.0, "p50": 0.0002, "p95": 0.0015, "p99": 0.004, "max": 0.12,
+					},
+				},
+				"couchgo_query_duration_seconds": map[string]any{
+					"": map[string]any{
+						"count": 12.0, "p50": 0.03, "p95": 0.2, "p99": 1.5, "max": 2.5,
+					},
+				},
+			},
+		},
+		Health: map[string]any{
+			"status": "warn",
+			"checks": []any{
+				map[string]any{"name": "node:node1", "state": "critical", "detail": "node down with mapped partitions"},
+				map[string]any{"name": "feed:stalls", "state": "warn", "detail": "1 drain(s) stalled for 2s"},
+				map[string]any{"name": "cache:memory", "state": "ok", "detail": "bucket default at 40% of quota"},
+			},
+		},
+		Events: []map[string]any{
+			{"time": "2026-01-02T10:29:58Z", "severity": "warn", "type": "feed", "msg": "feed stall: consumer backpressure", "node": ""},
+			{"time": "2026-01-02T10:29:59Z", "severity": "critical", "type": "health", "msg": "health check node:node1 -> critical", "node": "node0"},
+		},
+	}
+}
+
+func TestRenderFullFrame(t *testing.T) {
+	out := render(fabricatedSnapshot(), 10)
+	for _, want := range []string{
+		"couchgo 0.6.0 (go1.22) up 2m5s",
+		"HEALTH: WARN",
+		"!! node:node1",
+		" ! feed:stalls",
+		"DCP-LAG",
+		"node0",
+		"2.0MiB", // MemUsed 2 MiB
+		"9",      // summed lag 7+2
+		"KV LATENCY",
+		`op="set"`,
+		"200µs", // p50 0.0002s
+		"QUERY LATENCY",
+		"EVENTS",
+		"CRITICAL",
+		"health check node:node1 -> critical [node0]",
+		"10:29:58",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderEventTailBounded(t *testing.T) {
+	s := fabricatedSnapshot()
+	out := render(s, 1)
+	if strings.Contains(out, "feed stall: consumer backpressure") {
+		t.Fatalf("tail not bounded to newest event:\n%s", out)
+	}
+	if !strings.Contains(out, "health check node:node1 -> critical") {
+		t.Fatalf("newest event missing:\n%s", out)
+	}
+}
+
+func TestRenderPollError(t *testing.T) {
+	s := snapshot{Addr: "http://x", When: time.Now(), Err: errors.New("connection refused")}
+	out := render(s, 10)
+	if !strings.Contains(out, "poll failed: connection refused") {
+		t.Fatalf("no error banner:\n%s", out)
+	}
+}
+
+func TestRenderEmptySnapshot(t *testing.T) {
+	out := render(snapshot{Addr: "http://x", When: time.Now()}, 10)
+	if !strings.Contains(out, "EVENTS (none)") {
+		t.Fatalf("empty snapshot render:\n%s", out)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := fmtBytes(3 << 30); got != "3.0GiB" {
+		t.Errorf("fmtBytes = %s", got)
+	}
+	if got := fmtLatency(0); got != "-" {
+		t.Errorf("fmtLatency(0) = %s", got)
+	}
+	if got := fmtLatency(2.5); got != "2.50s" {
+		t.Errorf("fmtLatency(2.5) = %s", got)
+	}
+	if got := fmtUptime(3725); got != "1h2m" {
+		t.Errorf("fmtUptime = %s", got)
+	}
+}

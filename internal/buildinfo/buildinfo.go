@@ -1,0 +1,8 @@
+// Package buildinfo holds the version identity stamped into /metrics
+// (couchgo_build_info), /stats/detail, and cbtop. A dedicated leaf
+// package keeps the constant importable from rest and the commands
+// without dragging either's dependencies along.
+package buildinfo
+
+// Version is the release identifier reported by the server.
+const Version = "0.6.0"

@@ -1,5 +1,11 @@
 package cache
 
+import (
+	"strconv"
+
+	"couchgo/internal/events"
+)
+
 // The item pager implements the paper's value-eviction policy: "By
 // default the key and the metadata for every key in the bucket will be
 // kept in memory, while the associated values can be evicted based on
@@ -61,6 +67,24 @@ func (p *Pager) NeedsEviction(tables []*HashTable) bool {
 // slice), the highest seqno known durable; dirty values are never
 // evicted. It returns the number of values evicted.
 func (p *Pager) Run(tables []*HashTable, persistedSeqno []uint64, now int64) int {
+	evicted := p.run(tables, persistedSeqno, now)
+	if evicted > 0 {
+		// Journal the pass: watermark-driven eviction is the signal
+		// FlexKV-style tiering decisions hang off, and health's
+		// residency check should agree with what actually happened.
+		e := events.New(events.CacheEvent, events.SevInfo, "pager eviction pass")
+		e.Fields = map[string]string{
+			"evicted":        strconv.Itoa(evicted),
+			"mem_used":       strconv.FormatInt(MemUsed(tables), 10),
+			"low_watermark":  strconv.FormatInt(p.Quota.low(), 10),
+			"high_watermark": strconv.FormatInt(p.Quota.high(), 10),
+		}
+		events.Default.Publish(e)
+	}
+	return evicted
+}
+
+func (p *Pager) run(tables []*HashTable, persistedSeqno []uint64, now int64) int {
 	evicted := 0
 	low := p.Quota.low()
 	for pass := 0; pass < 4; pass++ {

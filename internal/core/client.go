@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"couchgo/internal/cache"
+	"couchgo/internal/events"
 	"couchgo/internal/trace"
 	"couchgo/internal/vbucket"
 )
@@ -422,14 +423,32 @@ func (cl *Client) waitDurability(ctx context.Context, vb *vbucket.VBucket, seqno
 	if dur.ReplicateTo > 0 {
 		if err := vb.WaitReplicas(seqno, dur.ReplicateTo, timeout); err != nil {
 			sp.Error(err)
+			publishDurabilityEvent(ctx, "replicate", seqno, err)
 			return err
 		}
 	}
 	if dur.PersistTo {
 		if err := vb.WaitPersist(seqno, timeout); err != nil {
 			sp.Error(err)
+			publishDurabilityEvent(ctx, "persist", seqno, err)
 			return err
 		}
 	}
 	return nil
+}
+
+// publishDurabilityEvent journals a failed durability wait — the write
+// was accepted but its replication/persistence guarantee was not met
+// in time, exactly the condition an operator needs to see.
+func publishDurabilityEvent(ctx context.Context, kind string, seqno uint64, err error) {
+	e := events.New(events.Durability, events.SevWarn, "durability wait failed")
+	e.Fields = map[string]string{
+		"kind":  kind,
+		"seqno": strconv.FormatUint(seqno, 10),
+		"error": err.Error(),
+	}
+	if t := trace.TraceFromContext(ctx); t != nil {
+		e.TraceID = t.ID
+	}
+	events.Default.Publish(e)
 }

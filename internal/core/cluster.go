@@ -11,6 +11,7 @@ import (
 	"couchgo/internal/analytics"
 	"couchgo/internal/cmap"
 	"couchgo/internal/dcp"
+	"couchgo/internal/events"
 	"couchgo/internal/feed"
 	"couchgo/internal/fts"
 	"couchgo/internal/gsi"
@@ -165,6 +166,10 @@ func (c *Cluster) AddNode(id cmap.NodeID, services cmap.ServiceSet) (*Node, erro
 			}
 		}
 	}
+	e := events.New(events.Topology, events.SevInfo, "node added")
+	e.Node = string(id)
+	e.Fields = map[string]string{"services": services.String()}
+	events.Default.Publish(e)
 	return n, nil
 }
 
@@ -293,6 +298,13 @@ func (c *Cluster) CreateBucket(name string, opts BucketOptions) error {
 			return err
 		}
 	}
+	e := events.New(events.Topology, events.SevInfo, "bucket created")
+	e.Bucket = name
+	e.Fields = map[string]string{
+		"replicas": fmt.Sprintf("%d", opts.NumReplicas),
+		"nodes":    fmt.Sprintf("%d", len(ids)),
+	}
+	events.Default.Publish(e)
 	return nil
 }
 
@@ -329,6 +341,8 @@ func (c *Cluster) reconcileVB(b *bucketState, vbID int) error {
 		return err
 	}
 	if actVB.State() != vbucket.Active {
+		// promote journals the takeover itself (it knows the causal
+		// moment relative to consumer reattachment).
 		actNB.promote(vbID)
 	} else {
 		actNB.mu.Lock()
@@ -429,6 +443,9 @@ func (c *Cluster) Failover(id cmap.NodeID) error {
 		return err
 	}
 	n.setAlive(false)
+	e := events.New(events.Topology, events.SevWarn, "node failed over")
+	e.Node = string(id)
+	events.Default.Publish(e)
 	c.mu.Lock()
 	buckets := make([]*bucketState, 0, len(c.buckets))
 	for _, b := range c.buckets {
@@ -489,6 +506,9 @@ func (c *Cluster) Kill(id cmap.NodeID) error {
 			vb.Producer().Close()
 		}
 	}
+	e := events.New(events.Topology, events.SevWarn, "node down (simulated crash)")
+	e.Node = string(id)
+	events.Default.Publish(e)
 	return nil
 }
 
@@ -512,6 +532,9 @@ func (c *Cluster) Rebalance() error {
 	if len(ids) == 0 {
 		return fmt.Errorf("core: no data nodes to rebalance onto")
 	}
+	e := events.New(events.Topology, events.SevInfo, "rebalance started")
+	e.Fields = map[string]string{"data_nodes": fmt.Sprintf("%d", len(ids))}
+	events.Default.Publish(e)
 	for _, b := range buckets {
 		cur := b.Map()
 		target := cmap.BuildBalanced(cur.Rev+1, ids, cur.NumVBuckets, b.opts.NumReplicas)
@@ -536,6 +559,7 @@ func (c *Cluster) Rebalance() error {
 			}
 		}
 	}
+	events.Default.Publish(events.New(events.Topology, events.SevInfo, "rebalance complete"))
 	return nil
 }
 
@@ -586,6 +610,11 @@ func (c *Cluster) moveVB(b *bucketState, vbID int, tgtActive cmap.NodeID, tgtRep
 			}
 			time.Sleep(200 * time.Microsecond)
 		}
+		e := events.New(events.VBucket, events.SevInfo, "vb moved")
+		e.Bucket = b.name
+		e.VB = vbID
+		e.Fields = map[string]string{"from": string(curActive), "to": string(tgtActive)}
+		events.Default.Publish(e)
 	}
 	// Publish the new chain for this vBucket and reconcile.
 	next := cur.Clone()
@@ -690,6 +719,51 @@ func (c *Cluster) nodeStillMapped(id cmap.NodeID) bool {
 		}
 	}
 	return false
+}
+
+// NodeMapped reports whether any bucket's map still references the
+// node as an active or replica. The health watchdog uses it so a node
+// check recovers to ok once failover has removed the dead node from
+// every map — a failed-over node is no longer the cluster's problem.
+func (c *Cluster) NodeMapped(id cmap.NodeID) bool {
+	return c.nodeStillMapped(id)
+}
+
+// BucketQuota returns the bucket's cache memory quota in bytes (0 when
+// the bucket is unknown or has no quota configured).
+func (c *Cluster) BucketQuota(name string) int64 {
+	b, err := c.bucket(name)
+	if err != nil {
+		return 0
+	}
+	return b.opts.MemoryQuotaBytes
+}
+
+// SeverReplication is a chaos-injection hook: it stops every
+// intra-cluster replication stream for the bucket, so subsequent
+// writes exist only on the active copies — the ingredient for
+// divergent history (and DCP rollback) at failover. The chaos harness
+// and failure-path tests use it; there is no production caller.
+func (c *Cluster) SeverReplication(bucketName string) error {
+	if _, err := c.bucket(bucketName); err != nil {
+		return err
+	}
+	for _, n := range c.Nodes() {
+		nb, err := n.bucket(bucketName)
+		if err != nil {
+			continue
+		}
+		nb.mu.Lock()
+		vbs := make([]int, 0, len(nb.replStreams))
+		for vb := range nb.replStreams {
+			vbs = append(vbs, vb)
+		}
+		nb.mu.Unlock()
+		for _, vb := range vbs {
+			nb.stopReplStream(vb)
+		}
+	}
+	return nil
 }
 
 // NumVBuckets returns a bucket's partition count.

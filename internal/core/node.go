@@ -21,6 +21,7 @@ import (
 	"couchgo/internal/analytics"
 	"couchgo/internal/cache"
 	"couchgo/internal/cmap"
+	"couchgo/internal/events"
 	"couchgo/internal/fts"
 	"couchgo/internal/gsi"
 	"couchgo/internal/storage"
@@ -57,6 +58,10 @@ type Node struct {
 
 // nodeBucket is one bucket's data-service footprint on one node.
 type nodeBucket struct {
+	// nodeID and bucketName identify this footprint in journal events.
+	nodeID     string
+	bucketName string
+
 	store *storage.Store
 	mu    sync.Mutex
 	vbs   map[int]*vbucket.VBucket
@@ -136,6 +141,8 @@ func (n *Node) addBucket(name string, svc *gsi.Service, ftsEng *fts.Engine, anEn
 		return err
 	}
 	nb := &nodeBucket{
+		nodeID:      string(n.id),
+		bucketName:  name,
 		store:       store,
 		vbs:         make(map[int]*vbucket.VBucket),
 		viewEngine:  views.NewEngine(),
@@ -338,7 +345,18 @@ func (nb *nodeBucket) promote(vbID int) {
 	// Takeover: append a new (UUID, high-seqno) entry to the failover
 	// log. Consumers that resumed past this point on the old active
 	// branch get a rollback to here when they reattach (§4.1.1).
-	vb.Producer().Takeover(vb.HighSeqno()) //couchvet:ignore lockblock -- atomic promotion; vbucket/dcp never re-enter core
+	highSeqno := vb.HighSeqno()       //couchvet:ignore lockblock -- atomic promotion; vbucket/dcp never re-enter core
+	vb.Producer().Takeover(highSeqno) //couchvet:ignore lockblock -- atomic promotion; vbucket/dcp never re-enter core
+	// Journal the takeover before reattaching consumers: a consumer
+	// whose resume position lies past the takeover point rolls back
+	// during the attach below, and the journal must show takeover →
+	// rollback in causal order.
+	e := events.New(events.VBucket, events.SevInfo, "vb takeover: replica promoted to active")
+	e.Node = nb.nodeID
+	e.Bucket = nb.bucketName
+	e.VB = vbID
+	e.Fields = map[string]string{"high_seqno": strconv.FormatUint(highSeqno, 10)}
+	events.Default.Publish(e)
 	nb.attachConsumersLocked(vb)
 	nb.mu.Unlock()
 	nb.stopReplStream(vbID)

@@ -9,6 +9,7 @@ import (
 	"couchgo/internal/analytics"
 	"couchgo/internal/cache"
 	"couchgo/internal/cmap"
+	"couchgo/internal/events"
 	"couchgo/internal/executor"
 	"couchgo/internal/fts"
 	"couchgo/internal/gsi"
@@ -62,6 +63,16 @@ func (c *Cluster) Query(statement string, opts executor.Options) (*query.Result,
 	mQueryDuration.Observe(elapsed)
 	if c.slowLog.Observe(statement, elapsed) {
 		mSlowQueries.Inc()
+		e := events.New(events.SlowOp, events.SevWarn, "slow query")
+		e.Service = "query"
+		e.Fields = map[string]string{
+			"statement":  truncateStatement(statement),
+			"elapsed_ms": fmt.Sprintf("%d", elapsed.Milliseconds()),
+		}
+		if t := trace.TraceFromContext(ctx); t != nil {
+			e.TraceID = t.ID
+		}
+		events.Default.Publish(e)
 	}
 	if sp != nil {
 		if res != nil {
@@ -71,6 +82,15 @@ func (c *Cluster) Query(statement string, opts executor.Options) (*query.Result,
 		sp.End()
 	}
 	return res, err
+}
+
+// truncateStatement bounds a statement for embedding in an event.
+func truncateStatement(s string) string {
+	const max = 200
+	if len(s) > max {
+		return s[:max] + "..."
+	}
+	return s
 }
 
 func (c *Cluster) hasService(s cmap.Service) bool {

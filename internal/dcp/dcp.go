@@ -18,9 +18,11 @@ package dcp
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
+	"couchgo/internal/events"
 	"couchgo/internal/trace"
 )
 
@@ -291,18 +293,35 @@ func (p *Producer) ResumeStream(name string, uuid, fromSeqno uint64) (*Stream, e
 		case branch < 0:
 			// Unknown lineage entirely: nothing past 0 is trustworthy.
 			p.mu.Unlock()
+			publishRollbackRequired(p.vb, name, uuid, fromSeqno, 0)
 			return nil, &RollbackError{UUID: cur, Seqno: 0}
 		case branch < len(p.failover)-1:
 			// The consumer's branch ended at the next entry's start
 			// seqno; anything it applied beyond that was lost history.
 			if upper := p.failover[branch+1].Seqno; fromSeqno > upper {
 				p.mu.Unlock()
+				publishRollbackRequired(p.vb, name, uuid, fromSeqno, upper)
 				return nil, &RollbackError{UUID: cur, Seqno: upper}
 			}
 		}
 		p.mu.Unlock()
 	}
 	return p.OpenStream(name, fromSeqno)
+}
+
+// publishRollbackRequired journals a rejected resume: the consumer
+// presented a (uuid, seqno) from a branch of history this producer
+// does not share past rollbackTo.
+func publishRollbackRequired(vb int, stream string, uuid, fromSeqno, rollbackTo uint64) {
+	e := events.New(events.DCP, events.SevInfo, "stream resume rejected: rollback required")
+	e.VB = vb
+	e.Fields = map[string]string{
+		"stream":      stream,
+		"uuid":        strconv.FormatUint(uuid, 10),
+		"from_seqno":  strconv.FormatUint(fromSeqno, 10),
+		"rollback_to": strconv.FormatUint(rollbackTo, 10),
+	}
+	events.Default.Publish(e)
 }
 
 // Stream is one consumer's ordered view of a vBucket's changes.

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 
 	"couchgo/internal/dcp"
+	"couchgo/internal/events"
 	"couchgo/internal/metrics"
 	"couchgo/internal/trace"
 )
@@ -89,6 +90,11 @@ type Feed struct {
 	// existing dashboards; both count the same events.
 	mStallsAlias *metrics.Counter
 	mHighWater   *metrics.Gauge
+	// mStalled counts drain goroutines currently blocked on a full
+	// buffer — nonzero means a consumer is stalled *right now*, which
+	// is what the health watchdog ages (the stall counter only says a
+	// stall began, not that it is ongoing).
+	mStalled *metrics.Gauge
 
 	// opMu serializes Attach/Detach/Close so stream replacement and
 	// drain shutdown never interleave.
@@ -137,6 +143,7 @@ func New(name string, c Consumer, cfg Config) *Feed {
 		mStalls:      metrics.Default.Counter("couchgo_feed_stalls_total", "service", cfg.Service),
 		mStallsAlias: metrics.Default.Counter("couchgo_feed_backpressure_stalls_total", "service", cfg.Service),
 		mHighWater:   metrics.Default.Gauge("couchgo_feed_buffer_high_watermark", "service", cfg.Service),
+		mStalled:     metrics.Default.Gauge("couchgo_feed_stalled", "service", cfg.Service),
 	}
 }
 
@@ -204,6 +211,20 @@ func (f *Feed) Attach(vb int, p *dcp.Producer) error {
 			rsp.Annotate("rewound_to", strconv.FormatUint(to, 10)) //couchvet:ignore lockblock -- trace ops take only the trace's own mutex, never block
 			rsp.End()                                              //couchvet:ignore lockblock -- trace ops take only the trace's own mutex, never block
 		}
+		// Journal the rollback, linked to the trace of the last applied
+		// mutation — the same trace the span above landed in — so an
+		// operator can jump from the event to the write it un-applied.
+		re := events.New(events.FeedEvent, events.SevWarn, "feed rollback: stale branch of history")
+		re.Service = f.service
+		re.VB = vb
+		re.Fields = map[string]string{
+			"to_seqno":   strconv.FormatUint(rb.Seqno, 10),
+			"rewound_to": strconv.FormatUint(to, 10),
+		}
+		if cur != nil && cur.lastTrace != nil {
+			re.TraceID = cur.lastTrace.ID
+		}
+		events.Default.Publish(re)
 		s, err = p.ResumeStream(f.name, 0, to) //couchvet:ignore lockblock -- opMu lifecycle serializer; dcp never re-enters feed
 		seqno = to
 	}
@@ -256,7 +277,20 @@ func (f *Feed) drain(vb int, vf *vbFeed) {
 			default:
 				f.mStalls.Inc()
 				f.mStallsAlias.Inc()
+				// The event carries the high-watermark gauge's current
+				// value so journal and metrics tell one story: the
+				// buffer was this deep when backpressure hit.
+				e := events.New(events.FeedEvent, events.SevWarn, "feed stall: consumer backpressure")
+				e.Service = f.service
+				e.VB = vb
+				e.Fields = map[string]string{
+					"buffer":         strconv.Itoa(f.buffer),
+					"high_watermark": strconv.FormatInt(f.mHighWater.Value(), 10),
+				}
+				events.Default.Publish(e)
+				f.mStalled.Add(1)
 				buf <- m
+				f.mStalled.Add(-1)
 			}
 		}
 	}()

@@ -34,6 +34,10 @@ var lockBlockExempt = map[string]bool{
 	ModulePath + "/internal/btree":   true, // unsynchronized data structure
 	ModulePath + "/internal/cmap":    true, // self-contained vBucket map
 	ModulePath + "/internal/storage": true, // leaf; file I/O, no channels
+	// events is a leaf (no internal imports) and Publish never blocks:
+	// it snapshots subscribers under its own lock, releases it, then
+	// delivers with select/default, dropping when a buffer is full.
+	ModulePath + "/internal/events": true,
 }
 
 type lockWalker struct {

@@ -171,6 +171,58 @@ func (s *S) good() {
 	}()
 }
 `},
+		{name: "event_fanout", src: `
+package a
+
+import (
+	"sync"
+
+	"couchgo/internal/events"
+)
+
+type J struct {
+	mu   sync.Mutex
+	subs []chan int
+}
+
+// The journal's fan-out shape: snapshot subscribers under the lock,
+// deliver only after releasing it, with select/default so a slow
+// subscriber is dropped, never waited on. Clean under lockblock.
+func (j *J) publish(v int) {
+	j.mu.Lock()
+	subs := make([]chan int, len(j.subs))
+	copy(subs, j.subs)
+	j.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- v:
+		default:
+		}
+	}
+}
+
+type S struct {
+	mu sync.Mutex
+}
+
+// events is an exempt leaf: Publish never blocks, so emitting while
+// holding a caller's lock cannot extend a wait-for cycle.
+func (s *S) goodExemptPublish() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	events.Default.Publish(events.New(events.Config, events.SevInfo, "x"))
+}
+
+// But the naive shape — fanning out while still holding the lock —
+// is exactly what the rule exists to catch.
+func (j *J) badFanOutUnderLock(v int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, ch := range j.subs {
+		ch <- v // want: lockblock
+	}
+}
+`},
 		{name: "distinct_mutexes_tracked_separately", src: `
 package a
 

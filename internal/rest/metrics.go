@@ -2,22 +2,60 @@ package rest
 
 import (
 	"net/http"
+	"runtime"
 	"sort"
+	"time"
 
+	"couchgo/internal/buildinfo"
 	"couchgo/internal/core"
+	"couchgo/internal/events"
 	"couchgo/internal/metrics"
 )
+
+// processStart anchors couchgo_uptime_seconds; package init is close
+// enough to process start for an observability gauge.
+var processStart = time.Now()
 
 // handleMetrics serves Prometheus text exposition format: everything
 // registered in metrics.Default, plus gauges computed from cluster
 // state at scrape time (queue depths, DCP lag, per-bucket residency).
 // Computing the latter on demand instead of maintaining registered
 // gauges means they can never drift from the truth.
+//
+// The Content-Type is exactly the exposition spec's `text/plain;
+// version=0.0.4` — some scrapers match the header verbatim — and
+// non-GET methods get an explicit 405 with an Allow header.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]any{"error": "method not allowed; /metrics is GET-only"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	tw := metrics.NewTextWriter(w)
+	tw.Gauge("couchgo_build_info",
+		metrics.LabelString("goversion", runtime.Version(), "version", buildinfo.Version), 1)
+	tw.Gauge("couchgo_uptime_seconds", "", time.Since(processStart).Seconds())
 	metrics.Default.WriteTo(tw)
 	writeClusterGauges(tw, s.c)
+	writeJournalGauges(tw)
+}
+
+// writeJournalGauges exposes the event journal's own accounting so a
+// scraper can see fan-out drops without hitting /events.
+func writeJournalGauges(tw *metrics.TextWriter) {
+	st := events.Default.Stats()
+	tw.Counter("couchgo_events_published_total", "", st.Published)
+	tw.Counter("couchgo_events_dropped_total", "", st.Dropped)
+	tw.Gauge("couchgo_events_subscribers", "", float64(st.Subscribers))
+	types := make([]events.Type, 0, len(st.Retained))
+	for t := range st.Retained {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for _, t := range types {
+		tw.Gauge("couchgo_events_retained", metrics.LabelString("type", string(t)), float64(st.Retained[t]))
+	}
 }
 
 // writeClusterGauges emits scrape-time gauges family by family so each
@@ -95,7 +133,7 @@ func (s *Server) handleStatsDetail(w http.ResponseWriter, r *http.Request) {
 	for _, b := range s.c.BucketNames() {
 		buckets[b] = map[string]any{"nodes": s.c.Stats(b)}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"orchestrator": string(s.c.Orchestrator()),
 		"nodes":        nodes,
 		"buckets":      buckets,
@@ -105,5 +143,17 @@ func (s *Server) handleStatsDetail(w http.ResponseWriter, r *http.Request) {
 			"total":        s.c.SlowQueryTotal(),
 			"entries":      s.c.SlowQueries(),
 		},
-	})
+		"server": map[string]any{
+			"version":        buildinfo.Version,
+			"go":             runtime.Version(),
+			"uptime_seconds": time.Since(processStart).Seconds(),
+		},
+	}
+	if s.health != nil {
+		out["health"] = map[string]any{
+			"status": s.health.State().String(),
+			"checks": s.health.Snapshot(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }

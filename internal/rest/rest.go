@@ -19,17 +19,20 @@ import (
 	"couchgo/internal/cache"
 	"couchgo/internal/cmap"
 	"couchgo/internal/core"
+	"couchgo/internal/events"
 	"couchgo/internal/executor"
 	"couchgo/internal/feed"
 	"couchgo/internal/fts"
+	"couchgo/internal/health"
 	"couchgo/internal/trace"
 	"couchgo/internal/views"
 )
 
 // Server is the HTTP facade over a cluster.
 type Server struct {
-	c   *core.Cluster
-	mux *http.ServeMux
+	c      *core.Cluster
+	mux    *http.ServeMux
+	health *health.Watchdog
 }
 
 // NewServer builds the handler tree for a cluster.
@@ -52,8 +55,14 @@ func NewServer(c *core.Cluster) *Server {
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /buckets/{bucket}/analytics/enable", s.handleAnalyticsEnable)
 	s.mux.HandleFunc("POST /buckets/{bucket}/analytics/query", s.handleAnalyticsQuery)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// /metrics registers without a method verb: Prometheus scrapers get
+	// an explicit 405 + Allow header on non-GET, not the mux's generic
+	// one, and the handler owns the exposition Content-Type.
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /stats/detail", s.handleStatsDetail)
+	s.mux.HandleFunc("GET /events", s.handleEvents)
+	s.mux.HandleFunc("GET /events/stream", s.handleEventsStream)
+	s.mux.HandleFunc("GET /health", s.handleHealth)
 	s.mux.HandleFunc("GET /traces", s.handleTraces)
 	s.mux.HandleFunc("GET /traces/{id}", s.handleTrace)
 	s.mux.HandleFunc("POST /traces/config", s.handleTraceConfig)
@@ -415,6 +424,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	sums := trace.Default.Traces()
 	op := r.URL.Query().Get("op")
+	// Root ops are always "service:verb" (kv:set, query:exec, ...); a
+	// filter without the colon can never match, so reject it loudly
+	// instead of returning a confusingly empty list.
+	if op != "" && !strings.Contains(op, ":") {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("bad op filter %q: want service:verb", op)})
+		return
+	}
 	slowOnly := r.URL.Query().Get("slow") == "true"
 	out := make([]trace.Summary, 0, len(sums))
 	for _, t := range sums {
@@ -481,6 +497,13 @@ func (s *Server) handleTraceConfig(w http.ResponseWriter, r *http.Request) {
 	if req.Clear {
 		trace.Default.Clear()
 	}
+	e := events.New(events.Config, events.SevInfo, "trace config changed")
+	e.Service = "rest"
+	e.Fields = map[string]string{"rate": strconv.Itoa(trace.Default.Rate())}
+	if req.Clear {
+		e.Fields["cleared"] = "true"
+	}
+	events.Default.Publish(e)
 	thresholds := map[string]string{}
 	for op, d := range trace.Default.Thresholds() {
 		thresholds[op] = d.String()

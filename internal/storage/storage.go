@@ -23,9 +23,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"couchgo/internal/events"
 	"couchgo/internal/metrics"
 )
 
@@ -401,6 +403,13 @@ func (v *VBFile) Compact() error {
 	if v.closed {
 		return ErrClosed
 	}
+	startEv := events.New(events.Compaction, events.SevInfo, "compaction started")
+	startEv.Fields = map[string]string{
+		"path":       v.path,
+		"file_bytes": strconv.FormatInt(v.fileBytes, 10),
+		"live_bytes": strconv.FormatInt(v.liveBytes, 10),
+	}
+	events.Default.Publish(startEv)
 	tmpPath := v.path + ".compact"
 	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -464,9 +473,17 @@ func (v *VBFile) Compact() error {
 	closeCounted(v.f)
 	v.f = nf
 	mCompactions.Inc()
-	if reclaimed := v.fileBytes - off; reclaimed > 0 {
+	reclaimed := v.fileBytes - off
+	if reclaimed > 0 {
 		mBytesReclaimed.Add(uint64(reclaimed))
 	}
+	doneEv := events.New(events.Compaction, events.SevInfo, "compaction done")
+	doneEv.Fields = map[string]string{
+		"path":            v.path,
+		"file_bytes":      strconv.FormatInt(off, 10),
+		"reclaimed_bytes": strconv.FormatInt(reclaimed, 10),
+	}
+	events.Default.Publish(doneEv)
 	v.byID = newIndex
 	v.fileBytes = off
 	v.liveBytes = live

@@ -27,6 +27,7 @@ package xdcr
 
 import (
 	"context"
+	"fmt"
 	"regexp"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,7 @@ import (
 
 	"couchgo/internal/core"
 	"couchgo/internal/dcp"
+	"couchgo/internal/events"
 	"couchgo/internal/feed"
 	"couchgo/internal/trace"
 )
@@ -101,6 +103,11 @@ func Start(source *core.Cluster, sourceBucket string, dest *core.Cluster, destBu
 	r.feed = feed.New("xdcr", r, feed.Config{Service: "xdcr"})
 	r.wg.Add(1)
 	go r.topologyLoop()
+	e := events.New(events.XDCR, events.SevInfo, "replication started")
+	e.Bucket = sourceBucket
+	e.Service = "xdcr"
+	e.Fields = map[string]string{"dest_bucket": destBucket, "filter": opts.FilterExpr}
+	events.Default.Publish(e)
 	return r, nil
 }
 
@@ -183,6 +190,15 @@ func (r *Replicator) Stop() {
 	r.mu.Unlock()
 	r.wg.Wait()
 	r.feed.Close()
+	st := r.Stats()
+	e := events.New(events.XDCR, events.SevInfo, "replication stopped")
+	e.Bucket = r.sourceBucket
+	e.Service = "xdcr"
+	e.Fields = map[string]string{
+		"sent":    fmt.Sprintf("%d", st.Sent),
+		"applied": fmt.Sprintf("%d", st.Applied),
+	}
+	events.Default.Publish(e)
 }
 
 // FeedStats describes the replication feed.
