@@ -1,7 +1,7 @@
 # Tier-1 gate plus the repo-specific static analyzer, formatting,
 # full-tree race detection, and fuzz smoke runs.
 
-.PHONY: verify build test race vet fmtcheck couchvet fuzz-smoke trace-demo health-demo
+.PHONY: verify build test race vet fmtcheck couchvet fuzz-smoke cluster-test trace-demo health-demo
 
 verify: fmtcheck vet build test couchvet race
 
@@ -35,6 +35,13 @@ trace-demo:
 health-demo:
 	go run ./cmd/healthdemo
 
+# Process-level cluster test: builds the real cbserver binary,
+# launches three OS processes speaking the binary KV wire protocol,
+# kill -9s one, and asserts auto-failover with no acknowledged write
+# lost. Behind a build tag so tier-1 `make test` stays fast.
+cluster-test:
+	go test -tags clustertest -count=1 -timeout 5m -v ./integration
+
 # Each fuzz target gets a short bounded run; any crasher fails the
 # target. Lengthen with FUZZTIME=1m etc. for local soak runs.
 FUZZTIME ?= 10s
@@ -43,3 +50,4 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzCollate -fuzztime=$(FUZZTIME) ./internal/value
 	go test -run='^$$' -fuzz=FuzzPathParse -fuzztime=$(FUZZTIME) ./internal/value
 	go test -run='^$$' -fuzz=FuzzRecordDecode -fuzztime=$(FUZZTIME) ./internal/storage
+	go test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=$(FUZZTIME) ./internal/memcproto

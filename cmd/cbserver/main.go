@@ -6,6 +6,19 @@
 //
 //	cbserver -listen :8091 -nodes 4 -replicas 1 -bucket default
 //
+// Networked cluster mode (-kv-addr): each process runs ONE local node
+// and serves the binary KV wire protocol; N processes form a cluster.
+// The first process (no -join) is the coordinator seed and waits for
+// -cluster-size members before minting the cluster map:
+//
+//	cbserver -listen :8091 -kv-addr :11210 -cluster-size 3 -replicas 1
+//	cbserver -listen :8092 -kv-addr :11211 -join 127.0.0.1:11210
+//	cbserver -listen :8093 -kv-addr :11212 -join 127.0.0.1:11210
+//
+// Every process's REST document endpoints route cluster-wide through
+// a hybrid smart client (loopback to the local node, sockets to
+// peers), and /stats/detail gains a "transport" block.
+//
 // Then:
 //
 //	curl -X PUT localhost:8091/buckets/default/docs/user::1 -d '{"name":"Dipti"}'
@@ -52,6 +65,7 @@ import (
 	"couchgo/internal/health"
 	"couchgo/internal/rest"
 	"couchgo/internal/trace"
+	"couchgo/internal/transport"
 )
 
 func main() {
@@ -70,8 +84,20 @@ func main() {
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (empty disables)")
 		healthEvery  = flag.Duration("health-interval", time.Second, "watchdog evaluation interval for /health")
 		autoFailover = flag.Bool("auto-failover", false, "fail over a node the watchdog holds critical (sustained down with mapped partitions)")
+
+		kvAddr      = flag.String("kv-addr", "", "binary KV wire-protocol listen address; enables networked cluster mode (one local node per process)")
+		join        = flag.String("join", "", "seed process's KV address to join (empty makes this process the coordinator seed)")
+		clusterSize = flag.Int("cluster-size", 1, "member processes (including the seed) the coordinator waits for before minting the cluster map")
+		advertise   = flag.String("advertise", "", "KV address peers should dial (default: the bound -kv-addr)")
+		kvHeartbeat = flag.Duration("kv-heartbeat", 500*time.Millisecond, "member heartbeat interval in networked cluster mode")
+		kvFailover  = flag.Duration("kv-failover-after", 0, "heartbeat silence before the coordinator fails a member over (default 5 heartbeats)")
 	)
 	flag.Parse()
+
+	if *kvAddr != "" && *nodes != 1 {
+		log.Printf("networked cluster mode: each process runs one local node (-nodes %d ignored)", *nodes)
+		*nodes = 1
+	}
 
 	trace.Default.SetRate(*traceRate)
 	trace.Default.SetThreshold("", *traceSlow)
@@ -132,6 +158,31 @@ func main() {
 
 	api := rest.NewServer(cluster)
 	api.SetHealth(watchdog)
+
+	if *kvAddr != "" {
+		node, err := transport.StartNode(transport.NodeOptions{
+			Cluster:           cluster,
+			LocalNode:         cmap.NodeID("node0"),
+			Bucket:            *bucket,
+			KVAddr:            *kvAddr,
+			Advertise:         *advertise,
+			Join:              *join,
+			ClusterSize:       *clusterSize,
+			HeartbeatInterval: *kvHeartbeat,
+			FailoverAfter:     *kvFailover,
+		})
+		if err != nil {
+			log.Fatalf("kv transport: %v", err)
+		}
+		defer node.Close()
+		api.SetKVClient(*bucket, core.NewClient(node.Router(), *bucket))
+		api.SetTransportStats(func() any { return transport.Stats() })
+		if *join == "" {
+			log.Printf("kv transport on %s (coordinator seed, waiting for %d members)", node.KVAddr(), *clusterSize)
+		} else {
+			log.Printf("kv transport on %s (joining %s)", node.KVAddr(), *join)
+		}
+	}
 	srv := &http.Server{Addr: *listen, Handler: api}
 	go func() {
 		log.Printf("listening on %s", *listen)

@@ -24,11 +24,15 @@ import (
 func main() {
 	var (
 		addr      = flag.String("addr", "http://localhost:8091", "cbserver base URL")
+		server    = flag.String("server", "", "cbserver host:port (shorthand for -addr http://host:port)")
 		interval  = flag.Duration("interval", time.Second, "refresh interval")
 		count     = flag.Int("count", 0, "frames to draw before exiting (0: forever)")
 		maxEvents = flag.Int("events", 10, "event-tail length")
 	)
 	flag.Parse()
+	if *server != "" {
+		*addr = "http://" + *server
+	}
 
 	client := &http.Client{Timeout: 5 * time.Second}
 	var tail []map[string]any

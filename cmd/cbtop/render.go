@@ -89,6 +89,14 @@ func render(s snapshot, maxEvents int) string {
 		}
 	}
 
+	// --- wire transport (networked cluster mode only) ---
+	if tr, ok := s.Detail["transport"].(map[string]any); ok {
+		fmt.Fprintf(&b, "\nTRANSPORT  conns %0.f srv / %0.f cli   in %s  out %s   nmvb %.0f   dcp-streams %.0f\n",
+			num(tr["server_conns"]), num(tr["client_conns"]),
+			fmtBytes(num(tr["bytes_in"])), fmtBytes(num(tr["bytes_out"])),
+			num(tr["not_my_vbucket"]), num(tr["dcp_streams_serving"]))
+	}
+
 	// --- KV / query latencies from the registry snapshot ---
 	if m, ok := s.Detail["metrics"].(map[string]any); ok {
 		b.WriteString(renderLatencies(m))
@@ -155,6 +163,7 @@ func renderLatencies(m map[string]any) string {
 	}
 	writeFam("KV LATENCY", "couchgo_kv_op_duration_seconds")
 	writeFam("QUERY LATENCY", "couchgo_query_duration_seconds")
+	writeFam("WIRE OP LATENCY", "couchgo_transport_op_seconds")
 	return b.String()
 }
 

@@ -30,6 +30,12 @@ func fabricatedSnapshot() snapshot {
 					},
 				},
 			},
+			"transport": map[string]any{
+				"server_conns": 5.0, "client_conns": 2.0,
+				"bytes_in": 1048576.0, "bytes_out": 2097152.0,
+				"not_my_vbucket": 4.0, "dial_errors": 0.0,
+				"dcp_streams_serving": 42.0,
+			},
 			"metrics": map[string]any{
 				"couchgo_kv_op_duration_seconds": map[string]any{
 					`{op="set"}`: map[string]any{
@@ -69,6 +75,9 @@ func TestRenderFullFrame(t *testing.T) {
 		"node0",
 		"2.0MiB", // MemUsed 2 MiB
 		"9",      // summed lag 7+2
+		"TRANSPORT  conns 5 srv / 2 cli",
+		"nmvb 4",
+		"dcp-streams 42",
 		"KV LATENCY",
 		`op="set"`,
 		"200µs", // p50 0.0002s

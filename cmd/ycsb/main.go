@@ -28,6 +28,7 @@ import (
 	"couchgo/internal/core"
 	"couchgo/internal/executor"
 	"couchgo/internal/trace"
+	"couchgo/internal/transport"
 	"couchgo/internal/ycsb"
 )
 
@@ -41,6 +42,8 @@ func main() {
 		vbuckets = flag.Int("vbuckets", 128, "vBucket count (1024 in production; lower is faster to set up)")
 		dir      = flag.String("dir", "", "storage directory (default temp)")
 		doTrace  = flag.Int("trace", 0, "sample 1 in N operations for end-to-end tracing and print the slowest trace per phase (0 disables)")
+		server   = flag.String("server", "", "KV wire address (host:port) of a running cbserver; drives the workload over TCP through the smart client instead of an in-process cluster (workloads a-d)")
+		bucket   = flag.String("bucket", "", `bucket name (default "ycsb" in-process, "default" with -server)`)
 	)
 	flag.Parse()
 
@@ -53,6 +56,20 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *server != "" {
+		if w.ScanProportion > 0 {
+			log.Fatal("workload e needs N1QL scans, which the KV wire protocol does not serve; use in-process mode")
+		}
+		if *bucket == "" {
+			*bucket = "default"
+		}
+		runAgainstServer(w, *server, *bucket, *records, *ops, *threads)
+		return
+	}
+	if *bucket == "" {
+		*bucket = "ycsb"
+	}
+
 	cluster, err := core.NewCluster(core.Config{Dir: *dir, NumVBuckets: *vbuckets})
 	if err != nil {
 		log.Fatal(err)
@@ -63,16 +80,16 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if err := cluster.CreateBucket("ycsb", core.BucketOptions{}); err != nil {
+	if err := cluster.CreateBucket(*bucket, core.BucketOptions{}); err != nil {
 		log.Fatal(err)
 	}
 	if w.ScanProportion > 0 {
 		// Workload E scans run through N1QL over the primary index.
-		if _, err := cluster.Query("CREATE PRIMARY INDEX ON `ycsb`", executor.Options{}); err != nil {
+		if _, err := cluster.Query(fmt.Sprintf("CREATE PRIMARY INDEX ON `%s`", *bucket), executor.Options{}); err != nil {
 			log.Fatal(err)
 		}
 	}
-	db, err := ycsb.NewCouchDB(cluster, "ycsb")
+	db, err := ycsb.NewCouchDB(cluster, *bucket)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,6 +114,43 @@ func main() {
 			RecordCount: *records,
 			Threads:     tc,
 			Ops:         *ops,
+			Record:      ycsb.DefaultRecord,
+		}
+		fmt.Println(r.Run())
+		printSlowest(fmt.Sprintf("%d threads", tc))
+	}
+}
+
+// runAgainstServer drives the workload through the smart client over
+// the binary KV wire protocol: the cluster map arrives in-band from
+// the seed address, and every op crosses a real socket. Used to
+// measure the loopback-TCP tax against the in-process numbers (see
+// BENCH_transport.json).
+func runAgainstServer(w ycsb.Workload, server, bucket string, records int64, ops int, threads string) {
+	pool := transport.NewPool()
+	defer pool.Close()
+	router := transport.NewRouter(bucket, []string{server}, pool)
+	db := &ycsb.CouchDB{Client: core.NewClient(router, bucket), Bucket: bucket}
+
+	fmt.Printf("# loading %d records via %s (bucket %q, wire protocol)\n", records, server, bucket)
+	loader := &ycsb.Runner{DB: db, RecordCount: records, Threads: 16, Record: ycsb.DefaultRecord}
+	if err := loader.Load(); err != nil {
+		log.Fatal(err)
+	}
+	printSlowest("load")
+
+	fmt.Printf("# workload %s over TCP: %d ops per measurement\n", w.Name, ops)
+	for _, ts := range strings.Split(threads, ",") {
+		tc, err := strconv.Atoi(strings.TrimSpace(ts))
+		if err != nil || tc <= 0 {
+			log.Fatalf("bad thread count %q", ts)
+		}
+		r := &ycsb.Runner{
+			DB:          db,
+			Workload:    w,
+			RecordCount: records,
+			Threads:     tc,
+			Ops:         ops,
 			Record:      ycsb.DefaultRecord,
 		}
 		fmt.Println(r.Run())

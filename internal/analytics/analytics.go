@@ -78,7 +78,7 @@ func NewEngine(keyspace string) *Engine {
 
 // AttachVB registers a vBucket's producer. If the dataset is enabled,
 // shadowing starts immediately; otherwise Enable starts it later.
-func (e *Engine) AttachVB(vb int, p *dcp.Producer) error {
+func (e *Engine) AttachVB(vb int, p dcp.StreamSource) error {
 	return e.hub.AttachVB(vb, p)
 }
 

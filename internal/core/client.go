@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"couchgo/internal/cache"
-	"couchgo/internal/events"
 	"couchgo/internal/trace"
 	"couchgo/internal/vbucket"
 )
@@ -18,12 +17,19 @@ import (
 // directly to the node owning that partition. On a stale map
 // (not-my-vbucket) it refreshes and retries.
 //
+// The client is transport-agnostic: route resolves a key to a NodeConn
+// through the Router seam, so the same code drives the in-process
+// loopback path and real TCP connections to a multi-process cluster.
+//
 // Client methods are the KV tracing roots: each op makes the sampling
 // decision (or joins the caller's span) and every routing attempt gets
 // its own child span with node/vBucket/backoff annotations.
 type Client struct {
+	router Router
+	bucket string
+	// cluster is set for loopback clients only (in-process tests and
+	// tools reach through it); nil when the client rides a transport.
 	cluster *Cluster
-	bucket  string
 	// clock returns "now" in unix seconds; injectable for expiry tests.
 	clock func() int64
 }
@@ -43,12 +49,18 @@ type DurabilityOptions struct {
 // ErrKeyNotFound mirrors the cache error at the client surface.
 var ErrKeyNotFound = cache.ErrKeyNotFound
 
-// OpenBucket returns a smart client for one bucket.
+// OpenBucket returns a smart client for one bucket over the in-process
+// loopback transport.
 func (c *Cluster) OpenBucket(name string) (*Client, error) {
 	if _, err := c.bucket(name); err != nil {
 		return nil, err
 	}
-	return &Client{cluster: c, bucket: name, clock: func() int64 { return time.Now().Unix() }}, nil
+	return &Client{
+		router:  loopbackRouter{c: c, bucket: name},
+		bucket:  name,
+		cluster: c,
+		clock:   func() int64 { return time.Now().Unix() },
+	}, nil
 }
 
 // SetClock overrides the client's time source (expiry tests).
@@ -74,6 +86,17 @@ func routeBackoff(attempt int) time.Duration {
 	return d/2 + rand.N(d/2+1)
 }
 
+// retryableRouteErr reports whether an op failure means "the topology
+// moved under us, re-read the map and try again": a stale map
+// (not-my-vbucket), a node that stopped serving, a node missing the
+// bucket mid-provisioning, or a transport-level connection failure.
+func retryableRouteErr(err error) bool {
+	return errors.Is(err, vbucket.ErrNotMyVBucket) ||
+		errors.Is(err, ErrNodeDown) ||
+		errors.Is(err, ErrNoSuchBucket) ||
+		errors.Is(err, ErrNodeUnreachable)
+}
+
 // startOp opens the root (or child) span for one client KV operation.
 func (cl *Client) startOp(ctx context.Context, name, key string) (context.Context, *trace.Span) {
 	ctx, sp := trace.Default.Start(ctx, name)
@@ -84,15 +107,11 @@ func (cl *Client) startOp(ctx context.Context, name, key string) (context.Contex
 	return ctx, sp
 }
 
-// route finds the active vBucket for key, retrying through map
-// refreshes while rebalance or failover move the partition. Each
-// attempt is its own span so a trace shows exactly which hops a
-// request took and how long it backed off between them.
-func (cl *Client) route(ctx context.Context, key string, op func(ctx context.Context, vb *vbucket.VBucket) error) error {
-	b, err := cl.cluster.bucket(cl.bucket)
-	if err != nil {
-		return err
-	}
+// route finds the node connection owning key's vBucket, retrying
+// through map refreshes while rebalance or failover move the
+// partition. Each attempt is its own span so a trace shows exactly
+// which hops a request took and how long it backed off between them.
+func (cl *Client) route(ctx context.Context, key string, op func(ctx context.Context, vbID int, nc NodeConn) error) error {
 	parent := trace.FromContext(ctx)
 	var lastErr error
 	for attempt := 0; attempt < maxRouteRetries; attempt++ {
@@ -110,7 +129,12 @@ func (cl *Client) route(ctx context.Context, key string, op func(ctx context.Con
 			}
 			time.Sleep(d)
 		}
-		m := b.Map()
+		m, err := cl.router.BucketMap()
+		if err != nil {
+			asp.Error(err)
+			asp.End()
+			return err
+		}
 		nodeID, vbID := m.NodeForKey(key)
 		if nodeID == "" {
 			err := errors.New("core: no active node for key (partition lost)")
@@ -122,21 +146,17 @@ func (cl *Client) route(ctx context.Context, key string, op func(ctx context.Con
 			asp.Annotate("node", string(nodeID))
 			asp.Annotate("vb", strconv.Itoa(vbID))
 		}
-		node, err := cl.cluster.Node(nodeID)
+		nc, err := cl.router.Conn(nodeID)
 		if err != nil {
 			retry(err)
 			continue
 		}
-		vb, err := node.kvVB(cl.bucket, vbID)
-		if err != nil {
-			retry(err)
-			continue
-		}
-		err = op(trace.ContextWith(ctx, asp), vb)
-		if errors.Is(err, vbucket.ErrNotMyVBucket) {
+		err = op(trace.ContextWith(ctx, asp), vbID, nc)
+		if retryableRouteErr(err) {
 			// Stale map: "the cluster updates each connected client
 			// library with the new cluster map" — here the client
-			// re-reads it and retries.
+			// re-reads it and retries. (Over TCP the refreshed map rode
+			// the not-my-vbucket response itself.)
 			retry(err)
 			continue
 		}
@@ -151,8 +171,8 @@ func (cl *Client) route(ctx context.Context, key string, op func(ctx context.Con
 func (cl *Client) Get(ctx context.Context, key string) (cache.Item, error) {
 	ctx, sp := cl.startOp(ctx, "kv:get", key)
 	var out cache.Item
-	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
-		it, err := vb.Get(ctx, key, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vbID int, nc NodeConn) error {
+		it, err := nc.Get(ctx, vbID, key, cl.clock())
 		out = it
 		return err
 	})
@@ -170,13 +190,10 @@ func (cl *Client) Set(ctx context.Context, key string, value []byte, casCheck ui
 func (cl *Client) SetWithOptions(ctx context.Context, key string, value []byte, flags uint32, expiry int64, casCheck uint64, dur DurabilityOptions) (cache.Item, error) {
 	ctx, sp := cl.startOp(ctx, "kv:set", key)
 	var out cache.Item
-	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
-		it, err := vb.Set(ctx, key, value, flags, expiry, casCheck, cl.clock())
-		if err != nil {
-			return err
-		}
+	err := cl.route(ctx, key, func(ctx context.Context, vbID int, nc NodeConn) error {
+		it, err := nc.Set(ctx, vbID, key, value, flags, expiry, casCheck, cl.clock(), dur)
 		out = it
-		return cl.waitDurability(ctx, vb, it.Seqno, dur)
+		return err
 	})
 	sp.Error(err)
 	sp.End()
@@ -187,8 +204,8 @@ func (cl *Client) SetWithOptions(ctx context.Context, key string, value []byte, 
 func (cl *Client) Add(ctx context.Context, key string, value []byte) (cache.Item, error) {
 	ctx, sp := cl.startOp(ctx, "kv:add", key)
 	var out cache.Item
-	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
-		it, err := vb.Add(ctx, key, value, 0, 0, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vbID int, nc NodeConn) error {
+		it, err := nc.Add(ctx, vbID, key, value, cl.clock())
 		out = it
 		return err
 	})
@@ -201,8 +218,8 @@ func (cl *Client) Add(ctx context.Context, key string, value []byte) (cache.Item
 func (cl *Client) Replace(ctx context.Context, key string, value []byte, casCheck uint64) (cache.Item, error) {
 	ctx, sp := cl.startOp(ctx, "kv:replace", key)
 	var out cache.Item
-	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
-		it, err := vb.Replace(ctx, key, value, 0, 0, casCheck, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vbID int, nc NodeConn) error {
+		it, err := nc.Replace(ctx, vbID, key, value, casCheck, cl.clock())
 		out = it
 		return err
 	})
@@ -214,8 +231,8 @@ func (cl *Client) Replace(ctx context.Context, key string, value []byte, casChec
 // Delete removes a document.
 func (cl *Client) Delete(ctx context.Context, key string, casCheck uint64) error {
 	ctx, sp := cl.startOp(ctx, "kv:delete", key)
-	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
-		_, err := vb.Delete(ctx, key, casCheck, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vbID int, nc NodeConn) error {
+		_, err := nc.Delete(ctx, vbID, key, casCheck, cl.clock(), DurabilityOptions{})
 		return err
 	})
 	sp.Error(err)
@@ -226,12 +243,9 @@ func (cl *Client) Delete(ctx context.Context, key string, casCheck uint64) error
 // DeleteWithDurability removes a document and applies durability.
 func (cl *Client) DeleteWithDurability(ctx context.Context, key string, casCheck uint64, dur DurabilityOptions) error {
 	ctx, sp := cl.startOp(ctx, "kv:delete", key)
-	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
-		it, err := vb.Delete(ctx, key, casCheck, cl.clock())
-		if err != nil {
-			return err
-		}
-		return cl.waitDurability(ctx, vb, it.Seqno, dur)
+	err := cl.route(ctx, key, func(ctx context.Context, vbID int, nc NodeConn) error {
+		_, err := nc.Delete(ctx, vbID, key, casCheck, cl.clock(), dur)
+		return err
 	})
 	sp.Error(err)
 	sp.End()
@@ -241,9 +255,8 @@ func (cl *Client) DeleteWithDurability(ctx context.Context, key string, casCheck
 // Touch updates a document's TTL.
 func (cl *Client) Touch(ctx context.Context, key string, expiry int64) error {
 	ctx, sp := cl.startOp(ctx, "kv:touch", key)
-	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
-		_, err := vb.Touch(ctx, key, expiry, cl.clock())
-		return err
+	err := cl.route(ctx, key, func(ctx context.Context, vbID int, nc NodeConn) error {
+		return nc.Touch(ctx, vbID, key, expiry, cl.clock())
 	})
 	sp.Error(err)
 	sp.End()
@@ -254,8 +267,8 @@ func (cl *Client) Touch(ctx context.Context, key string, expiry int64) error {
 func (cl *Client) GetAndLock(ctx context.Context, key string, lockSeconds int64) (cache.Item, error) {
 	ctx, sp := cl.startOp(ctx, "kv:getandlock", key)
 	var out cache.Item
-	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
-		it, err := vb.GetAndLock(ctx, key, lockSeconds, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vbID int, nc NodeConn) error {
+		it, err := nc.GetAndLock(ctx, vbID, key, lockSeconds, cl.clock())
 		out = it
 		return err
 	})
@@ -267,8 +280,8 @@ func (cl *Client) GetAndLock(ctx context.Context, key string, lockSeconds int64)
 // Unlock releases the hard lock.
 func (cl *Client) Unlock(ctx context.Context, key string, casToken uint64) error {
 	ctx, sp := cl.startOp(ctx, "kv:unlock", key)
-	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
-		return vb.Unlock(ctx, key, casToken, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vbID int, nc NodeConn) error {
+		return nc.Unlock(ctx, vbID, key, casToken, cl.clock())
 	})
 	sp.Error(err)
 	sp.End()
@@ -280,8 +293,8 @@ func (cl *Client) Unlock(ctx context.Context, key string, casToken uint64) error
 func (cl *Client) Append(ctx context.Context, key string, data []byte, casCheck uint64) (cache.Item, error) {
 	ctx, sp := cl.startOp(ctx, "kv:append", key)
 	var out cache.Item
-	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
-		it, err := vb.Append(ctx, key, data, casCheck, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vbID int, nc NodeConn) error {
+		it, err := nc.Append(ctx, vbID, key, data, casCheck, cl.clock())
 		out = it
 		return err
 	})
@@ -294,8 +307,8 @@ func (cl *Client) Append(ctx context.Context, key string, data []byte, casCheck 
 func (cl *Client) Prepend(ctx context.Context, key string, data []byte, casCheck uint64) (cache.Item, error) {
 	ctx, sp := cl.startOp(ctx, "kv:prepend", key)
 	var out cache.Item
-	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
-		it, err := vb.Prepend(ctx, key, data, casCheck, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vbID int, nc NodeConn) error {
+		it, err := nc.Prepend(ctx, vbID, key, data, casCheck, cl.clock())
 		out = it
 		return err
 	})
@@ -308,8 +321,8 @@ func (cl *Client) Prepend(ctx context.Context, key string, data []byte, casCheck
 func (cl *Client) SubdocGet(ctx context.Context, key, path string) (any, error) {
 	ctx, sp := cl.startOp(ctx, "kv:subdoc:get", key)
 	var out any
-	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
-		v, err := vb.SubdocGet(ctx, key, path, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vbID int, nc NodeConn) error {
+		v, err := nc.SubdocGet(ctx, vbID, key, path, cl.clock())
 		out = v
 		return err
 	})
@@ -322,8 +335,8 @@ func (cl *Client) SubdocGet(ctx context.Context, key, path string) (any, error) 
 func (cl *Client) SubdocSet(ctx context.Context, key, path string, v any, casCheck uint64) (cache.Item, error) {
 	ctx, sp := cl.startOp(ctx, "kv:subdoc:set", key)
 	var out cache.Item
-	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
-		it, err := vb.SubdocSet(ctx, key, path, v, casCheck, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vbID int, nc NodeConn) error {
+		it, err := nc.SubdocSet(ctx, vbID, key, path, v, casCheck, cl.clock())
 		out = it
 		return err
 	})
@@ -336,8 +349,8 @@ func (cl *Client) SubdocSet(ctx context.Context, key, path string, v any, casChe
 func (cl *Client) SubdocRemove(ctx context.Context, key, path string, casCheck uint64) (cache.Item, error) {
 	ctx, sp := cl.startOp(ctx, "kv:subdoc:remove", key)
 	var out cache.Item
-	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
-		it, err := vb.SubdocRemove(ctx, key, path, casCheck, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vbID int, nc NodeConn) error {
+		it, err := nc.SubdocRemove(ctx, vbID, key, path, casCheck, cl.clock())
 		out = it
 		return err
 	})
@@ -350,8 +363,8 @@ func (cl *Client) SubdocRemove(ctx context.Context, key, path string, casCheck u
 func (cl *Client) SubdocArrayAppend(ctx context.Context, key, path string, v any, casCheck uint64) (cache.Item, error) {
 	ctx, sp := cl.startOp(ctx, "kv:subdoc:arrayappend", key)
 	var out cache.Item
-	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
-		it, err := vb.SubdocArrayAppend(ctx, key, path, v, casCheck, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vbID int, nc NodeConn) error {
+		it, err := nc.SubdocArrayAppend(ctx, vbID, key, path, v, casCheck, cl.clock())
 		out = it
 		return err
 	})
@@ -365,8 +378,8 @@ func (cl *Client) SubdocArrayAppend(ctx context.Context, key, path string, v any
 func (cl *Client) SubdocCounter(ctx context.Context, key, path string, delta float64, casCheck uint64) (float64, error) {
 	ctx, sp := cl.startOp(ctx, "kv:subdoc:counter", key)
 	var out float64
-	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
-		v, _, err := vb.SubdocCounter(ctx, key, path, delta, casCheck, cl.clock())
+	err := cl.route(ctx, key, func(ctx context.Context, vbID int, nc NodeConn) error {
+		v, err := nc.SubdocCounter(ctx, vbID, key, path, delta, casCheck, cl.clock())
 		out = v
 		return err
 	})
@@ -379,8 +392,8 @@ func (cl *Client) SubdocCounter(ctx context.Context, key, path string, delta flo
 // XDCR and diagnostics.
 func (cl *Client) GetMeta(ctx context.Context, key string) (cache.Item, error) {
 	var out cache.Item
-	err := cl.route(ctx, key, func(_ context.Context, vb *vbucket.VBucket) error {
-		it, err := vb.GetMeta(key)
+	err := cl.route(ctx, key, func(ctx context.Context, vbID int, nc NodeConn) error {
+		it, err := nc.GetMeta(ctx, vbID, key)
 		out = it
 		return err
 	})
@@ -393,62 +406,12 @@ func (cl *Client) GetMeta(ctx context.Context, key string) (cache.Item, error) {
 func (cl *Client) XDCRApply(ctx context.Context, key string, value []byte, deleted bool, cas, revSeqno uint64, flags uint32, expiry int64) (bool, error) {
 	ctx, sp := cl.startOp(ctx, "kv:xdcr", key)
 	var applied bool
-	err := cl.route(ctx, key, func(ctx context.Context, vb *vbucket.VBucket) error {
-		a, err := vb.ApplyRemote(ctx, key, value, deleted, cas, revSeqno, flags, expiry)
+	err := cl.route(ctx, key, func(ctx context.Context, vbID int, nc NodeConn) error {
+		a, err := nc.XDCRApply(ctx, vbID, key, value, deleted, cas, revSeqno, flags, expiry)
 		applied = a
 		return err
 	})
 	sp.Error(err)
 	sp.End()
 	return applied, err
-}
-
-// waitDurability blocks until the mutation's durability requirement
-// holds. The wait gets its own span — on a slow durable write it is
-// usually the whole story.
-func (cl *Client) waitDurability(ctx context.Context, vb *vbucket.VBucket, seqno uint64, dur DurabilityOptions) error {
-	if dur.ReplicateTo <= 0 && !dur.PersistTo {
-		return nil
-	}
-	sp := trace.FromContext(ctx).Child("durability:wait")
-	if sp != nil {
-		sp.Annotate("replicate_to", strconv.Itoa(dur.ReplicateTo))
-		sp.Annotate("persist_to", strconv.FormatBool(dur.PersistTo))
-		defer sp.End()
-	}
-	timeout := dur.Timeout
-	if timeout <= 0 {
-		timeout = 10 * time.Second
-	}
-	if dur.ReplicateTo > 0 {
-		if err := vb.WaitReplicas(seqno, dur.ReplicateTo, timeout); err != nil {
-			sp.Error(err)
-			publishDurabilityEvent(ctx, "replicate", seqno, err)
-			return err
-		}
-	}
-	if dur.PersistTo {
-		if err := vb.WaitPersist(seqno, timeout); err != nil {
-			sp.Error(err)
-			publishDurabilityEvent(ctx, "persist", seqno, err)
-			return err
-		}
-	}
-	return nil
-}
-
-// publishDurabilityEvent journals a failed durability wait — the write
-// was accepted but its replication/persistence guarantee was not met
-// in time, exactly the condition an operator needs to see.
-func publishDurabilityEvent(ctx context.Context, kind string, seqno uint64, err error) {
-	e := events.New(events.Durability, events.SevWarn, "durability wait failed")
-	e.Fields = map[string]string{
-		"kind":  kind,
-		"seqno": strconv.FormatUint(seqno, 10),
-		"error": err.Error(),
-	}
-	if t := trace.TraceFromContext(ctx); t != nil {
-		e.TraceID = t.ID
-	}
-	events.Default.Publish(e)
 }

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"couchgo/internal/cache"
+	"couchgo/internal/cmap"
+)
+
+// ErrNodeUnreachable marks transient transport failures (dial refused,
+// connection reset, pool drained). The client's route loop retries them
+// with the same capped backoff it uses for a stale map, because they
+// mean the same thing operationally: the topology the client believes
+// in and the one that exists have diverged for a moment.
+var ErrNodeUnreachable = errors.New("core: node unreachable")
+
+// NodeConn is one node's KV surface as a smart client sees it: every
+// vBucket-routed operation, addressed by (vbID, key). Two
+// implementations exist — the in-process loopback that calls straight
+// into the owning *Node (exactly the pre-transport call path), and the
+// transport layer's TCP connection that encodes each call as a
+// memcproto frame. The client neither knows nor cares which it got;
+// that indifference is the seam the multi-process cluster hangs on.
+//
+// The `now` parameter is the client's unix-seconds clock, threaded
+// through so expiry semantics follow the client's (injectable) time
+// source on both transports.
+type NodeConn interface {
+	Get(ctx context.Context, vbID int, key string, now int64) (cache.Item, error)
+	Set(ctx context.Context, vbID int, key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64, dur DurabilityOptions) (cache.Item, error)
+	Add(ctx context.Context, vbID int, key string, value []byte, now int64) (cache.Item, error)
+	Replace(ctx context.Context, vbID int, key string, value []byte, casCheck uint64, now int64) (cache.Item, error)
+	Delete(ctx context.Context, vbID int, key string, casCheck uint64, now int64, dur DurabilityOptions) (cache.Item, error)
+	Touch(ctx context.Context, vbID int, key string, expiry, now int64) error
+	GetAndLock(ctx context.Context, vbID int, key string, lockSeconds, now int64) (cache.Item, error)
+	Unlock(ctx context.Context, vbID int, key string, casToken uint64, now int64) error
+	Append(ctx context.Context, vbID int, key string, data []byte, casCheck uint64, now int64) (cache.Item, error)
+	Prepend(ctx context.Context, vbID int, key string, data []byte, casCheck uint64, now int64) (cache.Item, error)
+	SubdocGet(ctx context.Context, vbID int, key, path string, now int64) (any, error)
+	SubdocSet(ctx context.Context, vbID int, key, path string, v any, casCheck uint64, now int64) (cache.Item, error)
+	SubdocRemove(ctx context.Context, vbID int, key, path string, casCheck uint64, now int64) (cache.Item, error)
+	SubdocArrayAppend(ctx context.Context, vbID int, key, path string, v any, casCheck uint64, now int64) (cache.Item, error)
+	SubdocCounter(ctx context.Context, vbID int, key, path string, delta float64, casCheck uint64, now int64) (float64, error)
+	GetMeta(ctx context.Context, vbID int, key string) (cache.Item, error)
+	XDCRApply(ctx context.Context, vbID int, key string, value []byte, deleted bool, cas, revSeqno uint64, flags uint32, expiry int64) (bool, error)
+}
+
+// Router is how a smart client resolves "who owns this key and how do
+// I talk to them": the cached cluster map plus a connection per node.
+// The loopback router reads the bucket's live map and hands out
+// in-process conns; the transport router caches the map it last saw on
+// the wire (every response carries the server's map epoch) and hands
+// out pooled TCP conns.
+type Router interface {
+	// BucketMap returns the router's current view of the cluster map.
+	BucketMap() (*cmap.Map, error)
+	// Conn returns the connection for the named node.
+	Conn(node cmap.NodeID) (NodeConn, error)
+}
+
+// NewClient builds a smart client over an arbitrary Router — the
+// entry point the transport layer (and tests) use to drive the full
+// client surface over TCP. In-process callers keep using
+// Cluster.OpenBucket, which wires the loopback router.
+func NewClient(r Router, bucket string) *Client {
+	return &Client{
+		router: r,
+		bucket: bucket,
+		clock:  func() int64 { return time.Now().Unix() },
+	}
+}

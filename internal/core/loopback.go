@@ -1,0 +1,251 @@
+package core
+
+import (
+	"context"
+	"strconv"
+	"time"
+
+	"couchgo/internal/cache"
+	"couchgo/internal/cmap"
+	"couchgo/internal/events"
+	"couchgo/internal/trace"
+	"couchgo/internal/vbucket"
+)
+
+// loopbackRouter is the in-process Router: the bucket's live map and
+// direct-call conns. It preserves the exact pre-transport behavior —
+// the map read is always current (no epoch tracking needed) and a conn
+// is a method call away.
+type loopbackRouter struct {
+	c      *Cluster
+	bucket string
+}
+
+func (r loopbackRouter) BucketMap() (*cmap.Map, error) {
+	b, err := r.c.bucket(r.bucket)
+	if err != nil {
+		return nil, err
+	}
+	return b.Map(), nil
+}
+
+func (r loopbackRouter) Conn(id cmap.NodeID) (NodeConn, error) {
+	n, err := r.c.Node(id)
+	if err != nil {
+		return nil, err
+	}
+	return loopbackConn{node: n, bucket: r.bucket}, nil
+}
+
+// loopbackConn executes KV ops directly against the owning node's
+// vBuckets. Durability waits run client-side here (same process, same
+// semantics as always); the TCP conn ships the options in extras and
+// the server performs the identical wait before acknowledging.
+type loopbackConn struct {
+	node   *Node
+	bucket string
+}
+
+var _ NodeConn = loopbackConn{}
+
+func (lc loopbackConn) vb(vbID int) (*vbucket.VBucket, error) {
+	return lc.node.kvVB(lc.bucket, vbID)
+}
+
+func (lc loopbackConn) Get(ctx context.Context, vbID int, key string, now int64) (cache.Item, error) {
+	vb, err := lc.vb(vbID)
+	if err != nil {
+		return cache.Item{}, err
+	}
+	return vb.Get(ctx, key, now)
+}
+
+func (lc loopbackConn) Set(ctx context.Context, vbID int, key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64, dur DurabilityOptions) (cache.Item, error) {
+	vb, err := lc.vb(vbID)
+	if err != nil {
+		return cache.Item{}, err
+	}
+	it, err := vb.Set(ctx, key, value, flags, expiry, casCheck, now)
+	if err != nil {
+		return it, err
+	}
+	return it, waitDurability(ctx, vb, it.Seqno, dur)
+}
+
+func (lc loopbackConn) Add(ctx context.Context, vbID int, key string, value []byte, now int64) (cache.Item, error) {
+	vb, err := lc.vb(vbID)
+	if err != nil {
+		return cache.Item{}, err
+	}
+	return vb.Add(ctx, key, value, 0, 0, now)
+}
+
+func (lc loopbackConn) Replace(ctx context.Context, vbID int, key string, value []byte, casCheck uint64, now int64) (cache.Item, error) {
+	vb, err := lc.vb(vbID)
+	if err != nil {
+		return cache.Item{}, err
+	}
+	return vb.Replace(ctx, key, value, 0, 0, casCheck, now)
+}
+
+func (lc loopbackConn) Delete(ctx context.Context, vbID int, key string, casCheck uint64, now int64, dur DurabilityOptions) (cache.Item, error) {
+	vb, err := lc.vb(vbID)
+	if err != nil {
+		return cache.Item{}, err
+	}
+	it, err := vb.Delete(ctx, key, casCheck, now)
+	if err != nil {
+		return it, err
+	}
+	return it, waitDurability(ctx, vb, it.Seqno, dur)
+}
+
+func (lc loopbackConn) Touch(ctx context.Context, vbID int, key string, expiry, now int64) error {
+	vb, err := lc.vb(vbID)
+	if err != nil {
+		return err
+	}
+	_, err = vb.Touch(ctx, key, expiry, now)
+	return err
+}
+
+func (lc loopbackConn) GetAndLock(ctx context.Context, vbID int, key string, lockSeconds, now int64) (cache.Item, error) {
+	vb, err := lc.vb(vbID)
+	if err != nil {
+		return cache.Item{}, err
+	}
+	return vb.GetAndLock(ctx, key, lockSeconds, now)
+}
+
+func (lc loopbackConn) Unlock(ctx context.Context, vbID int, key string, casToken uint64, now int64) error {
+	vb, err := lc.vb(vbID)
+	if err != nil {
+		return err
+	}
+	return vb.Unlock(ctx, key, casToken, now)
+}
+
+func (lc loopbackConn) Append(ctx context.Context, vbID int, key string, data []byte, casCheck uint64, now int64) (cache.Item, error) {
+	vb, err := lc.vb(vbID)
+	if err != nil {
+		return cache.Item{}, err
+	}
+	return vb.Append(ctx, key, data, casCheck, now)
+}
+
+func (lc loopbackConn) Prepend(ctx context.Context, vbID int, key string, data []byte, casCheck uint64, now int64) (cache.Item, error) {
+	vb, err := lc.vb(vbID)
+	if err != nil {
+		return cache.Item{}, err
+	}
+	return vb.Prepend(ctx, key, data, casCheck, now)
+}
+
+func (lc loopbackConn) SubdocGet(ctx context.Context, vbID int, key, path string, now int64) (any, error) {
+	vb, err := lc.vb(vbID)
+	if err != nil {
+		return nil, err
+	}
+	return vb.SubdocGet(ctx, key, path, now)
+}
+
+func (lc loopbackConn) SubdocSet(ctx context.Context, vbID int, key, path string, v any, casCheck uint64, now int64) (cache.Item, error) {
+	vb, err := lc.vb(vbID)
+	if err != nil {
+		return cache.Item{}, err
+	}
+	return vb.SubdocSet(ctx, key, path, v, casCheck, now)
+}
+
+func (lc loopbackConn) SubdocRemove(ctx context.Context, vbID int, key, path string, casCheck uint64, now int64) (cache.Item, error) {
+	vb, err := lc.vb(vbID)
+	if err != nil {
+		return cache.Item{}, err
+	}
+	return vb.SubdocRemove(ctx, key, path, casCheck, now)
+}
+
+func (lc loopbackConn) SubdocArrayAppend(ctx context.Context, vbID int, key, path string, v any, casCheck uint64, now int64) (cache.Item, error) {
+	vb, err := lc.vb(vbID)
+	if err != nil {
+		return cache.Item{}, err
+	}
+	return vb.SubdocArrayAppend(ctx, key, path, v, casCheck, now)
+}
+
+func (lc loopbackConn) SubdocCounter(ctx context.Context, vbID int, key, path string, delta float64, casCheck uint64, now int64) (float64, error) {
+	vb, err := lc.vb(vbID)
+	if err != nil {
+		return 0, err
+	}
+	v, _, err := vb.SubdocCounter(ctx, key, path, delta, casCheck, now)
+	return v, err
+}
+
+func (lc loopbackConn) GetMeta(ctx context.Context, vbID int, key string) (cache.Item, error) {
+	vb, err := lc.vb(vbID)
+	if err != nil {
+		return cache.Item{}, err
+	}
+	return vb.GetMeta(key)
+}
+
+func (lc loopbackConn) XDCRApply(ctx context.Context, vbID int, key string, value []byte, deleted bool, cas, revSeqno uint64, flags uint32, expiry int64) (bool, error) {
+	vb, err := lc.vb(vbID)
+	if err != nil {
+		return false, err
+	}
+	return vb.ApplyRemote(ctx, key, value, deleted, cas, revSeqno, flags, expiry)
+}
+
+// waitDurability blocks until the mutation's durability requirement
+// holds. The wait gets its own span — on a slow durable write it is
+// usually the whole story. Both transports end up here: the loopback
+// conn calls it directly, the TCP server calls it before encoding the
+// response frame.
+func waitDurability(ctx context.Context, vb *vbucket.VBucket, seqno uint64, dur DurabilityOptions) error {
+	if dur.ReplicateTo <= 0 && !dur.PersistTo {
+		return nil
+	}
+	sp := trace.FromContext(ctx).Child("durability:wait")
+	if sp != nil {
+		sp.Annotate("replicate_to", strconv.Itoa(dur.ReplicateTo))
+		sp.Annotate("persist_to", strconv.FormatBool(dur.PersistTo))
+		defer sp.End()
+	}
+	timeout := dur.Timeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	if dur.ReplicateTo > 0 {
+		if err := vb.WaitReplicas(seqno, dur.ReplicateTo, timeout); err != nil {
+			sp.Error(err)
+			publishDurabilityEvent(ctx, "replicate", seqno, err)
+			return err
+		}
+	}
+	if dur.PersistTo {
+		if err := vb.WaitPersist(seqno, timeout); err != nil {
+			sp.Error(err)
+			publishDurabilityEvent(ctx, "persist", seqno, err)
+			return err
+		}
+	}
+	return nil
+}
+
+// publishDurabilityEvent journals a failed durability wait — the write
+// was accepted but its replication/persistence guarantee was not met
+// in time, exactly the condition an operator needs to see.
+func publishDurabilityEvent(ctx context.Context, kind string, seqno uint64, err error) {
+	e := events.New(events.Durability, events.SevWarn, "durability wait failed")
+	e.Fields = map[string]string{
+		"kind":  kind,
+		"seqno": strconv.FormatUint(seqno, 10),
+		"error": err.Error(),
+	}
+	if t := trace.TraceFromContext(ctx); t != nil {
+		e.TraceID = t.ID
+	}
+	events.Default.Publish(e)
+}

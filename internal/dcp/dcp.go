@@ -62,6 +62,46 @@ var uuidCounter atomic.Uint64
 
 func nextUUID() uint64 { return uuidCounter.Add(1) }
 
+// MutationStream is the consumer-side view of one open DCP stream:
+// ordered mutations on C, the vBucket UUID the stream was opened
+// under, and the last seqno delivered. *Stream implements it for the
+// in-process path; the transport layer implements it over a socket so
+// feed consumers resume via (UUID, seqno) across processes without
+// knowing which side of a wire the producer lives on.
+type MutationStream interface {
+	// C returns the delivery channel; it closes when the stream ends.
+	C() <-chan Mutation
+	// StreamUUID is the vBucket UUID the stream was opened under — the
+	// consumer records it alongside its applied seqno as resume state.
+	StreamUUID() uint64
+	// Processed is the seqno of the last mutation handed to the
+	// consumer side.
+	Processed() uint64
+	// Close detaches the stream.
+	Close()
+}
+
+// StreamSource is the producer-side seam feed consumers attach to:
+// everything a resumable DCP consumer needs from "the copy of this
+// vBucket, wherever it lives". *Producer implements it directly
+// (loopback); the transport layer's remote producer implements it by
+// speaking the memcproto DCP opcodes to the owning node.
+type StreamSource interface {
+	// ResumeStream reopens a named stream at a recorded (uuid, seqno)
+	// position, validating it against the failover log; uuid 0 skips
+	// validation (a fresh consumer, or an explicit from-scratch open).
+	ResumeStream(name string, uuid, fromSeqno uint64) (MutationStream, error)
+	// HighSeqno reports the highest seqno published so far.
+	HighSeqno() uint64
+	// FailoverLog returns the vBucket's history branches, oldest first.
+	FailoverLog() []FailoverEntry
+}
+
+var (
+	_ StreamSource   = (*Producer)(nil)
+	_ MutationStream = (*Stream)(nil)
+)
+
 // Mutation is one document change flowing through the protocol.
 type Mutation struct {
 	VB       int
@@ -278,7 +318,7 @@ func (p *Producer) OpenStream(name string, fromSeqno uint64) (*Stream, error) {
 // never saw — ResumeStream returns a *RollbackError carrying the
 // seqno to rewind to. uuid 0 (a consumer with no history) skips
 // validation and behaves like OpenStream.
-func (p *Producer) ResumeStream(name string, uuid, fromSeqno uint64) (*Stream, error) {
+func (p *Producer) ResumeStream(name string, uuid, fromSeqno uint64) (MutationStream, error) {
 	if uuid != 0 && fromSeqno > 0 {
 		p.mu.Lock()
 		branch := -1
@@ -306,7 +346,11 @@ func (p *Producer) ResumeStream(name string, uuid, fromSeqno uint64) (*Stream, e
 		}
 		p.mu.Unlock()
 	}
-	return p.OpenStream(name, fromSeqno)
+	s, err := p.OpenStream(name, fromSeqno)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // publishRollbackRequired journals a rejected resume: the consumer
@@ -352,6 +396,10 @@ type Stream struct {
 // Processed returns the seqno of the last mutation delivered to the
 // consumer side of the stream.
 func (s *Stream) Processed() uint64 { return s.processed.Load() }
+
+// StreamUUID returns the vBucket UUID the stream was opened under
+// (the UUID field, behind the MutationStream seam).
+func (s *Stream) StreamUUID() uint64 { return s.UUID }
 
 // C returns the delivery channel.
 func (s *Stream) C() <-chan Mutation { return s.out }

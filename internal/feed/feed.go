@@ -107,8 +107,8 @@ type Feed struct {
 
 // vbFeed is one vBucket's attachment state.
 type vbFeed struct {
-	producer *dcp.Producer
-	stream   *dcp.Stream
+	producer dcp.StreamSource
+	stream   dcp.MutationStream
 	// uuid is the vBucket UUID the stream was opened under and seqno
 	// the last mutation handed to the consumer — together the resume
 	// position presented to the next producer.
@@ -157,8 +157,9 @@ func (f *Feed) Name() string { return f.name }
 // — stops the old drain first, then resumes on the new producer; if
 // the producer rejects the resume position (stale branch of history),
 // the consumer is rolled back and the stream reopened from the
-// rollback point.
-func (f *Feed) Attach(vb int, p *dcp.Producer) error {
+// rollback point. The producer may be an in-process *dcp.Producer or a
+// transport-layer remote source — the feed only sees the seam.
+func (f *Feed) Attach(vb int, p dcp.StreamSource) error {
 	f.opMu.Lock()
 	defer f.opMu.Unlock()
 
@@ -232,7 +233,7 @@ func (f *Feed) Attach(vb int, p *dcp.Producer) error {
 		return err
 	}
 
-	vf := &vbFeed{producer: p, stream: s, uuid: s.UUID, done: make(chan struct{})}
+	vf := &vbFeed{producer: p, stream: s, uuid: s.StreamUUID(), done: make(chan struct{})} //couchvet:ignore lockblock -- StreamUUID is a field read behind the stream seam; never blocks
 	vf.seqno.Store(seqno)
 
 	f.mu.Lock()

@@ -19,7 +19,7 @@ type Hub struct {
 
 	mu        sync.Mutex
 	closed    bool
-	producers map[int]*dcp.Producer
+	producers map[int]dcp.StreamSource
 	feeds     map[string]*Feed
 }
 
@@ -28,14 +28,14 @@ type Hub struct {
 func NewHub(service string) *Hub {
 	return &Hub{
 		service:   service,
-		producers: make(map[int]*dcp.Producer),
+		producers: make(map[int]dcp.StreamSource),
 		feeds:     make(map[string]*Feed),
 	}
 }
 
 // AttachVB registers (or replaces) a vBucket's producer and attaches
 // every subscribed feed to it. Idempotent for an unchanged producer.
-func (h *Hub) AttachVB(vb int, p *dcp.Producer) error {
+func (h *Hub) AttachVB(vb int, p dcp.StreamSource) error {
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
@@ -79,7 +79,7 @@ func (h *Hub) Subscribe(name string, c Consumer) (*Feed, error) {
 	}
 	f := New(name, c, Config{Service: h.service})
 	h.feeds[name] = f
-	producers := make(map[int]*dcp.Producer, len(h.producers))
+	producers := make(map[int]dcp.StreamSource, len(h.producers))
 	for vb, p := range h.producers {
 		producers[vb] = p
 	}
@@ -106,10 +106,10 @@ func (h *Hub) Unsubscribe(name string) {
 
 // Producers returns a copy of the registered producer set (index
 // backfill iterates it).
-func (h *Hub) Producers() map[int]*dcp.Producer {
+func (h *Hub) Producers() map[int]dcp.StreamSource {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	out := make(map[int]*dcp.Producer, len(h.producers))
+	out := make(map[int]dcp.StreamSource, len(h.producers))
 	for vb, p := range h.producers {
 		out[vb] = p
 	}
@@ -146,7 +146,7 @@ func (h *Hub) Close() {
 	h.closed = true
 	feeds := h.feedListLocked()
 	h.feeds = make(map[string]*Feed)
-	h.producers = make(map[int]*dcp.Producer)
+	h.producers = make(map[int]dcp.StreamSource)
 	h.mu.Unlock()
 	for _, f := range feeds {
 		f.Close()

@@ -129,7 +129,7 @@ func (e *Engine) Drop(name string) error {
 
 // AttachVB begins indexing a vBucket's mutations. Idempotent for the
 // same producer.
-func (e *Engine) AttachVB(vb int, p *dcp.Producer) error {
+func (e *Engine) AttachVB(vb int, p dcp.StreamSource) error {
 	return e.hub.AttachVB(vb, p)
 }
 

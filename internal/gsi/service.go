@@ -388,7 +388,7 @@ func (p *Projector) Rollback(vb int, _ uint64) uint64 {
 // same producer is a no-op (idempotent reconciliation); a changed
 // producer resumes from the recorded position, rolling indexes back
 // first if the new producer's history demands it.
-func (p *Projector) AttachVB(vb int, producer *dcp.Producer) error {
+func (p *Projector) AttachVB(vb int, producer dcp.StreamSource) error {
 	return p.hub.AttachVB(vb, producer)
 }
 
@@ -413,7 +413,7 @@ func (p *Projector) backfillIndex(st *indexState) {
 		if target == 0 {
 			continue
 		}
-		s, err := producer.OpenStream("gsi-build:"+st.cd.Name, 0)
+		s, err := producer.ResumeStream("gsi-build:"+st.cd.Name, 0, 0)
 		if err != nil {
 			continue
 		}

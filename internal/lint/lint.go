@@ -6,7 +6,7 @@
 // services (paper §4.3, §5) uphold today only by discipline:
 //
 //   - lockblock:        no mutex held across a channel send/receive,
-//     select, or call into another internal package
+//     select, socket write, or call into another internal package
 //   - mixedatomic:      no struct field accessed both via sync/atomic
 //     and via plain loads/stores
 //   - unlockedescape:   no method touching mutex-guarded fields

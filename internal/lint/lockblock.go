@@ -10,15 +10,19 @@ import (
 
 // LockBlock flags blocking operations performed while a sync.Mutex or
 // sync.RWMutex is held: channel sends and receives, select statements,
-// ranging over a channel, and calls into other in-repo internal
-// packages (which may themselves take locks or block — the deadlock
-// shape the feed/dcp/core triangle is most exposed to). The analysis
-// is intra-procedural: a lock is considered held from a Lock()/RLock()
-// statement (or for the rest of the function after `defer Unlock()`)
-// until a matching Unlock()/RUnlock() in the same block sequence.
+// ranging over a channel, socket writes (a Write/WriteTo on anything
+// that is or implements net.Conn — a slow peer must never stall a
+// lock holder; the transport layer's writer-goroutine loops own their
+// sockets lock-free and stay clean by construction), and calls into
+// other in-repo internal packages (which may themselves take locks or
+// block — the deadlock shape the feed/dcp/core triangle is most
+// exposed to). The analysis is intra-procedural: a lock is considered
+// held from a Lock()/RLock() statement (or for the rest of the
+// function after `defer Unlock()`) until a matching
+// Unlock()/RUnlock() in the same block sequence.
 var LockBlock = &Analyzer{
 	Name: "lockblock",
-	Doc:  "mutex held across channel operation, select, or cross-internal-package call",
+	Doc:  "mutex held across channel operation, select, socket write, or cross-internal-package call",
 	Run:  runLockBlock,
 }
 
@@ -209,7 +213,9 @@ func (w *lockWalker) checkExpr(e ast.Expr, held map[string]token.Pos) {
 				w.report(n.Pos(), held, "channel receive")
 			}
 		case *ast.CallExpr:
-			if p := calleePackage(w.pkg, n); internalPackage(p, w.pkg.Path) && !lockBlockExempt[p] {
+			if socketWrite(w.pkg, n) {
+				w.report(n.Pos(), held, "socket write")
+			} else if p := calleePackage(w.pkg, n); internalPackage(p, w.pkg.Path) && !lockBlockExempt[p] {
 				w.report(n.Pos(), held, fmt.Sprintf("call into %s", p))
 			}
 		}

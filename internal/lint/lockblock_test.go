@@ -223,6 +223,92 @@ func (j *J) badFanOutUnderLock(v int) {
 	}
 }
 `},
+		{name: "socket_write_under_lock", src: `
+package a
+
+import (
+	"net"
+	"sync"
+)
+
+type S struct {
+	mu sync.Mutex
+	nc net.Conn
+}
+
+// The shape the transport layer must never take: a socket write
+// blocks for as long as the peer's receive window is closed, so a
+// slow peer stalls every other goroutine wanting the lock.
+func (s *S) bad(buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nc.Write(buf) // want: lockblock
+}
+
+// counting is a byte-counting decorator; its Write is declared
+// locally, but the receiver still implements net.Conn, so the write
+// is still a socket write.
+type counting struct {
+	net.Conn
+	n int64
+}
+
+func (c *counting) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (s *S) badWrapped(c *counting, buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.Write(buf) // want: lockblock
+}
+
+func (s *S) goodAfterUnlock(buf []byte) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.nc.Write(buf)
+}
+`},
+		{name: "transport_write_loop_clean", src: `
+package a
+
+import "net"
+
+// The transport writer-goroutine shape: one goroutine owns the socket
+// and drains a channel; no lock is ever held across socket I/O, so
+// the read/write loops are clean by construction.
+type conn struct {
+	nc      net.Conn
+	writeCh chan []byte
+	closed  chan struct{}
+}
+
+func (c *conn) writeLoop() {
+	for {
+		select {
+		case buf := <-c.writeCh:
+			if _, err := c.nc.Write(buf); err != nil {
+				return
+			}
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+func (c *conn) readLoop(handle func([]byte)) {
+	buf := make([]byte, 4096)
+	for {
+		n, err := c.nc.Read(buf)
+		if err != nil {
+			return
+		}
+		handle(buf[:n])
+	}
+}
+`},
 		{name: "distinct_mutexes_tracked_separately", src: `
 package a
 

@@ -144,6 +144,67 @@ func isSyncOrAtomicType(t types.Type) bool {
 	return p == "sync" || p == "sync/atomic"
 }
 
+// socketWrite reports whether call writes to a network connection: a
+// Write/WriteTo method on a value whose type is, or implements,
+// net.Conn. Wrapper types (byte-counting decorators and the like) are
+// caught through the interface check, so hiding the conn behind an
+// embedding struct does not hide the write. A socket write blocks for
+// as long as the peer's receive window stays closed — holding a mutex
+// across one turns a slow peer into a stalled process.
+func socketWrite(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Write" && sel.Sel.Name != "WriteTo") {
+		return false
+	}
+	selection, ok := pkg.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return false
+	}
+	// Direct hits: methods declared in package net (including
+	// net.Conn's own interface methods, which is what a plain
+	// `conn.Write` through an interface value resolves to).
+	if fn.Pkg() != nil && fn.Pkg().Path() == "net" {
+		return true
+	}
+	conn := netConnIface(pkg)
+	if conn == nil {
+		return false
+	}
+	recv := selection.Recv()
+	if recv == nil {
+		return false
+	}
+	if types.Implements(recv, conn) {
+		return true
+	}
+	if _, isPtr := recv.(*types.Pointer); !isPtr && types.Implements(types.NewPointer(recv), conn) {
+		return true
+	}
+	return false
+}
+
+// netConnIface finds the net.Conn interface among the package's
+// direct imports (nil when the package never touches net — then no
+// local type can name a net.Conn either).
+func netConnIface(pkg *Package) *types.Interface {
+	for _, imp := range pkg.Types.Imports() {
+		if imp.Path() != "net" {
+			continue
+		}
+		obj, ok := imp.Scope().Lookup("Conn").(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	return nil
+}
+
 // internalPackage reports whether path is an in-module internal
 // package other than self.
 func internalPackage(path, self string) bool {

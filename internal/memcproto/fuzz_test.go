@@ -1,0 +1,65 @@
+package memcproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameDecode throws arbitrary bytes at the frame decoder: torn,
+// truncated, and hostile-length frames must never panic or allocate
+// beyond the input, and anything that decodes must re-encode to the
+// exact bytes consumed (for well-formed datatype/reserved fields).
+func FuzzFrameDecode(f *testing.F) {
+	seed := []Frame{
+		{Magic: MagicReq, Opcode: OpGet, VBucket: 1, Key: []byte("k")},
+		{Magic: MagicRes, Opcode: OpSet, Status: StatusOK, Opaque: 9,
+			Extras: AppendEpoch(nil, 3), CAS: 77},
+		{Magic: MagicPush, Opcode: OpDCPMutation, VBucket: 1023,
+			Extras: AppendItemMeta(nil, ItemMeta{Seqno: 1}),
+			Key:    []byte("doc"), Value: []byte("body")},
+		{Magic: MagicRes, Opcode: OpGet, Status: StatusNotMyVBucket,
+			Extras: AppendEpoch(nil, 8), Value: []byte(`{"rev":8}`)},
+	}
+	for i := range seed {
+		b, err := seed[i].Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, HeaderLen))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := Decode(data)
+		if err != nil {
+			if fr != nil || n != 0 {
+				t.Fatalf("error path leaked frame: %v n=%d", fr, n)
+			}
+			return
+		}
+		if n < HeaderLen || n > len(data) {
+			t.Fatalf("consumed %d of %d", n, len(data))
+		}
+		if fr.BodyLen() != n-HeaderLen {
+			t.Fatalf("body %d != consumed body %d", fr.BodyLen(), n-HeaderLen)
+		}
+		// Re-encode must reproduce the consumed bytes exactly.
+		out, err := fr.Encode()
+		if err != nil {
+			t.Fatalf("decoded frame failed to encode: %v", err)
+		}
+		if !bytes.Equal(out, data[:n]) {
+			t.Fatalf("round-trip mismatch:\n in  %x\n out %x", data[:n], out)
+		}
+		// And Read over the same bytes must agree.
+		fr2, err := Read(bytes.NewReader(data[:n]))
+		if err != nil {
+			t.Fatalf("Read disagrees with Decode: %v", err)
+		}
+		out2, err := fr2.Encode()
+		if err != nil || !bytes.Equal(out2, data[:n]) {
+			t.Fatalf("Read round-trip mismatch: %v", err)
+		}
+	})
+}

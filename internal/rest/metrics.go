@@ -155,5 +155,8 @@ func (s *Server) handleStatsDetail(w http.ResponseWriter, r *http.Request) {
 			"checks": s.health.Snapshot(),
 		}
 	}
+	if s.transportStats != nil {
+		out["transport"] = s.transportStats()
+	}
 	writeJSON(w, http.StatusOK, out)
 }

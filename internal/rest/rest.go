@@ -33,6 +33,15 @@ type Server struct {
 	c      *core.Cluster
 	mux    *http.ServeMux
 	health *health.Watchdog
+
+	// kvClients overrides the per-bucket document client — cbserver's
+	// network mode installs a hybrid smart client here (loopback to
+	// the local node, sockets to peers) so REST document requests
+	// route cluster-wide. Set before serving; read-only afterwards.
+	kvClients map[string]*core.Client
+	// transportStats, when set, contributes a "transport" block to
+	// /stats/detail (wire connections, bytes, NotMyVBucket count).
+	transportStats func() any
 }
 
 // NewServer builds the handler tree for a cluster.
@@ -188,7 +197,23 @@ func (s *Server) handleFeeds(w http.ResponseWriter, r *http.Request) {
 
 // --- KV ---
 
+// SetKVClient routes a bucket's document endpoints through cl instead
+// of an in-process OpenBucket client. Must be called before serving.
+func (s *Server) SetKVClient(bucket string, cl *core.Client) {
+	if s.kvClients == nil {
+		s.kvClients = map[string]*core.Client{}
+	}
+	s.kvClients[bucket] = cl
+}
+
+// SetTransportStats adds a wire-transport block to /stats/detail.
+// Must be called before serving.
+func (s *Server) SetTransportStats(fn func() any) { s.transportStats = fn }
+
 func (s *Server) client(bucket string) (*core.Client, error) {
+	if cl, ok := s.kvClients[bucket]; ok {
+		return cl, nil
+	}
 	return s.c.OpenBucket(bucket)
 }
 

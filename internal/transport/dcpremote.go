@@ -1,0 +1,269 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"couchgo/internal/core"
+	"couchgo/internal/dcp"
+	"couchgo/internal/memcproto"
+)
+
+// RemoteProducer is a dcp.StreamSource that lives on the far side of
+// a socket: the feed/replication consumer speaks to it exactly as it
+// would to a local *dcp.Producer, and every stream it opens rides a
+// dedicated connection so a slow consumer never head-of-line-blocks
+// request/response traffic.
+type RemoteProducer struct {
+	addr string
+	vb   int
+}
+
+var _ dcp.StreamSource = (*RemoteProducer)(nil)
+
+// NewRemoteProducer addresses vbID's producer on the node at addr.
+func NewRemoteProducer(addr string, vb int) *RemoteProducer {
+	return &RemoteProducer{addr: addr, vb: vb}
+}
+
+// dcpExchange runs one request/response on a short-lived dedicated
+// conn.
+func (rp *RemoteProducer) dcpExchange(f *memcproto.Frame) (*memcproto.Frame, error) {
+	raw, err := net.DialTimeout("tcp", rp.addr, dialTimeout)
+	if err != nil {
+		mDialErrors.Inc()
+		return nil, fmt.Errorf("transport: dial %s: %v: %w", rp.addr, err, core.ErrNodeUnreachable)
+	}
+	defer raw.Close()
+	nc := countingConn{raw}
+	if _, err := f.WriteTo(nc); err != nil {
+		return nil, fmt.Errorf("transport: %s: %v: %w", rp.addr, err, core.ErrNodeUnreachable)
+	}
+	resp, err := memcproto.Read(nc)
+	if err != nil {
+		return nil, fmt.Errorf("transport: %s: %v: %w", rp.addr, err, core.ErrNodeUnreachable)
+	}
+	return resp, nil
+}
+
+// failoverLog fetches the vBucket's history plus its high seqno.
+func (rp *RemoteProducer) failoverLog() ([]dcp.FailoverEntry, uint64, error) {
+	resp, err := rp.dcpExchange(&memcproto.Frame{
+		Magic:   memcproto.MagicReq,
+		Opcode:  memcproto.OpDCPFailoverLog,
+		VBucket: uint16(rp.vb),
+		Opaque:  1,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.Status != memcproto.StatusOK {
+		return nil, 0, errOf(resp.Status, resp.Value)
+	}
+	var entries []dcp.FailoverEntry
+	if err := json.Unmarshal(resp.Value, &entries); err != nil {
+		return nil, 0, err
+	}
+	high, _ := memcproto.Uint64At(resp.Extras, memcproto.EpochLen)
+	return entries, high, nil
+}
+
+// FailoverLog returns the remote vBucket's history branches (nil on
+// transport failure — the caller's resume handshake surfaces the real
+// error).
+func (rp *RemoteProducer) FailoverLog() []dcp.FailoverEntry {
+	entries, _, err := rp.failoverLog()
+	if err != nil {
+		return nil
+	}
+	return entries
+}
+
+// HighSeqno reports the remote producer's high seqno (0 on transport
+// failure).
+func (rp *RemoteProducer) HighSeqno() uint64 {
+	_, high, err := rp.failoverLog()
+	if err != nil {
+		return 0
+	}
+	return high
+}
+
+// ResumeStream opens a named stream at (uuid, fromSeqno) over a
+// dedicated connection. A rollback rejection comes back as
+// *dcp.RollbackError exactly like the in-process producer's. The
+// returned stream is a *RemoteStream; replication consumers assert
+// that to send durability acks.
+func (rp *RemoteProducer) ResumeStream(name string, uuid, fromSeqno uint64) (dcp.MutationStream, error) {
+	raw, err := net.DialTimeout("tcp", rp.addr, dialTimeout)
+	if err != nil {
+		mDialErrors.Inc()
+		return nil, fmt.Errorf("transport: dial %s: %v: %w", rp.addr, err, core.ErrNodeUnreachable)
+	}
+	nc := countingConn{Conn: raw}
+	req := &memcproto.Frame{
+		Magic:   memcproto.MagicReq,
+		Opcode:  memcproto.OpDCPStreamReq,
+		VBucket: uint16(rp.vb),
+		Opaque:  1,
+		Extras:  memcproto.StreamReqExtras{UUID: uuid, FromSeqno: fromSeqno}.Encode(),
+		Key:     []byte(name),
+	}
+	if _, err := req.WriteTo(nc); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("transport: %s: %v: %w", rp.addr, err, core.ErrNodeUnreachable)
+	}
+	resp, err := memcproto.Read(nc)
+	if err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("transport: %s: %v: %w", rp.addr, err, core.ErrNodeUnreachable)
+	}
+	switch resp.Status {
+	case memcproto.StatusOK:
+	case memcproto.StatusRollback:
+		raw.Close()
+		rbUUID, _ := memcproto.Uint64At(resp.Extras, memcproto.EpochLen)
+		rbSeqno, _ := memcproto.Uint64At(resp.Extras, memcproto.EpochLen+8)
+		return nil, &dcp.RollbackError{UUID: rbUUID, Seqno: rbSeqno}
+	default:
+		raw.Close()
+		return nil, errOf(resp.Status, resp.Value)
+	}
+	streamUUID, _ := memcproto.Uint64At(resp.Extras, memcproto.EpochLen)
+
+	rs := &RemoteStream{
+		nc:      nc,
+		vb:      rp.vb,
+		name:    name,
+		uuid:    streamUUID,
+		out:     make(chan dcp.Mutation, 256),
+		writeCh: make(chan []byte, 64),
+		closed:  make(chan struct{}),
+	}
+	mConnsCli.Add(1)
+	go rs.writeLoop()
+	go rs.readLoop()
+	return rs, nil
+}
+
+// RemoteStream is the consumer end of one DCP stream over a socket.
+// It implements dcp.MutationStream; Ack additionally reports applied
+// seqnos back to the producer for replication durability.
+type RemoteStream struct {
+	nc      net.Conn
+	vb      int
+	name    string
+	uuid    uint64
+	out     chan dcp.Mutation
+	writeCh chan []byte
+	closed  chan struct{}
+	once    sync.Once
+
+	processed atomic.Uint64
+}
+
+var _ dcp.MutationStream = (*RemoteStream)(nil)
+
+// C returns the mutation channel; it closes when the stream ends.
+func (rs *RemoteStream) C() <-chan dcp.Mutation { return rs.out }
+
+// StreamUUID is the vBucket UUID the stream was accepted under.
+func (rs *RemoteStream) StreamUUID() uint64 { return rs.uuid }
+
+// Processed is the seqno of the last mutation delivered.
+func (rs *RemoteStream) Processed() uint64 { return rs.processed.Load() }
+
+// Close tears the stream's connection down; the producer side sees
+// EOF and closes its end.
+func (rs *RemoteStream) Close() {
+	rs.once.Do(func() {
+		close(rs.closed)
+		rs.nc.Close()
+		mConnsCli.Add(-1)
+	})
+}
+
+// Ack reports an applied seqno to the producer (fire-and-forget; the
+// server routes it to the active vBucket's replica ack set).
+func (rs *RemoteStream) Ack(seqno uint64) {
+	f := &memcproto.Frame{
+		Magic:   memcproto.MagicReq,
+		Opcode:  memcproto.OpDCPAck,
+		VBucket: uint16(rs.vb),
+		Key:     []byte(rs.name),
+		Extras:  memcproto.AppendUint64(nil, seqno),
+	}
+	buf, err := f.Encode()
+	if err != nil {
+		return
+	}
+	select {
+	case rs.writeCh <- buf:
+	case <-rs.closed:
+	}
+}
+
+// writeLoop is the stream's only socket writer (acks).
+func (rs *RemoteStream) writeLoop() {
+	for {
+		select {
+		case buf := <-rs.writeCh:
+			if _, err := rs.nc.Write(buf); err != nil {
+				return
+			}
+		case <-rs.closed:
+			return
+		}
+	}
+}
+
+// readLoop turns pushed frames back into dcp.Mutations; it is the
+// sole closer of the out channel.
+func (rs *RemoteStream) readLoop() {
+	defer close(rs.out)
+	for {
+		f, err := memcproto.Read(rs.nc)
+		if err != nil {
+			rs.Close()
+			return
+		}
+		if f.Magic != memcproto.MagicPush {
+			continue
+		}
+		switch f.Opcode {
+		case memcproto.OpDCPSnapshot:
+			// Snapshot window marker; the in-process consumers don't
+			// track windows, so neither do we.
+		case memcproto.OpDCPMutation:
+			meta, err := memcproto.DecodeItemMeta(f.Extras)
+			if err != nil {
+				continue
+			}
+			m := dcp.Mutation{
+				VB:       int(f.VBucket),
+				Key:      string(f.Key),
+				Seqno:    meta.Seqno,
+				CAS:      f.CAS,
+				RevSeqno: meta.RevSeqno,
+				Flags:    meta.Flags,
+				Expiry:   meta.Expiry,
+				Deleted:  meta.Deleted,
+			}
+			if len(f.Value) > 0 {
+				m.Value = append([]byte(nil), f.Value...)
+			}
+			select {
+			case rs.out <- m:
+				rs.processed.Store(m.Seqno)
+			case <-rs.closed:
+				return
+			}
+		case memcproto.OpDCPStreamEnd:
+			rs.Close()
+			return
+		}
+	}
+}

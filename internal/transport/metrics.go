@@ -1,0 +1,94 @@
+// Package transport moves the cluster's node-to-node and
+// client-to-node seams onto real sockets. It speaks the binary KV
+// wire protocol of internal/memcproto over TCP: a per-node client
+// pool (Pool/Conn) multiplexes request/response frames by opaque, the
+// Server decodes frames and dispatches them through the same
+// core.NodeConn surface the in-process loopback uses, and a
+// NetRouter implements core.Router so the smart client routes over
+// the wire without knowing it. DCP streams get a dedicated
+// connection each: the producer side pushes mutation frames, the
+// consumer side acks seqnos, and resume is the same (UUID, seqno)
+// handshake as in-process — just across a socket.
+//
+// The Coordinator/Member pair in cluster.go turns N independent
+// cbserver processes into one cluster: members join the seed, the
+// coordinator mints a balanced process-level map once the expected
+// cluster size is reached, and every member reconciles its local
+// node against each pushed map, wiring socket-backed replica streams
+// between processes.
+package transport
+
+import (
+	"net"
+	"sync/atomic"
+
+	"couchgo/internal/metrics"
+)
+
+// Transport metric families. Conns counts live sockets on each side;
+// bytes are raw framed traffic split by direction; notmyvbucket
+// counts stale-map bounces (the router's refresh trigger); the
+// per-opcode histogram is server-side handling latency including any
+// durability wait.
+var (
+	mConns      = metrics.Default.Gauge("couchgo_transport_conns", "side", "server")
+	mConnsCli   = metrics.Default.Gauge("couchgo_transport_conns", "side", "client")
+	mBytesIn    = metrics.Default.Counter("couchgo_transport_bytes_total", "dir", "in")
+	mBytesOut   = metrics.Default.Counter("couchgo_transport_bytes_total", "dir", "out")
+	mNotMyVB    = metrics.Default.Counter("couchgo_notmyvbucket_total")
+	mDialErrors = metrics.Default.Counter("couchgo_transport_dial_errors_total")
+)
+
+func opHistogram(opcode string) *metrics.Histogram {
+	return metrics.Default.Histogram("couchgo_transport_op_seconds", "opcode", opcode)
+}
+
+// countingConn wraps a net.Conn so every byte in or out lands in the
+// transport byte counters — both sides wrap their sockets with it.
+type countingConn struct {
+	net.Conn
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		mBytesIn.Add(uint64(n))
+	}
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		mBytesOut.Add(uint64(n))
+	}
+	return n, err
+}
+
+// StatsSnapshot is the transport block surfaced in /stats/detail.
+type StatsSnapshot struct {
+	ServerConns    int64  `json:"server_conns"`
+	ClientConns    int64  `json:"client_conns"`
+	BytesIn        uint64 `json:"bytes_in"`
+	BytesOut       uint64 `json:"bytes_out"`
+	NotMyVBucket   uint64 `json:"not_my_vbucket"`
+	DialErrors     uint64 `json:"dial_errors"`
+	StreamsServing int64  `json:"dcp_streams_serving"`
+}
+
+// streamsServing counts DCP streams currently being pumped by servers
+// in this process.
+var streamsServing atomic.Int64
+
+// Stats returns the current transport counters.
+func Stats() StatsSnapshot {
+	return StatsSnapshot{
+		ServerConns:    mConns.Value(),
+		ClientConns:    mConnsCli.Value(),
+		BytesIn:        mBytesIn.Value(),
+		BytesOut:       mBytesOut.Value(),
+		NotMyVBucket:   mNotMyVB.Value(),
+		DialErrors:     mDialErrors.Value(),
+		StreamsServing: streamsServing.Load(),
+	}
+}

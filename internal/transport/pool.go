@@ -1,0 +1,266 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"couchgo/internal/core"
+	"couchgo/internal/memcproto"
+)
+
+// dialTimeout bounds one connection attempt; reconnectMaxBackoff caps
+// the fail-fast window after repeated dial failures — the same capped
+// backoff+jitter shape the client's route loop uses, enforced at the
+// pool so a dead node costs one dial per window, not one per request.
+const (
+	dialTimeout         = 2 * time.Second
+	reconnectMaxBackoff = 250 * time.Millisecond
+)
+
+// Conn is one multiplexed client connection: requests are stamped
+// with a unique opaque, responses are demuxed back to the waiting
+// caller. All socket writes happen on a single writer goroutine fed
+// by a channel — no mutex is ever held across a socket write (the
+// couchvet lockblock rule enforces exactly that shape).
+type Conn struct {
+	addr    string
+	nc      net.Conn
+	writeCh chan []byte
+	closed  chan struct{}
+
+	mu      sync.Mutex // guards pending/opaque/dead; never held across I/O
+	pending map[uint32]chan *memcproto.Frame
+	opaque  uint32
+	dead    bool
+	err     error
+}
+
+func dialConn(addr string) (*Conn, error) {
+	raw, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		mDialErrors.Inc()
+		return nil, fmt.Errorf("transport: dial %s: %v: %w", addr, err, core.ErrNodeUnreachable)
+	}
+	c := &Conn{
+		addr:    addr,
+		nc:      countingConn{raw},
+		writeCh: make(chan []byte, 64),
+		closed:  make(chan struct{}),
+		pending: map[uint32]chan *memcproto.Frame{},
+	}
+	mConnsCli.Add(1)
+	go c.writeLoop()
+	go c.readLoop()
+	return c, nil
+}
+
+// writeLoop is the only goroutine that touches the socket's write
+// side.
+func (c *Conn) writeLoop() {
+	for {
+		select {
+		case buf := <-c.writeCh:
+			if _, err := c.nc.Write(buf); err != nil {
+				c.fail(err)
+				return
+			}
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+// readLoop is the only goroutine that touches the socket's read side;
+// it demuxes response frames to waiting callers by opaque.
+func (c *Conn) readLoop() {
+	for {
+		f, err := memcproto.Read(c.nc)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[f.Opaque]
+		delete(c.pending, f.Opaque)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+	}
+}
+
+// fail marks the conn dead and wakes every waiter with the error.
+func (c *Conn) fail(err error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = true
+	c.err = err
+	pending := c.pending
+	c.pending = map[uint32]chan *memcproto.Frame{}
+	c.mu.Unlock()
+
+	close(c.closed)
+	c.nc.Close()
+	mConnsCli.Add(-1)
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// Close tears the connection down; in-flight requests fail with
+// ErrNodeUnreachable.
+func (c *Conn) Close() { c.fail(fmt.Errorf("transport: conn closed")) }
+
+// Roundtrip sends one request frame and waits for its response.
+// Failures (conn death, ctx cancellation) wrap core.ErrNodeUnreachable
+// so the route loop treats them as a retryable topology wobble.
+func (c *Conn) Roundtrip(ctx context.Context, f *memcproto.Frame) (*memcproto.Frame, error) {
+	c.mu.Lock()
+	if c.dead {
+		err := c.err
+		c.mu.Unlock()
+		return nil, fmt.Errorf("transport: %s: %v: %w", c.addr, err, core.ErrNodeUnreachable)
+	}
+	c.opaque++
+	f.Opaque = c.opaque
+	ch := make(chan *memcproto.Frame, 1)
+	c.pending[f.Opaque] = ch
+	c.mu.Unlock()
+
+	buf, err := f.Encode()
+	if err != nil {
+		c.forget(f.Opaque)
+		return nil, err
+	}
+	select {
+	case c.writeCh <- buf:
+	case <-c.closed:
+		c.forget(f.Opaque)
+		return nil, fmt.Errorf("transport: %s: conn died: %w", c.addr, core.ErrNodeUnreachable)
+	case <-ctx.Done():
+		c.forget(f.Opaque)
+		return nil, ctx.Err()
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("transport: %s: conn died mid-request: %w", c.addr, core.ErrNodeUnreachable)
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.forget(f.Opaque)
+		return nil, ctx.Err()
+	}
+}
+
+func (c *Conn) forget(opaque uint32) {
+	c.mu.Lock()
+	delete(c.pending, opaque)
+	c.mu.Unlock()
+}
+
+// poolEntry tracks one node's connection plus its reconnect backoff
+// state.
+type poolEntry struct {
+	conn     *Conn
+	failures int
+	nextTry  time.Time
+}
+
+// Pool hands out one live multiplexed Conn per node address, redialing
+// dead ones behind a capped, jittered backoff: inside the backoff
+// window Get fails fast with ErrNodeUnreachable and the caller's route
+// loop does the sleeping.
+type Pool struct {
+	mu    sync.Mutex
+	conns map[string]*poolEntry
+}
+
+// NewPool builds an empty client pool.
+func NewPool() *Pool {
+	return &Pool{conns: map[string]*poolEntry{}}
+}
+
+// Get returns the live conn for addr, dialing if needed.
+func (p *Pool) Get(addr string) (*Conn, error) {
+	p.mu.Lock()
+	e := p.conns[addr]
+	if e == nil {
+		e = &poolEntry{}
+		p.conns[addr] = e
+	}
+	if e.conn != nil && !e.conn.isDead() {
+		c := e.conn
+		p.mu.Unlock()
+		return c, nil
+	}
+	if !e.nextTry.IsZero() && time.Now().Before(e.nextTry) {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("transport: %s: in reconnect backoff: %w", addr, core.ErrNodeUnreachable)
+	}
+	p.mu.Unlock()
+
+	// Dial outside the lock; losers of a dial race close their extra.
+	c, err := dialConn(addr)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e = p.conns[addr]
+	if err != nil {
+		e.failures++
+		backoff := time.Millisecond << min(e.failures, 10)
+		if backoff > reconnectMaxBackoff {
+			backoff = reconnectMaxBackoff
+		}
+		// ±50% jitter, mirroring the route loop's.
+		backoff += time.Duration(rand.Int63n(int64(backoff))) - backoff/2
+		e.nextTry = time.Now().Add(backoff)
+		return nil, err
+	}
+	if e.conn != nil && !e.conn.isDead() {
+		c.Close()
+		return e.conn, nil
+	}
+	e.conn = c
+	e.failures = 0
+	e.nextTry = time.Time{}
+	return c, nil
+}
+
+// Drop closes and forgets addr's conn (e.g. the node was failed over).
+func (p *Pool) Drop(addr string) {
+	p.mu.Lock()
+	e := p.conns[addr]
+	delete(p.conns, addr)
+	p.mu.Unlock()
+	if e != nil && e.conn != nil {
+		e.conn.Close()
+	}
+}
+
+// Close tears down every conn.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = map[string]*poolEntry{}
+	p.mu.Unlock()
+	for _, e := range conns {
+		if e.conn != nil {
+			e.conn.Close()
+		}
+	}
+}
+
+func (c *Conn) isDead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}

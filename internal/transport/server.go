@@ -1,0 +1,620 @@
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"couchgo/internal/cache"
+	"couchgo/internal/cmap"
+	"couchgo/internal/core"
+	"couchgo/internal/dcp"
+	"couchgo/internal/events"
+	"couchgo/internal/memcproto"
+	"couchgo/internal/vbucket"
+)
+
+// ServerConfig wires a Server to the process-local cluster and the
+// process-level topology callbacks the coordinator/member layer
+// provides.
+type ServerConfig struct {
+	Cluster *core.Cluster
+	// Node is the local node's ID in the process-level map — by
+	// convention its advertised KV address.
+	Node cmap.NodeID
+	// Bucket is the bucket this listener serves (one bucket per KV
+	// port, like the seed's single-bucket cbserver).
+	Bucket string
+	// Map returns the process-level cluster map for epoch stamping and
+	// fat not-my-vbucket replies. Nil (or a nil return) falls back to
+	// the local cluster's bucket map.
+	Map func() *cmap.Map
+	// OnJoin admits a member (key = its advertised KV address) and
+	// returns the current process map, nil if not yet minted.
+	OnJoin func(addr string) (*cmap.Map, error)
+	// OnSetMap installs a coordinator-pushed process map.
+	OnSetMap func(m *cmap.Map) error
+	// OnHeartbeat records a member heartbeat.
+	OnHeartbeat func(addr string)
+	// Stats contributes extra fields to OpStats replies.
+	Stats func() map[string]any
+}
+
+// Server accepts wire-protocol connections and dispatches decoded
+// frames through the same core.NodeConn surface the in-process
+// loopback uses — both transports execute the identical op path.
+type Server struct {
+	cfg ServerConfig
+	ln  net.Listener
+
+	mu       sync.Mutex
+	sessions map[*session]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// Listen starts a server on addr ("host:port", port 0 for ephemeral).
+func Listen(addr string, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Serve(ln, cfg), nil
+}
+
+// Serve starts a server on an already-bound listener (the node layer
+// binds first so it can advertise the real port before serving).
+func Serve(ln net.Listener, cfg ServerConfig) *Server {
+	s := &Server{cfg: cfg, ln: ln, sessions: map[*session]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr is the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and tears down every session.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+
+	s.ln.Close()
+	for _, sess := range sessions {
+		sess.close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		raw, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		sess := &session{
+			srv:     s,
+			nc:      countingConn{raw},
+			writeCh: make(chan []byte, 256),
+			closed:  make(chan struct{}),
+			streams: map[streamKey]*servedStream{},
+			sem:     make(chan struct{}, 128),
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			raw.Close()
+			return
+		}
+		s.sessions[sess] = struct{}{}
+		s.mu.Unlock()
+		mConns.Add(1)
+		s.wg.Add(2)
+		go sess.writeLoop()
+		go sess.readLoop()
+	}
+}
+
+// currentMap is the map responses advertise: the process-level map if
+// the topology layer provides one, else the local bucket map.
+func (s *Server) currentMap() *cmap.Map {
+	if s.cfg.Map != nil {
+		if m := s.cfg.Map(); m != nil {
+			return m
+		}
+	}
+	m, err := s.cfg.Cluster.BucketMap(s.cfg.Bucket)
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
+func (s *Server) epoch() int64 {
+	if m := s.currentMap(); m != nil {
+		return m.Rev
+	}
+	return 0
+}
+
+type streamKey struct {
+	vb   int
+	name string
+}
+
+type servedStream struct {
+	stream dcp.MutationStream
+	srcVB  *vbucket.VBucket
+}
+
+// session is one accepted connection: a reader goroutine decoding
+// frames, a writer goroutine that is the only code touching the
+// socket's write side, and per-request handler goroutines in between
+// (responses demux by opaque, so order does not matter).
+type session struct {
+	srv     *Server
+	nc      net.Conn
+	writeCh chan []byte
+	closed  chan struct{}
+	once    sync.Once
+	sem     chan struct{}
+
+	mu      sync.Mutex
+	streams map[streamKey]*servedStream
+}
+
+func (c *session) close() {
+	c.once.Do(func() {
+		close(c.closed)
+		c.nc.Close()
+		mConns.Add(-1)
+		c.mu.Lock()
+		streams := c.streams
+		c.streams = map[streamKey]*servedStream{}
+		c.mu.Unlock()
+		for _, st := range streams {
+			st.stream.Close()
+		}
+		c.srv.mu.Lock()
+		delete(c.srv.sessions, c)
+		c.srv.mu.Unlock()
+	})
+}
+
+func (c *session) writeLoop() {
+	defer c.srv.wg.Done()
+	for {
+		select {
+		case buf := <-c.writeCh:
+			if _, err := c.nc.Write(buf); err != nil {
+				c.close()
+				return
+			}
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+// send encodes and enqueues one frame; drops it if the session died.
+func (c *session) send(f *memcproto.Frame) {
+	buf, err := f.Encode()
+	if err != nil {
+		return
+	}
+	select {
+	case c.writeCh <- buf:
+	case <-c.closed:
+	}
+}
+
+// respond builds the response frame for req: status, the epoch-prefixed
+// extras, and either the payload or the error message.
+func (c *session) respond(req *memcproto.Frame, status memcproto.Status, extras, value []byte, cas uint64) {
+	c.send(&memcproto.Frame{
+		Magic:  memcproto.MagicRes,
+		Opcode: req.Opcode,
+		Status: status,
+		Opaque: req.Opaque,
+		CAS:    cas,
+		Extras: extras,
+		Value:  value,
+	})
+}
+
+// respondErr maps a handler error onto the wire, shipping the fat map
+// on not-my-vbucket so the client refreshes in one round trip.
+func (c *session) respondErr(req *memcproto.Frame, err error) {
+	status := statusOf(err)
+	extras := memcproto.AppendEpoch(nil, c.srv.epoch())
+	var value []byte
+	if status == memcproto.StatusNotMyVBucket {
+		if m := c.srv.currentMap(); m != nil {
+			value, _ = json.Marshal(m)
+		}
+	} else {
+		value = []byte(err.Error())
+	}
+	c.respond(req, status, extras, value, 0)
+}
+
+func (c *session) readLoop() {
+	defer c.srv.wg.Done()
+	defer c.close()
+	for {
+		f, err := memcproto.Read(c.nc)
+		if err != nil {
+			return
+		}
+		if f.Magic != memcproto.MagicReq {
+			return // protocol violation; drop the conn
+		}
+		switch f.Opcode {
+		case memcproto.OpDCPStreamReq, memcproto.OpDCPAck, memcproto.OpDCPFailoverLog:
+			c.handleDCP(f)
+		case memcproto.OpJoin, memcproto.OpGetClusterMap, memcproto.OpSetClusterMap,
+			memcproto.OpHeartbeat, memcproto.OpStats, memcproto.OpNoop, memcproto.OpHello:
+			c.handleAdmin(f)
+		default:
+			// KV ops run in their own goroutine (bounded by sem) so a
+			// durability wait on one request does not stall the conn.
+			c.sem <- struct{}{}
+			go func(f *memcproto.Frame) {
+				defer func() { <-c.sem }()
+				c.handleKV(f)
+			}(f)
+		}
+	}
+}
+
+func (c *session) handleAdmin(f *memcproto.Frame) {
+	extras := memcproto.AppendEpoch(nil, c.srv.epoch())
+	switch f.Opcode {
+	case memcproto.OpNoop, memcproto.OpHello:
+		c.respond(f, memcproto.StatusOK, extras, nil, 0)
+	case memcproto.OpJoin:
+		if c.srv.cfg.OnJoin == nil {
+			c.respond(f, memcproto.StatusNotSupported, extras, []byte("not a coordinator"), 0)
+			return
+		}
+		m, err := c.srv.cfg.OnJoin(string(f.Key))
+		if err != nil {
+			c.respondErr(f, err)
+			return
+		}
+		var value []byte
+		if m != nil {
+			value, _ = json.Marshal(m)
+		}
+		c.respond(f, memcproto.StatusOK, memcproto.AppendEpoch(nil, c.srv.epoch()), value, 0)
+	case memcproto.OpGetClusterMap:
+		m := c.srv.currentMap()
+		if m == nil {
+			c.respond(f, memcproto.StatusKeyNotFound, extras, []byte("no cluster map yet"), 0)
+			return
+		}
+		value, _ := json.Marshal(m)
+		c.respond(f, memcproto.StatusOK, extras, value, 0)
+	case memcproto.OpSetClusterMap:
+		m, err := decodeMap(f.Value)
+		if err == nil && c.srv.cfg.OnSetMap != nil {
+			err = c.srv.cfg.OnSetMap(m)
+		}
+		if err != nil {
+			c.respondErr(f, err)
+			return
+		}
+		c.respond(f, memcproto.StatusOK, memcproto.AppendEpoch(nil, c.srv.epoch()), nil, 0)
+	case memcproto.OpHeartbeat:
+		if c.srv.cfg.OnHeartbeat != nil {
+			c.srv.cfg.OnHeartbeat(string(f.Key))
+		}
+		c.respond(f, memcproto.StatusOK, extras, nil, 0)
+	case memcproto.OpStats:
+		stats := map[string]any{"transport": Stats()}
+		if c.srv.cfg.Stats != nil {
+			for k, v := range c.srv.cfg.Stats() {
+				stats[k] = v
+			}
+		}
+		value, _ := json.Marshal(stats)
+		c.respond(f, memcproto.StatusOK, extras, value, 0)
+	}
+}
+
+// handleKV decodes one KV request and executes it through the local
+// node's loopback conn — including the server-side durability wait
+// for SET/DELETE, which runs before the response frame is encoded.
+func (c *session) handleKV(f *memcproto.Frame) {
+	t0 := time.Now()
+	defer func() { opHistogram(f.Opcode.String()).ObserveSince(t0) }()
+
+	conn, err := c.srv.cfg.Cluster.LoopbackConn(c.srv.cfg.Node, c.srv.cfg.Bucket)
+	if err != nil {
+		c.respondErr(f, err)
+		return
+	}
+	ctx := context.Background()
+	vbID := int(f.VBucket)
+	key := string(f.Key)
+	nowU, _ := memcproto.Uint64At(f.Extras, 0)
+	now := int64(nowU)
+
+	okItem := func(it cache.Item, err error) {
+		if err != nil {
+			c.respondErr(f, err)
+			return
+		}
+		extras := memcproto.AppendItemMeta(memcproto.AppendEpoch(nil, c.srv.epoch()), itemMetaOf(it))
+		c.respond(f, memcproto.StatusOK, extras, it.Value, it.CAS)
+	}
+	okJSON := func(v any, err error) {
+		if err != nil {
+			c.respondErr(f, err)
+			return
+		}
+		value, err := json.Marshal(v)
+		if err != nil {
+			c.respondErr(f, err)
+			return
+		}
+		c.respond(f, memcproto.StatusOK, memcproto.AppendEpoch(nil, c.srv.epoch()), value, 0)
+	}
+	okEmpty := func(err error) {
+		if err != nil {
+			c.respondErr(f, err)
+			return
+		}
+		c.respond(f, memcproto.StatusOK, memcproto.AppendEpoch(nil, c.srv.epoch()), nil, 0)
+	}
+	mutate := func() (memcproto.MutateExtras, error) {
+		return memcproto.DecodeMutateExtras(sliceFrom(f.Extras, 8))
+	}
+
+	switch f.Opcode {
+	case memcproto.OpGet:
+		okItem(conn.Get(ctx, vbID, key, now))
+	case memcproto.OpSet:
+		me, err := mutate()
+		if err != nil {
+			c.respondErr(f, err)
+			return
+		}
+		okItem(conn.Set(ctx, vbID, key, copyBytes(f.Value), me.Flags, me.Expiry, f.CAS, now, durOf(me)))
+	case memcproto.OpAdd:
+		okItem(conn.Add(ctx, vbID, key, copyBytes(f.Value), now))
+	case memcproto.OpReplace:
+		okItem(conn.Replace(ctx, vbID, key, copyBytes(f.Value), f.CAS, now))
+	case memcproto.OpDelete:
+		me, err := mutate()
+		if err != nil {
+			c.respondErr(f, err)
+			return
+		}
+		okItem(conn.Delete(ctx, vbID, key, f.CAS, now, durOf(me)))
+	case memcproto.OpTouch:
+		expiry, _ := memcproto.Uint64At(f.Extras, 8)
+		okEmpty(conn.Touch(ctx, vbID, key, int64(expiry), now))
+	case memcproto.OpGetAndLock:
+		lockSecs, _ := memcproto.Uint64At(f.Extras, 8)
+		okItem(conn.GetAndLock(ctx, vbID, key, int64(lockSecs), now))
+	case memcproto.OpUnlock:
+		okEmpty(conn.Unlock(ctx, vbID, key, f.CAS, now))
+	case memcproto.OpAppendVal:
+		okItem(conn.Append(ctx, vbID, key, copyBytes(f.Value), f.CAS, now))
+	case memcproto.OpPrependVal:
+		okItem(conn.Prepend(ctx, vbID, key, copyBytes(f.Value), f.CAS, now))
+	case memcproto.OpGetMeta:
+		okItem(conn.GetMeta(ctx, vbID, key))
+	case memcproto.OpSubdocGet:
+		path, _, err := memcproto.SplitSubdocBody(sliceFrom(f.Extras, 8), f.Value)
+		if err != nil {
+			c.respondErr(f, err)
+			return
+		}
+		okJSON(conn.SubdocGet(ctx, vbID, key, path, now))
+	case memcproto.OpSubdocSet, memcproto.OpSubdocArrAdd:
+		path, payload, err := memcproto.SplitSubdocBody(sliceFrom(f.Extras, 8), f.Value)
+		if err != nil {
+			c.respondErr(f, err)
+			return
+		}
+		var v any
+		if err := json.Unmarshal(payload, &v); err != nil {
+			c.respondErr(f, err)
+			return
+		}
+		if f.Opcode == memcproto.OpSubdocSet {
+			okItem(conn.SubdocSet(ctx, vbID, key, path, v, f.CAS, now))
+		} else {
+			okItem(conn.SubdocArrayAppend(ctx, vbID, key, path, v, f.CAS, now))
+		}
+	case memcproto.OpSubdocRemove:
+		path, _, err := memcproto.SplitSubdocBody(sliceFrom(f.Extras, 8), f.Value)
+		if err != nil {
+			c.respondErr(f, err)
+			return
+		}
+		okItem(conn.SubdocRemove(ctx, vbID, key, path, f.CAS, now))
+	case memcproto.OpSubdocCounter:
+		path, _, err := memcproto.SplitSubdocBody(sliceFrom(f.Extras, 8), f.Value)
+		if err != nil {
+			c.respondErr(f, err)
+			return
+		}
+		delta, ok := memcproto.Float64At(f.Extras, 10)
+		if !ok {
+			c.respondErr(f, memcproto.ErrBadExtras)
+			return
+		}
+		okJSON(conn.SubdocCounter(ctx, vbID, key, path, delta, f.CAS, now))
+	case memcproto.OpXDCRSet:
+		xe, err := memcproto.DecodeXDCRExtras(f.Extras)
+		if err != nil {
+			c.respondErr(f, err)
+			return
+		}
+		applied, err := conn.XDCRApply(ctx, vbID, key, copyBytes(f.Value), xe.Deleted, f.CAS, xe.RevSeqno, xe.Flags, xe.Expiry)
+		if err != nil {
+			c.respondErr(f, err)
+			return
+		}
+		v := []byte{0}
+		if applied {
+			v[0] = 1
+		}
+		c.respond(f, memcproto.StatusOK, memcproto.AppendEpoch(nil, c.srv.epoch()), v, 0)
+	default:
+		c.respond(f, memcproto.StatusNotSupported, memcproto.AppendEpoch(nil, c.srv.epoch()),
+			[]byte("opcode "+f.Opcode.String()+" not supported"), 0)
+	}
+}
+
+// handleDCP serves stream requests, failover-log fetches, and
+// replication acks. Each accepted stream gets a pump goroutine
+// pushing mutation frames tagged with the request's opaque; the
+// consumer side dedicates a connection per stream, so pushes never
+// compete with a request/response conversation.
+func (c *session) handleDCP(f *memcproto.Frame) {
+	vbID := int(f.VBucket)
+	name := string(f.Key)
+	extras := memcproto.AppendEpoch(nil, c.srv.epoch())
+
+	vb, err := c.srv.cfg.Cluster.NodeVB(c.srv.cfg.Node, c.srv.cfg.Bucket, vbID)
+	if err == nil && vb == nil {
+		err = vbucket.ErrNotMyVBucket
+	}
+	if err != nil {
+		if f.Opcode != memcproto.OpDCPAck {
+			c.respondErr(f, err)
+		}
+		return
+	}
+	producer := vb.Producer()
+
+	switch f.Opcode {
+	case memcproto.OpDCPFailoverLog:
+		value, _ := json.Marshal(producer.FailoverLog())
+		c.respond(f, memcproto.StatusOK, memcproto.AppendUint64(extras, producer.HighSeqno()), value, 0)
+
+	case memcproto.OpDCPAck:
+		seqno, ok := memcproto.Uint64At(f.Extras, 0)
+		if !ok {
+			return
+		}
+		// The ack names the replica the same way the in-process
+		// replicator does: the stream "replica:<addr>" acks as <addr>.
+		vb.AckReplica(strings.TrimPrefix(name, "replica:"), seqno)
+
+	case memcproto.OpDCPStreamReq:
+		se, err := memcproto.DecodeStreamReqExtras(f.Extras)
+		if err != nil {
+			c.respondErr(f, err)
+			return
+		}
+		ms, err := producer.ResumeStream(name, se.UUID, se.FromSeqno)
+		var rb *dcp.RollbackError
+		if errors.As(err, &rb) {
+			// Rollback handshake: ship the divergence point; the
+			// consumer rewinds and re-requests.
+			ex := memcproto.AppendUint64(memcproto.AppendUint64(extras, rb.UUID), rb.Seqno)
+			c.respond(f, memcproto.StatusRollback, ex, []byte(err.Error()), 0)
+			return
+		}
+		if err != nil {
+			c.respondErr(f, err)
+			return
+		}
+		c.mu.Lock()
+		old := c.streams[streamKey{vbID, name}]
+		c.streams[streamKey{vbID, name}] = &servedStream{stream: ms, srcVB: vb}
+		c.mu.Unlock()
+		if old != nil {
+			old.stream.Close()
+		}
+		c.respond(f, memcproto.StatusOK, memcproto.AppendUint64(extras, ms.StreamUUID()), nil, 0)
+		go c.pumpStream(f.Opaque, vbID, name, se.FromSeqno, producer, ms)
+	}
+}
+
+// pumpStream pushes one stream's mutations until it ends or the
+// session dies.
+func (c *session) pumpStream(opaque uint32, vbID int, name string, fromSeqno uint64, producer dcp.StreamSource, ms dcp.MutationStream) {
+	streamsServing.Add(1)
+	defer streamsServing.Add(-1)
+
+	e := events.New(events.DCP, events.SevInfo, "serving dcp stream over transport")
+	e.Node, e.Bucket, e.VB = string(c.srv.cfg.Node), c.srv.cfg.Bucket, vbID
+	e.Fields = map[string]string{"stream": name, "from_seqno": strconv.FormatUint(fromSeqno, 10)}
+	events.Default.Publish(e)
+
+	// Snapshot marker: the window the pushes that follow belong to.
+	c.send(&memcproto.Frame{
+		Magic: memcproto.MagicPush, Opcode: memcproto.OpDCPSnapshot,
+		VBucket: uint16(vbID), Opaque: opaque,
+		Extras: memcproto.AppendUint64(memcproto.AppendUint64(nil, fromSeqno), producer.HighSeqno()),
+	})
+	for m := range ms.C() {
+		meta := memcproto.ItemMeta{
+			Seqno: m.Seqno, RevSeqno: m.RevSeqno, Flags: m.Flags,
+			Expiry: m.Expiry, Deleted: m.Deleted, Resident: true,
+		}
+		var extras []byte
+		extras = memcproto.AppendItemMeta(extras, meta)
+		if m.Trace != nil {
+			extras = memcproto.AppendUint64(extras, m.Trace.ID)
+		}
+		c.send(&memcproto.Frame{
+			Magic: memcproto.MagicPush, Opcode: memcproto.OpDCPMutation,
+			VBucket: uint16(vbID), Opaque: opaque, CAS: m.CAS,
+			Extras: extras, Key: []byte(m.Key), Value: m.Value,
+		})
+	}
+	c.send(&memcproto.Frame{
+		Magic: memcproto.MagicPush, Opcode: memcproto.OpDCPStreamEnd,
+		VBucket: uint16(vbID), Opaque: opaque,
+	})
+	c.mu.Lock()
+	if c.streams[streamKey{vbID, name}] != nil && c.streams[streamKey{vbID, name}].stream == ms {
+		delete(c.streams, streamKey{vbID, name})
+	}
+	c.mu.Unlock()
+}
+
+// sliceFrom returns b[off:] or nil when b is shorter.
+func sliceFrom(b []byte, off int) []byte {
+	if len(b) < off {
+		return nil
+	}
+	return b[off:]
+}
+
+func copyBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+func durOf(me memcproto.MutateExtras) core.DurabilityOptions {
+	return core.DurabilityOptions{
+		ReplicateTo: int(me.ReplicateTo),
+		PersistTo:   me.Persist,
+		Timeout:     time.Duration(me.TimeoutMillis) * time.Millisecond,
+	}
+}

@@ -1,0 +1,403 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"couchgo/internal/cache"
+	"couchgo/internal/cmap"
+	"couchgo/internal/core"
+	"couchgo/internal/vbucket"
+)
+
+// newServedCluster starts an in-process cluster behind a TCP server,
+// returning the server and a smart client routed entirely over the
+// wire.
+func newServedCluster(t *testing.T, nReplicas int) (*core.Cluster, *Server, *core.Client) {
+	t.Helper()
+	c, err := core.NewCluster(core.Config{Dir: t.TempDir(), NumVBuckets: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	nodes := 1 + nReplicas
+	for i := 0; i < nodes; i++ {
+		if _, err := c.AddNode(cmap.NodeID(fmt.Sprintf("node%d", i)), cmap.AllServices); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CreateBucket("default", core.BucketOptions{NumReplicas: nReplicas}); err != nil {
+		t.Fatal(err)
+	}
+	// One server per node would need one port per node; for the wire
+	// round-trip test a single node's server suffices, so use a
+	// single-node cluster when nReplicas == 0.
+	srv, err := Listen("127.0.0.1:0", ServerConfig{
+		Cluster: c,
+		Node:    "node0",
+		Bucket:  "default",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	pool := NewPool()
+	t.Cleanup(pool.Close)
+	router := NewRouter("default", []string{srv.Addr()}, pool)
+	// Route every node of the in-process map to the one server; it
+	// dispatches to node0, so only node0's vBuckets answer OK — the
+	// single-node case routes everything there.
+	return c, srv, core.NewClient(&rewriteRouter{inner: router, addr: srv.Addr()}, "default")
+}
+
+// rewriteRouter maps every node ID to one server address (the wire
+// test serves a whole single-node cluster from one listener).
+type rewriteRouter struct {
+	inner *NetRouter
+	addr  string
+}
+
+func (r *rewriteRouter) BucketMap() (*cmap.Map, error) { return r.inner.BucketMap() }
+func (r *rewriteRouter) Conn(node cmap.NodeID) (core.NodeConn, error) {
+	return r.inner.Conn(cmap.NodeID(r.addr))
+}
+
+func TestWireKVRoundTrip(t *testing.T) {
+	_, _, cl := newServedCluster(t, 0)
+	ctx := context.Background()
+
+	it, err := cl.Set(ctx, "greeting", []byte(`{"msg":"hello"}`), 0)
+	if err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if it.CAS == 0 {
+		t.Fatal("Set returned zero CAS")
+	}
+
+	got, err := cl.Get(ctx, "greeting")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got.Value) != `{"msg":"hello"}` {
+		t.Fatalf("Get value = %q", got.Value)
+	}
+	if got.CAS != it.CAS {
+		t.Fatalf("Get CAS %d != Set CAS %d", got.CAS, it.CAS)
+	}
+
+	if _, err := cl.Get(ctx, "absent"); !errors.Is(err, cache.ErrKeyNotFound) {
+		t.Fatalf("Get absent = %v, want ErrKeyNotFound", err)
+	}
+
+	// CAS conflict surfaces as the canonical sentinel across the wire.
+	if _, err := cl.Replace(ctx, "greeting", []byte(`{}`), it.CAS+99); !errors.Is(err, cache.ErrCASMismatch) {
+		t.Fatalf("Replace bad CAS = %v, want ErrCASMismatch", err)
+	}
+
+	// Add on an existing key.
+	if _, err := cl.Add(ctx, "greeting", []byte(`{}`)); !errors.Is(err, cache.ErrKeyExists) {
+		t.Fatalf("Add existing = %v, want ErrKeyExists", err)
+	}
+
+	// Subdoc ops.
+	if _, err := cl.SubdocSet(ctx, "greeting", "count", 3, 0); err != nil {
+		t.Fatalf("SubdocSet: %v", err)
+	}
+	v, err := cl.SubdocGet(ctx, "greeting", "count")
+	if err != nil {
+		t.Fatalf("SubdocGet: %v", err)
+	}
+	if f, ok := v.(float64); !ok || f != 3 {
+		t.Fatalf("SubdocGet = %v (%T), want 3", v, v)
+	}
+	n, err := cl.SubdocCounter(ctx, "greeting", "count", 4, 0)
+	if err != nil {
+		t.Fatalf("SubdocCounter: %v", err)
+	}
+	if n != 7 {
+		t.Fatalf("SubdocCounter = %v, want 7", n)
+	}
+
+	// Locking.
+	locked, err := cl.GetAndLock(ctx, "greeting", 30)
+	if err != nil {
+		t.Fatalf("GetAndLock: %v", err)
+	}
+	if _, err := cl.Set(ctx, "greeting", []byte(`{}`), 0); !errors.Is(err, cache.ErrLocked) {
+		t.Fatalf("Set on locked = %v, want ErrLocked", err)
+	}
+	if err := cl.Unlock(ctx, "greeting", locked.CAS); err != nil {
+		t.Fatalf("Unlock: %v", err)
+	}
+
+	// Delete round-trips and the tombstone is visible to GetMeta.
+	if err := cl.Delete(ctx, "greeting", 0); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := cl.Get(ctx, "greeting"); !errors.Is(err, cache.ErrKeyNotFound) {
+		t.Fatalf("Get deleted = %v, want ErrKeyNotFound", err)
+	}
+}
+
+func TestWireDurability(t *testing.T) {
+	// Single node, ReplicateTo=1 can never be satisfied: the server
+	// must hold the response until the durability timeout and ship the
+	// canonical error back.
+	_, _, cl := newServedCluster(t, 0)
+	ctx := context.Background()
+	_, err := cl.SetWithOptions(ctx, "k", []byte(`{}`), 0, 0, 0, core.DurabilityOptions{
+		ReplicateTo: 1,
+		Timeout:     150 * time.Millisecond,
+	})
+	if !errors.Is(err, vbucket.ErrTimeout) {
+		t.Fatalf("durable Set on 1-node = %v, want vbucket.ErrTimeout", err)
+	}
+
+	// PersistTo succeeds once the flusher catches up.
+	if _, err := cl.SetWithOptions(ctx, "k2", []byte(`{}`), 0, 0, 0, core.DurabilityOptions{
+		PersistTo: true,
+		Timeout:   5 * time.Second,
+	}); err != nil {
+		t.Fatalf("persist Set: %v", err)
+	}
+}
+
+func TestWireNotMyVBucketRefresh(t *testing.T) {
+	// Two servers front a two-node in-process cluster. A client whose
+	// map routes everything to server 0 must be corrected by the fat
+	// not-my-vbucket response (which ships the real map) and land every
+	// op without ever asking for the map out of band.
+	c, err := core.NewCluster(core.Config{Dir: t.TempDir(), NumVBuckets: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	for i := 0; i < 2; i++ {
+		if _, err := c.AddNode(cmap.NodeID(fmt.Sprintf("node%d", i)), cmap.AllServices); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CreateBucket("default", core.BucketOptions{NumReplicas: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each server advertises a map whose node IDs are the *addresses*,
+	// exactly as the multi-process layer does.
+	addrs := map[cmap.NodeID]cmap.NodeID{}
+	translated := func() *cmap.Map {
+		m, err := c.BucketMap("default")
+		if err != nil {
+			return nil
+		}
+		tm := m.Clone()
+		for i, n := range tm.Nodes {
+			if a, ok := addrs[n]; ok {
+				tm.Nodes[i] = a
+			}
+		}
+		return tm
+	}
+	var servers []*Server
+	for i := 0; i < 2; i++ {
+		node := cmap.NodeID(fmt.Sprintf("node%d", i))
+		srv, err := Listen("127.0.0.1:0", ServerConfig{
+			Cluster: c, Node: node, Bucket: "default", Map: translated,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		addrs[node] = cmap.NodeID(srv.Addr())
+		servers = append(servers, srv)
+	}
+
+	pool := NewPool()
+	t.Cleanup(pool.Close)
+	router := NewRouter("default", []string{servers[0].Addr()}, pool)
+	cl := core.NewClient(router, "default")
+
+	// Poison the router: an older map routing every vBucket to server
+	// 0 only.
+	bad := translated()
+	bad.Rev--
+	for vb := range bad.Chains {
+		bad.Chains[vb] = []int{0}
+	}
+	router.installMap(bad)
+
+	before := mNotMyVB.Value()
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("route-%d", i)
+		if _, err := cl.Set(ctx, key, []byte(`{}`), 0); err != nil {
+			t.Fatalf("Set %s with stale map: %v", key, err)
+		}
+		if _, err := cl.Get(ctx, key); err != nil {
+			t.Fatalf("Get %s: %v", key, err)
+		}
+	}
+	if mNotMyVB.Value() == before {
+		t.Fatal("expected at least one not-my-vbucket bounce with a poisoned map")
+	}
+	// The router must have adopted the server's (newer) map.
+	m, err := router.BucketMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rev <= bad.Rev {
+		t.Fatalf("router map rev %d not refreshed past poisoned rev %d", m.Rev, bad.Rev)
+	}
+}
+
+func TestProcessClusterFormationAndFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process-shaped cluster test is slow")
+	}
+	// Three ClusterNodes in one process, each with its own single-node
+	// core cluster — the same wiring cbserver -kv-addr/-join uses.
+	const numVB = 8
+	mk := func(name string) (*core.Cluster, cmap.NodeID) {
+		c, err := core.NewCluster(core.Config{Dir: t.TempDir(), NumVBuckets: numVB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		id := cmap.NodeID(name)
+		if _, err := c.AddNode(id, cmap.AllServices); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CreateBucket("default", core.BucketOptions{NumReplicas: 1}); err != nil {
+			t.Fatal(err)
+		}
+		return c, id
+	}
+
+	c0, id0 := mk("local0")
+	seed, err := StartNode(NodeOptions{
+		Cluster: c0, LocalNode: id0, Bucket: "default",
+		KVAddr: "127.0.0.1:0", ClusterSize: 3,
+		HeartbeatInterval: 50 * time.Millisecond,
+		FailoverAfter:     250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seed.Close()
+
+	var peers []*ClusterNode
+	for i := 1; i < 3; i++ {
+		c, id := mk(fmt.Sprintf("local%d", i))
+		n, err := StartNode(NodeOptions{
+			Cluster: c, LocalNode: id, Bucket: "default",
+			KVAddr: "127.0.0.1:0", Join: seed.KVAddr(),
+			HeartbeatInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers = append(peers, n)
+	}
+	defer func() {
+		for _, p := range peers {
+			p.Close()
+		}
+	}()
+
+	// Wait for formation: every node reports the same minted map.
+	waitFor(t, 10*time.Second, func() bool {
+		m := seed.member.CurrentMap()
+		if m == nil || len(m.Nodes) != 3 {
+			return false
+		}
+		for _, p := range peers {
+			pm := p.member.CurrentMap()
+			if pm == nil || pm.Rev != m.Rev {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Write through the seed's hybrid router with ReplicateTo=1 —
+	// every write is acked only after a peer's replica applied it over
+	// a socket.
+	cl := core.NewClient(seed.Router(), "default")
+	ctx := context.Background()
+	const writes = 40
+	for i := 0; i < writes; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		if _, err := cl.SetWithOptions(ctx, key, []byte(fmt.Sprintf(`{"i":%d}`, i)), 0, 0, 0, core.DurabilityOptions{
+			ReplicateTo: 1, Timeout: 10 * time.Second,
+		}); err != nil {
+			t.Fatalf("durable Set %s: %v", key, err)
+		}
+	}
+
+	// Kill one peer abruptly (close its listener and cluster node —
+	// the in-process stand-in for kill -9).
+	victim := peers[0]
+	victimAddr := victim.KVAddr()
+	victim.Close()
+
+	// Auto-failover: the coordinator must mint a new map in which the
+	// victim holds no vBucket. (FailoverNode keeps the dead node in the
+	// Nodes list and scrubs it from the chains, like a real failover —
+	// the node is out of service, not forgotten.)
+	preRev := seed.member.CurrentMap().Rev
+	waitFor(t, 15*time.Second, func() bool {
+		m := seed.member.CurrentMap()
+		if m == nil || m.Rev <= preRev {
+			return false
+		}
+		for vb := 0; vb < m.NumVBuckets; vb++ {
+			if string(m.Active(vb)) == victimAddr {
+				return false
+			}
+			for _, r := range m.Replicas(vb) {
+				if string(r) == victimAddr {
+					return false
+				}
+			}
+		}
+		return true
+	})
+
+	// No acked write lost: every durable write must still be readable.
+	for i := 0; i < writes; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		var got cache.Item
+		var err error
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			got, err = cl.Get(ctx, key)
+			if err == nil || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if err != nil {
+			t.Fatalf("Get %s after failover: %v", key, err)
+		}
+		if len(got.Value) == 0 {
+			t.Fatalf("Get %s after failover: empty value", key)
+		}
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("condition not met in time")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

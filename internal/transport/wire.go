@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"couchgo/internal/cache"
+	"couchgo/internal/cmap"
+	"couchgo/internal/core"
+	"couchgo/internal/memcproto"
+	"couchgo/internal/trace"
+	"couchgo/internal/vbucket"
+)
+
+// statusTable maps canonical storage errors to wire statuses and back.
+// The client reconstructs the same sentinel error the loopback conn
+// would have returned, so callers' errors.Is checks behave identically
+// on both transports.
+var statusTable = []struct {
+	status memcproto.Status
+	err    error
+}{
+	{memcproto.StatusKeyNotFound, cache.ErrKeyNotFound},
+	{memcproto.StatusKeyExists, cache.ErrKeyExists},
+	{memcproto.StatusCASMismatch, cache.ErrCASMismatch},
+	{memcproto.StatusLocked, cache.ErrLocked},
+	{memcproto.StatusNotMyVBucket, vbucket.ErrNotMyVBucket},
+	{memcproto.StatusNoSuchBucket, core.ErrNoSuchBucket},
+	{memcproto.StatusDurabilityTimeout, vbucket.ErrTimeout},
+	{memcproto.StatusSubdocPath, cache.ErrPathNotFound},
+}
+
+// statusOf picks the wire status for a server-side error.
+func statusOf(err error) memcproto.Status {
+	for _, e := range statusTable {
+		if errors.Is(err, e.err) {
+			return e.status
+		}
+	}
+	switch {
+	case errors.Is(err, cache.ErrNotLocked), errors.Is(err, cache.ErrNotJSON):
+		return memcproto.StatusBadRequest
+	case errors.Is(err, core.ErrNodeDown):
+		return memcproto.StatusTmpFail
+	}
+	return memcproto.StatusInternal
+}
+
+// errOf reconstructs the client-side error for a non-OK status. The
+// server's message rides the value; sentinel statuses wrap the
+// canonical error so errors.Is works across the wire.
+func errOf(status memcproto.Status, msg []byte) error {
+	for _, e := range statusTable {
+		if status == e.status {
+			if len(msg) > 0 {
+				return fmt.Errorf("%s: %w", msg, e.err)
+			}
+			return e.err
+		}
+	}
+	if status == memcproto.StatusTmpFail {
+		return fmt.Errorf("%s: %w", msg, core.ErrNodeDown)
+	}
+	return fmt.Errorf("transport: %s: %s", status, msg)
+}
+
+// itemMetaOf projects a cache.Item's metadata for response extras.
+func itemMetaOf(it cache.Item) memcproto.ItemMeta {
+	return memcproto.ItemMeta{
+		Seqno:    it.Seqno,
+		RevSeqno: it.RevSeqno,
+		Flags:    it.Flags,
+		Expiry:   it.Expiry,
+		Deleted:  it.Deleted,
+		Resident: it.Resident,
+	}
+}
+
+// itemFromFrame rebuilds the cache.Item a loopback call would have
+// returned, from a response frame's extras (epoch ‖ item meta), CAS
+// header, and value.
+func itemFromFrame(key string, f *memcproto.Frame) (cache.Item, error) {
+	if len(f.Extras) < memcproto.EpochLen {
+		return cache.Item{}, memcproto.ErrBadExtras
+	}
+	meta, err := memcproto.DecodeItemMeta(f.Extras[memcproto.EpochLen:])
+	if err != nil {
+		return cache.Item{}, err
+	}
+	it := cache.Item{
+		Key:      key,
+		CAS:      f.CAS,
+		Seqno:    meta.Seqno,
+		RevSeqno: meta.RevSeqno,
+		Flags:    meta.Flags,
+		Expiry:   meta.Expiry,
+		Deleted:  meta.Deleted,
+		Resident: meta.Resident,
+	}
+	if len(f.Value) > 0 {
+		it.Value = append([]byte(nil), f.Value...)
+	}
+	return it, nil
+}
+
+// appendTraceTick appends the sampled client trace's ID to request
+// extras, so a trace started at a client is identifiable in the
+// serving process's journal. Requests outside a sampled trace add
+// nothing.
+func appendTraceTick(extras []byte, ctx context.Context) []byte {
+	if t := trace.TraceFromContext(ctx); t != nil {
+		return memcproto.AppendUint64(extras, t.ID)
+	}
+	return extras
+}
+
+// traceTickAt reads the optional trailing trace ID after an opcode's
+// fixed-length extras.
+func traceTickAt(extras []byte, fixed int) (uint64, bool) {
+	return memcproto.Uint64At(extras, fixed)
+}
+
+// decodeMap parses a fat not-my-vbucket value (or cluster-map
+// response) into a map.
+func decodeMap(value []byte) (*cmap.Map, error) {
+	var m cmap.Map
+	if err := json.Unmarshal(value, &m); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

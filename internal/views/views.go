@@ -263,7 +263,7 @@ func (e *Engine) Names() []string {
 // AttachVB begins indexing a vBucket that became active on this node.
 // Attaching an already-attached vBucket is a no-op, so cluster state
 // reconciliation can call it idempotently.
-func (e *Engine) AttachVB(vb int, p *dcp.Producer) error {
+func (e *Engine) AttachVB(vb int, p dcp.StreamSource) error {
 	return e.hub.AttachVB(vb, p)
 }
 
