@@ -18,8 +18,12 @@ fmtcheck:
 	@out=$$(gofmt -l cmd internal); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# couchvet runs all eight rules plus the unused-pragma audit; vetfmt
+# turns the JSON findings into GitHub Actions ::error annotations and
+# is the pipe's exit status, so an empty stream (couchvet crashed)
+# fails the gate instead of passing silently.
 couchvet:
-	go run ./cmd/couchvet ./...
+	go run ./cmd/couchvet -json ./... | go run ./cmd/vetfmt
 
 race:
 	go test -race ./...

@@ -353,8 +353,8 @@ func BenchmarkGSIStorageModes(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			items := ix.Scan(gsi.ScanOptions{EqualKey: []any{float64(i % 100)}, HasEqual: true})
-			if len(items) == 0 {
+			items, err := ix.Scan(context.Background(), gsi.ScanOptions{EqualKey: []any{float64(i % 100)}, HasEqual: true})
+			if err != nil || len(items) == 0 {
 				b.Fatal("empty scan")
 			}
 		}
@@ -441,7 +441,7 @@ func BenchmarkViewReduceVsScan(b *testing.B) {
 			vb.Set(context.Background(), fmt.Sprintf("sale%06d", i), []byte(doc), 0, 0, 0, 0)
 		}
 		// Let the indexer catch up once.
-		if _, err := eng.Query("sales", views.QueryOptions{
+		if _, err := eng.Query(context.Background(), "sales", views.QueryOptions{
 			Stale: views.StaleFalse, WaitSeqnos: map[int]uint64{0: vb.HighSeqno()},
 		}); err != nil {
 			b.Fatal(err)
@@ -452,7 +452,7 @@ func BenchmarkViewReduceVsScan(b *testing.B) {
 		eng, _ := setup(b)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			rows, err := eng.Query("sales", views.QueryOptions{Reduce: true})
+			rows, err := eng.Query(context.Background(), "sales", views.QueryOptions{Reduce: true})
 			if err != nil || len(rows) != 1 {
 				b.Fatal(err)
 			}
@@ -462,7 +462,7 @@ func BenchmarkViewReduceVsScan(b *testing.B) {
 		eng, _ := setup(b)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			rows, err := eng.Query("sales", views.QueryOptions{})
+			rows, err := eng.Query(context.Background(), "sales", views.QueryOptions{})
 			if err != nil {
 				b.Fatal(err)
 			}

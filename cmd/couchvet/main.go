@@ -5,12 +5,15 @@
 //
 // Usage:
 //
-//	couchvet [-rules r1,r2] [./... | pkgdir ...]
+//	couchvet [-rules r1,r2] [-json] [./... | pkgdir ...]
 //
 // With no arguments (or `./...`) the whole module is checked. Package
 // directory arguments restrict which packages' findings are reported;
 // the whole module is still loaded so cross-package types resolve.
-// Exit status: 0 clean, 1 findings, 2 load/usage error.
+// With -json, findings are printed to stdout as one JSON array of
+// {file, line, col, rule, message} records — an empty run prints `[]`,
+// so downstream formatters (cmd/vetfmt) can tell "clean" from
+// "crashed". Exit status: 0 clean, 1 findings, 2 load/usage error.
 //
 // Deliberate exceptions are annotated in source:
 //
@@ -18,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +34,7 @@ import (
 func main() {
 	rules := flag.String("rules", "", "comma-separated rule names to run (default: all)")
 	list := flag.Bool("list", false, "list available rules and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Parse()
 
 	if *list {
@@ -72,13 +77,46 @@ func main() {
 		pkgs = kept
 	}
 
-	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	diags := lint.RunAll(pkgs, analyzers)
+	if *jsonOut {
+		writeJSON(diags)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "couchvet: %d finding(s)\n", len(diags))
 		os.Exit(1)
+	}
+}
+
+// finding is the -json record shape. Kept flat and stable: cmd/vetfmt
+// and CI annotation tooling parse it.
+type finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func writeJSON(diags []lint.Diagnostic) {
+	out := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, finding{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "couchvet:", err)
+		os.Exit(2)
 	}
 }
 

@@ -1,0 +1,56 @@
+// Command vetfmt turns couchvet's -json finding stream into GitHub
+// Actions annotations:
+//
+//	go run ./cmd/couchvet -json ./... | go run ./cmd/vetfmt
+//
+// Each finding becomes a `::error file=...,line=...::rule: message`
+// line, which Actions renders inline on the PR diff. Exit status: 0
+// when the input is an empty finding array, 1 when there are
+// findings, 2 when stdin is empty or not valid couchvet JSON.
+//
+// The strictness on malformed input is the point of the pipe: couchvet
+// crashing (exit 2, nothing on stdout) must fail the CI step, and a
+// shell pipeline's status is the last command's. vetfmt refusing empty
+// input means a dead producer cannot masquerade as a clean run.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+type finding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vetfmt: read stdin:", err)
+		os.Exit(2)
+	}
+	if len(strings.TrimSpace(string(data))) == 0 {
+		fmt.Fprintln(os.Stderr, "vetfmt: empty input — did couchvet crash? (expected a JSON array, [] when clean)")
+		os.Exit(2)
+	}
+	var findings []finding
+	if err := json.Unmarshal(data, &findings); err != nil {
+		fmt.Fprintln(os.Stderr, "vetfmt: invalid couchvet JSON:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		// %%0A etc. are not needed: couchvet messages are single-line.
+		fmt.Printf("::error file=%s,line=%d,col=%d::%s: %s\n", f.File, f.Line, f.Col, f.Rule, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "vetfmt: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -462,7 +462,7 @@ func (b *Bucket) DropView(name string) error { return b.c.DropView(b.name, name)
 
 // ViewQuery runs a scatter/gather view query (Figure 8).
 func (b *Bucket) ViewQuery(name string, opts ViewQueryOptions) ([]ViewRow, error) {
-	return b.c.QueryView(b.name, name, views.QueryOptions{
+	return b.c.QueryView(context.Background(), b.name, name, views.QueryOptions{
 		Key: opts.Key, HasKey: opts.HasKey, Keys: opts.Keys,
 		StartKey: opts.StartKey, EndKey: opts.EndKey,
 		HasStart: opts.HasStart, HasEnd: opts.HasEnd,

@@ -86,6 +86,19 @@ func routeBackoff(attempt int) time.Duration {
 	return d/2 + rand.N(d/2+1)
 }
 
+// sleepCtx waits d or until ctx is cancelled, whichever comes first —
+// a retry backoff must never outlive the request it is retrying for.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // retryableRouteErr reports whether an op failure means "the topology
 // moved under us, re-read the map and try again": a stale map
 // (not-my-vbucket), a node that stopped serving, a node missing the
@@ -119,7 +132,7 @@ func (cl *Client) route(ctx context.Context, key string, op func(ctx context.Con
 		if asp != nil {
 			asp.Annotate("attempt", strconv.Itoa(attempt))
 		}
-		retry := func(err error) {
+		retry := func(err error) error {
 			lastErr = err
 			d := routeBackoff(attempt)
 			if asp != nil {
@@ -127,7 +140,7 @@ func (cl *Client) route(ctx context.Context, key string, op func(ctx context.Con
 				asp.Annotate("backoff", d.String())
 				asp.End()
 			}
-			time.Sleep(d)
+			return sleepCtx(ctx, d)
 		}
 		m, err := cl.router.BucketMap()
 		if err != nil {
@@ -148,7 +161,9 @@ func (cl *Client) route(ctx context.Context, key string, op func(ctx context.Con
 		}
 		nc, err := cl.router.Conn(nodeID)
 		if err != nil {
-			retry(err)
+			if cerr := retry(err); cerr != nil {
+				return cerr
+			}
 			continue
 		}
 		err = op(trace.ContextWith(ctx, asp), vbID, nc)
@@ -157,7 +172,9 @@ func (cl *Client) route(ctx context.Context, key string, op func(ctx context.Con
 			// library with the new cluster map" — here the client
 			// re-reads it and retries. (Over TCP the refreshed map rode
 			// the not-my-vbucket response itself.)
-			retry(err)
+			if cerr := retry(err); cerr != nil {
+				return cerr
+			}
 			continue
 		}
 		asp.Error(err)

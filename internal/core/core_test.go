@@ -315,7 +315,7 @@ func TestViewsClusterScatterGather(t *testing.T) {
 		cl.Set(context.Background(), fmt.Sprintf("u%02d", i), []byte(fmt.Sprintf(`{"city": %q, "name": "user%d"}`, city, i)), 0)
 	}
 	// stale=false sees everything across all nodes.
-	rows, err := c.QueryView("default", "byCity", views.QueryOptions{Stale: views.StaleFalse})
+	rows, err := c.QueryView(context.Background(), "default", "byCity", views.QueryOptions{Stale: views.StaleFalse})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,12 +329,12 @@ func TestViewsClusterScatterGather(t *testing.T) {
 		}
 	}
 	// Reduced count across nodes.
-	rows, _ = c.QueryView("default", "byCity", views.QueryOptions{Stale: views.StaleFalse, Reduce: true})
+	rows, _ = c.QueryView(context.Background(), "default", "byCity", views.QueryOptions{Stale: views.StaleFalse, Reduce: true})
 	if rows[0].Value != 7.0 {
 		t.Fatalf("reduce: %+v", rows)
 	}
 	// Grouped.
-	rows, _ = c.QueryView("default", "byCity", views.QueryOptions{Stale: views.StaleFalse, Reduce: true, Group: true})
+	rows, _ = c.QueryView(context.Background(), "default", "byCity", views.QueryOptions{Stale: views.StaleFalse, Reduce: true, Group: true})
 	counts := map[string]float64{}
 	for _, r := range rows {
 		counts[r.Key.(string)] = r.Value.(float64)
@@ -343,7 +343,7 @@ func TestViewsClusterScatterGather(t *testing.T) {
 		t.Fatalf("grouped: %v", counts)
 	}
 	// Key lookup with limit.
-	rows, _ = c.QueryView("default", "byCity", views.QueryOptions{Stale: views.StaleFalse, Key: "SF", HasKey: true, Limit: 2})
+	rows, _ = c.QueryView(context.Background(), "default", "byCity", views.QueryOptions{Stale: views.StaleFalse, Key: "SF", HasKey: true, Limit: 2})
 	if len(rows) != 2 {
 		t.Fatalf("limited: %+v", rows)
 	}
@@ -792,7 +792,7 @@ func TestViewsStayConsistentAcrossRebalance(t *testing.T) {
 		cl.Set(context.Background(), fmt.Sprintf("d%03d", i), []byte(fmt.Sprintf(`{"n": %d}`, i)), 0)
 	}
 	check := func(stage string) {
-		rows, err := c.QueryView("default", "byN", views.QueryOptions{Stale: views.StaleFalse})
+		rows, err := c.QueryView(context.Background(), "default", "byN", views.QueryOptions{Stale: views.StaleFalse})
 		if err != nil {
 			t.Fatalf("%s: %v", stage, err)
 		}
@@ -815,7 +815,7 @@ func TestViewsStayConsistentAcrossRebalance(t *testing.T) {
 	check("after rebalance")
 	// Post-rebalance mutations index on the new owners.
 	cl.Set(context.Background(), "d000", []byte(`{"n": 999}`), 0)
-	rows, _ := c.QueryView("default", "byN", views.QueryOptions{
+	rows, _ := c.QueryView(context.Background(), "default", "byN", views.QueryOptions{
 		Stale: views.StaleFalse, Key: 999.0, HasKey: true,
 	})
 	if len(rows) != 1 {

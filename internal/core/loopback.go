@@ -218,14 +218,14 @@ func waitDurability(ctx context.Context, vb *vbucket.VBucket, seqno uint64, dur 
 		timeout = 10 * time.Second
 	}
 	if dur.ReplicateTo > 0 {
-		if err := vb.WaitReplicas(seqno, dur.ReplicateTo, timeout); err != nil {
+		if err := vb.WaitReplicas(ctx, seqno, dur.ReplicateTo, timeout); err != nil {
 			sp.Error(err)
 			publishDurabilityEvent(ctx, "replicate", seqno, err)
 			return err
 		}
 	}
 	if dur.PersistTo {
-		if err := vb.WaitPersist(seqno, timeout); err != nil {
+		if err := vb.WaitPersist(ctx, seqno, timeout); err != nil {
 			sp.Error(err)
 			publishDurabilityEvent(ctx, "persist", seqno, err)
 			return err

@@ -311,7 +311,7 @@ func (c *Cluster) consistencyVector(keyspace string) map[int]uint64 {
 
 func (s *clusterStore) ScanIndex(ctx context.Context, keyspace, index string, using n1ql.IndexUsing, opts executor.IndexScanOpts) ([]executor.IndexEntry, error) {
 	if using == n1ql.UsingView {
-		return s.c.scanViewIndex(keyspace, index, opts)
+		return s.c.scanViewIndex(ctx, keyspace, index, opts)
 	}
 	b, err := s.c.bucket(keyspace)
 	if err != nil {
@@ -324,7 +324,7 @@ func (s *clusterStore) ScanIndex(ctx context.Context, keyspace, index string, us
 		Limit: opts.Limit, Reverse: opts.Reverse,
 		WaitSeqnos: opts.Wait,
 	}
-	items, err := b.gsiSvc.Scan(keyspace, index, gopts)
+	items, err := b.gsiSvc.Scan(ctx, keyspace, index, gopts)
 	if err != nil {
 		return nil, err
 	}
@@ -337,7 +337,7 @@ func (s *clusterStore) ScanIndex(ctx context.Context, keyspace, index string, us
 
 // scanViewIndex serves an IndexScan over a view-backed index by
 // scatter/gathering the per-node view engines (Figure 8).
-func (c *Cluster) scanViewIndex(keyspace, index string, opts executor.IndexScanOpts) ([]executor.IndexEntry, error) {
+func (c *Cluster) scanViewIndex(ctx context.Context, keyspace, index string, opts executor.IndexScanOpts) ([]executor.IndexEntry, error) {
 	vopts := views.QueryOptions{Descending: opts.Reverse}
 	switch {
 	case opts.HasEqual:
@@ -360,7 +360,7 @@ func (c *Cluster) scanViewIndex(keyspace, index string, opts executor.IndexScanO
 	if opts.Wait != nil {
 		vopts.Stale = views.StaleFalse
 	}
-	rows, err := c.queryViewRows(keyspace, viewIndexName(index), vopts, opts.Wait)
+	rows, err := c.queryViewRows(ctx, keyspace, viewIndexName(index), vopts, opts.Wait)
 	if err != nil {
 		return nil, err
 	}
@@ -474,15 +474,15 @@ func (c *Cluster) DropView(bucketName, name string) error {
 // (Figure 8: "queries are sent to a randomly selected server within
 // the cluster [which] sends the request to the other relevant servers
 // ... and then aggregates their results").
-func (c *Cluster) QueryView(bucketName, view string, opts views.QueryOptions) ([]views.Row, error) {
+func (c *Cluster) QueryView(ctx context.Context, bucketName, view string, opts views.QueryOptions) ([]views.Row, error) {
 	var wait map[int]uint64
 	if opts.Stale == views.StaleFalse {
 		wait = c.consistencyVector(bucketName)
 	}
-	return c.queryViewRows(bucketName, view, opts, wait)
+	return c.queryViewRows(ctx, bucketName, view, opts, wait)
 }
 
-func (c *Cluster) queryViewRows(bucketName, view string, opts views.QueryOptions, wait map[int]uint64) ([]views.Row, error) {
+func (c *Cluster) queryViewRows(ctx context.Context, bucketName, view string, opts views.QueryOptions, wait map[int]uint64) ([]views.Row, error) {
 	b, err := c.bucket(bucketName)
 	if err != nil {
 		return nil, err
@@ -519,7 +519,7 @@ func (c *Cluster) queryViewRows(bucketName, view string, opts views.QueryOptions
 		if opts.Limit > 0 {
 			nodeOpts.Limit = opts.Limit + opts.Skip
 		}
-		rows, err := nb.viewEngine.Query(view, nodeOpts)
+		rows, err := nb.viewEngine.Query(ctx, view, nodeOpts)
 		if err != nil {
 			return nil, err
 		}

@@ -58,7 +58,7 @@ func (h *harness) fresh() map[int]uint64 {
 func (h *harness) scanFresh(t *testing.T, name string, opts ScanOptions) []ScanItem {
 	t.Helper()
 	opts.WaitSeqnos = h.fresh()
-	items, err := h.svc.Scan("Profile", name, opts)
+	items, err := h.svc.Scan(context.Background(), "Profile", name, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +297,7 @@ func TestDeferredBuild(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := h.svc.Scan("Profile", "age", ScanOptions{}); err != ErrNoSuchIndex {
+	if _, err := h.svc.Scan(context.Background(), "Profile", "age", ScanOptions{}); err != ErrNoSuchIndex {
 		t.Fatalf("deferred index should not be scannable: %v", err)
 	}
 	if err := h.svc.BuildIndex("Profile", "age"); err != nil {
@@ -355,7 +355,10 @@ func TestMemoryOptimizedModeAndSnapshot(t *testing.T) {
 	if restored.Stats().Entries != 20 {
 		t.Fatalf("restored entries: %+v", restored.Stats())
 	}
-	got := restored.Scan(ScanOptions{EqualKey: []any{7.0}, HasEqual: true})
+	got, err := restored.Scan(context.Background(), ScanOptions{EqualKey: []any{7.0}, HasEqual: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(got) != 1 || got[0].DocID != "u07" {
 		t.Fatalf("restored scan: %+v", got)
 	}
@@ -389,7 +392,7 @@ func TestIndexDDLErrors(t *testing.T) {
 	if err := h.svc.BuildIndex("P", "nope"); err != ErrNoSuchIndex {
 		t.Errorf("build unknown: %v", err)
 	}
-	if _, err := h.svc.Scan("P", "nope", ScanOptions{}); err != ErrNoSuchIndex {
+	if _, err := h.svc.Scan(context.Background(), "P", "nope", ScanOptions{}); err != ErrNoSuchIndex {
 		t.Errorf("scan unknown: %v", err)
 	}
 	if err := h.svc.DropIndex("P", "dup"); err != nil {
@@ -420,7 +423,7 @@ func TestDetachVBStopsProjection(t *testing.T) {
 	h.proj.DetachVB(1)
 	// Further writes to vb1 are not projected.
 	h.vbs[1].Set(context.Background(), "c", []byte(`{"age": 3}`), 0, 0, 0, 0)
-	items, _ := h.svc.Scan("Profile", "age", ScanOptions{})
+	items, _ := h.svc.Scan(context.Background(), "Profile", "age", ScanOptions{})
 	for _, it := range items {
 		if it.DocID == "c" {
 			t.Fatal("detached vb still projecting")

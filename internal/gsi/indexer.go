@@ -2,6 +2,7 @@ package gsi
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -233,11 +234,17 @@ func (ix *Indexer) Processed() map[int]uint64 {
 }
 
 // waitFor blocks until the indexer has processed the seqno vector
-// (request_plus).
-func (ix *Indexer) waitFor(seqnos map[int]uint64) {
+// (request_plus) or ctx is cancelled; cancellation wakes the wait
+// through the condition variable's Broadcast.
+func (ix *Indexer) waitFor(ctx context.Context, seqnos map[int]uint64) error {
+	stop := context.AfterFunc(ctx, func() { ix.cond.Broadcast() })
+	defer stop()
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	for !ix.closed {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ok := true
 		for vb, want := range seqnos {
 			if want > 0 && ix.processed[vb] < want {
@@ -246,16 +253,19 @@ func (ix *Indexer) waitFor(seqnos map[int]uint64) {
 			}
 		}
 		if ok {
-			return
+			return nil
 		}
 		ix.cond.Wait()
 	}
+	return nil
 }
 
 // Scan runs a range or equality scan on this partition.
-func (ix *Indexer) Scan(opts ScanOptions) []ScanItem {
+func (ix *Indexer) Scan(ctx context.Context, opts ScanOptions) ([]ScanItem, error) {
 	if opts.WaitSeqnos != nil {
-		ix.waitFor(opts.WaitSeqnos)
+		if err := ix.waitFor(ctx, opts.WaitSeqnos); err != nil {
+			return nil, err
+		}
 	}
 	lo, hi := scanBounds(opts)
 	ix.mu.Lock()
@@ -270,13 +280,15 @@ func (ix *Indexer) Scan(opts ScanOptions) []ScanItem {
 	} else {
 		ix.tree.Ascend(lo, hi, visit)
 	}
-	return out
+	return out, nil
 }
 
 // CountRange counts entries in the range without materializing them.
+// Counts serve planner statistics, not request paths, so there is no
+// ctx to thread.
 func (ix *Indexer) CountRange(opts ScanOptions) int {
 	if opts.WaitSeqnos != nil {
-		ix.waitFor(opts.WaitSeqnos)
+		ix.waitFor(context.Background(), opts.WaitSeqnos)
 	}
 	lo, hi := scanBounds(opts)
 	ix.mu.Lock()

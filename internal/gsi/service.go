@@ -1,6 +1,7 @@
 package gsi
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -187,8 +188,10 @@ func (s *Service) Lookup(keyspace, name string) (IndexMeta, error) {
 
 // Scan scatter/gathers over the index's partitions and merges results
 // in collation order ("it does scatter/gather for queries in case of a
-// partitioned GSI index").
-func (s *Service) Scan(keyspace, name string, opts ScanOptions) ([]ScanItem, error) {
+// partitioned GSI index"). The ctx bounds the request_plus
+// consistency wait: a cancelled query releases its indexer waiters
+// instead of parking until the seqno vector catches up.
+func (s *Service) Scan(ctx context.Context, keyspace, name string, opts ScanOptions) ([]ScanItem, error) {
 	s.mu.Lock()
 	st, ok := s.indexes[indexKey(keyspace, name)]
 	s.mu.Unlock()
@@ -196,18 +199,26 @@ func (s *Service) Scan(keyspace, name string, opts ScanOptions) ([]ScanItem, err
 		return nil, ErrNoSuchIndex
 	}
 	if len(st.parts) == 1 {
-		return st.parts[0].Scan(opts), nil
+		return st.parts[0].Scan(ctx, opts)
 	}
 	results := make([][]ScanItem, len(st.parts))
+	errs := make([]error, len(st.parts))
 	var wg sync.WaitGroup
 	for i, p := range st.parts {
 		wg.Add(1)
 		go func(i int, p *Indexer) {
 			defer wg.Done()
-			results[i] = p.Scan(opts)
+			results[i], errs[i] = p.Scan(ctx, opts)
 		}(i, p)
 	}
+	// Every partition scan observes ctx, so cancellation unblocks the
+	// whole gather.
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	merged := mergeScanItems(results, opts.Reverse)
 	if opts.Limit > 0 && len(merged) > opts.Limit {
 		merged = merged[:opts.Limit]

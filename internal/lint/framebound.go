@@ -1,0 +1,344 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// FrameBound guards the wire-decode paths of internal/memcproto: any
+// allocation whose size derives from a wire field must be dominated by
+// a bounds check against a declared maximum. A hostile peer owns every
+// byte of a frame header; `make([]byte, bodyLen)` with an unchecked
+// bodyLen turns one 24-byte frame into a multi-gigabyte allocation.
+// The rule makes "error, not alloc" a structural property instead of a
+// fuzz-only hope.
+//
+// Taint sources are binary.BigEndian.Uint16/32/64 reads and single
+// byte loads from a []byte (wire buffers are the only []byte a decode
+// path touches). Taint propagates through assignments, conversions,
+// and arithmetic. len(x) sanitizes: the length of a slice already in
+// memory is not attacker-amplifiable. A tainted variable is cleared by
+// a comparison against an untainted bound — a constant (MaxBodyLen,
+// MaxKeyLen) or a len() of an existing buffer — anywhere earlier in
+// the function (source order approximates dominance; decode functions
+// here are straight-line guard-then-use code). Sinks are make() calls
+// whose size expression is still tainted.
+//
+// The rule is gated to internal/memcproto: that is where wire bytes
+// become Go values, and where the invariant is cheap to state exactly.
+var FrameBound = &Analyzer{
+	Name: "framebound",
+	Doc:  "wire-derived length reaches an allocation without a bounds check",
+	Run:  runFrameBound,
+}
+
+func runFrameBound(pkg *Package) []Diagnostic {
+	if pkg.Path != ModulePath+"/internal/memcproto" {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w := &frameWalker{pkg: pkg, tainted: map[string]bool{}, guarded: map[string]bool{}}
+			w.stmts(fn.Body.List)
+			diags = append(diags, w.diags...)
+		}
+	}
+	return diags
+}
+
+type frameWalker struct {
+	pkg     *Package
+	tainted map[string]bool
+	guarded map[string]bool
+	diags   []Diagnostic
+}
+
+// stmts processes a body in source order; guard state flows forward
+// only. Branch bodies share the walker — a guard established inside
+// an `if` leaks to the rest of the function, which over-approximates
+// domination, but decode code that checks a bound on any path and
+// then allocates is exactly the guard-then-use shape being required.
+func (w *frameWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *frameWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkSinks(e)
+		}
+		w.propagate(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for i, v := range vs.Values {
+						w.checkSinks(v)
+						if w.taintedExpr(v) && i < len(vs.Names) {
+							w.tainted[vs.Names[i].Name] = true
+						}
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.guardsFromCond(s.Cond)
+		w.stmts(s.Body.List)
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+	case *ast.ExprStmt:
+		w.checkSinks(s.X)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkSinks(e)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.guardsFromCond(s.Cond)
+		}
+		w.stmts(s.Body.List)
+	case *ast.RangeStmt:
+		w.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	}
+}
+
+// propagate transfers taint across an assignment.
+func (w *frameWalker) propagate(s *ast.AssignStmt) {
+	taintLHS := func(i int, tainted bool) {
+		id, ok := s.Lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if tainted {
+			w.tainted[id.Name] = true
+			delete(w.guarded, id.Name) // reassignment invalidates an old guard
+		}
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, rhs := range s.Rhs {
+			taintLHS(i, w.taintedExpr(rhs))
+		}
+		return
+	}
+	// Multi-value: taint every target if the single RHS is tainted.
+	if len(s.Rhs) == 1 && w.taintedExpr(s.Rhs[0]) {
+		for i := range s.Lhs {
+			taintLHS(i, true)
+		}
+	}
+}
+
+// guardsFromCond scans a condition (through && and ||) for comparisons
+// of a tainted variable against an untainted bound, and marks those
+// variables guarded.
+func (w *frameWalker) guardsFromCond(cond ast.Expr) {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return
+	}
+	switch be.Op {
+	case token.LAND, token.LOR:
+		w.guardsFromCond(be.X)
+		w.guardsFromCond(be.Y)
+		return
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return
+	}
+	w.guardSide(be.X, be.Y)
+	w.guardSide(be.Y, be.X)
+}
+
+// guardSide marks tainted identifiers in side as guarded when bound is
+// an acceptable limit: a compile-time constant or an expression built
+// from len() and untainted values.
+func (w *frameWalker) guardSide(side, bound ast.Expr) {
+	ids := w.taintedIdents(side)
+	if len(ids) == 0 {
+		return
+	}
+	if !w.isBound(bound) {
+		return
+	}
+	for _, id := range ids {
+		w.guarded[id] = true
+	}
+}
+
+// isBound reports whether e is a legitimate limit to compare a wire
+// length against: a constant expression (declared max) or anything
+// untainted (len of a real buffer, a caller-supplied cap).
+func (w *frameWalker) isBound(e ast.Expr) bool {
+	if tv, ok := w.pkg.Info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	return !w.taintedExpr(e)
+}
+
+// checkSinks reports make() calls whose size is still tainted.
+func (w *frameWalker) checkSinks(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return true
+		}
+		if _, isBuiltin := w.pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		for _, arg := range call.Args[1:] {
+			if w.taintedExpr(arg) {
+				w.diags = append(w.diags, Diagnostic{
+					Pos:     w.pkg.pos(call.Pos()),
+					Rule:    "framebound",
+					Message: fmt.Sprintf("allocation sized by wire-derived %s without a bounds check against a declared max", describeTaint(arg)),
+				})
+				break
+			}
+		}
+		return true
+	})
+}
+
+// taintedExpr reports whether e still carries unguarded wire taint:
+// it contains a raw taint source (a BigEndian read or a byte load
+// from a []byte) or mentions a tainted, unguarded variable. len()
+// subtrees are skipped — a slice's length is not wire-controlled
+// beyond memory already allocated.
+func (w *frameWalker) taintedExpr(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := w.pkg.Info.Uses[id].(*types.Builtin); isBuiltin && (id.Name == "len" || id.Name == "cap") {
+					return false
+				}
+			}
+			if isWireRead(w.pkg, n) {
+				found = true
+				return false
+			}
+		case *ast.IndexExpr:
+			if isByteSlice(w.pkg.Info.TypeOf(n.X)) {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			if w.tainted[n.Name] && !w.guarded[n.Name] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// taintedIdents collects tainted (guarded or not) variable names in e.
+func (w *frameWalker) taintedIdents(e ast.Expr) []string {
+	set := map[string]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && w.tainted[id.Name] {
+			set[id.Name] = true
+		}
+		return true
+	})
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// describeTaint names the tainted variables in a sink's size for the
+// message, falling back to "length" for inline reads.
+func describeTaint(e ast.Expr) string {
+	var names []string
+	seen := map[string]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !seen[id.Name] && id.Obj != nil {
+			seen[id.Name] = true
+			names = append(names, id.Name)
+		}
+		return true
+	})
+	if len(names) == 0 {
+		return "length"
+	}
+	sort.Strings(names)
+	if len(names) == 1 {
+		return names[0]
+	}
+	return names[0] + " (and others)"
+}
+
+// isWireRead reports whether call is binary.BigEndian.UintNN (or the
+// LittleEndian twin) — the canonical multi-byte wire-field load.
+func isWireRead(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Uint16", "Uint32", "Uint64":
+	default:
+		return false
+	}
+	fn := calleeFunc(pkg, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "encoding/binary"
+}
+
+// isByteSlice reports whether t is []byte (after named-type unwrap).
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}

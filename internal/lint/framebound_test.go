@@ -1,0 +1,121 @@
+package lint
+
+import "testing"
+
+// TestFrameBound exercises the wire-bounds rule on the decode shapes
+// that matter: unguarded BigEndian reads reaching make(), single-byte
+// header loads, guard-then-alloc (clean), len()-relative guards
+// (clean), and the full frame-read shape where bodyLen comes off the
+// header with no max check.
+func TestFrameBound(t *testing.T) {
+	const path = ModulePath + "/internal/memcproto"
+	fixtures := []fixture{
+		{name: "unguarded_uint32", path: path, src: `
+package memcproto
+
+import "encoding/binary"
+
+func decode(b []byte) []byte {
+	n := binary.BigEndian.Uint32(b)
+	return make([]byte, n) // want: framebound
+}
+`},
+		{name: "guarded_by_const_clean", path: path, src: `
+package memcproto
+
+import "encoding/binary"
+
+const maxBody = 1 << 20
+
+func decode(b []byte) ([]byte, bool) {
+	n := binary.BigEndian.Uint32(b)
+	if n > maxBody {
+		return nil, false
+	}
+	return make([]byte, n), true
+}
+`},
+		{name: "byte_index_ext_len", path: path, src: `
+package memcproto
+
+func ext(b []byte) []byte {
+	extLen := b[4]
+	return make([]byte, extLen) // want: framebound
+}
+`},
+		{name: "guarded_by_len_clean", path: path, src: `
+package memcproto
+
+import "encoding/binary"
+
+func bounded(b []byte) []byte {
+	n := binary.BigEndian.Uint16(b)
+	if int(n) > len(b) {
+		return nil
+	}
+	return make([]byte, n)
+}
+`},
+		{name: "read_frame_shape", path: path, src: `
+package memcproto
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// The real-tree bug shape: Read trusts the header's bodyLen and
+// allocates before any check — one hostile 24-byte frame asks for a
+// multi-gigabyte buffer.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	bodyLen := binary.BigEndian.Uint32(hdr[8:12])
+	body := make([]byte, bodyLen) // want: framebound
+	_, err := io.ReadFull(r, body)
+	return body, err
+}
+`},
+		{name: "inline_read_in_make", path: path, src: `
+package memcproto
+
+import "encoding/binary"
+
+func inline(b []byte) []byte {
+	return make([]byte, binary.BigEndian.Uint16(b[2:4])) // want: framebound
+}
+`},
+		{name: "reassignment_invalidates_guard", path: path, src: `
+package memcproto
+
+import "encoding/binary"
+
+const maxKey = 4096
+
+func reread(b []byte) []byte {
+	n := binary.BigEndian.Uint16(b)
+	if n > maxKey {
+		return nil
+	}
+	n = binary.BigEndian.Uint16(b[2:])
+	return make([]byte, n) // want: framebound
+}
+`},
+		{name: "other_package_not_gated", src: `
+package a
+
+import "encoding/binary"
+
+// Same shape outside internal/memcproto: not this rule's business.
+func decode(b []byte) []byte {
+	n := binary.BigEndian.Uint32(b)
+	return make([]byte, n)
+}
+`},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) { checkFixture(t, FrameBound, fx) })
+	}
+}

@@ -15,6 +15,20 @@
 //     with no stop channel, context, or exit path
 //   - droppederror:     no silently discarded error returns in the
 //     storage/cache/feed packages
+//   - lockorder:        no cycle in the module-wide lock-acquisition
+//     graph (a lock taken — directly or via a called in-repo function —
+//     while another is held orders the pair; a cycle is a potential
+//     deadlock)
+//   - ctxflow:          no function that receives a context.Context and
+//     then blocks (socket I/O, channel op, Wait, time.Sleep) without
+//     consuming the ctx — wire-facing code must stay cancellable
+//   - framebound:       no allocation in internal/memcproto sized by a
+//     wire-derived length without a preceding bounds check against a
+//     declared maximum
+//
+// lockblock and the first four rules are intra-procedural; lockorder
+// and ctxflow run once over the whole loaded module and follow calls
+// across package boundaries (Analyzer.RunModule).
 //
 // Deliberate exceptions are annotated in source with
 //
@@ -22,6 +36,9 @@
 //
 // on the offending line or the line above it. The driver suppresses
 // matching diagnostics; `//couchvet:ignore all` suppresses every rule.
+// A pragma that suppresses nothing for a rule that actually ran is
+// itself reported (rule "unusedpragma") by RunAll, so stale
+// justifications cannot rot in place.
 package lint
 
 import (
@@ -62,11 +79,14 @@ type Package struct {
 	Info  *types.Info
 }
 
-// Analyzer is one couchvet rule.
+// Analyzer is one couchvet rule. Exactly one of Run (per-package,
+// intra-procedural) and RunModule (once over every loaded package,
+// inter-procedural) is set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Package) []Diagnostic
+	Name      string
+	Doc       string
+	Run       func(*Package) []Diagnostic
+	RunModule func([]*Package) []Diagnostic
 }
 
 // All is every analyzer couchvet runs, in report order.
@@ -76,6 +96,9 @@ var All = []*Analyzer{
 	UnlockedEscape,
 	LeakedGoroutine,
 	DroppedError,
+	LockOrder,
+	CtxFlow,
+	FrameBound,
 }
 
 // NewInfo returns a types.Info with every map the analyzers need.
@@ -185,20 +208,76 @@ func loadDir(fset *token.FileSet, imp types.Importer, root, dir string) (*Packag
 }
 
 // Run executes the analyzers over pkgs, drops pragma-suppressed
-// findings, and returns the rest sorted by position.
+// findings, and returns the rest sorted by position. Module-level
+// analyzers (RunModule) see every package at once; their diagnostics
+// are suppressed by pragmas exactly like per-package ones.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
-	for _, pkg := range pkgs {
-		ignored := ignoreLines(pkg)
-		for _, a := range analyzers {
-			for _, d := range a.Run(pkg) {
-				if suppressed(ignored, d) {
-					continue
+	diags, _ := run(pkgs, analyzers)
+	return diags
+}
+
+// RunAll is Run plus pragma hygiene: any //couchvet:ignore pragma
+// naming a rule that ran but suppressed nothing is reported as a
+// finding (rule "unusedpragma"), so justifications that stopped being
+// necessary — because the code or the rule changed — surface instead
+// of rotting. Pragmas for rules that were not selected this run are
+// left alone, so `-rules` subsetting does not spray warnings.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, unused := run(pkgs, analyzers)
+	return sortDiags(append(diags, unused...))
+}
+
+func run(pkgs []*Package, analyzers []*Analyzer) (diags, unused []Diagnostic) {
+	pragmas := collectPragmas(pkgs)
+	suppress := func(d Diagnostic) bool {
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			for _, rule := range []string{d.Rule, "all"} {
+				if p := pragmas[ignoreKey{d.Pos.Filename, line, rule}]; p != nil {
+					p.used = true
+					return true
 				}
-				out = append(out, d)
+			}
+		}
+		return false
+	}
+	emit := func(ds []Diagnostic) {
+		for _, d := range ds {
+			if !suppress(d) {
+				diags = append(diags, d)
 			}
 		}
 	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Run != nil {
+				emit(a.Run(pkg))
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			emit(a.RunModule(pkgs))
+		}
+	}
+
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for _, p := range pragmas {
+		if p.used || (p.rule != "all" && !ran[p.rule]) {
+			continue
+		}
+		unused = append(unused, Diagnostic{
+			Pos:     p.pos,
+			Rule:    "unusedpragma",
+			Message: fmt.Sprintf("couchvet:ignore %s suppresses nothing — delete the pragma or fix the justification", p.rule),
+		})
+	}
+	return sortDiags(diags), sortDiags(unused)
+}
+
+func sortDiags(out []Diagnostic) []Diagnostic {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Filename != out[j].Pos.Filename {
 			return out[i].Pos.Filename < out[j].Pos.Filename
@@ -218,42 +297,42 @@ type ignoreKey struct {
 	rule string
 }
 
+// pragmaEntry is one (pragma comment, rule) pair with its suppression
+// history for unused-pragma reporting.
+type pragmaEntry struct {
+	rule string
+	pos  token.Position
+	used bool
+}
+
 const ignorePragma = "//couchvet:ignore"
 
-// ignoreLines collects every //couchvet:ignore pragma in the package,
-// keyed by file, line, and rule ("all" matches any rule).
-func ignoreLines(pkg *Package) map[ignoreKey]bool {
-	out := make(map[ignoreKey]bool)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignorePragma) {
-					continue
-				}
-				rest := strings.TrimPrefix(c.Text, ignorePragma)
-				// Allow a trailing justification after " -- ".
-				if i := strings.Index(rest, "--"); i >= 0 {
-					rest = rest[:i]
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				for _, rule := range strings.Fields(rest) {
-					out[ignoreKey{pos.Filename, pos.Line, rule}] = true
+// collectPragmas gathers every //couchvet:ignore pragma across all
+// packages, keyed by file, line, and rule ("all" matches any rule).
+func collectPragmas(pkgs []*Package) map[ignoreKey]*pragmaEntry {
+	out := make(map[ignoreKey]*pragmaEntry)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePragma) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, ignorePragma)
+					// Allow a trailing justification after " -- ".
+					if i := strings.Index(rest, "--"); i >= 0 {
+						rest = rest[:i]
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, rule := range strings.Fields(rest) {
+						key := ignoreKey{pos.Filename, pos.Line, rule}
+						if out[key] == nil {
+							out[key] = &pragmaEntry{rule: rule, pos: pos}
+						}
+					}
 				}
 			}
 		}
 	}
 	return out
-}
-
-// suppressed reports whether d is covered by a pragma on its own line
-// or the line directly above.
-func suppressed(ignored map[ignoreKey]bool, d Diagnostic) bool {
-	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, rule := range []string{d.Rule, "all"} {
-			if ignored[ignoreKey{d.Pos.Filename, line, rule}] {
-				return true
-			}
-		}
-	}
-	return false
 }

@@ -33,6 +33,18 @@ type fixture struct {
 // the diagnostics' (line, rule) pairs against the // want: comments.
 func checkFixture(t *testing.T, a *Analyzer, fx fixture) {
 	t.Helper()
+	checkFixtureWith(t, a, fx, Run)
+}
+
+// checkFixtureAll is checkFixture through RunAll, so unusedpragma
+// warnings participate in the comparison.
+func checkFixtureAll(t *testing.T, a *Analyzer, fx fixture) {
+	t.Helper()
+	checkFixtureWith(t, a, fx, RunAll)
+}
+
+func checkFixtureWith(t *testing.T, a *Analyzer, fx fixture, run func([]*Package, []*Analyzer) []Diagnostic) {
+	t.Helper()
 	filename := fmt.Sprintf("%s_%s.go", a.Name, fx.name)
 	file, err := parser.ParseFile(testFset, filename, fx.src, parser.ParseComments)
 	if err != nil {
@@ -51,7 +63,7 @@ func checkFixture(t *testing.T, a *Analyzer, fx fixture) {
 	pkg := &Package{Path: path, Fset: testFset, Files: []*ast.File{file}, Types: tpkg, Info: info}
 
 	var got []string
-	for _, d := range Run([]*Package{pkg}, []*Analyzer{a}) {
+	for _, d := range run([]*Package{pkg}, []*Analyzer{a}) {
 		got = append(got, fmt.Sprintf("%d:%s", d.Pos.Line, d.Rule))
 	}
 	want := wantDiags(pkg, file)
@@ -111,7 +123,9 @@ func TestLoadRepo(t *testing.T) {
 			t.Errorf("Load missed package %s", want)
 		}
 	}
-	if diags := Run(pkgs, All); len(diags) != 0 {
+	// RunAll, not Run: the gate also requires every //couchvet:ignore
+	// pragma in the tree to still be earning its keep.
+	if diags := RunAll(pkgs, All); len(diags) != 0 {
 		for _, d := range diags {
 			t.Errorf("unexpected finding: %s", d)
 		}
@@ -191,5 +205,68 @@ func (s *S) f() {
 	}
 	for _, fx := range fixtures {
 		t.Run(fx.name, func(t *testing.T) { checkFixture(t, LockBlock, fx) })
+	}
+}
+
+// TestUnusedPragma exercises the RunAll audit: a pragma whose rule ran
+// but suppressed nothing is itself a finding; a pragma for a rule that
+// did not run is left alone (a -rules subset must not condemn other
+// rules' pragmas); a pragma doing real work stays silent.
+func TestUnusedPragma(t *testing.T) {
+	fixtures := []fixture{
+		{name: "stale_pragma_flagged", src: `
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// The send was fixed long ago; the pragma lingers.
+func (s *S) f() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1 //couchvet:ignore lockblock -- stale // want: unusedpragma
+}
+`},
+		{name: "working_pragma_silent", src: `
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *S) f() {
+	s.mu.Lock()
+	s.ch <- 1 //couchvet:ignore lockblock -- fixture
+	s.mu.Unlock()
+}
+`},
+		{name: "other_rules_pragma_exempt", src: `
+package a
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// droppederror is not in this run's analyzer set, so its pragma
+// cannot be judged unused.
+func (s *S) f() {
+	s.mu.Lock()
+	s.ch <- 1 //couchvet:ignore droppederror -- wrong rule // want: lockblock
+	s.mu.Unlock()
+}
+`},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) { checkFixtureAll(t, LockBlock, fx) })
 	}
 }

@@ -1,0 +1,436 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the module-wide lock-acquisition graph and reports
+// cycles — the structural precondition for an ABBA deadlock. Nodes are
+// type-scoped lock identities (every instance of T.mu is one node;
+// see lockIdent). An edge A→B is recorded when lock B is acquired
+// while A is held, either directly in one function or transitively:
+// calling an in-module function that may itself acquire B (computed by
+// a fixpoint over the call graph) while holding A orders the pair at
+// the call site. Any strongly connected component with two or more
+// locks means two code paths disagree about acquisition order, and a
+// diagnostic is emitted at every edge inside the component so both
+// sides of the inversion are visible.
+//
+// Known imprecision, chosen deliberately: instances of one type are
+// collapsed (so hand-over-hand locking over two T's is invisible —
+// self-edges are dropped rather than reported), and calls through
+// interfaces or function values do not propagate (no summary exists
+// for them). Both trade recall for a zero-noise gate.
+var LockOrder = &Analyzer{
+	Name:      "lockorder",
+	Doc:       "cycle in the module-wide lock-acquisition graph (potential ABBA deadlock)",
+	RunModule: runLockOrder,
+}
+
+// lockCallSite is one call to an in-module function with the lock set
+// held at the moment of the call.
+type lockCallSite struct {
+	callee string
+	held   []string
+	pos    token.Position
+}
+
+// lockSummary is everything lockorder needs to know about one function.
+type lockSummary struct {
+	acquires map[string]bool // locks taken directly
+	edges    []lockEdge      // direct held→acquired pairs
+	calls    []lockCallSite
+}
+
+type lockEdge struct {
+	from, to string
+	pos      token.Position
+}
+
+func runLockOrder(pkgs []*Package) []Diagnostic {
+	st := &lockOrderState{sums: make(map[string]*lockSummary)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				sum := &lockSummary{acquires: make(map[string]bool)}
+				w := &orderWalker{pkg: pkg, sum: sum, st: st}
+				w.stmts(fn.Body.List, map[string]bool{})
+				st.sums[funcFullID(obj)] = sum
+			}
+		}
+	}
+	sums := st.sums
+
+	// Transitive closure: mayAcquire(F) = direct acquires plus
+	// everything any in-module callee may acquire, to a fixpoint.
+	mayAcq := make(map[string]map[string]bool, len(sums))
+	for id, sum := range sums {
+		set := make(map[string]bool, len(sum.acquires))
+		for l := range sum.acquires {
+			set[l] = true
+		}
+		mayAcq[id] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for id, sum := range sums {
+			mine := mayAcq[id]
+			for _, c := range sum.calls {
+				for l := range mayAcq[c.callee] {
+					if !mine[l] {
+						mine[l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Edge set: direct edges, plus held × mayAcquire(callee) at every
+	// call site, first position wins per ordered pair.
+	edges := make(map[[2]string]token.Position)
+	addEdge := func(e lockEdge) {
+		if e.from == e.to {
+			return
+		}
+		key := [2]string{e.from, e.to}
+		if old, ok := edges[key]; !ok || posLess(e.pos, old) {
+			edges[key] = e.pos
+		}
+	}
+	for _, sum := range sums {
+		for _, e := range sum.edges {
+			addEdge(e)
+		}
+		for _, c := range sum.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for l := range mayAcq[c.callee] {
+				for _, h := range c.held {
+					addEdge(lockEdge{from: h, to: l, pos: c.pos})
+				}
+			}
+		}
+	}
+
+	return lockOrderCycles(edges)
+}
+
+// lockOrderState is the module-wide summary registry; goroutine
+// bodies get synthetic entries so their acquisitions stay on their own
+// stack instead of inflating the launcher's.
+type lockOrderState struct {
+	sums map[string]*lockSummary
+	ngo  int
+}
+
+// orderWalker threads the held-lock set through a function body,
+// recording direct acquisitions, direct ordering edges, and in-module
+// call sites. Branch bodies get a copy of the held set, mirroring
+// lockblock's scoping; non-goroutine function literals are analyzed
+// with a fresh held set but their records accrue to the enclosing
+// declaration (the enclosing function may run that code).
+type orderWalker struct {
+	pkg *Package
+	sum *lockSummary
+	st  *lockOrderState
+}
+
+func (w *orderWalker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *orderWalker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if _, op := mutexOp(w.pkg, call); op != opNone {
+				ident := lockIdent(w.pkg, call.Fun.(*ast.SelectorExpr).X)
+				if ident == "" {
+					return
+				}
+				if op == opLock {
+					w.sum.acquires[ident] = true
+					pos := w.pkg.pos(call.Pos())
+					for h := range held {
+						w.sum.edges = append(w.sum.edges, lockEdge{from: h, to: ident, pos: pos})
+					}
+					held[ident] = true
+				} else {
+					delete(held, ident)
+				}
+				return
+			}
+		}
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		if _, op := mutexOp(w.pkg, s.Call); op != opNone {
+			// defer mu.Unlock(): held for the rest of the function.
+			return
+		}
+		w.expr(s.Call, held)
+	case *ast.GoStmt:
+		// Arguments are evaluated on the launcher's stack with its
+		// locks held; the goroutine body runs on its own stack with
+		// nothing held, and its acquisitions belong to a synthetic
+		// summary so they never count as the launcher's.
+		for _, a := range s.Call.Args {
+			w.expr(a, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			gsum := &lockSummary{acquires: make(map[string]bool)}
+			w.st.ngo++
+			w.st.sums[fmt.Sprintf("go#%d", w.st.ngo)] = gsum
+			gw := &orderWalker{pkg: w.pkg, sum: gsum, st: w.st}
+			gw.stmts(lit.Body.List, map[string]bool{})
+		}
+		// A named function launched via `go f()` contributes through
+		// its own declaration's summary; the launch is not a call.
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.stmt(cc.Comm, copyHeldSet(held))
+				}
+				w.stmts(cc.Body, copyHeldSet(held))
+			}
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.stmts(s.Body.List, copyHeldSet(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeldSet(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		w.stmts(s.Body.List, copyHeldSet(held))
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.stmts(s.Body.List, copyHeldSet(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeldSet(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeldSet(held))
+			}
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	}
+}
+
+// expr records every in-module call under the current held set and
+// walks function literals with a fresh one.
+func (w *orderWalker) expr(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.stmts(n.Body.List, map[string]bool{})
+			return false
+		case *ast.CallExpr:
+			if fn := calleeFunc(w.pkg, n); moduleFunc(fn) {
+				w.sum.calls = append(w.sum.calls, lockCallSite{
+					callee: funcFullID(fn),
+					held:   heldSetKeys(held),
+					pos:    w.pkg.pos(n.Pos()),
+				})
+			}
+		}
+		return true
+	})
+}
+
+// lockOrderCycles runs Tarjan's SCC over the edge set and emits one
+// diagnostic per edge inside a multi-lock component.
+func lockOrderCycles(edges map[[2]string]token.Position) []Diagnostic {
+	adj := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+		nodes[key[0]] = true
+		nodes[key[1]] = true
+	}
+	for _, succ := range adj {
+		sort.Strings(succ)
+	}
+
+	// Tarjan's strongly connected components, iteratively indexed.
+	index := make(map[string]int, len(nodes))
+	low := make(map[string]int, len(nodes))
+	onStack := make(map[string]bool, len(nodes))
+	comp := make(map[string]int, len(nodes))
+	var stack []string
+	next, ncomp := 0, 0
+
+	var strongConnect func(v string)
+	strongConnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, u := range adj[v] {
+			if _, seen := index[u]; !seen {
+				strongConnect(u)
+				if low[u] < low[v] {
+					low[v] = low[u]
+				}
+			} else if onStack[u] && index[u] < low[v] {
+				low[v] = index[u]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				u := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[u] = false
+				comp[u] = ncomp
+				if u == v {
+					break
+				}
+			}
+			ncomp++
+		}
+	}
+	sorted := make([]string, 0, len(nodes))
+	for n := range nodes {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		if _, seen := index[n]; !seen {
+			strongConnect(n)
+		}
+	}
+
+	members := make(map[int][]string)
+	for n, c := range comp {
+		members[c] = append(members[c], n)
+	}
+
+	var diags []Diagnostic
+	for key, pos := range edges {
+		from, to := key[0], key[1]
+		c := comp[from]
+		if c != comp[to] || len(members[c]) < 2 {
+			continue
+		}
+		cyc := append([]string(nil), members[c]...)
+		sort.Strings(cyc)
+		for i := range cyc {
+			cyc[i] = shortLock(cyc[i])
+		}
+		diags = append(diags, Diagnostic{
+			Pos:  pos,
+			Rule: "lockorder",
+			Message: fmt.Sprintf("acquires %s while holding %s — lock-order cycle through {%s}; potential deadlock",
+				shortLock(to), shortLock(from), strings.Join(cyc, ", ")),
+		})
+	}
+	return diags
+}
+
+// shortLock trims the module prefix off a lock identity for readable
+// messages: couchgo/internal/vbucket.VBucket.mu -> vbucket.VBucket.mu.
+func shortLock(l string) string {
+	l = strings.TrimPrefix(l, ModulePath+"/internal/")
+	l = strings.TrimPrefix(l, ModulePath+"/")
+	return l
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+func heldSetKeys(held map[string]bool) []string {
+	if len(held) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(held))
+	for k := range held {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func copyHeldSet(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package lint
+
+import "testing"
+
+// TestLockOrder exercises the acquisition-graph cycle detector: direct
+// AB/BA inversion, an inversion hidden behind a helper call, the
+// cross-type method cycle shape (the transport-coordinator vs
+// core-member pattern the rule exists for), and the clean cases —
+// consistent ordering and same-type hand-over-hand (collapsed
+// identities drop self-edges by design).
+func TestLockOrder(t *testing.T) {
+	fixtures := []fixture{
+		{name: "ab_ba_direct", src: `
+package a
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) f() {
+	s.a.Lock()
+	s.b.Lock() // want: lockorder
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *S) g() {
+	s.b.Lock()
+	s.a.Lock() // want: lockorder
+	s.a.Unlock()
+	s.b.Unlock()
+}
+`},
+		{name: "inversion_via_helper", src: `
+package a
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) lockB() {
+	s.b.Lock()
+	s.b.Unlock()
+}
+
+func (s *S) f() {
+	s.a.Lock()
+	s.lockB() // want: lockorder
+	s.a.Unlock()
+}
+
+func (s *S) g() {
+	s.b.Lock()
+	s.a.Lock() // want: lockorder
+	s.a.Unlock()
+	s.b.Unlock()
+}
+`},
+		{name: "cross_type_method_cycle", src: `
+package a
+
+import "sync"
+
+// The real-tree shape this rule hunts: a coordinator that holds its
+// own lock while pushing to members, and a member that holds its own
+// lock while reporting back to the coordinator.
+
+type Coordinator struct {
+	mu      sync.Mutex
+	members []*Member
+}
+
+type Member struct {
+	mu    sync.Mutex
+	coord *Coordinator
+}
+
+func (c *Coordinator) Broadcast() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.members {
+		m.Push() // want: lockorder
+	}
+}
+
+func (m *Member) Push() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+}
+
+func (m *Member) Report() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.coord.Note() // want: lockorder
+}
+
+func (c *Coordinator) Note() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+`},
+		{name: "consistent_order_clean", src: `
+package a
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) f() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func (s *S) g() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+`},
+		{name: "released_before_second_clean", src: `
+package a
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (s *S) f() {
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Lock()
+	s.b.Unlock()
+}
+
+func (s *S) g() {
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Lock()
+	s.a.Unlock()
+}
+`},
+		{name: "same_type_collapsed_clean", src: `
+package a
+
+import "sync"
+
+type Account struct {
+	mu sync.Mutex
+}
+
+// Hand-over-hand over two instances of one type is a self-edge on the
+// collapsed identity; dropped by design (documented imprecision).
+func transfer(x, y *Account) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+`},
+		{name: "goroutine_not_launcher", src: `
+package a
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// The goroutine acquires b on its own stack; the launcher holds a but
+// never orders a before b. No cycle even though g orders b before a.
+func (s *S) f() {
+	s.a.Lock()
+	go func() {
+		s.b.Lock()
+		s.b.Unlock()
+	}()
+	s.a.Unlock()
+}
+
+func (s *S) g() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+`},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.name, func(t *testing.T) { checkFixture(t, LockOrder, fx) })
+	}
+}

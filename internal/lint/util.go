@@ -152,8 +152,29 @@ func isSyncOrAtomicType(t types.Type) bool {
 // as long as the peer's receive window stays closed — holding a mutex
 // across one turns a slow peer into a stalled process.
 func socketWrite(pkg *Package, call *ast.CallExpr) bool {
+	return socketMethod(pkg, call, "Write", "WriteTo")
+}
+
+// socketRead is socketWrite's receive-side twin: a Read/ReadFrom on
+// anything that is or implements net.Conn. A socket read blocks until
+// the peer sends — the canonical op a context must be able to abandon.
+func socketRead(pkg *Package, call *ast.CallExpr) bool {
+	return socketMethod(pkg, call, "Read", "ReadFrom")
+}
+
+func socketMethod(pkg *Package, call *ast.CallExpr, names ...string) bool {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok || (sel.Sel.Name != "Write" && sel.Sel.Name != "WriteTo") {
+	if !ok {
+		return false
+	}
+	found := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			found = true
+			break
+		}
+	}
+	if !found {
 		return false
 	}
 	selection, ok := pkg.Info.Selections[sel]
@@ -203,6 +224,92 @@ func netConnIface(pkg *Package) *types.Interface {
 		return iface
 	}
 	return nil
+}
+
+// calleeFunc resolves a call's callee to its *types.Func (nil for
+// calls through function values, conversions, and builtins).
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcFullID is the stable cross-package identity of a function or
+// method: "pkg/path.Name" or "(pkg/path.Type).Name". It is built from
+// package *path strings*, so it matches even when the source importer
+// has materialized two distinct types.Package instances for the same
+// in-module package (the directly-checked one and the one seen through
+// another package's imports).
+func funcFullID(fn *types.Func) string { return fn.FullName() }
+
+// moduleFunc reports whether fn is declared in this module.
+func moduleFunc(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil &&
+		(fn.Pkg().Path() == ModulePath || strings.HasPrefix(fn.Pkg().Path(), ModulePath+"/"))
+}
+
+// lockIdent resolves the mutex operand of a Lock/Unlock call to a
+// type-scoped identity that is comparable across functions and
+// packages: "pkg/path.Type.field" for a mutex field on a named type,
+// "pkg/path.var" for a package-level mutex, "" when the mutex is a
+// local variable (instance-anonymous locks cannot participate in a
+// global order). Instances are deliberately collapsed: every T.mu is
+// one node in the acquisition graph, which is exactly the abstraction
+// a lock-ordering discipline is stated in.
+func lockIdent(pkg *Package, mutexExpr ast.Expr) string {
+	switch e := ast.Unparen(mutexExpr).(type) {
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[e].(*types.Var); ok && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.SelectorExpr:
+		// Field selection: identity is the receiver's named type plus
+		// the field name, pointer receivers dereferenced.
+		if selection, ok := pkg.Info.Selections[e]; ok {
+			if v, ok := selection.Obj().(*types.Var); ok && v.IsField() {
+				t := selection.Recv()
+				for {
+					if p, ok := t.(*types.Pointer); ok {
+						t = p.Elem()
+						continue
+					}
+					break
+				}
+				if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+					return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + v.Name()
+				}
+			}
+			return ""
+		}
+		// Qualified package-level var: otherpkg.mu.
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := pkg.Info.Uses[id].(*types.PkgName); isPkg {
+				if obj := pkg.Info.Uses[e.Sel]; obj != nil && obj.Pkg() != nil {
+					return obj.Pkg().Path() + "." + obj.Name()
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
 }
 
 // internalPackage reports whether path is an in-module internal

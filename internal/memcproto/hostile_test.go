@@ -1,0 +1,87 @@
+package memcproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"runtime"
+	"testing"
+)
+
+// hostileHeader builds a syntactically valid 24-byte request header
+// with attacker-chosen length fields.
+func hostileHeader(keyLen uint16, extLen uint8, bodyLen uint32) []byte {
+	h := make([]byte, HeaderLen)
+	h[0] = MagicReq
+	h[1] = byte(OpGet)
+	binary.BigEndian.PutUint16(h[2:4], keyLen)
+	h[4] = extLen
+	binary.BigEndian.PutUint32(h[8:12], bodyLen)
+	return h
+}
+
+// TestHostileLengthFields feeds headers whose length fields claim
+// absurd sizes — bodyLen near MaxUint32, keyLen at the uint16 max,
+// extLen inconsistent with the body — and asserts both decode paths
+// return a typed error instead of allocating what the header claims.
+func TestHostileLengthFields(t *testing.T) {
+	cases := []struct {
+		name    string
+		keyLen  uint16
+		extLen  uint8
+		bodyLen uint32
+		wantErr error
+	}{
+		{name: "body_max_uint32", bodyLen: 0xFFFFFFFF, wantErr: ErrFrameSize},
+		{name: "body_just_over_max", bodyLen: MaxBodyLen + 1, wantErr: ErrFrameSize},
+		{name: "key_max_uint16", keyLen: 0xFFFF, bodyLen: 0x10000, wantErr: ErrFrameSize},
+		{name: "key_just_over_max", keyLen: MaxKeyLen + 1, bodyLen: MaxKeyLen + 1, wantErr: ErrFrameSize},
+		{name: "key_and_body_max", keyLen: 0xFFFF, bodyLen: 0xFFFFFFFF, wantErr: ErrFrameSize},
+		{name: "ext_exceeds_body", extLen: 0xFF, bodyLen: 16, wantErr: ErrBadLengths},
+		{name: "key_exceeds_body", keyLen: MaxKeyLen, bodyLen: 64, wantErr: ErrBadLengths},
+		{name: "ext_plus_key_overflow_body", keyLen: 4000, extLen: 0xFF, bodyLen: 4100, wantErr: ErrBadLengths},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := hostileHeader(tc.keyLen, tc.extLen, tc.bodyLen)
+			if _, err := Read(bytes.NewReader(h)); !errors.Is(err, tc.wantErr) {
+				t.Errorf("Read: got %v, want %v", err, tc.wantErr)
+			}
+			if _, _, err := Decode(h); !errors.Is(err, tc.wantErr) {
+				t.Errorf("Decode: got %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestHostileLengthNoAlloc proves the "error, not alloc" property
+// directly: a flood of frames each claiming a ~4GiB body must be
+// rejected without the decoder ever allocating body storage. If Read
+// trusted bodyLen, this loop would ask for ~400GiB and die long
+// before the assertion.
+func TestHostileLengthNoAlloc(t *testing.T) {
+	h := hostileHeader(0xFFFF, 0xFF, 0xFFFFFFF0)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < 100; i++ {
+		if _, err := Read(bytes.NewReader(h)); err == nil {
+			t.Fatal("hostile frame accepted")
+		}
+	}
+	runtime.ReadMemStats(&after)
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 1<<20 {
+		t.Fatalf("rejecting 100 hostile frames allocated %d bytes; decoder is sizing buffers from the wire", grew)
+	}
+}
+
+// TestTornBodyWithinBounds: a header passing the bounds checks whose
+// body never arrives must fail with ErrUnexpectedEOF, not hang or
+// return a partial frame.
+func TestTornBodyWithinBounds(t *testing.T) {
+	h := hostileHeader(4, 0, 32)
+	if _, err := Read(io.MultiReader(bytes.NewReader(h), bytes.NewReader([]byte("shor")))); err != io.ErrUnexpectedEOF {
+		t.Fatalf("torn body: got %v, want %v", err, io.ErrUnexpectedEOF)
+	}
+}

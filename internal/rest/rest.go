@@ -377,7 +377,7 @@ func (s *Server) handleQueryView(w http.ResponseWriter, r *http.Request) {
 	default:
 		opts.Stale = views.StaleUpdateAfter
 	}
-	rows, err := s.c.QueryView(r.PathValue("bucket"), r.PathValue("view"), opts)
+	rows, err := s.c.QueryView(r.Context(), r.PathValue("bucket"), r.PathValue("view"), opts)
 	if err != nil {
 		writeErr(w, err)
 		return

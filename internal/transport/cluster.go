@@ -196,6 +196,11 @@ type coordinator struct {
 	apply     func(*cmap.Map) error
 	wd        *health.Watchdog
 
+	// closed fires on stop(): in-flight push retry loops bail instead
+	// of sleeping out their remaining attempts against a dead cluster.
+	closed   chan struct{}
+	stopOnce sync.Once
+
 	mu      sync.Mutex
 	members map[string]time.Time
 	m       *cmap.Map
@@ -213,6 +218,7 @@ func newCoordinator(cluster *core.Cluster, bucket, self string, size int, pool *
 		interval:  interval,
 		failAfter: failAfter,
 		apply:     apply,
+		closed:    make(chan struct{}),
 		members:   map[string]time.Time{self: time.Now()},
 		failed:    map[string]bool{},
 	}
@@ -223,7 +229,11 @@ func newCoordinator(cluster *core.Cluster, bucket, self string, size int, pool *
 }
 
 func (co *coordinator) start() { co.wd.Start() }
-func (co *coordinator) stop()  { co.wd.Stop() }
+
+func (co *coordinator) stop() {
+	co.wd.Stop()
+	co.stopOnce.Do(func() { close(co.closed) })
+}
 
 // onJoin admits a member and returns the current map (nil until the
 // cluster has formed).
@@ -341,7 +351,9 @@ func (co *coordinator) pushMap(addr string, value []byte) {
 				return
 			}
 		}
-		time.Sleep(co.interval)
+		if !sleepOr(co.interval, co.closed, nil) {
+			return
+		}
 	}
 	e := events.New(events.Topology, events.SevWarn, "cluster map push failed")
 	e.Node, e.Bucket = co.self, co.bucket

@@ -216,13 +216,7 @@ func (p *Pool) Get(addr string) (*Conn, error) {
 	e = p.conns[addr]
 	if err != nil {
 		e.failures++
-		backoff := time.Millisecond << min(e.failures, 10)
-		if backoff > reconnectMaxBackoff {
-			backoff = reconnectMaxBackoff
-		}
-		// ±50% jitter, mirroring the route loop's.
-		backoff += time.Duration(rand.Int63n(int64(backoff))) - backoff/2
-		e.nextTry = time.Now().Add(backoff)
+		e.nextTry = time.Now().Add(reconnectBackoff(e.failures))
 		return nil, err
 	}
 	if e.conn != nil && !e.conn.isDead() {
@@ -233,6 +227,22 @@ func (p *Pool) Get(addr string) (*Conn, error) {
 	e.failures = 0
 	e.nextTry = time.Time{}
 	return c, nil
+}
+
+// reconnectBackoff computes the fail-fast window after the Nth
+// consecutive dial failure: exponential in failures, capped at
+// reconnectMaxBackoff, with ±50% jitter so a restarted node is not
+// hit by every client on the same tick. Get never sleeps this out —
+// it returns ErrNodeUnreachable immediately and the window only
+// gates when the next dial may be attempted.
+func reconnectBackoff(failures int) time.Duration {
+	backoff := time.Millisecond << min(failures, 10)
+	if backoff > reconnectMaxBackoff {
+		backoff = reconnectMaxBackoff
+	}
+	// ±50% jitter, mirroring the route loop's.
+	backoff += time.Duration(rand.Int63n(int64(backoff))) - backoff/2
+	return backoff
 }
 
 // Drop closes and forgets addr's conn (e.g. the node was failed over).

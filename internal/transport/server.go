@@ -115,6 +115,7 @@ func (s *Server) acceptLoop() {
 			streams: map[streamKey]*servedStream{},
 			sem:     make(chan struct{}, 128),
 		}
+		sess.ctx, sess.cancel = context.WithCancel(context.Background())
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -173,6 +174,11 @@ type session struct {
 	closed  chan struct{}
 	once    sync.Once
 	sem     chan struct{}
+	// ctx is cancelled when the session closes, releasing in-flight
+	// handler goroutines (durability waits, consistency waits) whose
+	// client is gone.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu      sync.Mutex
 	streams map[streamKey]*servedStream
@@ -181,6 +187,7 @@ type session struct {
 func (c *session) close() {
 	c.once.Do(func() {
 		close(c.closed)
+		c.cancel()
 		c.nc.Close()
 		mConns.Add(-1)
 		c.mu.Lock()
@@ -349,7 +356,10 @@ func (c *session) handleKV(f *memcproto.Frame) {
 		c.respondErr(f, err)
 		return
 	}
-	ctx := context.Background()
+	// The session ctx, not Background: when the client hangs up, its
+	// pending durability/consistency waits unwind instead of holding
+	// vBucket waiters for a response no one will read.
+	ctx := c.ctx
 	vbID := int(f.VBucket)
 	key := string(f.Key)
 	nowU, _ := memcproto.Uint64At(f.Extras, 0)

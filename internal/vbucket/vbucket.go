@@ -677,18 +677,18 @@ func (vb *VBucket) SetReplicaSet(names []string) {
 }
 
 // WaitPersist blocks until seqno is flushed to this node's disk —
-// PersistTo(1) in SDK terms.
-func (vb *VBucket) WaitPersist(seqno uint64, timeout time.Duration) error {
+// PersistTo(1) in SDK terms — or ctx is cancelled.
+func (vb *VBucket) WaitPersist(ctx context.Context, seqno uint64, timeout time.Duration) error {
 	//couchvet:ignore unlockedescape -- the condition closure runs under durMu inside waitDur (sync.Cond pattern)
-	return vb.waitDur(timeout, func() bool { return vb.persistedSeqno >= seqno })
+	return vb.waitDur(ctx, timeout, func() bool { return vb.persistedSeqno >= seqno })
 }
 
 // WaitReplicas blocks until at least n replicas acknowledged seqno —
-// ReplicateTo(n). "Since replication is memory-to-memory, the latency
-// hit with the replication option is significantly less than waiting
-// for persistence."
-func (vb *VBucket) WaitReplicas(seqno uint64, n int, timeout time.Duration) error {
-	return vb.waitDur(timeout, func() bool {
+// ReplicateTo(n) — or ctx is cancelled. "Since replication is
+// memory-to-memory, the latency hit with the replication option is
+// significantly less than waiting for persistence."
+func (vb *VBucket) WaitReplicas(ctx context.Context, seqno uint64, n int, timeout time.Duration) error {
+	return vb.waitDur(ctx, timeout, func() bool {
 		count := 0
 		//couchvet:ignore unlockedescape -- the condition closure runs under durMu inside waitDur (sync.Cond pattern)
 		for _, s := range vb.replicaSeqnos {
@@ -701,14 +701,22 @@ func (vb *VBucket) WaitReplicas(seqno uint64, n int, timeout time.Duration) erro
 }
 
 // waitDur waits on the durability condition with a deadline. The
-// condition is evaluated under durMu.
-func (vb *VBucket) waitDur(timeout time.Duration, cond func() bool) error {
+// condition is evaluated under durMu. Both the timeout and ctx
+// cancellation wake the wait through the condition variable's
+// Broadcast, so an abandoned request releases its waiter immediately
+// instead of holding it until the durability timeout fires.
+func (vb *VBucket) waitDur(ctx context.Context, timeout time.Duration, cond func() bool) error {
 	deadline := time.Now().Add(timeout)
 	timer := time.AfterFunc(timeout, func() { vb.durCond.Broadcast() })
 	defer timer.Stop()
+	stop := context.AfterFunc(ctx, func() { vb.durCond.Broadcast() })
+	defer stop()
 	vb.durMu.Lock()
 	defer vb.durMu.Unlock()
 	for !cond() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if time.Now().After(deadline) {
 			return ErrTimeout
 		}
@@ -718,9 +726,9 @@ func (vb *VBucket) waitDur(timeout time.Duration, cond func() bool) error {
 }
 
 // DrainDisk blocks until every mutation issued so far is persisted.
-// Tests and orderly shutdown use it.
+// Tests and orderly shutdown use it; neither has a request ctx.
 func (vb *VBucket) DrainDisk(timeout time.Duration) error {
-	return vb.WaitPersist(vb.HighSeqno(), timeout)
+	return vb.WaitPersist(context.Background(), vb.HighSeqno(), timeout)
 }
 
 // Close stops the flusher after draining the queue and shuts down DCP.

@@ -36,7 +36,7 @@ func TestMemoryFirstWritePath(t *testing.T) {
 	if err != nil || string(got.Value) != `{"v":1}` {
 		t.Fatalf("read-your-write from cache: %+v %v", got, err)
 	}
-	if err := vb.WaitPersist(it.Seqno, 5*time.Second); err != nil {
+	if err := vb.WaitPersist(context.Background(), it.Seqno, 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	rec, err := f.Get("k")
@@ -114,7 +114,7 @@ func TestDCPStreamSeesWrites(t *testing.T) {
 func TestDCPBackfillRestoresEvictedValues(t *testing.T) {
 	vb, _ := newVB(t, Active, Config{})
 	it, _ := vb.Set(bg, "cold", []byte("payload"), 0, 0, 0, 0)
-	vb.WaitPersist(it.Seqno, 5*time.Second)
+	vb.WaitPersist(context.Background(), it.Seqno, 5*time.Second)
 	vb.Table.EvictValue("cold")
 	s, err := vb.Producer().OpenStream("late", 0)
 	if err != nil {
@@ -134,7 +134,7 @@ func TestDCPBackfillRestoresEvictedValues(t *testing.T) {
 func TestGetBGFetchesEvictedValue(t *testing.T) {
 	vb, _ := newVB(t, Active, Config{})
 	it, _ := vb.Set(bg, "k", []byte("big-value"), 0, 0, 0, 0)
-	vb.WaitPersist(it.Seqno, 5*time.Second)
+	vb.WaitPersist(context.Background(), it.Seqno, 5*time.Second)
 	if freed := vb.Table.EvictValue("k"); freed <= 0 {
 		t.Fatal("evict failed")
 	}
@@ -152,7 +152,7 @@ func TestDurabilityReplicateTo(t *testing.T) {
 	vb, _ := newVB(t, Active, Config{})
 	it, _ := vb.Set(bg, "k", []byte("v"), 0, 0, 0, 0)
 	// No replicas acked: wait times out.
-	if err := vb.WaitReplicas(it.Seqno, 1, 50*time.Millisecond); err != ErrTimeout {
+	if err := vb.WaitReplicas(context.Background(), it.Seqno, 1, 50*time.Millisecond); err != ErrTimeout {
 		t.Fatalf("expected timeout, got %v", err)
 	}
 	// Ack arrives asynchronously.
@@ -160,11 +160,11 @@ func TestDurabilityReplicateTo(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 		vb.AckReplica("replica-1", it.Seqno)
 	}()
-	if err := vb.WaitReplicas(it.Seqno, 1, 5*time.Second); err != nil {
+	if err := vb.WaitReplicas(context.Background(), it.Seqno, 1, 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	// Two replicas required but only one acked.
-	if err := vb.WaitReplicas(it.Seqno, 2, 50*time.Millisecond); err != ErrTimeout {
+	if err := vb.WaitReplicas(context.Background(), it.Seqno, 2, 50*time.Millisecond); err != ErrTimeout {
 		t.Fatalf("expected timeout for 2 replicas, got %v", err)
 	}
 }
@@ -182,7 +182,7 @@ func TestFlusherDedupsBatch(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		last, _ = vb.Set(bg, "hot", []byte(fmt.Sprintf("v%d", i)), 0, 0, 0, 0)
 	}
-	if err := vb.WaitPersist(last.Seqno, 10*time.Second); err != nil {
+	if err := vb.WaitPersist(context.Background(), last.Seqno, 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	st := f.Stats()
@@ -245,7 +245,7 @@ func TestApplyReplicaPreservesMetadata(t *testing.T) {
 		t.Fatalf("replica meta: %+v %v", meta, err)
 	}
 	// Replica mutations are persisted too.
-	if err := vb.WaitPersist(42, 5*time.Second); err != nil {
+	if err := vb.WaitPersist(context.Background(), 42, 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	// Promote and continue the seqno lineage.
@@ -289,7 +289,7 @@ func TestFullEvictionRoundTrip(t *testing.T) {
 	defer vb.Close()
 
 	it, _ := vb.Set(bg, "k", []byte(`{"v": 1}`), 7, 0, 0, 0)
-	vb.WaitPersist(it.Seqno, 5*time.Second)
+	vb.WaitPersist(context.Background(), it.Seqno, 5*time.Second)
 	// Fully evict: key + metadata gone from memory.
 	if !vb.Table.EvictItem("k", vb.PersistedSeqno(), 0) {
 		t.Fatal("evict failed")
@@ -314,7 +314,7 @@ func TestFullEvictionRevLineageContinues(t *testing.T) {
 	defer vb.Close()
 	it, _ := vb.Set(bg, "k", []byte("v1"), 0, 0, 0, 0)
 	it2, _ := vb.Set(bg, "k", []byte("v2"), 0, 0, 0, 0)
-	vb.WaitPersist(it2.Seqno, 5*time.Second)
+	vb.WaitPersist(context.Background(), it2.Seqno, 5*time.Second)
 	vb.Table.EvictItem("k", vb.PersistedSeqno(), 0)
 	// A write to the evicted key must continue the rev lineage (3),
 	// not restart it — XDCR conflict resolution depends on this.
@@ -326,7 +326,7 @@ func TestFullEvictionRevLineageContinues(t *testing.T) {
 		t.Fatalf("rev lineage broke: %d, want 3", it3.RevSeqno)
 	}
 	// CAS against the pre-eviction CAS still works.
-	vb.WaitPersist(it3.Seqno, 5*time.Second)
+	vb.WaitPersist(context.Background(), it3.Seqno, 5*time.Second)
 	vb.Table.EvictItem("k", vb.PersistedSeqno(), 0)
 	if _, err := vb.Set(bg, "k", []byte("v4"), 0, 0, it2.CAS, 0); err != cache.ErrCASMismatch {
 		t.Fatalf("stale CAS on evicted key: %v", err)

@@ -15,6 +15,7 @@
 package views
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -379,11 +380,17 @@ func (vi *viewIndex) Apply(vb int, m dcp.Mutation) {
 	vi.cond.Broadcast()
 }
 
-// waitFor blocks until the index has processed the given seqno vector.
-func (vi *viewIndex) waitFor(seqnos map[int]uint64) {
+// waitFor blocks until the index has processed the given seqno vector
+// or ctx is cancelled; cancellation wakes the wait through Broadcast.
+func (vi *viewIndex) waitFor(ctx context.Context, seqnos map[int]uint64) error {
+	stop := context.AfterFunc(ctx, func() { vi.cond.Broadcast() })
+	defer stop()
 	vi.mu.Lock()
 	defer vi.mu.Unlock()
 	for !vi.closed {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		ok := true
 		for vb, want := range seqnos {
 			if want > 0 && vi.processed[vb] < want {
@@ -392,10 +399,11 @@ func (vi *viewIndex) waitFor(seqnos map[int]uint64) {
 			}
 		}
 		if ok {
-			return
+			return nil
 		}
 		vi.cond.Wait()
 	}
+	return nil
 }
 
 // Processed returns a copy of the per-vBucket applied-seqno vector.
@@ -416,8 +424,9 @@ func (e *Engine) Processed(name string) (map[int]uint64, error) {
 }
 
 // Query runs a view query against this node's local index. Cluster
-// scatter/gather (Figure 8) merges Query results from every node.
-func (e *Engine) Query(name string, opts QueryOptions) ([]Row, error) {
+// scatter/gather (Figure 8) merges Query results from every node. The
+// ctx bounds the stale=false consistency wait.
+func (e *Engine) Query(ctx context.Context, name string, opts QueryOptions) ([]Row, error) {
 	e.mu.Lock()
 	vi, ok := e.views[name]
 	e.mu.Unlock()
@@ -425,7 +434,9 @@ func (e *Engine) Query(name string, opts QueryOptions) ([]Row, error) {
 		return nil, ErrNoSuchView
 	}
 	if opts.Stale == StaleFalse && len(opts.WaitSeqnos) > 0 {
-		vi.waitFor(opts.WaitSeqnos)
+		if err := vi.waitFor(ctx, opts.WaitSeqnos); err != nil {
+			return nil, err
+		}
 	}
 	if opts.Reduce && vi.def.Reduce == "" {
 		return nil, fmt.Errorf("%w: view %s has no reduce", ErrBadReduce, name)

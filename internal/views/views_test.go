@@ -59,7 +59,7 @@ func (h *harness) queryFresh(t *testing.T, name string, opts QueryOptions) []Row
 	t.Helper()
 	opts.Stale = StaleFalse
 	opts.WaitSeqnos = h.waitVector()
-	rows, err := h.engine.Query(name, opts)
+	rows, err := h.engine.Query(context.Background(), name, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,11 +248,11 @@ func TestStaleOKDoesNotWait(t *testing.T) {
 	// stale=ok may or may not see the write; it must not block and must
 	// not error. (Determinism: after an explicit fresh query, the index
 	// caught up, and stale=ok then sees everything.)
-	if _, err := h.engine.Query("profile", QueryOptions{Stale: StaleOK}); err != nil {
+	if _, err := h.engine.Query(context.Background(), "profile", QueryOptions{Stale: StaleOK}); err != nil {
 		t.Fatal(err)
 	}
 	h.queryFresh(t, "profile", QueryOptions{})
-	rows, err := h.engine.Query("profile", QueryOptions{Stale: StaleOK})
+	rows, err := h.engine.Query(context.Background(), "profile", QueryOptions{Stale: StaleOK})
 	if err != nil || len(rows) != 1 {
 		t.Fatalf("stale=ok after catch-up: %+v %v", rows, err)
 	}
@@ -283,7 +283,7 @@ func TestDetachVBRemovesItsEntries(t *testing.T) {
 	h.queryFresh(t, "profile", QueryOptions{})
 	// Partition 1 migrates away.
 	h.engine.DetachVB(1)
-	rows, err := h.engine.Query("profile", QueryOptions{Stale: StaleOK})
+	rows, err := h.engine.Query(context.Background(), "profile", QueryOptions{Stale: StaleOK})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,13 +324,13 @@ func TestViewDDLErrors(t *testing.T) {
 	if err := h.engine.Define(profileView); err != ErrViewExists {
 		t.Errorf("duplicate define: %v", err)
 	}
-	if _, err := h.engine.Query("ghost", QueryOptions{}); err != ErrNoSuchView {
+	if _, err := h.engine.Query(context.Background(), "ghost", QueryOptions{}); err != ErrNoSuchView {
 		t.Errorf("query unknown view: %v", err)
 	}
 	if err := h.engine.Drop("ghost"); err != ErrNoSuchView {
 		t.Errorf("drop unknown view: %v", err)
 	}
-	if _, err := h.engine.Query("profile", QueryOptions{Reduce: true}); err == nil {
+	if _, err := h.engine.Query(context.Background(), "profile", QueryOptions{Reduce: true}); err == nil {
 		t.Error("reduce on reduce-less view should fail")
 	}
 	if err := h.engine.Drop("profile"); err != nil {
@@ -434,7 +434,7 @@ func TestStaleFalseTimeBound(t *testing.T) {
 	h.engine.Define(profileView)
 	done := make(chan struct{})
 	go func() {
-		h.engine.Query("profile", QueryOptions{Stale: StaleFalse, WaitSeqnos: map[int]uint64{0: 0, 9: 0}})
+		h.engine.Query(context.Background(), "profile", QueryOptions{Stale: StaleFalse, WaitSeqnos: map[int]uint64{0: 0, 9: 0}})
 		close(done)
 	}()
 	select {
