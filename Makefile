@@ -39,12 +39,15 @@ trace-demo:
 health-demo:
 	go run ./cmd/healthdemo
 
-# Process-level cluster test: builds the real cbserver binary,
-# launches three OS processes speaking the binary KV wire protocol,
-# kill -9s one, and asserts auto-failover with no acknowledged write
-# lost. Behind a build tag so tier-1 `make test` stays fast.
+# Process-level cluster tests: build the real cbserver binary (with
+# -race, as are the tests), launch three OS processes speaking the
+# binary KV wire protocol, then (a) kill -9 one and assert
+# auto-failover with no acknowledged write lost, and (b) push a
+# ReplicateTo=1 write through one node and fetch its distributed
+# trace — stitched across all three processes — from another node.
+# Behind a build tag so tier-1 `make test` stays fast.
 cluster-test:
-	go test -tags clustertest -count=1 -timeout 5m -v ./integration
+	go test -tags clustertest -race -count=1 -timeout 10m -v ./integration
 
 # Each fuzz target gets a short bounded run; any crasher fails the
 # target. Lengthen with FUZZTIME=1m etc. for local soak runs.
@@ -55,3 +58,4 @@ fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzPathParse -fuzztime=$(FUZZTIME) ./internal/value
 	go test -run='^$$' -fuzz=FuzzRecordDecode -fuzztime=$(FUZZTIME) ./internal/storage
 	go test -run='^$$' -fuzz=FuzzFrameDecode -fuzztime=$(FUZZTIME) ./internal/memcproto
+	go test -run='^$$' -fuzz=FuzzTraceContext -fuzztime=$(FUZZTIME) ./internal/memcproto

@@ -170,6 +170,9 @@ func main() {
 			ClusterSize:       *clusterSize,
 			HeartbeatInterval: *kvHeartbeat,
 			FailoverAfter:     *kvFailover,
+			// Peers fetch this node's metrics/health/events/traces over
+			// the wire (OpFederate) through the REST layer's Observe.
+			Observe: api.Observe,
 		})
 		if err != nil {
 			log.Fatalf("kv transport: %v", err)
@@ -177,6 +180,8 @@ func main() {
 		defer node.Close()
 		api.SetKVClient(*bucket, core.NewClient(node.Router(), *bucket))
 		api.SetTransportStats(func() any { return transport.Stats() })
+		api.SetNodeID(node.KVAddr())
+		api.SetFederation(node.Federation())
 		if *join == "" {
 			log.Printf("kv transport on %s (coordinator seed, waiting for %d members)", node.KVAddr(), *clusterSize)
 		} else {

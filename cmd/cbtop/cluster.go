@@ -1,0 +1,167 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// clusterSnapshot is one poll of the federated /cluster/* surface on
+// any single node: every member's metrics payload, the worst-of
+// health roll-up, and the seq-merged event tail. renderCluster is a
+// pure function over it, same as render over snapshot.
+type clusterSnapshot struct {
+	Addr    string
+	When    time.Time
+	Err     error
+	Metrics map[string]any   // GET /cluster/metrics
+	Health  map[string]any   // GET /cluster/health
+	Events  []map[string]any // GET /cluster/events, oldest first
+}
+
+// renderCluster draws the all-nodes frame: one row per member with
+// its KV and wire latency quantiles and DCP replication lag, under a
+// worst-of cluster health header.
+func renderCluster(s clusterSnapshot, maxEvents int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cbtop -cluster — %s @ %s\n", s.Addr, s.When.Format("15:04:05"))
+	if s.Err != nil {
+		fmt.Fprintf(&b, "\n  !! poll failed: %v\n", s.Err)
+		return b.String()
+	}
+
+	// --- worst-of health roll-up ---
+	status := "unknown"
+	if v, ok := s.Health["status"].(string); ok {
+		status = v
+	}
+	fmt.Fprintf(&b, "\nCLUSTER HEALTH: %s\n", strings.ToUpper(status))
+	if nodes, ok := s.Health["nodes"].(map[string]any); ok {
+		for _, name := range sortedKeys(nodes) {
+			nh, _ := nodes[name].(map[string]any)
+			st, _ := nh["status"].(string)
+			marker := "  "
+			switch st {
+			case "warn":
+				marker = " !"
+			case "critical":
+				marker = "!!"
+			}
+			detail := ""
+			if checks, ok := nh["checks"].([]any); ok {
+				worst := ""
+				for _, raw := range checks {
+					chk, _ := raw.(map[string]any)
+					if chk == nil {
+						continue
+					}
+					if cs, _ := chk["state"].(string); cs != "" && cs != "ok" {
+						worst = fmt.Sprintf("%v: %v", chk["name"], chk["detail"])
+					}
+				}
+				detail = worst
+			}
+			fmt.Fprintf(&b, "  %s %-22s %-8s %s\n", marker, name, st, detail)
+		}
+	}
+	if errs, ok := s.Health["errors"].(map[string]any); ok {
+		for _, name := range sortedKeys(errs) {
+			fmt.Fprintf(&b, "  !! %-22s %-8s %v\n", name, "critical", errs[name])
+		}
+	}
+
+	// --- per-node metrics rows ---
+	if nodes, ok := s.Metrics["nodes"].(map[string]any); ok && len(nodes) > 0 {
+		fmt.Fprintf(&b, "\n%-22s %8s %9s %9s %9s %9s %8s\n",
+			"NODE", "UP", "KV-p50", "KV-p99", "WIRE-p50", "WIRE-p99", "DCP-LAG")
+		for _, name := range sortedKeys(nodes) {
+			nm, _ := nodes[name].(map[string]any)
+			if nm == nil {
+				continue
+			}
+			m, _ := nm["metrics"].(map[string]any)
+			kv50, kv99 := famQuantiles(m, "couchgo_kv_op_duration_seconds")
+			w50, w99 := famQuantiles(m, "couchgo_transport_op_seconds")
+			var lag float64
+			if lags, ok := nm["dcp_lag"].(map[string]any); ok {
+				for _, v := range lags {
+					lag += num(v)
+				}
+			}
+			fmt.Fprintf(&b, "%-22s %8s %9s %9s %9s %9s %8.0f\n",
+				name, fmtUptime(num(nm["uptime_seconds"])),
+				fmtLatency(kv50), fmtLatency(kv99),
+				fmtLatency(w50), fmtLatency(w99), lag)
+		}
+	}
+	if errs, ok := s.Metrics["errors"].(map[string]any); ok {
+		for _, name := range sortedKeys(errs) {
+			fmt.Fprintf(&b, "%-22s  !! %v\n", name, errs[name])
+		}
+	}
+
+	// --- merged event tail (origin-tagged) ---
+	b.WriteString("\nEVENTS")
+	if len(s.Events) == 0 {
+		b.WriteString(" (none)\n")
+		return b.String()
+	}
+	b.WriteString("\n")
+	start := 0
+	if len(s.Events) > maxEvents {
+		start = len(s.Events) - maxEvents
+	}
+	for _, e := range s.Events[start:] {
+		ts := ""
+		if raw, ok := e["time"].(string); ok {
+			if t, err := time.Parse(time.RFC3339Nano, raw); err == nil {
+				ts = t.Format("15:04:05")
+			}
+		}
+		sev, _ := e["severity"].(string)
+		origin, _ := e["origin"].(string)
+		fmt.Fprintf(&b, "  %s %-8s %-22s %-10v %v\n",
+			ts, strings.ToUpper(sev), origin, e["type"], e["msg"])
+	}
+	return b.String()
+}
+
+// famQuantiles rolls one node's histogram family up into headline
+// p50/p99 numbers: the count-weighted mean of each series' quantile.
+// Quantiles don't merge exactly, but for a console view a weighted
+// blend beats showing one arbitrary op — hot ops dominate, idle ops
+// don't skew.
+func famQuantiles(m map[string]any, fam string) (p50, p99 float64) {
+	series, ok := m[fam].(map[string]any)
+	if !ok {
+		return 0, 0
+	}
+	var total float64
+	for _, raw := range series {
+		h, ok := raw.(map[string]any)
+		if !ok {
+			continue
+		}
+		n := num(h["count"])
+		if n <= 0 {
+			continue
+		}
+		total += n
+		p50 += num(h["p50"]) * n
+		p99 += num(h["p99"]) * n
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return p50 / total, p99 / total
+}
+
+func sortedKeys(m map[string]any) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

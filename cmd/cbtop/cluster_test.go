@@ -1,0 +1,115 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fabricatedClusterSnapshot() clusterSnapshot {
+	mkNode := func(name string, kvP50, wireP99 float64, lag float64) map[string]any {
+		return map[string]any{
+			"node":           name,
+			"uptime_seconds": 330.0,
+			"metrics": map[string]any{
+				"couchgo_kv_op_duration_seconds": map[string]any{
+					`{op="set"}`: map[string]any{"count": 100.0, "p50": kvP50, "p99": kvP50 * 4},
+				},
+				"couchgo_transport_op_seconds": map[string]any{
+					`{opcode="set",result="ok"}`: map[string]any{"count": 80.0, "p50": wireP99 / 3, "p99": wireP99},
+				},
+			},
+			"dcp_lag": map[string]any{"default/replica:b": lag},
+		}
+	}
+	return clusterSnapshot{
+		Addr: "http://localhost:8091",
+		When: time.Date(2026, 1, 2, 10, 30, 0, 0, time.UTC),
+		Metrics: map[string]any{
+			"nodes": map[string]any{
+				"127.0.0.1:11210": mkNode("127.0.0.1:11210", 0.0004, 0.003, 5),
+				"127.0.0.1:11211": mkNode("127.0.0.1:11211", 0.0009, 0.008, 0),
+			},
+			"errors": map[string]any{},
+		},
+		Health: map[string]any{
+			"status": "warn",
+			"nodes": map[string]any{
+				"127.0.0.1:11210": map[string]any{"status": "ok", "checks": []any{}},
+				"127.0.0.1:11211": map[string]any{
+					"status": "warn",
+					"checks": []any{map[string]any{
+						"name": "flusher", "state": "warn", "detail": "queue deep",
+					}},
+				},
+			},
+			"errors": map[string]any{"127.0.0.1:11212": "dial: connection refused"},
+		},
+		Events: []map[string]any{
+			{"time": "2026-01-02T10:29:58Z", "severity": "info", "type": "topology",
+				"msg": "applied cluster map", "origin": "127.0.0.1:11211"},
+		},
+	}
+}
+
+func TestRenderCluster(t *testing.T) {
+	out := renderCluster(fabricatedClusterSnapshot(), 10)
+
+	for _, want := range []string{
+		"CLUSTER HEALTH: WARN",
+		"127.0.0.1:11210",
+		"127.0.0.1:11211",
+		"KV-p50", "WIRE-p99", "DCP-LAG",
+		"flusher", "queue deep",
+		"connection refused",
+		"applied cluster map",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster frame missing %q:\n%s", want, out)
+		}
+	}
+	// Per-node quantiles render as latencies, and the origin tag rides
+	// the merged event line.
+	if !strings.Contains(out, "µs") && !strings.Contains(out, "ms") {
+		t.Errorf("no latency figures rendered:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	foundEvent := false
+	for _, l := range lines {
+		if strings.Contains(l, "applied cluster map") && strings.Contains(l, "127.0.0.1:11211") {
+			foundEvent = true
+		}
+	}
+	if !foundEvent {
+		t.Errorf("event line not origin-tagged:\n%s", out)
+	}
+}
+
+func TestRenderClusterPollFailure(t *testing.T) {
+	s := clusterSnapshot{Addr: "http://x", When: time.Now(), Err: errors.New("connection refused")}
+	out := renderCluster(s, 5)
+	if !strings.Contains(out, "poll failed") || !strings.Contains(out, "connection refused") {
+		t.Errorf("failure banner missing:\n%s", out)
+	}
+}
+
+func TestFamQuantilesWeights(t *testing.T) {
+	m := map[string]any{
+		"fam": map[string]any{
+			"a": map[string]any{"count": 90.0, "p50": 0.001, "p99": 0.002},
+			"b": map[string]any{"count": 10.0, "p50": 0.011, "p99": 0.022},
+			"c": map[string]any{"count": 0.0, "p50": 99.0, "p99": 99.0}, // idle series must not skew
+		},
+	}
+	p50, p99 := famQuantiles(m, "fam")
+	if p50 < 0.0019 || p50 > 0.0021 {
+		t.Fatalf("weighted p50 = %v, want ~0.002", p50)
+	}
+	if p99 < 0.0039 || p99 > 0.0041 {
+		t.Fatalf("weighted p99 = %v, want ~0.004", p99)
+	}
+	if a, b := famQuantiles(m, "absent"); a != 0 || b != 0 {
+		t.Fatal("absent family must yield zeros")
+	}
+}

@@ -10,6 +10,13 @@
 //	cbtop -addr http://localhost:8091
 //	cbtop -interval 2s -events 15
 //	cbtop -count 1        # one frame, no screen clearing (scripts)
+//	cbtop -cluster        # federated all-nodes view via /cluster/*
+//
+// -cluster renders the whole networked cluster through any one
+// node's /cluster/metrics, /cluster/health, and /cluster/events
+// aggregates: one row per member with KV and wire latency quantiles
+// and DCP lag, a worst-of health roll-up, and the origin-tagged
+// merged event tail.
 package main
 
 import (
@@ -28,6 +35,7 @@ func main() {
 		interval  = flag.Duration("interval", time.Second, "refresh interval")
 		count     = flag.Int("count", 0, "frames to draw before exiting (0: forever)")
 		maxEvents = flag.Int("events", 10, "event-tail length")
+		clusterUI = flag.Bool("cluster", false, "render the federated all-nodes view (/cluster/* aggregates)")
 	)
 	flag.Parse()
 	if *server != "" {
@@ -42,6 +50,27 @@ func main() {
 	for frame := 0; *count == 0 || frame < *count; frame++ {
 		if frame > 0 {
 			time.Sleep(*interval)
+		}
+		if *clusterUI {
+			cs := clusterSnapshot{Addr: *addr, When: time.Now()}
+			cs.Err = poll(client, *addr+"/cluster/metrics", &cs.Metrics)
+			if cs.Err == nil {
+				cs.Err = poll(client, *addr+"/cluster/health", &cs.Health)
+			}
+			if cs.Err == nil {
+				var evResp struct {
+					Events []map[string]any `json:"events"`
+				}
+				url := fmt.Sprintf("%s/cluster/events?limit=%d", *addr, *maxEvents)
+				if err := poll(client, url, &evResp); err == nil {
+					cs.Events = evResp.Events
+				}
+			}
+			if clear {
+				fmt.Print("\x1b[H\x1b[2J")
+			}
+			fmt.Print(renderCluster(cs, *maxEvents))
+			continue
 		}
 		s := snapshot{Addr: *addr, When: time.Now()}
 		s.Err = poll(client, *addr+"/stats/detail", &s.Detail)

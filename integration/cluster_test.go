@@ -50,7 +50,7 @@ func freePorts(t *testing.T, n int) []int {
 func buildServer(t *testing.T) string {
 	t.Helper()
 	bin := filepath.Join(t.TempDir(), "cbserver")
-	cmd := exec.Command("go", "build", "-o", bin, "couchgo/cmd/cbserver")
+	cmd := exec.Command("go", "build", "-race", "-o", bin, "couchgo/cmd/cbserver")
 	out, err := cmd.CombinedOutput()
 	if err != nil {
 		t.Fatalf("build cbserver: %v\n%s", err, out)

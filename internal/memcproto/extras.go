@@ -29,6 +29,61 @@ func Epoch(extras []byte) (int64, bool) {
 	return int64(binary.BigEndian.Uint64(extras[:EpochLen])), true
 }
 
+// TraceContext is the distributed-trace propagation field: the caller's
+// trace ID, the span the remote work should hang under, and whether the
+// trace is sampled. It rides the TAIL of a frame's extras (requests and
+// DCP mutation pushes), announced by the DatatypeTraceCtx header flag,
+// so every opcode's existing extras layout keeps its offsets and old
+// peers that never set the flag interoperate unchanged.
+type TraceContext struct {
+	TraceID uint64
+	// SpanID is the index of the parent span within the originating
+	// node's portion of the trace (the root span is 0).
+	SpanID  uint32
+	Sampled bool
+}
+
+// TraceContextLen is the encoded size of a TraceContext.
+const TraceContextLen = 8 + 4 + 1
+
+// Valid reports whether the context names a real trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+// AppendTraceContext appends the wire form to extras. The caller must
+// also set DatatypeTraceCtx on the frame, and must append it last —
+// the decoder takes it from the extras tail.
+func AppendTraceContext(extras []byte, tc TraceContext) []byte {
+	var b [TraceContextLen]byte
+	binary.BigEndian.PutUint64(b[0:8], tc.TraceID)
+	binary.BigEndian.PutUint32(b[8:12], tc.SpanID)
+	if tc.Sampled {
+		b[12] = 1
+	}
+	return append(extras, b[:]...)
+}
+
+// SplitTraceContext strips a frame's trace context, if any, returning
+// it and the remaining (opcode-specific) extras. Frames without the
+// DatatypeTraceCtx flag pass through untouched — old-frame decoding is
+// unaffected. A flagged frame whose extras are too short to hold the
+// context is rejected with ErrBadExtras before any field is consumed;
+// nothing here allocates, so hostile lengths cost nothing.
+func SplitTraceContext(f *Frame) (TraceContext, []byte, error) {
+	if f.Datatype&DatatypeTraceCtx == 0 {
+		return TraceContext{}, f.Extras, nil
+	}
+	n := len(f.Extras) - TraceContextLen
+	if n < 0 {
+		return TraceContext{}, nil, ErrBadExtras
+	}
+	tail := f.Extras[n:]
+	return TraceContext{
+		TraceID: binary.BigEndian.Uint64(tail[0:8]),
+		SpanID:  binary.BigEndian.Uint32(tail[8:12]),
+		Sampled: tail[12] != 0,
+	}, f.Extras[:n], nil
+}
+
 // MutateExtras is the request extras of SET/ADD/REPLACE/APPEND/PREPEND:
 // document flags, expiry, and the per-mutation durability options of
 // §2.3.2 (the server performs the replication/persistence wait before

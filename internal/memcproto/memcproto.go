@@ -14,11 +14,20 @@
 //	1       1     opcode
 //	2       2     key length
 //	4       1     extras length
-//	5       1     datatype (0; reserved)
+//	5       1     datatype (flag bits; bit 0 = trace context in extras)
 //	6       2     vbucket id (request/push) or status (response)
 //	8       4     total body length (extras + key + value)
-//	12      4     opaque (echoed verbatim; carries the trace ID tick)
+//	12      4     opaque (echoed verbatim)
 //	16      8     CAS
+//
+// The datatype byte, reserved (always 0) in earlier versions, is now a
+// flag field. DatatypeTraceCtx (bit 0) marks that the LAST
+// TraceContextLen bytes of the frame's extras are a distributed trace
+// context (trace ID + parent span ID + sampled flag) injected by the
+// smart client and adopted by the server session, so server-side spans
+// join the client's trace. Frames from older peers carry datatype 0 and
+// decode exactly as before; frames with the flag but truncated extras
+// are rejected with ErrBadExtras before any field is used.
 //
 // Response extras always begin with the sender's 8-byte cluster-map
 // epoch (the map revision), so every reply a smart client receives
@@ -60,6 +69,15 @@ const (
 	MagicPush = 0x82 // server -> client unsolicited (DCP stream traffic)
 )
 
+// Datatype flag bits. The datatype header byte was reserved (always 0)
+// until the trace-context extension; unknown bits are ignored so the
+// field can grow.
+const (
+	// DatatypeTraceCtx marks that the last TraceContextLen bytes of
+	// the frame's extras are a TraceContext.
+	DatatypeTraceCtx = 0x01
+)
+
 // Opcode identifies the operation of a frame.
 type Opcode uint8
 
@@ -94,6 +112,12 @@ const (
 	OpJoin          Opcode = 0x24
 	OpStats         Opcode = 0x25
 	OpHeartbeat     Opcode = 0x26
+	// OpFederate is the observability federation round trip: Key names
+	// an observability domain ("metrics", "health", "events", "trace",
+	// "trace-config"), Value carries a JSON request payload, and the
+	// response value is the queried node's JSON payload. Any node can
+	// aggregate the whole cluster's view over its existing KV conns.
+	OpFederate Opcode = 0x27
 )
 
 // DCP opcodes. A stream request converts the connection into push mode
@@ -120,7 +144,7 @@ var opcodeNames = map[Opcode]string{
 	OpSubdocCounter: "subdoc_counter", OpXDCRSet: "xdcr_set",
 	OpNoop: "noop", OpHello: "hello", OpGetClusterMap: "get_cluster_map",
 	OpSetClusterMap: "set_cluster_map", OpJoin: "join", OpStats: "stats",
-	OpHeartbeat:    "heartbeat",
+	OpHeartbeat: "heartbeat", OpFederate: "federate",
 	OpDCPStreamReq: "dcp_stream_req", OpDCPMutation: "dcp_mutation",
 	OpDCPSnapshot: "dcp_snapshot", OpDCPStreamEnd: "dcp_stream_end",
 	OpDCPFailoverLog: "dcp_failover_log", OpDCPAck: "dcp_ack",

@@ -1,0 +1,139 @@
+package memcproto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	base := AppendUint64(nil, 12345) // opcode-specific extras prefix
+	tc := TraceContext{TraceID: 0xdeadbeefcafe0001, SpanID: 42, Sampled: true}
+	f := &Frame{
+		Magic:    MagicReq,
+		Opcode:   OpSet,
+		Datatype: DatatypeTraceCtx,
+		Extras:   AppendTraceContext(base, tc),
+		Key:      []byte("k"),
+	}
+	// Across an encode/decode cycle, like a real request.
+	raw, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gtc, bare, err := SplitTraceContext(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gtc != tc {
+		t.Fatalf("trace context: got %+v, want %+v", gtc, tc)
+	}
+	if !bytes.Equal(bare, base) {
+		t.Fatalf("remaining extras: got %x, want %x", bare, base)
+	}
+	if !gtc.Valid() {
+		t.Fatal("round-tripped context reports invalid")
+	}
+}
+
+// TestTraceContextOldFrames: the flag is the only announcement, so
+// decoding is unaffected in both directions — an unflagged frame
+// passes through Split untouched (even if its extras end in bytes
+// that happen to look like a context), and a flagged frame stripped
+// of its context is indistinguishable from an old frame.
+func TestTraceContextOldFrames(t *testing.T) {
+	// Old frame, no flag: extras come back byte-identical, no context.
+	extras := AppendUint64(nil, 7)
+	f := &Frame{Magic: MagicReq, Opcode: OpGet, Extras: extras}
+	tc, bare, err := SplitTraceContext(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Valid() || tc != (TraceContext{}) {
+		t.Fatalf("unflagged frame produced context %+v", tc)
+	}
+	if !bytes.Equal(bare, extras) {
+		t.Fatalf("unflagged extras changed: %x != %x", bare, extras)
+	}
+
+	// No flag + extras that end in exactly TraceContextLen bytes: still
+	// untouched — length alone must never imply a context.
+	long := AppendTraceContext(extras, TraceContext{TraceID: 1, SpanID: 2, Sampled: true})
+	f = &Frame{Magic: MagicReq, Opcode: OpGet, Extras: long}
+	tc, bare, err = SplitTraceContext(f)
+	if err != nil || tc.Valid() || !bytes.Equal(bare, long) {
+		t.Fatalf("unflagged long extras: tc=%+v bare=%x err=%v", tc, bare, err)
+	}
+}
+
+// TestTraceContextHostileLengths: a flagged frame whose extras are
+// too short to hold the context (every truncation 0..12) must error
+// with ErrBadExtras before any field is consumed, and the rejection
+// path must not allocate.
+func TestTraceContextHostileLengths(t *testing.T) {
+	for n := 0; n < TraceContextLen; n++ {
+		f := &Frame{
+			Magic:    MagicReq,
+			Opcode:   OpSet,
+			Datatype: DatatypeTraceCtx,
+			Extras:   make([]byte, n),
+		}
+		if _, _, err := SplitTraceContext(f); !errors.Is(err, ErrBadExtras) {
+			t.Errorf("extras len %d: got %v, want ErrBadExtras", n, err)
+		}
+	}
+
+	short := &Frame{Magic: MagicReq, Opcode: OpSet, Datatype: DatatypeTraceCtx, Extras: make([]byte, 5)}
+	if allocs := testing.AllocsPerRun(100, func() {
+		_, _, _ = SplitTraceContext(short)
+	}); allocs != 0 {
+		t.Fatalf("rejecting a truncated trace context allocated %.0f times per run", allocs)
+	}
+}
+
+// FuzzTraceContext throws arbitrary extras and datatype bytes at the
+// splitter: it must never panic, never allocate from hostile lengths,
+// and whatever it parses must re-append to the original tail.
+func FuzzTraceContext(f *testing.F) {
+	f.Add([]byte{}, byte(0))
+	f.Add(AppendTraceContext(nil, TraceContext{TraceID: 1, SpanID: 2, Sampled: true}), byte(DatatypeTraceCtx))
+	f.Add(AppendTraceContext(AppendUint64(nil, 9), TraceContext{TraceID: ^uint64(0), SpanID: ^uint32(0)}), byte(DatatypeTraceCtx))
+	f.Add(make([]byte, TraceContextLen-1), byte(DatatypeTraceCtx))
+	f.Add(bytes.Repeat([]byte{0xff}, 255), byte(0xff))
+
+	f.Fuzz(func(t *testing.T, extras []byte, datatype byte) {
+		fr := &Frame{Magic: MagicReq, Opcode: OpSet, Datatype: datatype, Extras: extras}
+		tc, bare, err := SplitTraceContext(fr)
+		if datatype&DatatypeTraceCtx == 0 {
+			if err != nil || !bytes.Equal(bare, extras) || tc != (TraceContext{}) {
+				t.Fatalf("unflagged frame mutated: tc=%+v err=%v", tc, err)
+			}
+			return
+		}
+		if err != nil {
+			if !errors.Is(err, ErrBadExtras) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			if len(extras) >= TraceContextLen {
+				t.Fatalf("long enough extras (%d) rejected", len(extras))
+			}
+			return
+		}
+		if len(bare)+TraceContextLen != len(extras) {
+			t.Fatalf("split lengths: %d + %d != %d", len(bare), TraceContextLen, len(extras))
+		}
+		// Re-appending the parsed context must rebuild the original
+		// (modulo the sampled byte, which canonicalizes nonzero to 1).
+		rebuilt := AppendTraceContext(append([]byte(nil), bare...), tc)
+		if !bytes.Equal(rebuilt[:len(rebuilt)-1], extras[:len(extras)-1]) {
+			t.Fatalf("re-append mismatch:\n in  %x\n out %x", extras, rebuilt)
+		}
+		if tc.Sampled != (extras[len(extras)-1] != 0) {
+			t.Fatalf("sampled flag lost: %v vs %x", tc.Sampled, extras[len(extras)-1])
+		}
+	})
+}

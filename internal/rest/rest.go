@@ -19,7 +19,6 @@ import (
 	"couchgo/internal/cache"
 	"couchgo/internal/cmap"
 	"couchgo/internal/core"
-	"couchgo/internal/events"
 	"couchgo/internal/executor"
 	"couchgo/internal/feed"
 	"couchgo/internal/fts"
@@ -42,6 +41,11 @@ type Server struct {
 	// transportStats, when set, contributes a "transport" block to
 	// /stats/detail (wire connections, bytes, NotMyVBucket count).
 	transportStats func() any
+	// nodeID labels this process's payloads in federated views; fed,
+	// when set, fans /cluster/* and stitched-trace fetches out to the
+	// cluster's members (see federation.go).
+	nodeID string
+	fed    Federation
 }
 
 // NewServer builds the handler tree for a cluster.
@@ -75,6 +79,9 @@ func NewServer(c *core.Cluster) *Server {
 	s.mux.HandleFunc("GET /traces", s.handleTraces)
 	s.mux.HandleFunc("GET /traces/{id}", s.handleTrace)
 	s.mux.HandleFunc("POST /traces/config", s.handleTraceConfig)
+	s.mux.HandleFunc("GET /cluster/metrics", s.handleClusterMetrics)
+	s.mux.HandleFunc("GET /cluster/health", s.handleClusterHealth)
+	s.mux.HandleFunc("GET /cluster/events", s.handleClusterEvents)
 	return s
 }
 
@@ -217,12 +224,29 @@ func (s *Server) client(bucket string) (*core.Client, error) {
 	return s.c.OpenBucket(bucket)
 }
 
+// startDocSpan samples a REST-level root span for a document op.
+// When sampled, the trace ID goes back in X-Trace-Id — the handle a
+// client feeds to GET /traces/{id} — and the span rides the request
+// ctx so the wire client propagates it to whichever node serves the
+// key (and onward to replicas).
+func startDocSpan(w http.ResponseWriter, r *http.Request, name string) (*http.Request, *trace.Span) {
+	ctx, span := trace.Start(r.Context(), name)
+	if span == nil {
+		return r, nil
+	}
+	span.Annotate("key", r.PathValue("key"))
+	w.Header().Set("X-Trace-Id", strconv.FormatUint(span.Trace().ID, 10))
+	return r.WithContext(ctx), span
+}
+
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	cl, err := s.client(r.PathValue("bucket"))
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	r, span := startDocSpan(w, r, "rest:get")
+	defer span.End()
 	it, err := cl.Get(r.Context(), r.PathValue("key"))
 	if err != nil {
 		writeErr(w, err)
@@ -264,6 +288,8 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	if e := r.URL.Query().Get("expiry"); e != "" {
 		expiry, _ = strconv.ParseInt(e, 10, 64)
 	}
+	r, span := startDocSpan(w, r, "rest:put")
+	defer span.End()
 	it, err := cl.SetWithOptions(r.Context(), r.PathValue("key"), body, 0, expiry, casCheck, dur)
 	if err != nil {
 		writeErr(w, err)
@@ -282,6 +308,8 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if h := r.Header.Get("X-CAS"); h != "" {
 		casCheck, _ = strconv.ParseUint(h, 10, 64)
 	}
+	r, span := startDocSpan(w, r, "rest:delete")
+	defer span.End()
 	if err := cl.Delete(r.Context(), r.PathValue("key"), casCheck); err != nil {
 		writeErr(w, err)
 		return
@@ -473,11 +501,30 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleTrace returns one trace's full span tree.
+// handleTrace returns one trace's full span tree. With federation
+// wired, any node answers for the whole cluster: the trace's
+// portions are fetched from every member and stitched into one
+// cross-process tree, so the client's write shows its server, DCP,
+// and replica spans regardless of which node it asks.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "bad trace id"})
+		return
+	}
+	if s.fed != nil {
+		out, errs := s.stitchedTrace(r.Context(), id)
+		if out == nil {
+			writeJSON(w, http.StatusNotFound, map[string]any{
+				"error":  "no such trace on any reachable member (evicted or never sampled)",
+				"errors": errs,
+			})
+			return
+		}
+		if len(errs) > 0 {
+			out["errors"] = errs
+		}
+		writeJSON(w, http.StatusOK, out)
 		return
 	}
 	t := trace.Default.Get(id)
@@ -491,51 +538,6 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		"start":       t.Start,
 		"duration_us": t.Duration().Microseconds(),
 		"spans":       t.Tree(),
-	})
-}
-
-// handleTraceConfig adjusts tracing at runtime: {"rate": 100} samples
-// one op in 100 (0 disables), {"thresholds": {"kv:set": "5ms"}} sets
-// per-op always-keep latency thresholds, {"clear": true} drops retained
-// traces.
-func (s *Server) handleTraceConfig(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Rate       *int              `json:"rate"`
-		Thresholds map[string]string `json:"thresholds"`
-		Clear      bool              `json:"clear"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
-		return
-	}
-	for op, ds := range req.Thresholds {
-		d, err := time.ParseDuration(ds)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("threshold %q: %v", op, err)})
-			return
-		}
-		trace.Default.SetThreshold(op, d)
-	}
-	if req.Rate != nil {
-		trace.Default.SetRate(*req.Rate)
-	}
-	if req.Clear {
-		trace.Default.Clear()
-	}
-	e := events.New(events.Config, events.SevInfo, "trace config changed")
-	e.Service = "rest"
-	e.Fields = map[string]string{"rate": strconv.Itoa(trace.Default.Rate())}
-	if req.Clear {
-		e.Fields["cleared"] = "true"
-	}
-	events.Default.Publish(e)
-	thresholds := map[string]string{}
-	for op, d := range trace.Default.Thresholds() {
-		thresholds[op] = d.String()
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"rate":       trace.Default.Rate(),
-		"thresholds": thresholds,
 	})
 }
 

@@ -1,0 +1,355 @@
+// Distributed tracing: wire propagation contexts, foreign-rooted
+// trace portions, the per-node export surface, and cross-process
+// stitching.
+//
+// One logical operation crosses process boundaries (smart client →
+// active node → replica), so one trace is physically stored as
+// per-process PORTIONS sharing the trace ID: the originating node
+// holds the locally-rooted trace, every other node holds a foreign
+// portion whose spans were adopted from wire trace contexts. Each
+// adopted span remembers the wire ID of the remote span it continues
+// (its remote parent); Stitch grafts the portions back into a single
+// tree by those references. Trace IDs carry random per-process high
+// bits and span wire IDs are process-unique, so references resolve
+// unambiguously without any central coordination.
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// foreignCap bounds retained foreign portions (FIFO eviction).
+const foreignCap = 256
+
+// WireContext returns what an outbound request should propagate: the
+// trace ID and this span's process-unique wire ID. ok is false for a
+// nil (unsampled) span — propagate nothing.
+func (s *Span) WireContext() (traceID uint64, spanID uint32, ok bool) {
+	if s == nil {
+		return 0, 0, false
+	}
+	return s.tr.ID, s.wireID, true
+}
+
+// RootWire returns the trace ID and the root span's wire ID — the
+// context asynchronous fan-out (DCP pushes) propagates, since the
+// span that enqueued the work has typically ended. Nil-safe.
+func (t *Trace) RootWire() (traceID uint64, spanID uint32, ok bool) {
+	if t == nil {
+		return 0, 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) == 0 {
+		return t.ID, t.originSpan, t.foreign
+	}
+	return t.ID, t.spans[0].wireID, true
+}
+
+// Adopt returns the local portion of remotely-rooted trace id,
+// creating it if needed. originSpan is the wire ID of the remote span
+// that caused the local work; it parents the portion's first span.
+func (tr *Tracer) Adopt(id uint64, originSpan uint32) *Trace {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if t := tr.foreign[id]; t != nil {
+		return t
+	}
+	t := &Trace{ID: id, Start: time.Now(), tracer: tr, foreign: true, originSpan: originSpan}
+	tr.foreign[id] = t
+	tr.foreignOrder = append(tr.foreignOrder, id)
+	if len(tr.foreignOrder) > foreignCap {
+		delete(tr.foreign, tr.foreignOrder[0])
+		tr.foreignOrder = tr.foreignOrder[1:]
+	}
+	return t
+}
+
+// Join opens a span continuing a remote caller's trace, as a server
+// session does when a request frame carries a trace context. The span
+// lands in the local foreign portion of trace id, remote-parented at
+// wire span parentSpan. An invalid or unsampled context yields a nil
+// span and an unchanged ctx — the disabled path costs nothing.
+func (tr *Tracer) Join(ctx context.Context, name string, id uint64, parentSpan uint32, sampled bool) (context.Context, *Span) {
+	if id == 0 || !sampled {
+		return ctx, nil
+	}
+	t := tr.Adopt(id, parentSpan)
+	s := t.joinSpan(name, parentSpan)
+	return ContextWith(ctx, s), s
+}
+
+// joinSpan appends an adopted span: the portion's first span becomes
+// its local root, later ones parent at the root but keep their own
+// remote parent so the stitcher can graft each under the exact remote
+// span that issued it.
+func (t *Trace) joinSpan(name string, parentSpan uint32) *Span {
+	s := t.newSpan(name, 0)
+	if s == nil {
+		return nil
+	}
+	t.mu.Lock()
+	s.remoteParent, s.hasRemote = parentSpan, true
+	if s.parent == -1 && t.Op == "" {
+		t.Op = name
+	}
+	t.mu.Unlock()
+	return s
+}
+
+// --- Export / stitching ---
+
+// SpanExport is one span in a portion's portable form. IDs are wire
+// IDs (process-unique), so parent references resolve across portions.
+type SpanExport struct {
+	ID uint32 `json:"id"`
+	// Parent is the wire ID of the local parent span; nil for the
+	// portion root.
+	Parent *uint32 `json:"parent,omitempty"`
+	// RemoteParent is the wire ID of the span on another node that
+	// this span continues.
+	RemoteParent *uint32      `json:"remote_parent,omitempty"`
+	Name         string       `json:"name"`
+	StartUnixUS  int64        `json:"start_unix_us"`
+	DurationUS   int64        `json:"duration_us"`
+	Open         bool         `json:"open,omitempty"`
+	Error        string       `json:"error,omitempty"`
+	Annotations  []Annotation `json:"annotations,omitempty"`
+}
+
+// Export is one node's portion of a trace in portable (JSON) form,
+// with absolute timestamps so portions from different nodes align.
+type Export struct {
+	ID          uint64       `json:"id"`
+	Op          string       `json:"op"`
+	Node        string       `json:"node,omitempty"`
+	Foreign     bool         `json:"foreign,omitempty"`
+	StartUnixUS int64        `json:"start_unix_us"`
+	DurationUS  int64        `json:"duration_us"`
+	Spans       []SpanExport `json:"spans"`
+}
+
+// Export renders the trace's local portion for cross-node collection,
+// labeled with the exporting node. Safe while spans are still
+// arriving.
+func (t *Trace) Export(node string) Export {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	d := now.Sub(t.Start)
+	if t.done {
+		d = t.end.Sub(t.Start)
+	}
+	e := Export{
+		ID: t.ID, Op: t.Op, Node: node, Foreign: t.foreign,
+		StartUnixUS: t.Start.UnixMicro(), DurationUS: d.Microseconds(),
+		Spans: make([]SpanExport, 0, len(t.spans)),
+	}
+	for _, s := range t.spans {
+		end := s.end
+		if s.open {
+			end = now
+		}
+		se := SpanExport{
+			ID: s.wireID, Name: s.name,
+			StartUnixUS: s.start.UnixMicro(),
+			DurationUS:  end.Sub(s.start).Microseconds(),
+			Open:        s.open, Error: s.err,
+		}
+		if s.parent >= 0 && s.parent < len(t.spans) {
+			p := t.spans[s.parent].wireID
+			se.Parent = &p
+		}
+		if s.hasRemote {
+			rp := s.remoteParent
+			se.RemoteParent = &rp
+		}
+		if len(s.ann) > 0 {
+			se.Annotations = append([]Annotation(nil), s.ann...)
+		}
+		e.Spans = append(e.Spans, se)
+	}
+	if t.dropped > 0 && len(e.Spans) > 0 {
+		e.Spans[0].Annotations = append(e.Spans[0].Annotations,
+			Annotation{Key: "spans_dropped", Value: fmt.Sprint(t.dropped)})
+	}
+	return e
+}
+
+// Stitch grafts per-node portions of one trace into a single span
+// tree. The locally-rooted portion (Foreign false) anchors the tree;
+// foreign spans attach under the remote span they reference, falling
+// back to the global root (with a stitch annotation) when the
+// reference is unresolvable — a portion may have been evicted or its
+// node unreachable. Portions are network input: every reference is
+// bounds-checked, never trusted.
+func Stitch(portions []Export) *Node {
+	rootIdx := -1
+	for i, p := range portions {
+		if !p.Foreign && len(p.Spans) > 0 {
+			rootIdx = i
+			break
+		}
+	}
+	if rootIdx == -1 {
+		for i, p := range portions {
+			if len(p.Spans) == 0 {
+				continue
+			}
+			if rootIdx == -1 || p.StartUnixUS < portions[rootIdx].StartUnixUS {
+				rootIdx = i
+			}
+		}
+	}
+	if rootIdx == -1 {
+		return nil
+	}
+	base := portions[rootIdx].StartUnixUS
+
+	// Build nodes and per-portion wire-ID indexes.
+	nodes := make([][]*Node, len(portions))
+	index := make([]map[uint32]*Node, len(portions))
+	for i, p := range portions {
+		nodes[i] = make([]*Node, len(p.Spans))
+		index[i] = make(map[uint32]*Node, len(p.Spans))
+		for j, s := range p.Spans {
+			n := &Node{
+				Name: s.Name, Node: p.Node,
+				StartUS: s.StartUnixUS - base, DurationUS: s.DurationUS,
+				Open: s.Open, Error: s.Error,
+			}
+			if len(s.Annotations) > 0 {
+				n.Annotations = append([]Annotation(nil), s.Annotations...)
+			}
+			nodes[i][j] = n
+			if _, dup := index[i][s.ID]; !dup {
+				index[i][s.ID] = n
+			}
+		}
+	}
+	var root *Node
+	for _, s := range portions[rootIdx].Spans {
+		if s.Parent == nil {
+			root = index[rootIdx][s.ID]
+			break
+		}
+	}
+	if root == nil {
+		root = nodes[rootIdx][0]
+	}
+
+	// resolve finds wire ID id in another portion, preferring the root
+	// portion (the usual origin), never the asking portion itself.
+	resolve := func(self int, id uint32) *Node {
+		if self != rootIdx {
+			if n := index[rootIdx][id]; n != nil {
+				return n
+			}
+		}
+		for i := range portions {
+			if i == self || i == rootIdx {
+				continue
+			}
+			if n := index[i][id]; n != nil {
+				return n
+			}
+		}
+		return nil
+	}
+
+	for i, p := range portions {
+		for j, s := range p.Spans {
+			n := nodes[i][j]
+			if n == root {
+				continue
+			}
+			var parent *Node
+			switch {
+			case s.RemoteParent != nil && i != rootIdx:
+				if parent = resolve(i, *s.RemoteParent); parent == nil {
+					n.Annotations = append(n.Annotations,
+						Annotation{Key: "stitch", Value: "remote parent missing"})
+				}
+			case s.Parent != nil:
+				parent = index[i][*s.Parent]
+			}
+			if parent == nil || parent == n {
+				parent = root
+			}
+			parent.Children = append(parent.Children, n)
+		}
+	}
+	sortChildren(root, make(map[*Node]bool))
+	return root
+}
+
+// sortChildren orders every child list by start offset for stable
+// rendering; the seen set guards against hostile reference cycles.
+func sortChildren(n *Node, seen map[*Node]bool) {
+	if seen[n] {
+		return
+	}
+	seen[n] = true
+	sort.SliceStable(n.Children, func(i, j int) bool {
+		return n.Children[i].StartUS < n.Children[j].StartUS
+	})
+	for _, c := range n.Children {
+		sortChildren(c, seen)
+	}
+}
+
+// --- Runtime configuration ---
+
+// Config is the runtime tracing configuration carried by POST
+// /traces/config and its cluster-wide broadcast.
+type Config struct {
+	// Rate samples one root op in Rate (0 disables); nil leaves the
+	// rate unchanged.
+	Rate *int `json:"rate"`
+	// Thresholds sets per-op always-keep latency thresholds, as
+	// time.ParseDuration strings; "" keys the default.
+	Thresholds map[string]string `json:"thresholds"`
+	// Clear drops retained traces.
+	Clear bool `json:"clear"`
+}
+
+// ApplyConfigJSON strictly decodes and applies a runtime config.
+// Unknown fields are rejected with the offending field named, and
+// nothing is applied unless the whole payload validates — so a
+// cluster-wide broadcast either lands identically on a node or fails
+// diagnosably, never half-applies.
+func (tr *Tracer) ApplyConfigJSON(data []byte) (Config, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, err
+	}
+	if dec.More() {
+		return Config{}, errors.New("trace: trailing data after config object")
+	}
+	parsed := make(map[string]time.Duration, len(c.Thresholds))
+	for op, ds := range c.Thresholds {
+		d, err := time.ParseDuration(ds)
+		if err != nil {
+			return Config{}, fmt.Errorf("threshold %q: %v", op, err)
+		}
+		parsed[op] = d
+	}
+	for op, d := range parsed {
+		tr.SetThreshold(op, d)
+	}
+	if c.Rate != nil {
+		tr.SetRate(*c.Rate)
+	}
+	if c.Clear {
+		tr.Clear()
+	}
+	return c, nil
+}

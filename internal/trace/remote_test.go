@@ -1,0 +1,332 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// twoTracers builds two independent tracers standing in for two
+// processes, both sampling everything.
+func twoTracers() (*Tracer, *Tracer) {
+	a, b := New(), New()
+	a.SetRate(1)
+	b.SetRate(1)
+	return a, b
+}
+
+func TestTraceIDsUniqueAcrossTracers(t *testing.T) {
+	a, b := twoTracers()
+	seen := map[uint64]bool{}
+	for i := 0; i < 50; i++ {
+		for _, tr := range []*Tracer{a, b} {
+			_, sp := tr.Start(context.Background(), "kv:get")
+			id := sp.Trace().ID
+			if seen[id] {
+				t.Fatalf("trace ID %d repeated across tracers", id)
+			}
+			seen[id] = true
+			sp.End()
+		}
+	}
+}
+
+func TestWireContextAndJoin(t *testing.T) {
+	client, server := twoTracers()
+	ctx, root := client.Start(context.Background(), "rest:put")
+	id, spanID, ok := FromContext(ctx).WireContext()
+	if !ok || id != root.Trace().ID {
+		t.Fatalf("wire context: id=%d ok=%v, want id=%d", id, ok, root.Trace().ID)
+	}
+
+	// The server joins the client's trace: its span lands in a foreign
+	// portion under the client's trace ID, remote-parented to the
+	// client's span.
+	sctx, ssp := server.Join(context.Background(), "server:set", id, spanID, true)
+	if ssp == nil {
+		t.Fatal("Join returned no span for a sampled context")
+	}
+	if FromContext(sctx) != ssp {
+		t.Fatal("joined ctx does not carry the server span")
+	}
+	child := ssp.Child("cache:set")
+	child.End()
+	ssp.End()
+	root.End()
+
+	portions := server.Portions(id)
+	if len(portions) != 1 {
+		t.Fatalf("server portions: %d, want 1", len(portions))
+	}
+	ex := portions[0].Export("node-b")
+	if !ex.Foreign {
+		t.Fatal("server portion not marked foreign")
+	}
+	if len(ex.Spans) != 2 {
+		t.Fatalf("exported spans: %d, want 2", len(ex.Spans))
+	}
+	rootSpan := ex.Spans[0]
+	if rootSpan.Parent != nil {
+		t.Fatal("portion root has a local parent")
+	}
+	if rootSpan.RemoteParent == nil || *rootSpan.RemoteParent != spanID {
+		t.Fatalf("portion root remote parent: %v, want %d", rootSpan.RemoteParent, spanID)
+	}
+	if ex.Spans[1].Parent == nil || *ex.Spans[1].Parent != rootSpan.ID {
+		t.Fatal("child span not parented to portion root")
+	}
+}
+
+func TestJoinUnsampledOrZeroIsNil(t *testing.T) {
+	tr := New()
+	tr.SetRate(1)
+	if _, sp := tr.Join(context.Background(), "x", 0, 0, true); sp != nil {
+		t.Fatal("joined a zero trace ID")
+	}
+	if _, sp := tr.Join(context.Background(), "x", 7, 0, false); sp != nil {
+		t.Fatal("joined an unsampled context")
+	}
+	if got := len(tr.Portions(7)); got != 0 {
+		t.Fatalf("unsampled join retained %d portions", got)
+	}
+}
+
+func TestAdoptDedupsAndEvicts(t *testing.T) {
+	tr := New()
+	if tr.Adopt(42, 1) != tr.Adopt(42, 9) {
+		t.Fatal("same trace ID adopted into two portions")
+	}
+	// FIFO eviction holds the foreign map at foreignCap.
+	for i := uint64(1); i < foreignCap+10; i++ {
+		tr.Adopt(1000+i, 1)
+	}
+	tr.mu.Lock()
+	n := len(tr.foreign)
+	tr.mu.Unlock()
+	if n > foreignCap {
+		t.Fatalf("foreign portions grew to %d, cap %d", n, foreignCap)
+	}
+	if got := tr.Portions(42); len(got) != 0 {
+		t.Fatal("oldest portion survived eviction")
+	}
+}
+
+// TestStitchThreeProcesses rebuilds the tentpole scenario from
+// exports alone: client rest:put → active server:set (+cache child)
+// → replica replica:apply, each portion from a different process,
+// stitched into one tree with node labels intact.
+func TestStitchThreeProcesses(t *testing.T) {
+	client, active := twoTracers()
+	replica := New()
+	replica.SetRate(1)
+
+	ctx, root := client.Start(context.Background(), "rest:put")
+	id, rootWire, _ := FromContext(ctx).WireContext()
+
+	_, srv := active.Join(context.Background(), "server:set", id, rootWire, true)
+	srv.Child("cache:set").End()
+	// The DCP push carries the active portion's root wire ID.
+	aid, awire, ok := active.Portions(id)[0].RootWire()
+	if !ok || aid != id {
+		t.Fatalf("active RootWire: id=%d ok=%v", aid, ok)
+	}
+	rt := replica.Adopt(id, awire)
+	rt.StartSpan("replica:apply").End()
+	srv.End()
+	root.End()
+
+	var portions []Export
+	for node, tr := range map[string]*Tracer{"client": client, "active": active, "replica": replica} {
+		for _, p := range tr.Portions(id) {
+			portions = append(portions, p.Export(node))
+		}
+	}
+	if len(portions) != 3 {
+		t.Fatalf("portions: %d, want 3", len(portions))
+	}
+	tree := Stitch(portions)
+	if tree == nil {
+		t.Fatal("Stitch returned nil")
+	}
+	if tree.Name != "rest:put" || tree.Node != "client" {
+		t.Fatalf("root: %s on %s, want rest:put on client", tree.Name, tree.Node)
+	}
+	// Flatten and assert every process contributed.
+	nodes := map[string]bool{}
+	names := map[string]string{}
+	var walk func(n *Node)
+	var total int
+	walk = func(n *Node) {
+		total++
+		nodes[n.Node] = true
+		names[n.Name] = n.Node
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tree)
+	for _, want := range []string{"client", "active", "replica"} {
+		if !nodes[want] {
+			t.Fatalf("stitched tree missing spans from %q (have %v)", want, nodes)
+		}
+	}
+	if names["server:set"] != "active" || names["replica:apply"] != "replica" {
+		t.Fatalf("span placement: %v", names)
+	}
+	if total != 4 {
+		t.Fatalf("stitched %d spans, want 4", total)
+	}
+	// replica:apply must hang under the active's server:set span, not
+	// the client root — the DCP hop preserves causality.
+	var findParent func(n *Node, name string) *Node
+	findParent = func(n *Node, name string) *Node {
+		for _, c := range n.Children {
+			if c.Name == name {
+				return n
+			}
+			if p := findParent(c, name); p != nil {
+				return p
+			}
+		}
+		return nil
+	}
+	if p := findParent(tree, "replica:apply"); p == nil || p.Name != "server:set" {
+		t.Fatalf("replica:apply parent: %+v, want server:set", p)
+	}
+}
+
+// TestStitchOrphanAndHostile: a portion whose remote parent no longer
+// exists grafts under the root with an annotation instead of being
+// dropped, and hostile exports (cycles, dangling local parents) never
+// hang or panic the stitcher.
+func TestStitchOrphanAndHostile(t *testing.T) {
+	u := func(v uint32) *uint32 { return &v }
+	root := Export{
+		ID: 7, Op: "rest:put", Node: "a", StartUnixUS: 100,
+		Spans: []SpanExport{{ID: 1, Name: "rest:put", StartUnixUS: 100, DurationUS: 50}},
+	}
+	orphan := Export{
+		ID: 7, Node: "b", Foreign: true, StartUnixUS: 110,
+		Spans: []SpanExport{{ID: 2, RemoteParent: u(99), Name: "server:set", StartUnixUS: 110, DurationUS: 10}},
+	}
+	tree := Stitch([]Export{root, orphan})
+	if tree == nil || len(tree.Children) != 1 {
+		t.Fatalf("orphan not grafted under root: %+v", tree)
+	}
+	annotated := false
+	for _, a := range tree.Children[0].Annotations {
+		if a.Key == "stitch" && strings.Contains(a.Value, "remote parent missing") {
+			annotated = true
+		}
+	}
+	if !annotated {
+		t.Fatalf("orphan graft not annotated: %+v", tree.Children[0].Annotations)
+	}
+
+	// Cycle: two spans claiming each other as local parents.
+	evil := Export{
+		ID: 7, Node: "c", Foreign: true,
+		Spans: []SpanExport{
+			{ID: 10, Parent: u(11), Name: "x"},
+			{ID: 11, Parent: u(10), Name: "y"},
+		},
+	}
+	done := make(chan *Node, 1)
+	go func() { done <- Stitch([]Export{root, evil}) }()
+	select {
+	case tree := <-done:
+		if tree == nil {
+			t.Fatal("hostile stitch returned nil with a valid root present")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stitcher hung on a parent cycle")
+	}
+
+	if Stitch(nil) != nil {
+		t.Fatal("empty stitch produced a tree")
+	}
+}
+
+func TestApplyConfigJSONStrict(t *testing.T) {
+	tr := New()
+	tr.SetRate(0)
+
+	// Valid config applies everything.
+	cfg, err := tr.ApplyConfigJSON([]byte(`{"rate": 8, "thresholds": {"kv:set": "5ms"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Rate == nil || *cfg.Rate != 8 || tr.Rate() != 8 {
+		t.Fatalf("rate not applied: cfg=%+v rate=%d", cfg, tr.Rate())
+	}
+	if tr.Thresholds()["kv:set"] != 5*time.Millisecond {
+		t.Fatalf("threshold not applied: %v", tr.Thresholds())
+	}
+
+	// Unknown fields are rejected by name, and nothing applies.
+	_, err = tr.ApplyConfigJSON([]byte(`{"rate": 99, "rte": 1}`))
+	if err == nil || !strings.Contains(err.Error(), "rte") {
+		t.Fatalf("unknown field not named: %v", err)
+	}
+	if tr.Rate() != 8 {
+		t.Fatalf("failed config partially applied: rate=%d", tr.Rate())
+	}
+
+	// A bad threshold anywhere rejects the whole config.
+	_, err = tr.ApplyConfigJSON([]byte(`{"rate": 3, "thresholds": {"kv:get": "fast"}}`))
+	if err == nil || !strings.Contains(err.Error(), "kv:get") {
+		t.Fatalf("bad threshold not named: %v", err)
+	}
+	if tr.Rate() != 8 {
+		t.Fatalf("rate applied despite bad threshold: %d", tr.Rate())
+	}
+
+	// Trailing data and non-object bodies are rejected.
+	for _, bad := range []string{`{"rate":1} extra`, `[1,2]`, ``} {
+		if _, err := tr.ApplyConfigJSON([]byte(bad)); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+
+	// Clear drops retained traces.
+	tr.SetRate(1)
+	_, sp := tr.Start(context.Background(), "kv:get")
+	sp.End()
+	if len(tr.Traces()) == 0 {
+		t.Fatal("setup: no retained trace")
+	}
+	if _, err := tr.ApplyConfigJSON([]byte(`{"clear": true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Traces()); got != 0 {
+		t.Fatalf("clear left %d traces", got)
+	}
+}
+
+// TestExportJSONStable: exports must survive a JSON round trip (they
+// cross the wire between nodes) with span identity intact.
+func TestExportJSONStable(t *testing.T) {
+	tr := New()
+	tr.SetRate(1)
+	ctx, root := tr.Start(context.Background(), "kv:set")
+	FromContext(ctx).Child("storage:commit").End()
+	root.End()
+	ex := tr.Portions(root.Trace().ID)[0].Export("n1")
+
+	raw, err := json.Marshal(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Export
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != ex.ID || back.Node != "n1" || len(back.Spans) != len(ex.Spans) {
+		t.Fatalf("round trip mangled export: %+v vs %+v", back, ex)
+	}
+	if tree := Stitch([]Export{back}); tree == nil || tree.Name != "kv:set" {
+		t.Fatalf("single-portion stitch: %+v", tree)
+	}
+}

@@ -26,6 +26,7 @@ package trace
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -62,6 +63,12 @@ type Trace struct {
 
 	tracer *Tracer
 
+	// foreign marks a locally-held portion of a trace rooted on
+	// another node (adopted from a wire trace context); originSpan is
+	// the wire ID of the remote span that caused the local work.
+	foreign    bool
+	originSpan uint32
+
 	mu      sync.Mutex
 	spans   []*Span
 	dropped int
@@ -76,8 +83,14 @@ type Span struct {
 	tr     *Trace
 	idx    int
 	parent int // index into tr.spans; -1 for the root
-	name   string
-	start  time.Time
+	// wireID is the process-unique span ID used in wire trace contexts
+	// and exports; remoteParent (when hasRemote) is the wire ID of the
+	// span, on another node, this span continues.
+	wireID       uint32
+	remoteParent uint32
+	hasRemote    bool
+	name         string
+	start        time.Time
 
 	// Mutable fields below are guarded by tr.mu once the span is
 	// published into tr.spans.
@@ -116,13 +129,26 @@ func TraceFromContext(ctx context.Context) *Trace {
 // Tracer samples, collects, and retains traces.
 type Tracer struct {
 	rate atomic.Int64  // sample 1 in rate roots; <=0 disables
-	seq  atomic.Uint64 // trace ID source
+	seq  atomic.Uint64 // trace ID source (low 32 bits of the ID)
 	tick atomic.Uint64 // sampling counter
+
+	// base is ORed into every trace ID: random per-Tracer high bits so
+	// IDs minted by different processes never collide — a prerequisite
+	// for stitching one distributed trace out of per-node portions.
+	base uint64
+	// spanSeq mints process-unique span IDs (random start, sequential)
+	// for cross-process parent references; a span's wire ID must name
+	// it unambiguously among every node's portion of the same trace.
+	spanSeq atomic.Uint32
 
 	mu         sync.Mutex
 	thresholds map[string]time.Duration
 	defThresh  time.Duration
 	ops        map[string]*opRing
+	// foreign holds local portions of remotely-rooted traces (adopted
+	// from wire trace contexts), keyed by trace ID, FIFO-bounded.
+	foreign      map[uint64]*Trace
+	foreignOrder []uint64
 }
 
 // opRing retains finished traces for one root op: a ring of the most
@@ -138,11 +164,17 @@ type opRing struct {
 // New creates a disabled tracer (rate 0) with the default slow
 // threshold.
 func New() *Tracer {
-	return &Tracer{
+	tr := &Tracer{
 		thresholds: make(map[string]time.Duration),
 		defThresh:  DefaultSlowThreshold,
 		ops:        make(map[string]*opRing),
+		foreign:    make(map[uint64]*Trace),
 	}
+	for tr.base == 0 {
+		tr.base = uint64(rand.Uint32()) << 32
+	}
+	tr.spanSeq.Store(rand.Uint32())
+	return tr
 }
 
 // Default is the process-wide tracer used by the package-level
@@ -212,8 +244,8 @@ func (tr *Tracer) Force(ctx context.Context, name string) (context.Context, *Spa
 }
 
 func (tr *Tracer) newRoot(ctx context.Context, name string) (context.Context, *Span) {
-	t := &Trace{ID: tr.seq.Add(1), Op: name, Start: time.Now(), tracer: tr}
-	s := &Span{tr: t, idx: 0, parent: -1, name: name, start: t.Start, open: true}
+	t := &Trace{ID: tr.base | (tr.seq.Add(1) & 0xffffffff), Op: name, Start: time.Now(), tracer: tr}
+	s := &Span{tr: t, idx: 0, parent: -1, wireID: tr.spanSeq.Add(1), name: name, start: t.Start, open: true}
 	t.spans = append(t.spans, s)
 	return ContextWith(ctx, s), s
 }
@@ -249,24 +281,49 @@ func ringPush(buf []*Trace, pos int, t *Trace, max int) ([]*Trace, int) {
 	return buf, (pos + 1) % max
 }
 
-// Get returns a retained trace by ID, or nil. Rings are small; this
-// is a linear scan for the debug surface, not a hot path.
+// Get returns a retained trace by ID, or nil. A locally-rooted trace
+// wins over an adopted foreign portion with the same ID (possible
+// when a node's client dials itself over the wire). Rings are small;
+// this is a linear scan for the debug surface, not a hot path.
 func (tr *Tracer) Get(id uint64) *Trace {
-	tr.mu.Lock()
-	defer tr.mu.Unlock()
-	for _, r := range tr.ops {
-		for _, t := range r.recent {
-			if t.ID == id {
-				return t
-			}
-		}
-		for _, t := range r.slow {
-			if t.ID == id {
-				return t
-			}
-		}
+	for _, t := range tr.Portions(id) {
+		return t
 	}
 	return nil
+}
+
+// Portions returns every distinct locally-retained portion of trace
+// id: the locally-rooted trace (if any) first, then adopted foreign
+// portions. Usually zero or one entry; two when a node's own smart
+// client reached it over the wire.
+func (tr *Tracer) Portions(id uint64) []*Trace {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	seen := make(map[*Trace]bool)
+	var local, foreign []*Trace
+	add := func(t *Trace) {
+		if t.ID != id || seen[t] {
+			return
+		}
+		seen[t] = true
+		if t.foreign {
+			foreign = append(foreign, t)
+		} else {
+			local = append(local, t)
+		}
+	}
+	for _, r := range tr.ops {
+		for _, t := range r.recent {
+			add(t)
+		}
+		for _, t := range r.slow {
+			add(t)
+		}
+	}
+	if t := tr.foreign[id]; t != nil {
+		add(t)
+	}
+	return append(local, foreign...)
 }
 
 // Summary is one retained trace's listing entry.
@@ -277,6 +334,8 @@ type Summary struct {
 	DurationUS int64     `json:"duration_us"`
 	Spans      int       `json:"spans"`
 	Slow       bool      `json:"slow,omitempty"`
+	// Foreign marks a locally-held portion of a remotely-rooted trace.
+	Foreign bool `json:"foreign,omitempty"`
 }
 
 // Traces lists every retained trace, newest first.
@@ -316,11 +375,14 @@ func (tr *Tracer) Slowest(op string) *Trace {
 	return best
 }
 
-// Clear drops every retained trace; rate and thresholds persist.
+// Clear drops every retained trace, including adopted foreign
+// portions; rate and thresholds persist.
 func (tr *Tracer) Clear() {
 	tr.mu.Lock()
 	defer tr.mu.Unlock()
 	tr.ops = make(map[string]*opRing)
+	tr.foreign = make(map[uint64]*Trace)
+	tr.foreignOrder = nil
 }
 
 func (tr *Tracer) retained() []*Trace {
@@ -346,7 +408,11 @@ func (tr *Tracer) retained() []*Trace {
 // --- Trace methods ---
 
 // newSpan appends a span under parent; returns nil once the trace is
-// at its span cap.
+// at its span cap. The first span of an adopted foreign portion
+// becomes its local root (parent -1) regardless of the requested
+// parent, inheriting the portion's remote origin span: async hops
+// like replica apply call StartSpan on a portion that has no local
+// spans yet.
 func (t *Trace) newSpan(name string, parent int) *Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -354,7 +420,16 @@ func (t *Trace) newSpan(name string, parent int) *Span {
 		t.dropped++
 		return nil
 	}
-	s := &Span{tr: t, idx: len(t.spans), parent: parent, name: name, start: time.Now(), open: true}
+	s := &Span{tr: t, idx: len(t.spans), parent: parent, wireID: t.tracer.spanSeq.Add(1), name: name, start: time.Now(), open: true}
+	if len(t.spans) == 0 {
+		s.parent = -1
+		if t.foreign {
+			s.remoteParent, s.hasRemote = t.originSpan, true
+			if t.Op == "" {
+				t.Op = name
+			}
+		}
+	}
 	t.spans = append(t.spans, s)
 	return s
 }
@@ -407,6 +482,7 @@ func (t *Trace) summary() Summary {
 		DurationUS: d.Microseconds(),
 		Spans:      len(t.spans),
 		Slow:       t.slow,
+		Foreign:    t.foreign,
 	}
 }
 
@@ -494,6 +570,9 @@ func (s *Span) Completed(name string, start time.Time, kv ...string) {
 // Node is one span in the rendered tree.
 type Node struct {
 	Name string `json:"name"`
+	// Node labels the process the span ran in; set by Stitch on
+	// cross-process trees, empty on single-process renders.
+	Node string `json:"node,omitempty"`
 	// StartUS is the span's start offset from the trace start.
 	StartUS     int64        `json:"start_us"`
 	DurationUS  int64        `json:"duration_us"`

@@ -62,6 +62,10 @@ type NodeOptions struct {
 	// FailoverAfter is heartbeat silence before a member's health
 	// check turns critical (default 5 intervals).
 	FailoverAfter time.Duration
+	// Observe serves cluster-observability fetches (metrics, health,
+	// events, traces) arriving over the wire as OpFederate requests
+	// from peer nodes. Nil disables federation on this node.
+	Observe func(domain string, payload []byte) ([]byte, error)
 }
 
 // ClusterNode is one process's networked-cluster runtime.
@@ -126,6 +130,7 @@ func StartNode(opts NodeOptions) (*ClusterNode, error) {
 		Stats: func() map[string]any {
 			return map[string]any{"node": self, "map_rev": member.rev()}
 		},
+		Observe: opts.Observe,
 	}
 
 	if opts.Join == "" {

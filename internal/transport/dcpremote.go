@@ -10,6 +10,7 @@ import (
 	"couchgo/internal/core"
 	"couchgo/internal/dcp"
 	"couchgo/internal/memcproto"
+	"couchgo/internal/trace"
 )
 
 // RemoteProducer is a dcp.StreamSource that lives on the far side of
@@ -238,6 +239,11 @@ func (rs *RemoteStream) readLoop() {
 			// Snapshot window marker; the in-process consumers don't
 			// track windows, so neither do we.
 		case memcproto.OpDCPMutation:
+			tc, bare, err := memcproto.SplitTraceContext(f)
+			if err != nil {
+				continue
+			}
+			f.Extras = bare
 			meta, err := memcproto.DecodeItemMeta(f.Extras)
 			if err != nil {
 				continue
@@ -251,6 +257,13 @@ func (rs *RemoteStream) readLoop() {
 				Flags:    meta.Flags,
 				Expiry:   meta.Expiry,
 				Deleted:  meta.Deleted,
+			}
+			// A pushed trace context continues the producer's trace on
+			// this node: the apply path's replica:apply span attaches
+			// to the local foreign portion rooted under the remote
+			// span.
+			if tc.Valid() && tc.Sampled {
+				m.Trace = trace.Default.Adopt(tc.TraceID, tc.SpanID)
 			}
 			if len(f.Value) > 0 {
 				m.Value = append([]byte(nil), f.Value...)

@@ -39,8 +39,18 @@ var (
 	mDialErrors = metrics.Default.Counter("couchgo_transport_dial_errors_total")
 )
 
-func opHistogram(opcode string) *metrics.Histogram {
-	return metrics.Default.Histogram("couchgo_transport_op_seconds", "opcode", opcode)
+// opHistogram is server-side handling latency per opcode, labeled by
+// result so fast NOT_MY_VBUCKET bounces don't flatter the op's
+// quantiles: an NMVB retry counts (and is visible) against the
+// originating op's series instead of hiding inside "ok".
+func opHistogram(opcode, result string) *metrics.Histogram {
+	return metrics.Default.Histogram("couchgo_transport_op_seconds", "opcode", opcode, "result", result)
+}
+
+// nmvbCounter attributes a client-observed NMVB bounce to the op that
+// triggered it.
+func nmvbCounter(opcode string) *metrics.Counter {
+	return metrics.Default.Counter("couchgo_notmyvbucket_total", "opcode", opcode)
 }
 
 // countingConn wraps a net.Conn so every byte in or out lands in the

@@ -50,14 +50,16 @@ func (nc netConn) call(ctx context.Context, opcode memcproto.Opcode, vbID int, k
 	if err != nil {
 		return nil, err
 	}
+	extras, datatype := injectTraceCtx(extras, ctx)
 	req := &memcproto.Frame{
-		Magic:   memcproto.MagicReq,
-		Opcode:  opcode,
-		VBucket: uint16(vbID),
-		CAS:     cas,
-		Extras:  appendTraceTick(extras, ctx),
-		Key:     []byte(key),
-		Value:   value,
+		Magic:    memcproto.MagicReq,
+		Opcode:   opcode,
+		Datatype: datatype,
+		VBucket:  uint16(vbID),
+		CAS:      cas,
+		Extras:   extras,
+		Key:      []byte(key),
+		Value:    value,
 	}
 	resp, err := conn.Roundtrip(ctx, req)
 	if err != nil {
@@ -73,6 +75,9 @@ func (nc netConn) call(ctx context.Context, opcode memcproto.Opcode, vbID int, k
 	}
 	if resp.Status == memcproto.StatusNotMyVBucket {
 		mNotMyVB.Inc()
+		// Attribute the bounce to the originating op, so per-op retry
+		// rates are visible next to that op's latency series.
+		nmvbCounter(opcode.String()).Inc()
 		// Fat response: the server's current map rides the value, so
 		// the router refreshes without a second round trip.
 		if nc.sink != nil && len(resp.Value) > 0 {

@@ -16,6 +16,7 @@ import (
 	"couchgo/internal/dcp"
 	"couchgo/internal/events"
 	"couchgo/internal/memcproto"
+	"couchgo/internal/trace"
 	"couchgo/internal/vbucket"
 )
 
@@ -43,6 +44,11 @@ type ServerConfig struct {
 	OnHeartbeat func(addr string)
 	// Stats contributes extra fields to OpStats replies.
 	Stats func() map[string]any
+	// Observe serves OpFederate observability queries: domain names
+	// what is asked ("metrics", "health", "events", "trace",
+	// "trace-config"), payload and the returned bytes are JSON. Nil
+	// answers StatusNotSupported.
+	Observe func(domain string, payload []byte) ([]byte, error)
 }
 
 // Server accepts wire-protocol connections and dispatches decoded
@@ -275,7 +281,8 @@ func (c *session) readLoop() {
 		case memcproto.OpDCPStreamReq, memcproto.OpDCPAck, memcproto.OpDCPFailoverLog:
 			c.handleDCP(f)
 		case memcproto.OpJoin, memcproto.OpGetClusterMap, memcproto.OpSetClusterMap,
-			memcproto.OpHeartbeat, memcproto.OpStats, memcproto.OpNoop, memcproto.OpHello:
+			memcproto.OpHeartbeat, memcproto.OpStats, memcproto.OpNoop, memcproto.OpHello,
+			memcproto.OpFederate:
 			c.handleAdmin(f)
 		default:
 			// KV ops run in their own goroutine (bounded by sem) so a
@@ -341,6 +348,17 @@ func (c *session) handleAdmin(f *memcproto.Frame) {
 		}
 		value, _ := json.Marshal(stats)
 		c.respond(f, memcproto.StatusOK, extras, value, 0)
+	case memcproto.OpFederate:
+		if c.srv.cfg.Observe == nil {
+			c.respond(f, memcproto.StatusNotSupported, extras, []byte("no observability provider"), 0)
+			return
+		}
+		value, err := c.srv.cfg.Observe(string(f.Key), f.Value)
+		if err != nil {
+			c.respondErr(f, err)
+			return
+		}
+		c.respond(f, memcproto.StatusOK, extras, value, 0)
 	}
 }
 
@@ -349,17 +367,45 @@ func (c *session) handleAdmin(f *memcproto.Frame) {
 // for SET/DELETE, which runs before the response frame is encoded.
 func (c *session) handleKV(f *memcproto.Frame) {
 	t0 := time.Now()
-	defer func() { opHistogram(f.Opcode.String()).ObserveSince(t0) }()
+	result := "ok"
+	defer func() { opHistogram(f.Opcode.String(), result).ObserveSince(t0) }()
+
+	fail := func(err error) {
+		result = kvResult(err)
+		c.respondErr(f, err)
+	}
+
+	// A trace context may ride the extras tail (announced by the
+	// datatype flag): strip and validate it before any extras field is
+	// read, then continue the client's trace so the cache, storage,
+	// and DCP spans this request causes land under the client's span
+	// across the process boundary.
+	tc, bare, err := memcproto.SplitTraceContext(f)
+	if err != nil {
+		fail(err)
+		return
+	}
+	f.Extras = bare
+	ctx, span := trace.Default.Join(c.ctx, "server:"+f.Opcode.String(), tc.TraceID, tc.SpanID, tc.Sampled)
+	if span != nil {
+		span.Annotate("node", string(c.srv.cfg.Node))
+		defer func() {
+			if result != "ok" {
+				span.Annotate("result", result)
+			}
+			span.End()
+		}()
+	}
 
 	conn, err := c.srv.cfg.Cluster.LoopbackConn(c.srv.cfg.Node, c.srv.cfg.Bucket)
 	if err != nil {
-		c.respondErr(f, err)
+		fail(err)
 		return
 	}
-	// The session ctx, not Background: when the client hangs up, its
-	// pending durability/consistency waits unwind instead of holding
-	// vBucket waiters for a response no one will read.
-	ctx := c.ctx
+	// ctx descends from the session ctx, not Background: when the
+	// client hangs up, its pending durability/consistency waits unwind
+	// instead of holding vBucket waiters for a response no one will
+	// read.
 	vbID := int(f.VBucket)
 	key := string(f.Key)
 	nowU, _ := memcproto.Uint64At(f.Extras, 0)
@@ -367,7 +413,7 @@ func (c *session) handleKV(f *memcproto.Frame) {
 
 	okItem := func(it cache.Item, err error) {
 		if err != nil {
-			c.respondErr(f, err)
+			fail(err)
 			return
 		}
 		extras := memcproto.AppendItemMeta(memcproto.AppendEpoch(nil, c.srv.epoch()), itemMetaOf(it))
@@ -375,19 +421,19 @@ func (c *session) handleKV(f *memcproto.Frame) {
 	}
 	okJSON := func(v any, err error) {
 		if err != nil {
-			c.respondErr(f, err)
+			fail(err)
 			return
 		}
 		value, err := json.Marshal(v)
 		if err != nil {
-			c.respondErr(f, err)
+			fail(err)
 			return
 		}
 		c.respond(f, memcproto.StatusOK, memcproto.AppendEpoch(nil, c.srv.epoch()), value, 0)
 	}
 	okEmpty := func(err error) {
 		if err != nil {
-			c.respondErr(f, err)
+			fail(err)
 			return
 		}
 		c.respond(f, memcproto.StatusOK, memcproto.AppendEpoch(nil, c.srv.epoch()), nil, 0)
@@ -402,7 +448,7 @@ func (c *session) handleKV(f *memcproto.Frame) {
 	case memcproto.OpSet:
 		me, err := mutate()
 		if err != nil {
-			c.respondErr(f, err)
+			fail(err)
 			return
 		}
 		okItem(conn.Set(ctx, vbID, key, copyBytes(f.Value), me.Flags, me.Expiry, f.CAS, now, durOf(me)))
@@ -413,7 +459,7 @@ func (c *session) handleKV(f *memcproto.Frame) {
 	case memcproto.OpDelete:
 		me, err := mutate()
 		if err != nil {
-			c.respondErr(f, err)
+			fail(err)
 			return
 		}
 		okItem(conn.Delete(ctx, vbID, key, f.CAS, now, durOf(me)))
@@ -434,19 +480,19 @@ func (c *session) handleKV(f *memcproto.Frame) {
 	case memcproto.OpSubdocGet:
 		path, _, err := memcproto.SplitSubdocBody(sliceFrom(f.Extras, 8), f.Value)
 		if err != nil {
-			c.respondErr(f, err)
+			fail(err)
 			return
 		}
 		okJSON(conn.SubdocGet(ctx, vbID, key, path, now))
 	case memcproto.OpSubdocSet, memcproto.OpSubdocArrAdd:
 		path, payload, err := memcproto.SplitSubdocBody(sliceFrom(f.Extras, 8), f.Value)
 		if err != nil {
-			c.respondErr(f, err)
+			fail(err)
 			return
 		}
 		var v any
 		if err := json.Unmarshal(payload, &v); err != nil {
-			c.respondErr(f, err)
+			fail(err)
 			return
 		}
 		if f.Opcode == memcproto.OpSubdocSet {
@@ -457,31 +503,31 @@ func (c *session) handleKV(f *memcproto.Frame) {
 	case memcproto.OpSubdocRemove:
 		path, _, err := memcproto.SplitSubdocBody(sliceFrom(f.Extras, 8), f.Value)
 		if err != nil {
-			c.respondErr(f, err)
+			fail(err)
 			return
 		}
 		okItem(conn.SubdocRemove(ctx, vbID, key, path, f.CAS, now))
 	case memcproto.OpSubdocCounter:
 		path, _, err := memcproto.SplitSubdocBody(sliceFrom(f.Extras, 8), f.Value)
 		if err != nil {
-			c.respondErr(f, err)
+			fail(err)
 			return
 		}
 		delta, ok := memcproto.Float64At(f.Extras, 10)
 		if !ok {
-			c.respondErr(f, memcproto.ErrBadExtras)
+			fail(memcproto.ErrBadExtras)
 			return
 		}
 		okJSON(conn.SubdocCounter(ctx, vbID, key, path, delta, f.CAS, now))
 	case memcproto.OpXDCRSet:
 		xe, err := memcproto.DecodeXDCRExtras(f.Extras)
 		if err != nil {
-			c.respondErr(f, err)
+			fail(err)
 			return
 		}
 		applied, err := conn.XDCRApply(ctx, vbID, key, copyBytes(f.Value), xe.Deleted, f.CAS, xe.RevSeqno, xe.Flags, xe.Expiry)
 		if err != nil {
-			c.respondErr(f, err)
+			fail(err)
 			return
 		}
 		v := []byte{0}
@@ -584,14 +630,20 @@ func (c *session) pumpStream(opaque uint32, vbID int, name string, fromSeqno uin
 			Seqno: m.Seqno, RevSeqno: m.RevSeqno, Flags: m.Flags,
 			Expiry: m.Expiry, Deleted: m.Deleted, Resident: true,
 		}
-		var extras []byte
-		extras = memcproto.AppendItemMeta(extras, meta)
-		if m.Trace != nil {
-			extras = memcproto.AppendUint64(extras, m.Trace.ID)
+		extras := memcproto.AppendItemMeta(nil, meta)
+		var datatype byte
+		// A sampled mutation propagates its trace context to the
+		// consumer (replica), parented at this node's portion root, so
+		// the replica's apply span lands in the same distributed trace.
+		if id, spanID, ok := m.Trace.RootWire(); ok {
+			extras = memcproto.AppendTraceContext(extras,
+				memcproto.TraceContext{TraceID: id, SpanID: spanID, Sampled: true})
+			datatype = memcproto.DatatypeTraceCtx
 		}
 		c.send(&memcproto.Frame{
 			Magic: memcproto.MagicPush, Opcode: memcproto.OpDCPMutation,
-			VBucket: uint16(vbID), Opaque: opaque, CAS: m.CAS,
+			Datatype: datatype,
+			VBucket:  uint16(vbID), Opaque: opaque, CAS: m.CAS,
 			Extras: extras, Key: []byte(m.Key), Value: m.Value,
 		})
 	}
@@ -604,6 +656,16 @@ func (c *session) pumpStream(opaque uint32, vbID int, name string, fromSeqno uin
 		delete(c.streams, streamKey{vbID, name})
 	}
 	c.mu.Unlock()
+}
+
+// kvResult labels a KV handler outcome for the per-opcode latency
+// histogram: NMVB bounces get their own series so their fast turnaround
+// does not flatter the op's real quantiles.
+func kvResult(err error) string {
+	if errors.Is(err, vbucket.ErrNotMyVBucket) {
+		return "not_my_vbucket"
+	}
+	return "error"
 }
 
 // sliceFrom returns b[off:] or nil when b is shorter.

@@ -40,7 +40,8 @@ func statusOf(err error) memcproto.Status {
 		}
 	}
 	switch {
-	case errors.Is(err, cache.ErrNotLocked), errors.Is(err, cache.ErrNotJSON):
+	case errors.Is(err, cache.ErrNotLocked), errors.Is(err, cache.ErrNotJSON),
+		errors.Is(err, memcproto.ErrBadExtras), errors.Is(err, memcproto.ErrBadLengths):
 		return memcproto.StatusBadRequest
 	case errors.Is(err, core.ErrNodeDown):
 		return memcproto.StatusTmpFail
@@ -105,21 +106,19 @@ func itemFromFrame(key string, f *memcproto.Frame) (cache.Item, error) {
 	return it, nil
 }
 
-// appendTraceTick appends the sampled client trace's ID to request
-// extras, so a trace started at a client is identifiable in the
-// serving process's journal. Requests outside a sampled trace add
-// nothing.
-func appendTraceTick(extras []byte, ctx context.Context) []byte {
-	if t := trace.TraceFromContext(ctx); t != nil {
-		return memcproto.AppendUint64(extras, t.ID)
+// injectTraceCtx appends the caller's trace context (trace ID +
+// parent span wire ID + sampled flag) to request extras when ctx
+// carries a sampled span, returning the extras and the datatype flag
+// announcing the field. Requests outside a sampled trace add nothing
+// and keep datatype 0, so the disabled path is wire-identical to
+// older peers.
+func injectTraceCtx(extras []byte, ctx context.Context) ([]byte, byte) {
+	traceID, spanID, ok := trace.FromContext(ctx).WireContext()
+	if !ok {
+		return extras, 0
 	}
-	return extras
-}
-
-// traceTickAt reads the optional trailing trace ID after an opcode's
-// fixed-length extras.
-func traceTickAt(extras []byte, fixed int) (uint64, bool) {
-	return memcproto.Uint64At(extras, fixed)
+	tc := memcproto.TraceContext{TraceID: traceID, SpanID: spanID, Sampled: true}
+	return memcproto.AppendTraceContext(extras, tc), memcproto.DatatypeTraceCtx
 }
 
 // decodeMap parses a fat not-my-vbucket value (or cluster-map
