@@ -1,7 +1,7 @@
 # Tier-1 gate plus the repo-specific static analyzer, formatting,
 # full-tree race detection, and fuzz smoke runs.
 
-.PHONY: verify build test race vet fmtcheck couchvet fuzz-smoke cluster-test trace-demo health-demo
+.PHONY: verify build test race vet fmtcheck couchvet fuzz-smoke bench-smoke cluster-test trace-demo health-demo
 
 verify: fmtcheck vet build test couchvet race
 
@@ -52,6 +52,15 @@ cluster-test:
 # Each fuzz target gets a short bounded run; any crasher fails the
 # target. Lengthen with FUZZTIME=1m etc. for local soak runs.
 FUZZTIME ?= 10s
+
+# Hot-path microbenchmarks with allocation reporting. Not a perf gate
+# (CI machines are too noisy for ns/op thresholds) — the allocs/op
+# column is the thing to watch, and the hard allocation limits live in
+# the TestXxxZeroAlloc / TestXxxAllocBudget gates run by `make test`.
+bench-smoke:
+	go test -run='^$$' -bench='BenchmarkGetResident|BenchmarkSetOverwrite|BenchmarkGetParallel' -benchmem -benchtime=1000x ./internal/cache
+	go test -run='^$$' -bench='BenchmarkFrameAppend' -benchmem -benchtime=1000x ./internal/memcproto
+	go test -run='^$$' -bench='BenchmarkSetPublish' -benchmem -benchtime=1000x ./internal/vbucket
 
 fuzz-smoke:
 	go test -run='^$$' -fuzz=FuzzCollate -fuzztime=$(FUZZTIME) ./internal/value

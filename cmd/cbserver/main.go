@@ -58,6 +58,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"time"
 
 	"couchgo/internal/cmap"
@@ -91,8 +92,13 @@ func main() {
 		advertise   = flag.String("advertise", "", "KV address peers should dial (default: the bound -kv-addr)")
 		kvHeartbeat = flag.Duration("kv-heartbeat", 500*time.Millisecond, "member heartbeat interval in networked cluster mode")
 		kvFailover  = flag.Duration("kv-failover-after", 0, "heartbeat silence before the coordinator fails a member over (default 5 heartbeats)")
+		gcPercent   = flag.Int("gc-percent", 300, "Go GC target percentage (GOGC); a memory-first cache holds a large stable resident set that each GC cycle rescans, so the default trades headroom for fewer cycles. The item pager, not the GC, bounds cache memory")
 	)
 	flag.Parse()
+
+	if *gcPercent > 0 {
+		debug.SetGCPercent(*gcPercent)
+	}
 
 	if *kvAddr != "" && *nodes != 1 {
 		log.Printf("networked cluster mode: each process runs one local node (-nodes %d ignored)", *nodes)

@@ -99,6 +99,7 @@ func render(s snapshot, maxEvents int) string {
 
 	// --- KV / query latencies from the registry snapshot ---
 	if m, ok := s.Detail["metrics"].(map[string]any); ok {
+		b.WriteString(renderHotPath(m))
 		b.WriteString(renderLatencies(m))
 	}
 
@@ -126,6 +127,65 @@ func render(s snapshot, maxEvents int) string {
 			fmt.Fprintf(&b, " [%s]", node)
 		}
 		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// renderHotPath surfaces the write-path efficiency counters: group
+// commit (how many appends each fsync covered), the disk-write queue
+// backlog, and wire write coalescing (frames per socket syscall). A
+// healthy loaded node shows coalesced appends > 1 and frames/write
+// climbing with concurrency; a deep flush queue means the disk is
+// behind.
+func renderHotPath(m map[string]any) string {
+	famSum := func(fam string) (float64, bool) {
+		series, ok := m[fam].(map[string]any)
+		if !ok || len(series) == 0 {
+			return 0, false
+		}
+		var sum float64
+		for _, v := range series {
+			sum += num(v)
+		}
+		return sum, true
+	}
+	famHist := func(fam string) (map[string]any, bool) {
+		series, ok := m[fam].(map[string]any)
+		if !ok {
+			return nil, false
+		}
+		for _, v := range series {
+			if h, ok := v.(map[string]any); ok && num(h["count"]) > 0 {
+				return h, true
+			}
+		}
+		return nil, false
+	}
+
+	batches, okB := famSum("couchgo_storage_group_commit_batches")
+	riders, okR := famSum("couchgo_storage_group_commit_riders_total")
+	queue, okQ := famSum("couchgo_flusher_queue_depth")
+	coal, okC := famHist("couchgo_storage_group_commit_coalesced_appends")
+	frames, okF := famHist("couchgo_transport_frames_per_syscall")
+	if !okB && !okR && !okQ && !okC && !okF {
+		return ""
+	}
+
+	var b strings.Builder
+	b.WriteString("\nHOT PATH\n")
+	if okB || okR {
+		fmt.Fprintf(&b, "  group commit   %8.0f fsyncs   %8.0f riders", batches, riders)
+		if okC {
+			fmt.Fprintf(&b, "   appends/fsync mean %.1f max %.0f", num(coal["mean"]), num(coal["max"]))
+		}
+		b.WriteString("\n")
+	}
+	if okQ {
+		fmt.Fprintf(&b, "  flush queue    %8.0f entries\n", queue)
+	}
+	if okF {
+		fmt.Fprintf(&b, "  wire coalesce  %8.0f writes   frames/write mean %.1f p99 %.0f max %.0f\n",
+			num(frames["count"]), num(frames["mean"]), num(frames["p99"]), num(frames["max"]))
 	}
 	return b.String()
 }

@@ -47,6 +47,15 @@ func fabricatedSnapshot() snapshot {
 						"count": 12.0, "p50": 0.03, "p95": 0.2, "p99": 1.5, "max": 2.5,
 					},
 				},
+				"couchgo_storage_group_commit_batches":      map[string]any{"": 120.0},
+				"couchgo_storage_group_commit_riders_total": map[string]any{"": 480.0},
+				"couchgo_storage_group_commit_coalesced_appends": map[string]any{
+					"": map[string]any{"count": 120.0, "mean": 5.0, "max": 32.0},
+				},
+				"couchgo_flusher_queue_depth": map[string]any{"": 7.0},
+				"couchgo_transport_frames_per_syscall": map[string]any{
+					"": map[string]any{"count": 9000.0, "mean": 2.4, "p99": 16.0, "max": 64.0},
+				},
 			},
 		},
 		Health: map[string]any{
@@ -82,6 +91,12 @@ func TestRenderFullFrame(t *testing.T) {
 		`op="set"`,
 		"200µs", // p50 0.0002s
 		"QUERY LATENCY",
+		"HOT PATH",
+		"120 fsyncs",
+		"480 riders",
+		"appends/fsync mean 5.0 max 32",
+		"flush queue           7 entries",
+		"frames/write mean 2.4 p99 16 max 64",
 		"EVENTS",
 		"CRITICAL",
 		"health check node:node1 -> critical [node0]",

@@ -21,6 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime/debug"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -44,8 +47,25 @@ func main() {
 		doTrace  = flag.Int("trace", 0, "sample 1 in N operations for end-to-end tracing and print the slowest trace per phase (0 disables)")
 		server   = flag.String("server", "", "KV wire address (host:port) of a running cbserver; drives the workload over TCP through the smart client instead of an in-process cluster (workloads a-d)")
 		bucket   = flag.String("bucket", "", `bucket name (default "ycsb" in-process, "default" with -server)`)
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (client-side cost accounting)")
+		gcPct    = flag.Int("gc-percent", 300, "Go GC target percentage for the client process; on a shared machine the driver's GC cycles steal CPU from the system under test")
 	)
 	flag.Parse()
+
+	if *gcPct > 0 {
+		debug.SetGCPercent(*gcPct)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *doTrace > 0 {
 		trace.Default.SetRate(*doTrace)

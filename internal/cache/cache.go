@@ -11,6 +11,14 @@
 // Concurrency control follows the paper: CAS (compare-and-swap)
 // optimistic locking for the common case, plus a stricter GetAndLock /
 // Unlock hard lock with a timeout "to avoid deadlocks" (§3.1.1).
+//
+// The table is hash-striped (DESIGN.md §10): keys spread over
+// numStripes independently locked sub-tables, so readers and writers
+// of different keys never contend, and a resident-hit Get touches one
+// stripe lock and nothing else. Mutations additionally serialize
+// through a short sequencing section (seqMu) that assigns the seqno
+// and emits the mutation to the observer — the pair is atomic, which
+// is what guarantees observers see mutations in seqno order.
 package cache
 
 import (
@@ -115,24 +123,55 @@ func (it *Item) snapshot() Item {
 	return cp
 }
 
-// HashTable is the per-vBucket document table. All operations take the
-// current time explicitly so expiry and lock behaviour is testable.
-type HashTable struct {
+// numStripes is the sub-table fan-out per vBucket. Must be a power of
+// two. 16 stripes × up to 1024 vBuckets keeps per-stripe maps small
+// while making same-table lock collisions rare.
+const numStripes = 16
+
+// stripe is one independently locked sub-table. Padded so adjacent
+// stripes' mutexes do not share a cache line.
+type stripe struct {
 	mu    sync.Mutex
 	items map[string]*Item
+	_     [40]byte
+}
 
-	// nextSeqno is the vBucket's mutation clock. "When a document is
-	// written, a sequence number is generated and associated with the
-	// mutation. The maximum sequence number per vBucket is also
-	// tracked." (§4.2)
-	nextSeqno uint64
+// HashTable is the per-vBucket document table. All operations take the
+// current time explicitly so expiry and lock behaviour is testable.
+//
+// Locking (DESIGN.md §10): each key belongs to exactly one stripe;
+// operations lock that stripe only. Mutations, while still holding the
+// stripe lock, enter seqMu to (a) draw the next seqno, (b) install the
+// new version, and (c) emit it to the observer — so observation order
+// equals seqno order. The only lock order is stripe.mu → seqMu; no
+// path acquires a stripe while holding seqMu or another stripe, except
+// the consistent-snapshot scan, which takes all stripes in ascending
+// index order and never touches seqMu.
+type HashTable struct {
+	stripes [numStripes]stripe
 
-	memUsed   int64
-	itemCount int64
-	tombCount int64
+	// seqMu serializes seqno assignment + observer emission. nextSeqno
+	// is the vBucket's mutation clock: "When a document is written, a
+	// sequence number is generated and associated with the mutation.
+	// The maximum sequence number per vBucket is also tracked." (§4.2)
+	// It is only Add-ed under seqMu (CAS-max elsewhere), and read
+	// lock-free by HighSeqno.
+	seqMu     sync.Mutex
+	nextSeqno atomic.Uint64
 
-	// onMutate, when set, observes every applied mutation while the
-	// table lock is held, guaranteeing the observer sees mutations in
+	// Table accounting, maintained atomically so Stats and the metrics
+	// pollers never contend with the KV path.
+	memUsed     atomic.Int64
+	itemCount   atomic.Int64
+	tombCount   atomic.Int64
+	nonResident atomic.Int64
+	// expiring counts entries with a nonzero Expiry. The proactive
+	// expiry pager scans a table only when this is nonzero, so
+	// TTL-free workloads never pay for the periodic full-table scan.
+	expiring atomic.Int64
+
+	// onMutate, when set, observes every applied mutation inside the
+	// sequencing section, guaranteeing the observer sees mutations in
 	// seqno order. The vBucket layer uses this to feed the disk-write
 	// queue and the DCP producer atomically with the cache write. The
 	// context is the mutating caller's (it carries the active trace
@@ -143,27 +182,38 @@ type HashTable struct {
 
 // NewHashTable creates an empty table.
 func NewHashTable() *HashTable {
-	return &HashTable{items: make(map[string]*Item)}
+	h := &HashTable{}
+	for i := range h.stripes {
+		h.stripes[i].items = make(map[string]*Item)
+	}
+	return h
+}
+
+// stripeOf picks key's stripe with inline FNV-1a (no allocation).
+func (h *HashTable) stripeOf(key string) *stripe {
+	hash := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		hash ^= uint32(key[i])
+		hash *= 16777619
+	}
+	return &h.stripes[hash&(numStripes-1)]
 }
 
 // OnMutate registers the ordered mutation observer. Must be called
 // before the table receives traffic.
 func (h *HashTable) OnMutate(fn func(context.Context, Item)) { h.onMutate = fn }
 
-// HighSeqno returns the max sequence number assigned so far.
-func (h *HashTable) HighSeqno() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.nextSeqno
-}
+// HighSeqno returns the max sequence number assigned so far. Lock-free.
+func (h *HashTable) HighSeqno() uint64 { return h.nextSeqno.Load() }
 
 // SetHighSeqno force-sets the seqno clock. Used when a replica is
 // promoted to active so the new active continues the stream.
 func (h *HashTable) SetHighSeqno(s uint64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if s > h.nextSeqno {
-		h.nextSeqno = s
+	for {
+		cur := h.nextSeqno.Load()
+		if cur >= s || h.nextSeqno.CompareAndSwap(cur, s) {
+			return
+		}
 	}
 }
 
@@ -176,22 +226,15 @@ type Stats struct {
 	NonResident int64
 }
 
-// Stats returns a snapshot of the table counters.
+// Stats returns a snapshot of the table counters. Served entirely from
+// atomics: metrics polling never takes a table lock.
 func (h *HashTable) Stats() Stats {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	var nonRes int64
-	for _, it := range h.items {
-		if !it.Deleted && !it.Resident {
-			nonRes++
-		}
-	}
 	return Stats{
-		Items:       h.itemCount,
-		Tombstones:  h.tombCount,
-		MemUsed:     h.memUsed,
-		HighSeqno:   h.nextSeqno,
-		NonResident: nonRes,
+		Items:       h.itemCount.Load(),
+		Tombstones:  h.tombCount.Load(),
+		MemUsed:     h.memUsed.Load(),
+		HighSeqno:   h.nextSeqno.Load(),
+		NonResident: h.nonResident.Load(),
 	}
 }
 
@@ -199,31 +242,39 @@ func (h *HashTable) Stats() Stats {
 // (the deletion gets a seqno and flows to observers like any mutation).
 // A resident=false item is returned with ErrValueEvicted; the caller
 // (the vBucket layer) fetches the value from storage and restores it.
+// A resident hit allocates nothing.
 func (h *HashTable) Get(key string, now int64) (Item, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	it, ok := h.items[key]
+	st := h.stripeOf(key)
+	st.mu.Lock()
+	it, ok := st.items[key]
 	if !ok || it.Deleted {
+		st.mu.Unlock()
 		return Item{}, ErrKeyNotFound
 	}
 	if it.expired(now) {
 		mExpirations.Inc()
-		h.deleteLocked(context.Background(), it)
+		h.deleteStriped(context.Background(), st, it)
+		st.mu.Unlock()
 		return Item{}, ErrKeyNotFound
 	}
 	it.nru = 0
 	if !it.Resident {
-		return it.snapshot(), ErrValueEvicted
+		snap := it.snapshot()
+		st.mu.Unlock()
+		return snap, ErrValueEvicted
 	}
-	return it.snapshot(), nil
+	snap := it.snapshot()
+	st.mu.Unlock()
+	return snap, nil
 }
 
 // GetMeta returns the item metadata even for tombstones. Used by XDCR
 // conflict resolution and durability observers.
 func (h *HashTable) GetMeta(key string) (Item, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	it, ok := h.items[key]
+	st := h.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	it, ok := st.items[key]
 	if !ok {
 		return Item{}, ErrKeyNotFound
 	}
@@ -235,23 +286,26 @@ func (h *HashTable) GetMeta(key string) (Item, error) {
 // check this ID against the current ID in the server", §3.1.1).
 // Writing to a hard-locked document requires the lock-holder's CAS.
 func (h *HashTable) Set(ctx context.Context, key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64) (Item, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.storeLocked(ctx, key, value, flags, expiry, casCheck, now, storeSet)
+	st := h.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return h.storeStriped(ctx, st, key, value, flags, expiry, casCheck, now, storeSet)
 }
 
 // Add stores value only if the key does not already exist.
 func (h *HashTable) Add(ctx context.Context, key string, value []byte, flags uint32, expiry int64, now int64) (Item, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.storeLocked(ctx, key, value, flags, expiry, 0, now, storeAdd)
+	st := h.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return h.storeStriped(ctx, st, key, value, flags, expiry, 0, now, storeAdd)
 }
 
 // Replace stores value only if the key already exists.
 func (h *HashTable) Replace(ctx context.Context, key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64) (Item, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.storeLocked(ctx, key, value, flags, expiry, casCheck, now, storeReplace)
+	st := h.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return h.storeStriped(ctx, st, key, value, flags, expiry, casCheck, now, storeReplace)
 }
 
 type storeMode int
@@ -262,15 +316,16 @@ const (
 	storeReplace
 )
 
-func (h *HashTable) storeLocked(ctx context.Context, key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64, mode storeMode) (Item, error) {
-	it, exists := h.items[key]
+// storeStriped runs under st's lock (st owns key).
+func (h *HashTable) storeStriped(ctx context.Context, st *stripe, key string, value []byte, flags uint32, expiry int64, casCheck uint64, now int64, mode storeMode) (Item, error) {
+	it, exists := st.items[key]
 	if exists && (it.Deleted || it.expired(now)) {
 		if it.expired(now) && !it.Deleted {
 			mExpirations.Inc()
-			h.deleteLocked(ctx, it)
+			h.deleteStriped(ctx, st, it)
 		}
 		exists = false
-		it = h.items[key] // tombstone (possibly just created)
+		it = st.items[key] // tombstone (possibly just created)
 	}
 	switch mode {
 	case storeAdd:
@@ -301,30 +356,29 @@ func (h *HashTable) storeLocked(ctx context.Context, key string, value []byte, f
 	if it != nil {
 		revSeqno = it.RevSeqno + 1
 	}
-	h.nextSeqno++
 	nit := &Item{
 		Key:      key,
 		Value:    value,
 		CAS:      NextCAS(),
 		RevSeqno: revSeqno,
-		Seqno:    h.nextSeqno,
 		Flags:    flags,
 		Expiry:   expiry,
 		Resident: true,
 	}
-	h.replaceLocked(ctx, key, it, nit)
+	h.commitStriped(ctx, st, key, it, nit)
 	return nit.snapshot(), nil
 }
 
 // Delete tombstones the document. casCheck semantics match Set.
 func (h *HashTable) Delete(ctx context.Context, key string, casCheck uint64, now int64) (Item, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	it, ok := h.items[key]
+	st := h.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	it, ok := st.items[key]
 	if !ok || it.Deleted || it.expired(now) {
 		if ok && it.expired(now) && !it.Deleted {
 			mExpirations.Inc()
-			h.deleteLocked(ctx, it)
+			h.deleteStriped(ctx, st, it)
 		}
 		return Item{}, ErrKeyNotFound
 	}
@@ -334,43 +388,69 @@ func (h *HashTable) Delete(ctx context.Context, key string, casCheck uint64, now
 	if casCheck != 0 && it.CAS != casCheck {
 		return Item{}, ErrCASMismatch
 	}
-	return h.deleteLocked(ctx, it), nil
+	return h.deleteStriped(ctx, st, it), nil
 }
 
-// deleteLocked tombstones it and notifies observers.
-func (h *HashTable) deleteLocked(ctx context.Context, it *Item) Item {
-	h.nextSeqno++
+// deleteStriped tombstones it and notifies observers. Runs under the
+// stripe lock.
+func (h *HashTable) deleteStriped(ctx context.Context, st *stripe, it *Item) Item {
 	nit := &Item{
 		Key:      it.Key,
 		CAS:      NextCAS(),
 		RevSeqno: it.RevSeqno + 1,
-		Seqno:    h.nextSeqno,
 		Deleted:  true,
 	}
-	h.replaceLocked(ctx, it.Key, it, nit)
+	h.commitStriped(ctx, st, it.Key, it, nit)
 	return nit.snapshot()
 }
 
-// replaceLocked swaps old (may be nil) for nit under key, maintaining
-// accounting, and emits the mutation to the observer in seqno order.
-func (h *HashTable) replaceLocked(ctx context.Context, key string, old, nit *Item) {
-	if old != nil {
-		h.memUsed -= old.memSize()
-		if old.Deleted {
-			h.tombCount--
-		} else {
-			h.itemCount--
-		}
-	}
-	h.items[key] = nit
-	h.memUsed += nit.memSize()
-	if nit.Deleted {
-		h.tombCount++
-	} else {
-		h.itemCount++
-	}
+// commitStriped is the sequencing section: holding st's lock, it
+// enters seqMu to assign nit's seqno, install it, and emit it to the
+// observer in one atomic step. Because every mutation passes through
+// here and seqno draw + emission happen under the same seqMu hold,
+// the observer's callback order is exactly seqno order.
+//
+// Lock order: stripe.mu (held by caller) → seqMu. Nothing acquires a
+// stripe lock while holding seqMu, so the order is acyclic.
+func (h *HashTable) commitStriped(ctx context.Context, st *stripe, key string, old, nit *Item) {
+	h.seqMu.Lock()
+	nit.Seqno = h.nextSeqno.Add(1)
+	h.installStriped(st, key, old, nit)
 	if h.onMutate != nil {
 		h.onMutate(ctx, nit.snapshot())
+	}
+	h.seqMu.Unlock()
+}
+
+// installStriped swaps old (may be nil) for nit under key, maintaining
+// the atomic accounting. Runs under the stripe lock.
+func (h *HashTable) installStriped(st *stripe, key string, old, nit *Item) {
+	if old != nil {
+		h.memUsed.Add(-old.memSize())
+		if old.Expiry != 0 {
+			h.expiring.Add(-1)
+		}
+		if old.Deleted {
+			h.tombCount.Add(-1)
+		} else {
+			h.itemCount.Add(-1)
+			if !old.Resident {
+				h.nonResident.Add(-1)
+			}
+		}
+	}
+	st.items[key] = nit
+	h.memUsed.Add(nit.memSize())
+	if nit.Expiry != 0 {
+		h.expiring.Add(1)
+	}
+	if nit.Deleted {
+		h.tombCount.Add(1)
+	} else {
+		h.itemCount.Add(1)
+		if !nit.Resident {
+			h.nonResident.Add(1)
+		}
 	}
 }
 
@@ -386,9 +466,10 @@ func (h *HashTable) Prepend(ctx context.Context, key string, data []byte, casChe
 }
 
 func (h *HashTable) concat(ctx context.Context, key string, data []byte, casCheck uint64, now int64, front bool) (Item, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	it, exists := h.items[key]
+	st := h.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	it, exists := st.items[key]
 	if !exists || it.Deleted || it.expired(now) {
 		return Item{}, ErrKeyNotFound
 	}
@@ -401,14 +482,15 @@ func (h *HashTable) concat(ctx context.Context, key string, data []byte, casChec
 	} else {
 		nv = append(append([]byte{}, it.Value...), data...)
 	}
-	return h.storeLocked(ctx, key, nv, it.Flags, it.Expiry, casCheck, now, storeSet)
+	return h.storeStriped(ctx, st, key, nv, it.Flags, it.Expiry, casCheck, now, storeSet)
 }
 
 // Touch updates the expiry without changing the value.
 func (h *HashTable) Touch(key string, expiry int64, now int64) (Item, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	it, ok := h.items[key]
+	st := h.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	it, ok := st.items[key]
 	if !ok || it.Deleted || it.expired(now) {
 		return Item{}, ErrKeyNotFound
 	}
@@ -424,9 +506,10 @@ func (h *HashTable) Touch(key string, expiry int64, now int64) (Item, error) {
 // timeout to avoid deadlocks", §3.1.1). The returned CAS is the lock
 // token: a Set/Delete/Unlock with it releases the lock.
 func (h *HashTable) GetAndLock(key string, lockSeconds int64, now int64) (Item, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	it, ok := h.items[key]
+	st := h.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	it, ok := st.items[key]
 	if !ok || it.Deleted || it.expired(now) {
 		return Item{}, ErrKeyNotFound
 	}
@@ -443,9 +526,10 @@ func (h *HashTable) GetAndLock(key string, lockSeconds int64, now int64) (Item, 
 
 // Unlock releases a hard lock given the lock-token CAS.
 func (h *HashTable) Unlock(key string, cas uint64, now int64) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	it, ok := h.items[key]
+	st := h.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	it, ok := st.items[key]
 	if !ok || it.Deleted {
 		return ErrKeyNotFound
 	}
@@ -465,15 +549,22 @@ func (h *HashTable) Unlock(key string, cas uint64, now int64) error {
 // cover the applied seqno.
 func (h *HashTable) ApplyMeta(ctx context.Context, it Item) {
 	BumpCAS(it.CAS)
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	old := h.items[it.Key]
+	st := h.stripeOf(it.Key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	old := st.items[it.Key]
 	it.Resident = !it.Deleted
 	cp := it
-	if it.Seqno > h.nextSeqno {
-		h.nextSeqno = it.Seqno
+	// The applied mutation keeps its origin seqno; the emission still
+	// rides the sequencing section so observer order and clock updates
+	// stay atomic with the install.
+	h.seqMu.Lock()
+	h.SetHighSeqno(cp.Seqno)
+	h.installStriped(st, it.Key, old, &cp)
+	if h.onMutate != nil {
+		h.onMutate(ctx, cp.snapshot())
 	}
-	h.replaceLocked(ctx, it.Key, old, &cp)
+	h.seqMu.Unlock()
 }
 
 // ApplyRemote applies a cross-datacenter (XDCR) mutation using the
@@ -487,9 +578,10 @@ func (h *HashTable) ApplyMeta(ctx context.Context, it Item) {
 // revision won.
 func (h *HashTable) ApplyRemote(ctx context.Context, key string, value []byte, deleted bool, cas, revSeqno uint64, flags uint32, expiry int64) bool {
 	BumpCAS(cas)
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	old := h.items[key]
+	st := h.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	old := st.items[key]
 	if old != nil {
 		if revSeqno < old.RevSeqno {
 			return false
@@ -498,19 +590,17 @@ func (h *HashTable) ApplyRemote(ctx context.Context, key string, value []byte, d
 			return false
 		}
 	}
-	h.nextSeqno++
 	nit := &Item{
 		Key:      key,
 		Value:    value,
 		CAS:      cas,
 		RevSeqno: revSeqno,
-		Seqno:    h.nextSeqno,
 		Flags:    flags,
 		Expiry:   expiry,
 		Deleted:  deleted,
 		Resident: !deleted,
 	}
-	h.replaceLocked(ctx, key, old, nit)
+	h.commitStriped(ctx, st, key, old, nit)
 	return true
 }
 
@@ -518,16 +608,18 @@ func (h *HashTable) ApplyRemote(ctx context.Context, key string, value []byte, d
 // non-resident item. It is a no-op if the document changed meanwhile
 // (compared by CAS).
 func (h *HashTable) RestoreValue(key string, cas uint64, value []byte) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	it, ok := h.items[key]
+	st := h.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	it, ok := st.items[key]
 	if !ok || it.Deleted || it.Resident || it.CAS != cas {
 		return
 	}
-	h.memUsed -= it.memSize()
+	h.memUsed.Add(-it.memSize())
 	it.Value = value
 	it.Resident = true
-	h.memUsed += it.memSize()
+	h.memUsed.Add(it.memSize())
+	h.nonResident.Add(-1)
 }
 
 // Restore inserts an item recovered from the storage engine without
@@ -537,22 +629,24 @@ func (h *HashTable) RestoreValue(key string, cas uint64, value []byte) {
 // won), Restore is a no-op — the in-memory copy is always newer.
 func (h *HashTable) Restore(it Item) {
 	BumpCAS(it.CAS)
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if _, exists := h.items[it.Key]; exists {
+	st := h.stripeOf(it.Key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, exists := st.items[it.Key]; exists {
 		return
 	}
 	it.Resident = !it.Deleted
 	cp := it
-	if it.Seqno > h.nextSeqno {
-		h.nextSeqno = it.Seqno
+	h.SetHighSeqno(cp.Seqno)
+	st.items[it.Key] = &cp
+	h.memUsed.Add(cp.memSize())
+	if cp.Expiry != 0 {
+		h.expiring.Add(1)
 	}
-	h.items[it.Key] = &cp
-	h.memUsed += cp.memSize()
 	if cp.Deleted {
-		h.tombCount++
+		h.tombCount.Add(1)
 	} else {
-		h.itemCount++
+		h.itemCount.Add(1)
 	}
 }
 
@@ -561,18 +655,25 @@ func (h *HashTable) Restore(it Item) {
 // document must be recoverable from the storage engine (its seqno at
 // or below the persisted watermark). Reports whether it was evicted.
 func (h *HashTable) EvictItem(key string, persistedSeqno uint64, now int64) bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	it, ok := h.items[key]
+	st := h.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	it, ok := st.items[key]
 	if !ok || it.locked(now) || it.Seqno > persistedSeqno {
 		return false
 	}
-	delete(h.items, key)
-	h.memUsed -= it.memSize()
+	delete(st.items, key)
+	h.memUsed.Add(-it.memSize())
+	if it.Expiry != 0 {
+		h.expiring.Add(-1)
+	}
 	if it.Deleted {
-		h.tombCount--
+		h.tombCount.Add(-1)
 	} else {
-		h.itemCount--
+		h.itemCount.Add(-1)
+		if !it.Resident {
+			h.nonResident.Add(-1)
+		}
 	}
 	mEvictionsFull.Inc()
 	return true
@@ -581,9 +682,10 @@ func (h *HashTable) EvictItem(key string, persistedSeqno uint64, now int64) bool
 // EvictValue drops the value (keeping key and metadata) if the document
 // is clean per the caller's persistence check. Returns bytes freed.
 func (h *HashTable) EvictValue(key string) int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	it, ok := h.items[key]
+	st := h.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	it, ok := st.items[key]
 	if !ok || it.Deleted || !it.Resident {
 		return 0
 	}
@@ -591,32 +693,60 @@ func (h *HashTable) EvictValue(key string) int64 {
 	it.Value = nil
 	it.Resident = false
 	freed := before - it.memSize()
-	h.memUsed -= freed
+	h.memUsed.Add(-freed)
+	h.nonResident.Add(1)
 	mEvictionsVal.Inc()
 	return freed
 }
 
 // ForEach calls fn with a snapshot of every live item (no tombstones),
-// in unspecified order. fn must not call back into the table.
+// in unspecified order. fn must not call back into the table. The scan
+// is stripe-incremental: each stripe is locked only while it is
+// copied, so concurrent operations on other stripes proceed — but the
+// view is not a single point in time across stripes.
 func (h *HashTable) ForEach(fn func(Item) bool) {
-	h.forEach(false, fn)
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.mu.Lock()
+		snap := make([]Item, 0, len(st.items))
+		for _, it := range st.items {
+			if !it.Deleted {
+				snap = append(snap, it.snapshot())
+			}
+		}
+		st.mu.Unlock()
+		for _, it := range snap {
+			if !fn(it) {
+				return
+			}
+		}
+	}
 }
 
-// ForEachAll is ForEach including tombstones. DCP backfill snapshots
-// need deletions so consumers can drop stale state.
+// ForEachAll is ForEach including tombstones, with a consistent
+// point-in-time view: all stripes are locked (in ascending index
+// order) for the duration of the copy, exactly like the pre-striping
+// full-table lock. DCP backfill snapshots need this atomicity — the
+// snapshot must contain every mutation with seqno ≤ the max seqno it
+// observes, or the stream would dedup (drop) a live mutation.
 func (h *HashTable) ForEachAll(fn func(Item) bool) {
-	h.forEach(true, fn)
-}
-
-func (h *HashTable) forEach(tombstones bool, fn func(Item) bool) {
-	h.mu.Lock()
-	snap := make([]Item, 0, len(h.items))
-	for _, it := range h.items {
-		if tombstones || !it.Deleted {
+	var snap []Item
+	for i := range h.stripes {
+		h.stripes[i].mu.Lock()
+	}
+	total := 0
+	for i := range h.stripes {
+		total += len(h.stripes[i].items)
+	}
+	snap = make([]Item, 0, total)
+	for i := range h.stripes {
+		for _, it := range h.stripes[i].items {
 			snap = append(snap, it.snapshot())
 		}
 	}
-	h.mu.Unlock()
+	for i := len(h.stripes) - 1; i >= 0; i-- {
+		h.stripes[i].mu.Unlock()
+	}
 	for _, it := range snap {
 		if !fn(it) {
 			return
@@ -629,25 +759,30 @@ func (h *HashTable) forEach(tombstones bool, fn func(Item) bool) {
 // evicting dirty state. In value-eviction mode only live resident
 // documents qualify; in full mode any clean item (including
 // already-value-evicted ones and tombstones) may be removed entirely.
+// The pass is stripe-incremental so it never stalls the whole table —
+// the pager is a background janitor, not a consistency point.
 func (h *HashTable) pagerPass(now int64, persistedSeqno uint64, full bool) []string {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	var victims []string
-	for _, it := range h.items {
-		if !full && (it.Deleted || !it.Resident) {
-			continue
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.mu.Lock()
+		for _, it := range st.items {
+			if !full && (it.Deleted || !it.Resident) {
+				continue
+			}
+			if it.locked(now) {
+				continue
+			}
+			if it.Seqno > persistedSeqno {
+				continue // dirty: not yet on disk, must stay
+			}
+			if it.nru >= 2 {
+				victims = append(victims, it.Key)
+			} else {
+				it.nru++
+			}
 		}
-		if it.locked(now) {
-			continue
-		}
-		if it.Seqno > persistedSeqno {
-			continue // dirty: not yet on disk, must stay
-		}
-		if it.nru >= 2 {
-			victims = append(victims, it.Key)
-		} else {
-			it.nru++
-		}
+		st.mu.Unlock()
 	}
 	return victims
 }

@@ -125,6 +125,11 @@ func (p *Pager) run(tables []*HashTable, persistedSeqno []uint64, now int64) int
 func ExpiryPager(tables []*HashTable, now int64) int {
 	reaped := 0
 	for _, t := range tables {
+		// The common case — no document in the table carries a TTL —
+		// must not cost a full-table scan every pager tick.
+		if t.expiring.Load() == 0 {
+			continue
+		}
 		var expired []string
 		t.ForEach(func(it Item) bool {
 			if it.Expiry != 0 && now >= it.Expiry {

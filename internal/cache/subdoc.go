@@ -27,9 +27,10 @@ func (h *HashTable) SubdocGet(key, path string, now int64) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrPathInvalid, path)
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	it, exists := h.items[key]
+	st := h.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	it, exists := st.items[key]
 	if !exists || it.Deleted || it.expired(now) {
 		return nil, ErrKeyNotFound
 	}
@@ -48,13 +49,15 @@ func (h *HashTable) SubdocGet(key, path string, now int64) (any, error) {
 	return v, nil
 }
 
-// subdocMutate applies fn to the parsed document under the table lock
-// and stores the result through the normal mutation path (CAS checks,
-// lock checks, rev/seqno assignment, observer notification).
+// subdocMutate applies fn to the parsed document under the key's
+// stripe lock and stores the result through the normal mutation path
+// (CAS checks, lock checks, rev/seqno assignment, observer
+// notification).
 func (h *HashTable) subdocMutate(ctx context.Context, key string, casCheck uint64, now int64, fn func(doc any) (any, error)) (Item, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	it, exists := h.items[key]
+	st := h.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	it, exists := st.items[key]
 	if !exists || it.Deleted || it.expired(now) {
 		return Item{}, ErrKeyNotFound
 	}
@@ -69,7 +72,7 @@ func (h *HashTable) subdocMutate(ctx context.Context, key string, casCheck uint6
 	if err != nil {
 		return Item{}, err
 	}
-	return h.storeLocked(ctx, key, value.Marshal(nd), it.Flags, it.Expiry, casCheck, now, storeSet)
+	return h.storeStriped(ctx, st, key, value.Marshal(nd), it.Flags, it.Expiry, casCheck, now, storeSet)
 }
 
 // SubdocSet writes v at path, creating intermediate objects as needed.

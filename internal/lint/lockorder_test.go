@@ -171,6 +171,92 @@ func transfer(x, y *Account) {
 	x.mu.Unlock()
 }
 `},
+		{name: "striped_commit_clean", src: `
+package a
+
+import "sync"
+
+// The striped-cache shape: N bucket stripes each with its own lock,
+// plus one table-level sequencing lock. Every writer acquires its
+// stripe first, then enters seqMu via the commit helper; readers take
+// only a stripe. The acquisition graph has the single edge
+// stripe.mu -> seqMu and is acyclic.
+
+type stripe struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+type Table struct {
+	seqMu   sync.Mutex
+	seqno   int
+	stripes [4]stripe
+}
+
+func (t *Table) commit(st *stripe, k string) {
+	t.seqMu.Lock()
+	t.seqno++
+	st.m[k] = t.seqno
+	t.seqMu.Unlock()
+}
+
+func (t *Table) Set(k string) {
+	st := &t.stripes[len(k)%4]
+	st.mu.Lock()
+	t.commit(st, k)
+	st.mu.Unlock()
+}
+
+func (t *Table) Get(k string) int {
+	st := &t.stripes[len(k)%4]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.m[k]
+}
+`},
+		{name: "striped_inversion", src: `
+package a
+
+import "sync"
+
+// The violation the striped design must never grow: a table-wide
+// operation that holds seqMu while walking into stripe locks inverts
+// the stripe.mu -> seqMu order and can deadlock against any writer.
+
+type stripe struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+type Table struct {
+	seqMu   sync.Mutex
+	seqno   int
+	stripes [4]stripe
+}
+
+func (t *Table) Set(k string) {
+	st := &t.stripes[len(k)%4]
+	st.mu.Lock()
+	t.seqMu.Lock() // want: lockorder
+	t.seqno++
+	st.m[k] = t.seqno
+	t.seqMu.Unlock()
+	st.mu.Unlock()
+}
+
+func (t *Table) Snapshot() int {
+	t.seqMu.Lock()
+	defer t.seqMu.Unlock()
+	n := 0
+	for i := range t.stripes {
+		st := &t.stripes[i]
+		st.mu.Lock() // want: lockorder
+		n += len(st.m)
+		st.mu.Unlock()
+	}
+	return n
+}
+`},
 		{name: "goroutine_not_launcher", src: `
 package a
 

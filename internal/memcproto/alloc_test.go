@@ -1,0 +1,50 @@
+package memcproto
+
+import "testing"
+
+// TestFrameAppendZeroAlloc gates the wire encode path: appending a
+// frame into a caller-provided buffer with enough capacity must not
+// allocate — the transport's buffer pool depends on it.
+func TestFrameAppendZeroAlloc(t *testing.T) {
+	f := &Frame{
+		Magic:   MagicReq,
+		Opcode:  OpSet,
+		VBucket: 7,
+		Opaque:  42,
+		CAS:     99,
+		Key:     []byte("user4316891766"),
+		Extras:  make([]byte, 8),
+		Value:   make([]byte, 1024),
+	}
+	buf := make([]byte, 0, 2048)
+	n := testing.AllocsPerRun(1000, func() {
+		var err error
+		if buf, err = f.Append(buf[:0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("Frame.Append into sized buffer allocates %.1f times per op, want 0", n)
+	}
+}
+
+func BenchmarkFrameAppend(b *testing.B) {
+	f := &Frame{
+		Magic:   MagicReq,
+		Opcode:  OpSet,
+		VBucket: 7,
+		Opaque:  42,
+		Key:     []byte("user4316891766"),
+		Extras:  make([]byte, 8),
+		Value:   make([]byte, 1024),
+	}
+	buf := make([]byte, 0, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if buf, err = f.Append(buf[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

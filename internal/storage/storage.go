@@ -41,6 +41,17 @@ var (
 	mCompactions    = metrics.Default.Counter("couchgo_storage_compactions_total")
 	mBytesReclaimed = metrics.Default.Counter("couchgo_storage_compaction_reclaimed_bytes_total")
 
+	// Group-commit accounting (DESIGN.md §10). A "batch" is one
+	// leader fsync; a "rider" is an Append whose durability was
+	// satisfied by some other caller's fsync. coalesced_appends is how
+	// many append batches one fsync made durable; device_sync_files is
+	// how many distinct vBucket files one device-level sync round
+	// coalesced.
+	mGroupCommitBatches   = metrics.Default.Counter("couchgo_storage_group_commit_batches")
+	mGroupCommitRiders    = metrics.Default.Counter("couchgo_storage_group_commit_riders_total")
+	mGroupCommitCoalesced = metrics.Default.ValueHistogram("couchgo_storage_group_commit_coalesced_appends")
+	mDeviceSyncFiles      = metrics.Default.ValueHistogram("couchgo_storage_device_sync_files")
+
 	// Secondary-path errors that cannot be propagated without masking
 	// the primary failure (closing a file while unwinding, removing a
 	// leftover compaction temp file). They must still be visible: a
@@ -165,6 +176,14 @@ type recInfo struct {
 
 // VBFile is the storage for one vBucket: an append-only file plus an
 // in-memory by-ID index rebuilt at open.
+//
+// Durability uses group commit (DESIGN.md §10): Append writes and
+// indexes the batch under mu, then — when syncOnWrite is set — rides
+// the leader/rider fsync protocol below instead of fsyncing inline.
+// Lock order is strictly mu → syncMu is never taken; the two are
+// disjoint: mu guards file contents and the index, syncMu guards only
+// the fsync watermark. The fsync itself runs with neither lock held,
+// so readers and the next writer proceed while the disk churns.
 type VBFile struct {
 	mu   sync.Mutex
 	f    *os.File
@@ -176,6 +195,24 @@ type VBFile struct {
 	liveBytes int64 // bytes of current-version records
 	highSeqno uint64
 	closed    bool
+
+	// Group-commit state. appendSeq (under mu) numbers append batches
+	// monotonically — unlike file offsets it survives compaction
+	// rewrites, which shrink the file. syncedSeq is the highest batch
+	// known durable; a writer whose batch ≤ syncedSeq is covered.
+	// syncing marks an in-flight leader (or a Compact/Close quiesce
+	// barrier). syncErr is sticky: after a failed fsync the durable
+	// prefix is unknowable, so every later durable append fails too.
+	appendSeq int64
+	syncMu    sync.Mutex
+	syncCond  *sync.Cond
+	syncing   bool
+	syncedSeq int64
+	syncErr   error
+
+	// syncer, when non-nil, coalesces this file's leader fsyncs with
+	// other files on the same device (set by Store.VB).
+	syncer *Syncer
 }
 
 // Open opens (creating if absent) the vBucket file at path. syncOnWrite
@@ -188,6 +225,7 @@ func Open(path string, syncOnWrite bool) (*VBFile, error) {
 		return nil, err
 	}
 	v := &VBFile{f: f, path: path, sync: syncOnWrite, byID: make(map[string]recInfo)}
+	v.syncCond = sync.NewCond(&v.syncMu)
 	if err := v.recover(); err != nil {
 		closeCounted(f)
 		return nil, err
@@ -236,14 +274,18 @@ func (v *VBFile) indexRecordLocked(rec *Record, off, size int64) {
 
 // Append writes a batch of records sequentially at the end of the file.
 // The batch is a single write syscall (the disk-write queue aggregates
-// mutations, §2.3.2), followed by one fsync when syncOnWrite is set.
+// mutations, §2.3.2). When syncOnWrite is set, Append does not return
+// until its bytes are covered by an fsync — its own or a concurrent
+// leader's (group commit) — so the caller's durability watermark may
+// advance the moment Append returns.
 func (v *VBFile) Append(recs []Record) error {
 	v.mu.Lock()
-	defer v.mu.Unlock()
 	if v.closed {
+		v.mu.Unlock()
 		return ErrClosed
 	}
 	if len(recs) == 0 {
+		v.mu.Unlock()
 		return nil
 	}
 	var buf []byte
@@ -256,21 +298,106 @@ func (v *VBFile) Append(recs []Record) error {
 		off += int64(len(buf) - before)
 	}
 	if _, err := v.f.Write(buf); err != nil {
+		v.mu.Unlock()
 		return err
 	}
 	mBytesWritten.Add(uint64(len(buf)))
-	if v.sync {
-		t0 := time.Now()
-		if err := v.f.Sync(); err != nil {
-			return err
-		}
-		mFsyncDuration.ObserveSince(t0)
-	}
 	for i := range recs {
 		v.indexRecordLocked(&recs[i], offsets[i], encodedSize(&recs[i]))
 	}
 	v.fileBytes = off
+	v.appendSeq++
+	seq := v.appendSeq
+	v.mu.Unlock()
+	if v.sync {
+		return v.syncTo(seq)
+	}
 	return nil
+}
+
+// syncTo blocks until the durable watermark covers append batch seq,
+// joining or leading a group commit. At most one fsync per file is in
+// flight; every caller that arrives while it runs waits, and when it
+// completes, all callers whose batch it covered return together
+// (riders). A caller it did not cover becomes the next leader.
+func (v *VBFile) syncTo(seq int64) error {
+	v.syncMu.Lock()
+	rode := false
+	for {
+		// Coverage first: batches already durable stay durable even if
+		// a later fsync failed or the file has since been closed.
+		if v.syncedSeq >= seq {
+			v.syncMu.Unlock()
+			if rode {
+				mGroupCommitRiders.Inc()
+			}
+			return nil
+		}
+		if v.syncErr != nil {
+			err := v.syncErr
+			v.syncMu.Unlock()
+			return err
+		}
+		if !v.syncing {
+			break
+		}
+		rode = true
+		v.syncCond.Wait()
+	}
+	// Lead: fsync with no locks held. Claim only batches written
+	// before the fsync started — a write racing the fsync may or may
+	// not be on disk when it returns, so target is read first.
+	v.syncing = true
+	prevSynced := v.syncedSeq
+	v.syncMu.Unlock()
+
+	v.mu.Lock()
+	target := v.appendSeq // every batch ≤ target hit the file under mu
+	f := v.f
+	closed := v.closed
+	v.mu.Unlock()
+
+	var err error
+	if closed {
+		err = ErrClosed
+	} else if v.syncer != nil {
+		err = v.syncer.Sync(f)
+	} else {
+		t0 := time.Now()
+		err = f.Sync()
+		mFsyncDuration.ObserveSince(t0)
+	}
+
+	v.syncMu.Lock()
+	v.syncing = false
+	if err != nil {
+		v.syncErr = err
+	} else {
+		if target > v.syncedSeq {
+			v.syncedSeq = target
+		}
+		mGroupCommitBatches.Inc()
+		if target > prevSynced {
+			mGroupCommitCoalesced.ObserveValue(uint64(target - prevSynced))
+		}
+	}
+	v.syncCond.Broadcast()
+	v.syncMu.Unlock()
+	return err
+}
+
+// quiesceSync blocks new fsync leaders and waits out an in-flight one.
+// Compact and Close use it before swapping or closing the descriptor a
+// leader might be fsyncing with no lock held. Callers must not hold mu
+// when calling: an in-flight leader briefly takes mu on its way to the
+// fsync, so waiting for it while holding mu would deadlock.
+func (v *VBFile) quiesceSync() {
+	v.syncMu.Lock()
+	for v.syncing {
+		v.syncCond.Wait()
+	}
+	v.syncing = true
+	v.syncMu.Unlock()
 }
 
 // Get reads the newest version of key. Deleted keys report ErrNotFound
@@ -396,12 +523,32 @@ func (v *VBFile) Fragmentation() float64 {
 // (tombstones included, so replicas and indexes can still learn of
 // deletions), then atomically swaps it in. The vBucket stays readable
 // and writable from the caller's perspective; only this file's own
-// operations serialize with the copy.
+// operations serialize with the copy. The quiesce barrier keeps a
+// group-commit leader from fsyncing the descriptor being swapped out.
 func (v *VBFile) Compact() error {
+	v.quiesceSync()
+	seqAtSwap, err := v.compactSwap()
+	v.syncMu.Lock()
+	v.syncing = false
+	if err == nil && seqAtSwap > v.syncedSeq {
+		// Every append batch up to the swap is in the rewritten file,
+		// which was fully synced before the rename. Claim exactly
+		// those: an append racing in after compactSwap released mu has
+		// a higher batch seq and still owes an fsync.
+		v.syncedSeq = seqAtSwap
+	}
+	v.syncCond.Broadcast()
+	v.syncMu.Unlock()
+	return err
+}
+
+// compactSwap does the rewrite and swap under mu, returning the append
+// watermark the new file covers.
+func (v *VBFile) compactSwap() (int64, error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if v.closed {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	startEv := events.New(events.Compaction, events.SevInfo, "compaction started")
 	startEv.Fields = map[string]string{
@@ -413,7 +560,7 @@ func (v *VBFile) Compact() error {
 	tmpPath := v.path + ".compact"
 	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	// After a successful rename the temp path no longer exists; on any
 	// failure path this cleans up the partial file. Either way a
@@ -438,12 +585,12 @@ func (v *VBFile) Compact() error {
 		rec, err := v.readAtLocked(info)
 		if err != nil {
 			closeCounted(tmp)
-			return err
+			return 0, err
 		}
 		buf = encodeRecord(buf[:0], &rec)
 		if _, err := tmp.Write(buf); err != nil {
 			closeCounted(tmp)
-			return err
+			return 0, err
 		}
 		size := int64(len(buf))
 		newIndex[rec.Key] = recInfo{Meta: rec.Meta, offset: off, size: size}
@@ -452,21 +599,21 @@ func (v *VBFile) Compact() error {
 	}
 	if err := tmp.Sync(); err != nil {
 		closeCounted(tmp)
-		return err
+		return 0, err
 	}
 	if err := tmp.Close(); err != nil {
-		return err
+		return 0, err
 	}
 	if err := os.Rename(tmpPath, v.path); err != nil {
-		return err
+		return 0, err
 	}
 	nf, err := os.OpenFile(v.path, os.O_RDWR, 0o644)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if _, err := nf.Seek(off, io.SeekStart); err != nil {
 		closeCounted(nf)
-		return err
+		return 0, err
 	}
 	// The swap already succeeded; a close failure on the replaced
 	// handle cannot be propagated meaningfully, only counted.
@@ -487,18 +634,29 @@ func (v *VBFile) Compact() error {
 	v.byID = newIndex
 	v.fileBytes = off
 	v.liveBytes = live
-	return nil
+	return v.appendSeq, nil
 }
 
-// Close releases the file handle.
+// Close releases the file handle. The quiesce barrier waits out an
+// in-flight group-commit fsync before the descriptor goes away.
 func (v *VBFile) Close() error {
+	v.quiesceSync()
 	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.closed {
-		return nil
+	var err error
+	if !v.closed {
+		v.closed = true
+		err = v.f.Close()
 	}
-	v.closed = true
-	return v.f.Close()
+	v.mu.Unlock()
+	v.syncMu.Lock()
+	v.syncing = false
+	if v.syncErr == nil {
+		// Wake pending riders: their batches will never be fsynced.
+		v.syncErr = ErrClosed
+	}
+	v.syncCond.Broadcast()
+	v.syncMu.Unlock()
+	return err
 }
 
 // Remove closes and deletes the file (vBucket dropped from this node).
@@ -507,20 +665,101 @@ func (v *VBFile) Remove() error {
 	return errors.Join(v.Close(), os.Remove(v.path))
 }
 
-// Store manages the per-vBucket files of one bucket on one node.
-type Store struct {
-	mu    sync.Mutex
-	dir   string
-	sync  bool
-	files map[int]*VBFile
+// Syncer coalesces fsync requests from many vBucket files that share
+// one device. It runs the same leader/rider protocol as VBFile group
+// commit, one level up: the first caller in a round becomes the
+// device leader, fsyncs every distinct file that queued a ticket
+// while the previous round ran, and completes all their tickets
+// together. No background goroutine — leadership is carried by
+// whichever caller arrives at the right moment.
+type Syncer struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	syncing bool
+	pending []*syncTicket
 }
 
-// NewStore creates a store rooted at dir (created if needed).
+type syncTicket struct {
+	f    *os.File
+	err  error
+	done bool
+}
+
+// NewSyncer creates a device-level fsync coalescer.
+func NewSyncer() *Syncer {
+	s := &Syncer{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Sync makes f durable, batching the fsync with any other files whose
+// requests arrive while a round is in flight.
+func (s *Syncer) Sync(f *os.File) error {
+	t := &syncTicket{f: f}
+	s.mu.Lock()
+	s.pending = append(s.pending, t)
+	for {
+		if t.done {
+			err := t.err
+			s.mu.Unlock()
+			return err
+		}
+		if !s.syncing {
+			// Lead this round: take the whole queue (our ticket
+			// included) and fsync each distinct file once, locks
+			// released so the next round can queue behind us.
+			s.syncing = true
+			batch := s.pending
+			s.pending = nil
+			s.mu.Unlock()
+
+			errs := make(map[*os.File]error, 1)
+			seen := make(map[*os.File]bool, 1)
+			for _, tk := range batch {
+				if seen[tk.f] {
+					continue
+				}
+				seen[tk.f] = true
+				t0 := time.Now()
+				errs[tk.f] = tk.f.Sync()
+				mFsyncDuration.ObserveSince(t0)
+			}
+			mDeviceSyncFiles.ObserveValue(uint64(len(seen)))
+
+			s.mu.Lock()
+			for _, tk := range batch {
+				tk.err = errs[tk.f]
+				tk.done = true
+			}
+			s.syncing = false
+			s.cond.Broadcast()
+			continue // own ticket is now done; loop exits above
+		}
+		s.cond.Wait()
+	}
+}
+
+// Store manages the per-vBucket files of one bucket on one node.
+type Store struct {
+	mu     sync.Mutex
+	dir    string
+	sync   bool
+	syncer *Syncer
+	files  map[int]*VBFile
+}
+
+// NewStore creates a store rooted at dir (created if needed). With
+// syncOnWrite set, all the store's files share one device-level
+// Syncer, so fsyncs for different vBuckets coalesce too.
 func NewStore(dir string, syncOnWrite bool) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir, sync: syncOnWrite, files: make(map[int]*VBFile)}, nil
+	st := &Store{dir: dir, sync: syncOnWrite, files: make(map[int]*VBFile)}
+	if syncOnWrite {
+		st.syncer = NewSyncer()
+	}
+	return st, nil
 }
 
 // VB returns (opening lazily) the file for vBucket vb.
@@ -534,6 +773,7 @@ func (s *Store) VB(vb int) (*VBFile, error) {
 	if err != nil {
 		return nil, err
 	}
+	f.syncer = s.syncer
 	s.files[vb] = f
 	return f, nil
 }

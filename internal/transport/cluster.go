@@ -707,7 +707,28 @@ func (mb *Member) drainReplicaStream(cvb *vbucket.VBucket, rs *RemoteStream, l *
 				return
 			}
 			cvb.ApplyReplica(m)
-			rs.Ack(m.Seqno)
+			high := m.Seqno
+			// Apply everything already delivered before acking:
+			// AckReplica is a high-watermark, so one ack frame covers
+			// the whole run. Under load this collapses per-mutation
+			// ack traffic (frame encode + two socket crossings +
+			// producer-side bookkeeping) into one per burst; durability
+			// waiters see the same watermark, just in one hop.
+		buffered:
+			for {
+				select {
+				case m2, ok := <-rs.C():
+					if !ok {
+						rs.Ack(high)
+						return
+					}
+					cvb.ApplyReplica(m2)
+					high = m2.Seqno
+				default:
+					break buffered
+				}
+			}
+			rs.Ack(high)
 		case <-l.stop:
 			return
 		case <-mb.closed:

@@ -1,0 +1,116 @@
+package transport
+
+import (
+	"net"
+	"runtime"
+	"sync"
+
+	"couchgo/internal/metrics"
+
+	"couchgo/internal/memcproto"
+)
+
+// mFramesPerSyscall records how many wire frames each socket write
+// carried. Under pipelined load the writer loops drain their queues
+// into one syscall; this histogram is the proof (DESIGN.md §10).
+var mFramesPerSyscall = metrics.Default.ValueHistogram("couchgo_transport_frames_per_syscall")
+
+// maxCoalesceBytes bounds how much a writer loop flattens into one
+// write. Past this the batch is flushed and draining resumes; it keeps
+// the scratch buffer (and the far side's burst size) bounded when a
+// DCP backfill queues hundreds of large frames.
+const maxCoalesceBytes = 256 << 10
+
+// maxPooledBufBytes caps what encode buffers the pool retains; a
+// one-off giant frame (DCP backfill value) is left for the GC instead
+// of pinning its capacity forever.
+const maxPooledBufBytes = 64 << 10
+
+// wireBufs recycles encode buffers between the enqueuing goroutines
+// and the writer loops: encodeFrame draws one, the frame rides writeCh
+// inside it, and writeCoalesced returns it once the bytes are on the
+// socket (or copied into the batch scratch). On the request/response
+// hot path this removes a per-frame allocation of full payload size on
+// both sides of every connection. Pooled as *[]byte so Get/Put don't
+// box a slice header per frame.
+var wireBufs = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+// encodeFrame encodes f into a pooled buffer. Ownership of the buffer
+// transfers with it: whoever consumes it must recycleBuf it.
+func encodeFrame(f *memcproto.Frame) (*[]byte, error) {
+	pb := wireBufs.Get().(*[]byte)
+	b, err := f.Append((*pb)[:0])
+	if err != nil {
+		wireBufs.Put(pb)
+		return nil, err
+	}
+	*pb = b
+	return pb, nil
+}
+
+// recycleBuf returns an encode buffer to the pool.
+func recycleBuf(pb *[]byte) {
+	if cap(*pb) > maxPooledBufBytes {
+		return
+	}
+	wireBufs.Put(pb)
+}
+
+// writeCoalesced is the shared writer loop body: the only goroutine
+// writing nc. After receiving one frame it opportunistically drains
+// every frame already queued on writeCh and writes them all with a
+// single syscall. Frames are flattened into one scratch buffer rather
+// than handed to net.Buffers: the conns here are wrapped in
+// countingConn, which hides the writev fast path and would degrade
+// net.Buffers into one syscall per element.
+//
+// Returns nil when closed fires, or the first write error.
+func writeCoalesced(nc net.Conn, writeCh <-chan *[]byte, closed <-chan struct{}) error {
+	var scratch []byte
+	for {
+		select {
+		case pb := <-writeCh:
+			if len(writeCh) == 0 {
+				// Nothing else queued yet — but under concurrent load
+				// more producers are usually mid-enqueue. One scheduler
+				// yield lets them land so their frames share this
+				// syscall; if the queue is still empty afterwards the
+				// connection is genuinely idle and the frame goes out
+				// alone, no copy.
+				runtime.Gosched()
+				if len(writeCh) == 0 {
+					_, err := nc.Write(*pb)
+					recycleBuf(pb)
+					if err != nil {
+						return err
+					}
+					mFramesPerSyscall.ObserveValue(1)
+					continue
+				}
+			}
+			scratch = append(scratch[:0], *pb...)
+			recycleBuf(pb)
+			frames := uint64(1)
+		drain:
+			for len(scratch) < maxCoalesceBytes {
+				select {
+				case more := <-writeCh:
+					scratch = append(scratch, *more...)
+					recycleBuf(more)
+					frames++
+				default:
+					break drain
+				}
+			}
+			if _, err := nc.Write(scratch); err != nil {
+				return err
+			}
+			mFramesPerSyscall.ObserveValue(frames)
+			if cap(scratch) > 4*maxCoalesceBytes {
+				scratch = nil // don't pin a giant buffer after a burst
+			}
+		case <-closed:
+			return nil
+		}
+	}
+}

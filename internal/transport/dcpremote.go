@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -137,11 +138,12 @@ func (rp *RemoteProducer) ResumeStream(name string, uuid, fromSeqno uint64) (dcp
 
 	rs := &RemoteStream{
 		nc:      nc,
+		br:      bufio.NewReaderSize(nc, 32<<10),
 		vb:      rp.vb,
 		name:    name,
 		uuid:    streamUUID,
 		out:     make(chan dcp.Mutation, 256),
-		writeCh: make(chan []byte, 64),
+		writeCh: make(chan *[]byte, 64),
 		closed:  make(chan struct{}),
 	}
 	mConnsCli.Add(1)
@@ -155,11 +157,12 @@ func (rp *RemoteProducer) ResumeStream(name string, uuid, fromSeqno uint64) (dcp
 // seqnos back to the producer for replication durability.
 type RemoteStream struct {
 	nc      net.Conn
+	br      *bufio.Reader // readLoop-only; batches pushed mutations into one syscall
 	vb      int
 	name    string
 	uuid    uint64
 	out     chan dcp.Mutation
-	writeCh chan []byte
+	writeCh chan *[]byte
 	closed  chan struct{}
 	once    sync.Once
 
@@ -197,28 +200,22 @@ func (rs *RemoteStream) Ack(seqno uint64) {
 		Key:     []byte(rs.name),
 		Extras:  memcproto.AppendUint64(nil, seqno),
 	}
-	buf, err := f.Encode()
+	buf, err := encodeFrame(f)
 	if err != nil {
 		return
 	}
 	select {
 	case rs.writeCh <- buf:
 	case <-rs.closed:
+		recycleBuf(buf)
 	}
 }
 
-// writeLoop is the stream's only socket writer (acks).
+// writeLoop is the stream's only socket writer (acks), with queued
+// acks coalesced into single syscalls. A write error is not handled
+// here: the read side sees the broken conn and closes the stream.
 func (rs *RemoteStream) writeLoop() {
-	for {
-		select {
-		case buf := <-rs.writeCh:
-			if _, err := rs.nc.Write(buf); err != nil {
-				return
-			}
-		case <-rs.closed:
-			return
-		}
-	}
+	_ = writeCoalesced(rs.nc, rs.writeCh, rs.closed)
 }
 
 // readLoop turns pushed frames back into dcp.Mutations; it is the
@@ -226,7 +223,7 @@ func (rs *RemoteStream) writeLoop() {
 func (rs *RemoteStream) readLoop() {
 	defer close(rs.out)
 	for {
-		f, err := memcproto.Read(rs.nc)
+		f, err := memcproto.Read(rs.br)
 		if err != nil {
 			rs.Close()
 			return

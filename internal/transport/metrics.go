@@ -21,7 +21,9 @@ package transport
 import (
 	"net"
 	"sync/atomic"
+	"time"
 
+	"couchgo/internal/memcproto"
 	"couchgo/internal/metrics"
 )
 
@@ -45,6 +47,26 @@ var (
 // originating op's series instead of hiding inside "ok".
 func opHistogram(opcode, result string) *metrics.Histogram {
 	return metrics.Default.Histogram("couchgo_transport_op_seconds", "opcode", opcode, "result", result)
+}
+
+// opHistOK caches the result="ok" histogram per opcode byte: the
+// registry lookup (label-string build + locked map access) is too
+// expensive to repeat on every request, and "ok" is the overwhelmingly
+// common outcome. Error results stay on the slow lookup path, where
+// Opcode.String() is also deferred to.
+var opHistOK [256]atomic.Pointer[metrics.Histogram]
+
+func opObserve(op memcproto.Opcode, result string, t0 time.Time) {
+	if result == "ok" {
+		h := opHistOK[byte(op)].Load()
+		if h == nil {
+			h = opHistogram(op.String(), "ok")
+			opHistOK[byte(op)].Store(h)
+		}
+		h.ObserveSince(t0)
+		return
+	}
+	opHistogram(op.String(), result).ObserveSince(t0)
 }
 
 // nmvbCounter attributes a client-observed NMVB bounce to the op that

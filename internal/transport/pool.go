@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"math/rand"
@@ -29,7 +30,8 @@ const (
 type Conn struct {
 	addr    string
 	nc      net.Conn
-	writeCh chan []byte
+	br      *bufio.Reader // readLoop-only; batches pipelined responses into one syscall
+	writeCh chan *[]byte
 	closed  chan struct{}
 
 	mu      sync.Mutex // guards pending/opaque/dead; never held across I/O
@@ -48,10 +50,11 @@ func dialConn(addr string) (*Conn, error) {
 	c := &Conn{
 		addr:    addr,
 		nc:      countingConn{raw},
-		writeCh: make(chan []byte, 64),
+		writeCh: make(chan *[]byte, 64),
 		closed:  make(chan struct{}),
 		pending: map[uint32]chan *memcproto.Frame{},
 	}
+	c.br = bufio.NewReaderSize(c.nc, 32<<10)
 	mConnsCli.Add(1)
 	go c.writeLoop()
 	go c.readLoop()
@@ -59,18 +62,10 @@ func dialConn(addr string) (*Conn, error) {
 }
 
 // writeLoop is the only goroutine that touches the socket's write
-// side.
+// side. Queued frames are coalesced into single syscalls.
 func (c *Conn) writeLoop() {
-	for {
-		select {
-		case buf := <-c.writeCh:
-			if _, err := c.nc.Write(buf); err != nil {
-				c.fail(err)
-				return
-			}
-		case <-c.closed:
-			return
-		}
+	if err := writeCoalesced(c.nc, c.writeCh, c.closed); err != nil {
+		c.fail(err)
 	}
 }
 
@@ -78,7 +73,7 @@ func (c *Conn) writeLoop() {
 // it demuxes response frames to waiting callers by opaque.
 func (c *Conn) readLoop() {
 	for {
-		f, err := memcproto.Read(c.nc)
+		f, err := memcproto.Read(c.br)
 		if err != nil {
 			c.fail(err)
 			return
@@ -118,6 +113,12 @@ func (c *Conn) fail(err error) {
 // ErrNodeUnreachable.
 func (c *Conn) Close() { c.fail(fmt.Errorf("transport: conn closed")) }
 
+// respChans recycles the one-shot response channels Roundtrip
+// registers per request; a cap-1 chan allocation per op adds up on the
+// hot path. A channel only returns to the pool when it is provably
+// empty and unclosed (see abandon).
+var respChans = sync.Pool{New: func() any { return make(chan *memcproto.Frame, 1) }}
+
 // Roundtrip sends one request frame and waits for its response.
 // Failures (conn death, ctx cancellation) wrap core.ErrNodeUnreachable
 // so the route loop treats them as a retryable topology wobble.
@@ -130,22 +131,24 @@ func (c *Conn) Roundtrip(ctx context.Context, f *memcproto.Frame) (*memcproto.Fr
 	}
 	c.opaque++
 	f.Opaque = c.opaque
-	ch := make(chan *memcproto.Frame, 1)
+	ch := respChans.Get().(chan *memcproto.Frame)
 	c.pending[f.Opaque] = ch
 	c.mu.Unlock()
 
-	buf, err := f.Encode()
+	buf, err := encodeFrame(f)
 	if err != nil {
-		c.forget(f.Opaque)
+		c.abandon(f.Opaque, ch)
 		return nil, err
 	}
 	select {
 	case c.writeCh <- buf:
 	case <-c.closed:
-		c.forget(f.Opaque)
+		recycleBuf(buf)
+		c.abandon(f.Opaque, ch)
 		return nil, fmt.Errorf("transport: %s: conn died: %w", c.addr, core.ErrNodeUnreachable)
 	case <-ctx.Done():
-		c.forget(f.Opaque)
+		recycleBuf(buf)
+		c.abandon(f.Opaque, ch)
 		return nil, ctx.Err()
 	}
 
@@ -154,17 +157,31 @@ func (c *Conn) Roundtrip(ctx context.Context, f *memcproto.Frame) (*memcproto.Fr
 		if !ok {
 			return nil, fmt.Errorf("transport: %s: conn died mid-request: %w", c.addr, core.ErrNodeUnreachable)
 		}
+		respChans.Put(ch)
 		return resp, nil
 	case <-ctx.Done():
-		c.forget(f.Opaque)
+		c.abandon(f.Opaque, ch)
 		return nil, ctx.Err()
 	}
 }
 
-func (c *Conn) forget(opaque uint32) {
+// abandon gives up on a registered request. If the opaque was still
+// pending, nobody else can touch ch and it goes straight back to the
+// pool. Otherwise readLoop (a send is imminent or buffered) or fail
+// (close) already claimed it: consume the outcome, and recycle only
+// after a received value — a closed channel is dead to the pool.
+func (c *Conn) abandon(opaque uint32, ch chan *memcproto.Frame) {
 	c.mu.Lock()
+	_, pending := c.pending[opaque]
 	delete(c.pending, opaque)
 	c.mu.Unlock()
+	if pending {
+		respChans.Put(ch)
+		return
+	}
+	if _, ok := <-ch; ok {
+		respChans.Put(ch)
+	}
 }
 
 // poolEntry tracks one node's connection plus its reconnect backoff

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -116,11 +117,12 @@ func (s *Server) acceptLoop() {
 		sess := &session{
 			srv:     s,
 			nc:      countingConn{raw},
-			writeCh: make(chan []byte, 256),
+			writeCh: make(chan *[]byte, 256),
 			closed:  make(chan struct{}),
 			streams: map[streamKey]*servedStream{},
 			sem:     make(chan struct{}, 128),
 		}
+		sess.br = bufio.NewReaderSize(sess.nc, 32<<10)
 		sess.ctx, sess.cancel = context.WithCancel(context.Background())
 		s.mu.Lock()
 		if s.closed {
@@ -176,7 +178,8 @@ type servedStream struct {
 type session struct {
 	srv     *Server
 	nc      net.Conn
-	writeCh chan []byte
+	br      *bufio.Reader // readLoop-only; batches pipelined requests into one syscall
+	writeCh chan *[]byte
 	closed  chan struct{}
 	once    sync.Once
 	sem     chan struct{}
@@ -211,28 +214,21 @@ func (c *session) close() {
 
 func (c *session) writeLoop() {
 	defer c.srv.wg.Done()
-	for {
-		select {
-		case buf := <-c.writeCh:
-			if _, err := c.nc.Write(buf); err != nil {
-				c.close()
-				return
-			}
-		case <-c.closed:
-			return
-		}
+	if err := writeCoalesced(c.nc, c.writeCh, c.closed); err != nil {
+		c.close()
 	}
 }
 
 // send encodes and enqueues one frame; drops it if the session died.
 func (c *session) send(f *memcproto.Frame) {
-	buf, err := f.Encode()
+	buf, err := encodeFrame(f)
 	if err != nil {
 		return
 	}
 	select {
 	case c.writeCh <- buf:
 	case <-c.closed:
+		recycleBuf(buf)
 	}
 }
 
@@ -270,7 +266,7 @@ func (c *session) readLoop() {
 	defer c.srv.wg.Done()
 	defer c.close()
 	for {
-		f, err := memcproto.Read(c.nc)
+		f, err := memcproto.Read(c.br)
 		if err != nil {
 			return
 		}
@@ -285,8 +281,16 @@ func (c *session) readLoop() {
 			memcproto.OpFederate:
 			c.handleAdmin(f)
 		default:
-			// KV ops run in their own goroutine (bounded by sem) so a
-			// durability wait on one request does not stall the conn.
+			// Ops that cannot block (no durability wait) run inline on
+			// the read loop: no goroutine hand-off, and their responses
+			// pile into writeCh while more pipelined requests are
+			// already buffered — the writer coalesces them. Ops that
+			// may wait get their own goroutine (bounded by sem) so one
+			// durability wait does not stall the conn.
+			if fastKV(f) {
+				c.handleKV(f)
+				continue
+			}
 			c.sem <- struct{}{}
 			go func(f *memcproto.Frame) {
 				defer func() { <-c.sem }()
@@ -294,6 +298,30 @@ func (c *session) readLoop() {
 			}(f)
 		}
 	}
+}
+
+// fastKV reports whether f's op is guaranteed not to block on a
+// durability or consistency wait, making it safe to handle inline on
+// the session read loop. Mutations qualify only when their extras
+// carry no durability requirement; a malformed frame is sent to the
+// goroutine path, which produces the error response.
+func fastKV(f *memcproto.Frame) bool {
+	switch f.Opcode {
+	case memcproto.OpGet, memcproto.OpGetMeta, memcproto.OpTouch,
+		memcproto.OpGetAndLock, memcproto.OpUnlock, memcproto.OpSubdocGet:
+		return true
+	case memcproto.OpSet, memcproto.OpDelete:
+		_, bare, err := memcproto.SplitTraceContext(f)
+		if err != nil {
+			return false
+		}
+		me, err := memcproto.DecodeMutateExtras(sliceFrom(bare, 8))
+		if err != nil {
+			return false
+		}
+		return me.ReplicateTo == 0 && !me.Persist
+	}
+	return false
 }
 
 func (c *session) handleAdmin(f *memcproto.Frame) {
@@ -368,7 +396,7 @@ func (c *session) handleAdmin(f *memcproto.Frame) {
 func (c *session) handleKV(f *memcproto.Frame) {
 	t0 := time.Now()
 	result := "ok"
-	defer func() { opHistogram(f.Opcode.String(), result).ObserveSince(t0) }()
+	defer func() { opObserve(f.Opcode, result, t0) }()
 
 	fail := func(err error) {
 		result = kvResult(err)

@@ -101,7 +101,11 @@ func itemFromFrame(key string, f *memcproto.Frame) (cache.Item, error) {
 		Resident: meta.Resident,
 	}
 	if len(f.Value) > 0 {
-		it.Value = append([]byte(nil), f.Value...)
+		// Alias, don't copy: a response frame read off the wire owns a
+		// dedicated body buffer (memcproto.Read allocates one per frame)
+		// and is demuxed to exactly one waiter, so the item can take the
+		// value without a per-Get allocation and memcpy.
+		it.Value = f.Value
 	}
 	return it, nil
 }

@@ -28,6 +28,7 @@ import (
 
 	"couchgo/internal/cache"
 	"couchgo/internal/dcp"
+	"couchgo/internal/events"
 	"couchgo/internal/metrics"
 	"couchgo/internal/storage"
 	"couchgo/internal/trace"
@@ -56,7 +57,20 @@ var (
 
 	mFlushBatchItems = metrics.Default.ValueHistogram("couchgo_flusher_batch_items")
 	mFlushDuration   = metrics.Default.Histogram("couchgo_flusher_flush_duration_seconds")
+	// mFlushQueueDepth is the process-wide disk-write queue backlog
+	// (entries enqueued by onMutate, not yet handed to storage). A
+	// persistently high value means the flushers cannot keep up.
+	mFlushQueueDepth = metrics.Default.Gauge("couchgo_flusher_queue_depth")
 )
+
+// slowOpThreshold is how long one flusher disk commit may take before
+// a slow-op event is journaled naming the blocking site. The 374ms+
+// front-end max-latency outliers in BENCH_transport.json traced to
+// disk commits (fsync, and compaction competing for the device)
+// monopolizing the core; the journal entry makes the next stall
+// attributable without a profiler attached. Variable, so tests can
+// lower it.
+var slowOpThreshold = 100 * time.Millisecond
 
 // State is the partition state machine from §4.3.1: "Throughout the
 // migration and redistribution of partitions among servers, any given
@@ -244,6 +258,7 @@ func (vb *VBucket) onMutate(ctx context.Context, it cache.Item) {
 	vb.queueMu.Lock()
 	vb.queue = append(vb.queue, flushEntry{rec: rec, tr: tr})
 	vb.queueMu.Unlock()
+	mFlushQueueDepth.Add(1)
 	vb.queueCond.Signal()
 
 	vb.producer.Publish(dcp.Mutation{
@@ -251,6 +266,27 @@ func (vb *VBucket) onMutate(ctx context.Context, it cache.Item) {
 		RevSeqno: it.RevSeqno, Flags: it.Flags, Expiry: it.Expiry, Deleted: it.Deleted,
 		Trace: tr,
 	})
+}
+
+// journalSlowCommit publishes a slow-op event naming the blocking
+// site. The write path itself never waits on the disk, but a slow
+// commit delays the persistence watermark (durability waiters) and —
+// on a saturated machine — starves the front-end of CPU; the journal
+// entry pins the stall to storage.Append rather than leaving a bare
+// latency outlier in the histograms.
+func (vb *VBucket) journalSlowCommit(d time.Duration, items int) {
+	vb.queueMu.Lock()
+	depth := len(vb.queue)
+	vb.queueMu.Unlock()
+	ev := events.New(events.SlowOp, events.SevWarn, "slow disk commit")
+	ev.Fields = map[string]string{
+		"site":        "storage.Append",
+		"vb":          strconv.Itoa(vb.ID),
+		"duration":    d.String(),
+		"batch_items": strconv.Itoa(items),
+		"queue_depth": strconv.Itoa(depth),
+	}
+	events.Default.Publish(ev)
 }
 
 // flusher drains the disk-write queue. Repeated updates to a document
@@ -275,6 +311,7 @@ func (vb *VBucket) flusher() {
 		batch := vb.queue[:n]
 		vb.queue = append([]flushEntry(nil), vb.queue[n:]...)
 		vb.queueMu.Unlock()
+		mFlushQueueDepth.Add(int64(-n))
 
 		batch = dedupBatch(batch)
 		mFlushBatchItems.ObserveValue(uint64(len(batch)))
@@ -313,6 +350,9 @@ func (vb *VBucket) flusher() {
 			return
 		}
 		mFlushDuration.ObserveSince(t0)
+		if d := time.Since(t0); d > slowOpThreshold {
+			vb.journalSlowCommit(d, len(recs))
+		}
 		for _, sp := range commitSpans {
 			sp.End()
 		}

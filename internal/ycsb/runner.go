@@ -3,6 +3,7 @@ package ycsb
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -106,12 +107,17 @@ type Result struct {
 	P50, P95, P99, P999 time.Duration
 	// Max is the slowest single operation observed.
 	Max time.Duration
+	// AllocsPerOp is process-wide heap allocations per measured
+	// operation (runtime mallocs delta / ops): client, server, and
+	// background goroutines combined for in-process runs — the GC
+	// pressure one op costs the whole system.
+	AllocsPerOp float64
 }
 
 // String renders one figure row.
 func (r Result) String() string {
-	return fmt.Sprintf("workload=%s threads=%3d ops=%8d errors=%d elapsed=%8s throughput=%10.0f ops/sec p50=%-10s p95=%-10s p99=%-10s p99.9=%-10s max=%s",
-		r.Workload, r.Threads, r.Ops, r.Errors, r.Elapsed.Round(time.Millisecond), r.Throughput, r.P50, r.P95, r.P99, r.P999, r.Max)
+	return fmt.Sprintf("workload=%s threads=%3d ops=%8d errors=%d elapsed=%8s throughput=%10.0f ops/sec p50=%-10s p95=%-10s p99=%-10s p99.9=%-10s max=%-12s allocs/op=%.1f",
+		r.Workload, r.Threads, r.Ops, r.Errors, r.Elapsed.Round(time.Millisecond), r.Throughput, r.P50, r.P95, r.P99, r.P999, r.Max, r.AllocsPerOp)
 }
 
 // Load inserts the initial data set using the runner's thread count.
@@ -169,6 +175,8 @@ func (r *Runner) Run() Result {
 	// recorded without per-op allocation or a collector goroutine.
 	hist := metrics.NewHistogram()
 
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for t := 0; t < r.Threads; t++ {
@@ -192,6 +200,8 @@ func (r *Runner) Run() Result {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 
 	res := Result{
 		Workload: w.Name,
@@ -202,6 +212,9 @@ func (r *Runner) Run() Result {
 	}
 	if elapsed > 0 {
 		res.Throughput = float64(r.Ops) / elapsed.Seconds()
+	}
+	if r.Ops > 0 {
+		res.AllocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(r.Ops)
 	}
 	if snap := hist.Snapshot(); snap.Count > 0 {
 		res.P50 = snap.QuantileDuration(0.50)
